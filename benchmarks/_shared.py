@@ -1,0 +1,56 @@
+"""Shared state for the benchmark harness.
+
+Scales are tuned so the whole ``pytest benchmarks/ --benchmark-only``
+run finishes in a few minutes of pure-Python simulation.  Environment
+overrides:
+
+``REPRO_ACCURACY_SCALE``
+    Fraction of the paper's invocation counts for Figures 9/10
+    (default 0.05; the paper is 1.0).
+``REPRO_JVM_SCALE``
+    Outer-loop multiplier for the Figure 12 JVM runs (default 3).
+``REPRO_MICRO_CHARS``
+    Characters processed by the Section 5.3 microbenchmark (default
+    4000; the paper used 500000).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from functools import lru_cache
+
+#: Figure tables collected during the run, printed in the terminal
+#: summary (pytest captures stderr, so plain prints would be lost).
+REPORTS = []
+
+
+def report(text: str) -> None:
+    """Record a reproduction table for the end-of-run summary."""
+    REPORTS.append(text)
+    print(text, file=sys.stderr)
+
+ACCURACY_SCALE = float(os.environ.get("REPRO_ACCURACY_SCALE", "0.05"))
+JVM_SCALE = float(os.environ.get("REPRO_JVM_SCALE", "3"))
+MICRO_CHARS = int(os.environ.get("REPRO_MICRO_CHARS", "4000"))
+
+
+@lru_cache(maxsize=1)
+def shared_sweep():
+    """The Figure 13/14/2 microbenchmark sweep, computed once."""
+    from repro.experiments import microbench_sweep
+
+    return microbench_sweep(n_chars=MICRO_CHARS)
+
+
+@lru_cache(maxsize=4)
+def accuracy_rows(interval: int):
+    """Figure 9/10 accuracy tables, computed once per interval."""
+    from repro.experiments import accuracy_figure
+
+    return accuracy_figure(interval, scale=ACCURACY_SCALE)
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

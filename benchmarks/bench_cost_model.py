@@ -1,0 +1,42 @@
+"""Section 3.3 summary: the hardware cost table.
+
+Paper claims: "for a single-issue machine, we estimate branch-on-random
+can be implemented with roughly 20 bits of state (for the LFSR) and
+less than 100 gates ... for a 4-wide superscalar, branch-on-random
+should contribute less than 100 bits of state and less than 400
+gates."
+"""
+
+
+from _shared import run_once, report
+
+from repro.core.cost import estimate_cost, paper_design_points
+from repro.experiments import format_cost_table
+
+
+def test_cost_table(benchmark):
+    table = run_once(benchmark, format_cost_table)
+    report("\n" + table)
+
+    single, wide = paper_design_points()
+    assert single.state_bits == 20
+    assert single.gates_macro < 100
+    assert wide.state_bits < 100
+    assert wide.gates_macro < 400
+
+
+def test_cost_scaling_sweep(benchmark):
+    """Replication scales linearly; sharing trades gates for state."""
+
+    def sweep():
+        return {
+            width: estimate_cost(decode_width=width, replicated=True)
+            for width in (1, 2, 4, 8)
+        }
+
+    estimates = run_once(benchmark, sweep)
+    for width, est in estimates.items():
+        assert est.state_bits == 20 * width
+    shared = estimate_cost(decode_width=4, replicated=False)
+    assert shared.state_bits == 20
+    assert shared.gates_macro > 0

@@ -1,0 +1,58 @@
+"""Figure 2: the fixed + variable decomposition of sampling overhead.
+
+Paper model: "The total execution overhead from sampling is a
+combination of fixed and variable costs ... even when the sampling
+rate is reduced to zero, the overhead does not disappear."  Here the
+Figure 13 sweep is decomposed per framework: the framework-only floor
+is the fixed cost; the instrumentation-payload gap is the variable
+cost, which should scale ~linearly with the sampling rate — and
+branch-on-random's fixed cost should be a small fraction of
+counter-based sampling's (the point of the paper).
+"""
+
+
+from _shared import run_once, shared_sweep, report
+
+from repro.analysis import decompose, format_decomposition
+from repro.experiments import sampling_payoff_interval
+
+
+def test_fixed_variable_decomposition(benchmark):
+    sweep = run_once(benchmark, shared_sweep)
+
+    results = {}
+    for kind in ("cbs", "brr"):
+        decomposition = decompose(sweep, kind, "full-dup")
+        results[kind] = decomposition
+    report(format_decomposition(decomposition))
+
+    # Counter-based sampling has a real fixed floor ("5-55%" in prior
+    # work; small here because Full-Duplication amortises it).
+    assert results["cbs"].fixed_cost > 1.0
+    # Branch-on-random nearly eliminates the fixed cost.
+    assert results["brr"].fixed_cost < results["cbs"].fixed_cost / 3
+    # The variable component behaves like Figure 2: ~proportional to
+    # the sampling rate.
+    for kind in ("cbs", "brr"):
+        assert results[kind].variable_slope > 0
+        assert results[kind].variable_r_squared > 0.7
+
+    # Figure 2's payoff narrative: the interval at which *sampled*
+    # instrumentation becomes cheaper than unsampled instrumentation.
+    report(f"\nsampling payoff vs. full instrumentation "
+           f"({sweep.full_instr_overhead:.1f}% overhead):")
+    payoffs = {}
+    for kind in ("cbs", "brr"):
+        for dup in ("no-dup", "full-dup"):
+            payoff = sampling_payoff_interval(sweep, kind, dup)
+            payoffs[(kind, dup)] = payoff
+            report(f"  {kind} ({dup}): "
+                   + (f"pays off from interval {payoff}" if payoff
+                      else "never pays off in range"))
+    # brr's low fixed cost means it pays off at a (much) smaller
+    # interval than cbs under the same layout.
+    for dup in ("no-dup", "full-dup"):
+        brr_payoff = payoffs[("brr", dup)]
+        cbs_payoff = payoffs[("cbs", dup)]
+        assert brr_payoff is not None
+        assert cbs_payoff is None or brr_payoff <= cbs_payoff

@@ -1,0 +1,38 @@
+"""Figure 10: sampling accuracy at interval 2^13.
+
+Paper result: same trends as Figure 9 "except that everything is
+lower" (8x fewer samples); jython again suffers with the counters, and
+pmd's pathological pattern also becomes visible.
+"""
+
+
+from _shared import ACCURACY_SCALE, accuracy_rows, run_once, report
+
+from repro.experiments import format_accuracy_rows
+
+
+def test_figure10(benchmark):
+    rows = run_once(benchmark, lambda: accuracy_rows(1 << 13))
+
+    report(format_accuracy_rows(
+        rows, f"Figure 10: accuracy at 2^13 (scale {ACCURACY_SCALE})"))
+
+    by_name = {row["benchmark"]: row for row in rows}
+    # jython still resonates with the counters.
+    assert by_name["jython"]["random"] > by_name["jython"]["sw"] + 2
+    # pmd's longer pattern resonates at 2^13 (its period-2048 chain).
+    assert by_name["pmd"]["random"] > by_name["pmd"]["sw"] + 2
+
+
+def test_figure10_lower_than_figure9(benchmark):
+    """Cross-figure claim: decreasing the number of samples by 8x
+    lowers accuracy across the board."""
+
+    def both():
+        return accuracy_rows(1 << 10), accuracy_rows(1 << 13)
+
+    rows9, rows10 = run_once(benchmark, both)
+    avg9 = rows9[-1]
+    avg10 = rows10[-1]
+    for scheme in ("sw", "hw", "random"):
+        assert avg10[scheme] < avg9[scheme]

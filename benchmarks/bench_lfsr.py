@@ -1,0 +1,63 @@
+"""Microbenchmarks of the core branch-on-random hardware model.
+
+Not a paper figure, but the substrate everything else runs on: LFSR
+update rate, condition-unit evaluation, and full brr resolution — plus
+a correctness gate on the exact Figure 6 sequence.
+"""
+
+from repro.core.brr import BranchOnRandomUnit
+from repro.core.condition import ConditionUnit
+from repro.core.lfsr import Lfsr
+from repro.core.taps import FIGURE6_TAPS
+
+FIGURE6_SEQUENCE = [
+    0b0001, 0b1000, 0b0100, 0b0010, 0b1001, 0b1100, 0b0110, 0b1011,
+    0b0101, 0b1010, 0b1101, 0b1110, 0b1111, 0b0111, 0b0011,
+]
+
+
+def test_figure6_sequence_bench(benchmark):
+    """Figure 6: the 4-bit LFSR walks the exact published sequence."""
+
+    def walk():
+        lfsr = Lfsr(4, taps=FIGURE6_TAPS, seed=0b0001)
+        return list(lfsr.sequence(15))
+
+    sequence = benchmark(walk)
+    assert sequence == FIGURE6_SEQUENCE
+
+
+def test_lfsr_step_rate(benchmark):
+    lfsr = Lfsr(20)
+
+    def steps():
+        for __ in range(10_000):
+            lfsr.step()
+
+    benchmark(steps)
+
+
+def test_condition_unit_evaluate(benchmark):
+    lfsr = Lfsr(20)
+    unit = ConditionUnit(lfsr)
+
+    def evaluate():
+        hits = 0
+        for __ in range(10_000):
+            hits += unit.evaluate(9)
+            lfsr.step()
+        return hits
+
+    benchmark(evaluate)
+
+
+def test_brr_resolution_rate(benchmark):
+    unit = BranchOnRandomUnit()
+
+    def resolve():
+        taken = 0
+        for __ in range(10_000):
+            taken += unit.resolve(9)
+        return taken
+
+    benchmark(resolve)

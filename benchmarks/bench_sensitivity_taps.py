@@ -1,0 +1,42 @@
+"""Section 4.2 sensitivity: LFSR tap selection.
+
+Paper result: comparing four 32-bit tap configurations — (32,31,30,10),
+(32,19,18,13), (32,31,30,29,28,22), (32,22,16,15,12,11) — the variation
+in profile quality is "below the level of significance" relative to
+the distribution achieved from different LFSR initial values.
+"""
+
+
+from _shared import run_once, report
+
+from repro.experiments import (
+    format_sensitivity_result,
+    seed_noise_baseline,
+    taps_sensitivity,
+)
+
+
+def test_taps_sensitivity(benchmark):
+    result = run_once(
+        benchmark,
+        lambda: taps_sensitivity(benchmark="bloat", seeds=(0, 1, 2, 3),
+                                 scale=0.02),
+    )
+    report(format_sensitivity_result(result))
+
+    assert len(result.groups) == 4
+    assert not result.significant  # matches the paper
+    means = list(result.group_means().values())
+    assert max(means) - min(means) < 3.0
+
+
+def test_seed_noise_baseline(benchmark):
+    noise = run_once(
+        benchmark,
+        lambda: seed_noise_baseline(benchmark="bloat",
+                                    seeds=tuple(range(6)), scale=0.02),
+    )
+    report(f"\nseed-variation baseline: mean={noise['mean']:.2f}% "
+          f"std={noise['std']:.3f}% range=[{noise['min']:.2f}, "
+          f"{noise['max']:.2f}]")
+    assert noise["std"] < 3.0

@@ -1,0 +1,17 @@
+"""Benchmark-harness hooks: print the reproduced paper figures."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_terminal_summary(terminalreporter):
+    from _shared import REPORTS
+
+    if not REPORTS:
+        return
+    terminalreporter.section("paper figure reproductions")
+    for text in REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(text)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Exploring the branch-on-random hardware design space (Section 3.3).
+
+Three of the design decisions the paper discusses, made quantitative:
+
+1. **LFSR width** — 16 bits is the minimum for all 16 frequencies;
+   20 bits buys varied AND-input spacing (independence of consecutive
+   outcomes); beyond that only costs flip-flops.
+2. **Replicated vs. shared LFSRs** at 4-wide decode — state/gates vs.
+   the packet-split penalty when two brr land in one decode group.
+3. **AND-input selection** — the conditional-probability defect of
+   adjacent bits, and what spacing does to it.
+
+Run:  python examples/hardware_design_space.py
+"""
+
+from repro.analysis.randomness import conditional_taken_probability
+from repro.core import estimate_cost, spaced_bits
+from repro.core.brr import HardwareCounterUnit
+from repro.isa import assemble
+from repro.sampling import brr_decision_array
+from repro.timing import TimingConfig, time_program
+
+ADJACENT_BRR_LOOP = """
+    li r1, 2000
+loop:
+    brr 15, a
+a:  brr 15, b
+b:  addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def demo_width() -> None:
+    print("1. LFSR width (single decoder):")
+    print(f"   {'width':>6} {'state bits':>11} {'gates':>6} "
+          f"{'spaced 10-input AND':>34}")
+    for width in (16, 20, 24, 32):
+        cost = estimate_cost(lfsr_width=width, decode_width=1)
+        spacing = spaced_bits(10, width)
+        print(f"   {width:>6} {cost.state_bits:>11} {cost.gates_macro:>6} "
+              f"{str(spacing):>34}")
+    print("   at 16 bits the low-probability ANDs collapse to adjacent "
+          "inputs; wider\n   registers keep 'some spacing even when many "
+          "bits are ANDed' — the reason\n   the paper suggests a 20-bit "
+          "design point.\n")
+
+
+def demo_sharing() -> None:
+    print("2. Replicated vs. shared LFSR at 4-wide decode:")
+    for replicated in (True, False):
+        cost = estimate_cost(lfsr_width=20, decode_width=4,
+                             replicated=replicated)
+        label = "replicated" if replicated else "shared"
+        print(f"   {label:<11} {cost.state_bits:>3} bits, "
+              f"{cost.gates_macro:>3} gates")
+    program = assemble(ADJACENT_BRR_LOOP)
+    for shared in (False, True):
+        config = TimingConfig().with_overrides(brr_shared_lfsr=shared)
+        result = time_program(program, brr_unit=HardwareCounterUnit(),
+                              config=config)
+        label = "shared" if shared else "replicated"
+        print(f"   adjacent-brr worst case, {label:<11} "
+              f"{result.cycles} cycles "
+              f"({result.stats.brr_packet_splits} packet splits)")
+    print("   sharing saves 60 bits of state; even back-to-back brr "
+          "splits cost almost\n   nothing because decode has slack "
+          "behind a 3-wide fetch (footnote 3's bet).\n")
+
+
+def demo_bit_selection() -> None:
+    print("3. AND-input selection (25% branch, P[taken | prev taken]):")
+    for policy in ("contiguous", "spaced"):
+        decisions = brr_decision_array(1 << 16, 1, width=20, seed=0xACE1,
+                                       policy=policy)
+        conditional = conditional_taken_probability(decisions.astype(int))
+        print(f"   {policy:<11} {conditional:.3f} "
+              f"{'(should be 0.25)' if policy == 'spaced' else '(the paper: 0.5 — one bit is guaranteed set)'}")
+    print("   Section 4.2 found the profiling results insensitive to this "
+          "— but the\n   spaced selection removes the defect for other "
+          "applications at zero cost.")
+
+
+if __name__ == "__main__":
+    demo_width()
+    demo_sharing()
+    demo_bit_selection()

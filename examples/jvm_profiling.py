@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Profiling a JVM workload with the three sampling frameworks.
+
+The paper's motivating scenario: a virtual machine wants a method
+invocation profile of optimized code without paying for full
+instrumentation.  This example compiles the ``jython``-style workload
+(tight interpreter loops alternating two leaf methods) under the
+Arnold-Ryder framework with (a) a software counter, (b) the
+deterministic hardware counter and (c) branch-on-random, runs each on
+the functional simulator, and compares the sampled profiles against
+the full profile with the paper's overlap metric — exposing the
+footnote-7 resonance that only branch-on-random avoids.
+
+Run:  python examples/jvm_profiling.py
+"""
+
+from repro.core import BranchOnRandomUnit, HardwareCounterUnit
+from repro.jvm import build_jython, compile_program
+from repro.profiles import Profile, overlap_accuracy
+from repro.sim import Machine
+
+INTERVAL = 16  # high rate so the small example collects enough samples
+
+
+def run_variant(jvm, variant, kind=None, unit=None):
+    compiled = compile_program(jvm, variant=variant, kind=kind,
+                               interval=INTERVAL)
+    machine = Machine(compiled.program, brr_unit=unit)
+    machine.run(max_steps=20_000_000)
+    return Profile(compiled.read_profile(machine))
+
+
+def main() -> None:
+    jvm = build_jython(2.0)
+    print(f"workload: {len(jvm.methods)} methods, "
+          f"{sum(jvm.static_invocations().values())} invocations")
+
+    full = run_variant(jvm, "full")
+    print("\nfull profile (top 5 methods):")
+    for name, fraction in full.top(5):
+        print(f"  {name:<16} {100 * fraction:5.1f}%")
+
+    schemes = {
+        "software counter": run_variant(jvm, "no-dup", kind="cbs"),
+        "hardware counter": run_variant(jvm, "no-dup", kind="brr",
+                                        unit=HardwareCounterUnit()),
+        "branch-on-random": run_variant(jvm, "no-dup", kind="brr",
+                                        unit=BranchOnRandomUnit()),
+    }
+
+    print(f"\nsampled at 1/{INTERVAL} (overlap accuracy vs. full profile):")
+    for label, profile in schemes.items():
+        accuracy = overlap_accuracy(full, profile)
+        a = profile.count("jython_opA")
+        b = profile.count("jython_opB")
+        print(f"  {label:<18} accuracy {accuracy:5.1f}%  "
+              f"({profile.total} samples; opA/opB = {a}/{b})")
+
+    print("\nThe counters sample the alternating opA/opB loop at a fixed "
+          "parity,\nso one leaf is systematically missed (footnote 7); "
+          "branch-on-random\nsamples both.")
+
+
+if __name__ == "__main__":
+    main()

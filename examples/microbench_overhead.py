@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Measuring framework overhead on the Section 5.3 microbenchmark.
+
+A compact version of the Figure 13/14 sweep: times the checksum/
+character-distribution loop under both sampling frameworks at a few
+intervals on the cycle-level out-of-order model, and prints percent
+overhead and cycles per sampling site.
+
+Run:  python examples/microbench_overhead.py   (~30 seconds)
+"""
+
+from repro.core import BranchOnRandomUnit, Lfsr
+from repro.timing import cycles_per_site, overhead_percent, time_window
+from repro.workloads import build_microbench
+from repro.workloads.microbench import END_MARKER, WARM_MARKER
+
+N_CHARS = 3000
+INTERVALS = (8, 64, 1024)
+
+
+def timed(bench, unit=None):
+    return time_window(
+        bench.program,
+        begin=(WARM_MARKER, 1),
+        end=(END_MARKER, 1),
+        setup=bench.load_text,
+        brr_unit=unit,
+    )
+
+
+def main() -> None:
+    base_bench = build_microbench(N_CHARS, variant="none", seed=7)
+    base = timed(base_bench)
+    sites = base_bench.measured_sites
+    print(f"baseline: {base.cycles} cycles over {base.instructions} "
+          f"instructions ({sites} instrumentation sites); "
+          f"branch accuracy {base.stats.branch_accuracy:.3f}")
+
+    full_bench = build_microbench(N_CHARS, variant="full", seed=7)
+    full = timed(full_bench)
+    print(f"full instrumentation: "
+          f"+{overhead_percent(base.cycles, full.cycles):.1f}% "
+          f"({cycles_per_site(base.cycles, full.cycles, sites):.2f} "
+          f"cycles/site)\n")
+
+    print(f"{'framework':<22} " +
+          " ".join(f"{f'1/{iv}':>14}" for iv in INTERVALS))
+    for kind in ("cbs", "brr"):
+        for dup in ("no-dup", "full-dup"):
+            cells = []
+            for interval in INTERVALS:
+                bench = build_microbench(
+                    N_CHARS, variant=dup, kind=kind, interval=interval,
+                    include_payload=False, seed=7,
+                )
+                unit = (BranchOnRandomUnit(Lfsr(20, seed=interval * 3 + 1))
+                        if kind == "brr" else None)
+                result = timed(bench, unit)
+                cells.append(
+                    f"{overhead_percent(base.cycles, result.cycles):5.1f}% "
+                    f"{cycles_per_site(base.cycles, result.cycles, sites):5.2f}c"
+                )
+            print(f"{kind + ' ' + dup:<22} " +
+                  " ".join(f"{c:>14}" for c in cells))
+
+    print("\nColumns show percent overhead and added cycles per site. "
+          "Branch-on-random\nwith Full-Duplication approaches the paper's "
+          "~0.1 cycle/site asymptote while\ncounter-based sampling stays "
+          "an order of magnitude higher.")
+
+
+if __name__ == "__main__":
+    main()

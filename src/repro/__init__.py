@@ -1,0 +1,56 @@
+"""repro — a full reproduction of *Branch-on-Random* (Lee & Zilles, CGO 2008).
+
+The package implements the proposed branch-on-random instruction and
+every substrate the paper's evaluation depends on:
+
+- :mod:`repro.core` — the instruction's hardware model (LFSR, condition
+  unit, superscalar decode integration, cost model);
+- :mod:`repro.isa` — a small RISC-style instruction set with the
+  architected ``brr`` opcode, assembler and disassembler;
+- :mod:`repro.sim` — a functional simulator including the SIGILL-style
+  trap-emulation path used by the paper for its accuracy experiments;
+- :mod:`repro.timing` — a cycle-level out-of-order timing simulator
+  configured per Section 5.1 (4-wide, 80-entry ROB, tournament
+  predictor, two-level caches);
+- :mod:`repro.sampling` — event-level sampling frameworks (software
+  counter, hardware counter, branch-on-random, convergent);
+- :mod:`repro.instrument` — CFG IR and the Arnold-Ryder
+  No-Duplication / Full-Duplication transformations;
+- :mod:`repro.jvm` — a mini JVM substrate with a baseline compiler;
+- :mod:`repro.workloads` — DaCapo-like synthetic workloads and the
+  Section 5.3 checksum microbenchmark;
+- :mod:`repro.profiles` — profiles and the overlap-accuracy metric;
+- :mod:`repro.experiments` — one runner per paper table/figure;
+- :mod:`repro.analysis` — statistics and overhead decomposition.
+"""
+
+__version__ = "1.0.0"
+
+from . import (
+    analysis,
+    core,
+    experiments,
+    instrument,
+    isa,
+    jvm,
+    profiles,
+    sampling,
+    sim,
+    timing,
+    workloads,
+)
+
+__all__ = [
+    "analysis",
+    "core",
+    "experiments",
+    "instrument",
+    "isa",
+    "jvm",
+    "profiles",
+    "sampling",
+    "sim",
+    "timing",
+    "workloads",
+    "__version__",
+]

@@ -1,0 +1,43 @@
+"""Statistics helpers and the Figure 2 overhead decomposition."""
+
+from .overhead import (
+    Decomposition,
+    DecompositionRow,
+    decompose,
+    format_decomposition,
+)
+from .randomness import (
+    autocorrelation,
+    conditional_taken_probability,
+    gap_cv,
+    gap_distribution,
+    geometric_gap_test,
+    parity_balance,
+    placement_report,
+)
+from .stats import (
+    fit_through_origin,
+    geometric_mean,
+    mean,
+    sample_std,
+    welch_t,
+)
+
+__all__ = [
+    "autocorrelation",
+    "conditional_taken_probability",
+    "gap_cv",
+    "gap_distribution",
+    "geometric_gap_test",
+    "parity_balance",
+    "placement_report",
+    "Decomposition",
+    "DecompositionRow",
+    "decompose",
+    "format_decomposition",
+    "fit_through_origin",
+    "geometric_mean",
+    "mean",
+    "sample_std",
+    "welch_t",
+]

@@ -1,0 +1,106 @@
+"""Figure 2's overhead decomposition: fixed vs. variable cost.
+
+"The total execution overhead from sampling is a combination of fixed
+and variable costs.  The fixed cost comes from the instructions that
+need to be unconditionally executed while variable costs can be
+decreased by reducing the sampling rate."
+
+Given a Figure 13 sweep, the framework-only curve at the lowest
+sampling rate estimates the *fixed* cost; the gap between the
+with-instrumentation and framework-only curves at each rate is the
+*variable* (instrumentation) cost, which Figure 2 predicts is
+proportional to the sampling rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .stats import fit_through_origin
+
+
+@dataclass
+class DecompositionRow:
+    """One sampling rate's overhead split."""
+
+    interval: int
+    rate: float
+    total_overhead: float
+    framework_overhead: float
+    instrumentation_overhead: float
+
+
+@dataclass
+class Decomposition:
+    """Fixed/variable decomposition of one framework combination."""
+
+    kind: str
+    duplication: str
+    fixed_cost: float
+    rows: List[DecompositionRow]
+    variable_slope: float
+    variable_r_squared: float
+
+
+def decompose(sweep, kind: str, duplication: str) -> Decomposition:
+    """Split a framework's overhead curves into Figure 2's components.
+
+    ``sweep`` is a :class:`repro.experiments.fig13.MicrobenchSweep`
+    containing both payload variants of the requested combination.
+    """
+    framework = sweep.series(kind, duplication, with_payload=False)
+    with_inst = sweep.series(kind, duplication, with_payload=True)
+    if not framework or not with_inst:
+        raise ValueError(
+            f"sweep lacks curves for {kind}/{duplication}"
+        )
+    by_interval = {p.interval: p for p in framework}
+    rows = []
+    for point in with_inst:
+        base = by_interval.get(point.interval)
+        if base is None:
+            continue
+        rows.append(DecompositionRow(
+            interval=point.interval,
+            rate=1.0 / point.interval,
+            total_overhead=point.overhead,
+            framework_overhead=base.overhead,
+            instrumentation_overhead=point.overhead - base.overhead,
+        ))
+    if len(rows) < 2:
+        raise ValueError("need at least two matching intervals")
+    # Fixed cost: the framework floor as the rate approaches zero.
+    fixed = min(r.framework_overhead for r in rows)
+    slope, r_squared = fit_through_origin(
+        [r.rate for r in rows],
+        [r.instrumentation_overhead for r in rows],
+    )
+    return Decomposition(
+        kind=kind,
+        duplication=duplication,
+        fixed_cost=fixed,
+        rows=sorted(rows, key=lambda r: r.interval),
+        variable_slope=slope,
+        variable_r_squared=r_squared,
+    )
+
+
+def format_decomposition(decomposition: Decomposition) -> str:
+    lines = [
+        f"Figure 2 decomposition: {decomposition.kind} "
+        f"({decomposition.duplication})",
+        f"  fixed (framework) cost floor: "
+        f"{decomposition.fixed_cost:.2f}% overhead",
+        f"  variable cost ~ {decomposition.variable_slope:.1f}% x rate "
+        f"(R^2 = {decomposition.variable_r_squared:.3f})",
+        f"  {'interval':>8} {'rate':>9} {'total%':>8} {'framework%':>11} "
+        f"{'instrumentation%':>17}",
+    ]
+    for row in decomposition.rows:
+        lines.append(
+            f"  {row.interval:>8} {row.rate:>9.5f} {row.total_overhead:>8.2f} "
+            f"{row.framework_overhead:>11.2f} "
+            f"{row.instrumentation_overhead:>17.2f}"
+        )
+    return "\n".join(lines)

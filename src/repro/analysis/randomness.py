@@ -1,0 +1,129 @@
+"""Statistical quality of branch-on-random's sampling placement.
+
+Section 4 argues the LFSR's pseudo-randomness is what buys accuracy:
+samples must not fall into lockstep with program periodicity. These
+helpers quantify that:
+
+* :func:`gap_distribution` — inter-sample gaps. For an ideal Bernoulli
+  sampler at rate p the gaps are geometric with mean 1/p; for a
+  counter they are a constant — the degenerate distribution that
+  causes footnote 7's resonance.
+* :func:`geometric_gap_test` — chi-squared goodness of fit of the
+  observed gaps against the geometric distribution.
+* :func:`autocorrelation` — serial correlation of the decision stream;
+  adjacent-bit AND selection (the "contiguous" policy) shows the
+  positive lag-1 correlation the paper warns about, spaced selection
+  suppresses it.
+* :func:`parity_balance` — the fraction of samples landing on even
+  stream positions: 0.5 for a good sampler, 0 or 1 for a counter with
+  an even interval (the resonance mechanism itself).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+
+def gap_distribution(positions: Sequence[int]) -> np.ndarray:
+    """Gaps between consecutive sample positions."""
+    arr = np.asarray(positions, dtype=np.int64)
+    if arr.size < 2:
+        raise ValueError("need at least two sample positions")
+    gaps = np.diff(arr)
+    if (gaps <= 0).any():
+        raise ValueError("positions must be strictly increasing")
+    return gaps
+
+
+def geometric_gap_test(positions: Sequence[int], rate: float,
+                       bins: int = 8) -> Tuple[float, float]:
+    """Chi-squared test of inter-sample gaps against Geometric(rate).
+
+    Returns ``(statistic, p_value)``.  A fixed-interval counter fails
+    catastrophically (all mass in one bin); an LFSR-driven brr at the
+    same rate passes.
+    """
+    if not 0.0 < rate < 1.0:
+        raise ValueError("rate must be in (0, 1)")
+    from scipy import stats as scipy_stats
+
+    gaps = gap_distribution(positions)
+    # Bin edges at geometric quantiles so expected counts are equal.
+    quantiles = np.arange(1, bins) / bins
+    edges = scipy_stats.geom.ppf(quantiles, rate)
+    edges = np.unique(edges)
+    observed, __ = np.histogram(gaps, bins=np.concatenate(
+        ([0.5], edges + 0.5, [np.inf])))
+    cdf = scipy_stats.geom.cdf(np.concatenate((edges, [np.inf])), rate)
+    probs = np.diff(np.concatenate(([0.0], cdf)))
+    expected = probs * gaps.size
+    keep = expected > 1e-9
+    statistic, p_value = scipy_stats.chisquare(observed[keep],
+                                               expected[keep] *
+                                               observed[keep].sum() /
+                                               expected[keep].sum())
+    return float(statistic), float(p_value)
+
+
+def autocorrelation(decisions: Sequence[int], lag: int = 1) -> float:
+    """Serial correlation of a 0/1 decision stream at ``lag``."""
+    arr = np.asarray(decisions, dtype=np.float64)
+    if arr.size <= lag:
+        raise ValueError("stream shorter than the requested lag")
+    a = arr[:-lag] - arr.mean()
+    b = arr[lag:] - arr.mean()
+    denom = float(np.sqrt((a * a).sum() * (b * b).sum()))
+    if denom == 0:
+        return 0.0
+    return float((a * b).sum() / denom)
+
+
+def conditional_taken_probability(decisions: Sequence[int]) -> float:
+    """P(taken at t+1 | taken at t) — the paper's worked example of
+    adjacent-bit correlation: for a 25% branch from two adjacent LFSR
+    bits this is 50%, not 25%."""
+    arr = np.asarray(decisions, dtype=bool)
+    taken_then = arr[:-1]
+    if not taken_then.any():
+        raise ValueError("no taken decisions in the stream")
+    return float(arr[1:][taken_then].mean())
+
+
+def gap_cv(positions: Sequence[int]) -> float:
+    """Coefficient of variation of the inter-sample gaps.
+
+    A geometric (memoryless) sampler at rate p has CV ≈ sqrt(1-p); a
+    fixed-interval counter has CV = 0.  The LFSR stream's short-range
+    correlations (the paper's adjacent-bit caveat) distort the exact
+    gap *distribution* but leave the CV near the geometric value —
+    which is why its sampling still behaves randomly at the scales
+    profiling cares about."""
+    gaps = gap_distribution(positions)
+    mean = float(gaps.mean())
+    if mean == 0:
+        raise ValueError("degenerate gaps")
+    return float(gaps.std() / mean)
+
+
+def parity_balance(positions: Sequence[int]) -> float:
+    """Fraction of samples at even stream positions (0.5 is ideal)."""
+    arr = np.asarray(positions, dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("no sample positions")
+    return float((arr % 2 == 0).mean())
+
+
+def placement_report(positions: Sequence[int], rate: float) -> Dict[str, float]:
+    """Summary statistics of a sampler's placement quality."""
+    gaps = gap_distribution(positions)
+    __, p_value = geometric_gap_test(positions, rate)
+    return {
+        "mean_gap": float(gaps.mean()),
+        "expected_gap": 1.0 / rate,
+        "gap_std": float(gaps.std()),
+        "gap_cv": float(gaps.std() / gaps.mean()),
+        "geometric_p_value": p_value,
+        "parity_balance": parity_balance(positions),
+    }

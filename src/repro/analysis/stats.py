@@ -1,0 +1,58 @@
+"""Small statistics helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def sample_std(values: Sequence[float]) -> float:
+    """Unbiased sample standard deviation."""
+    if len(values) < 2:
+        raise ValueError("need at least two samples")
+    center = mean(values)
+    return (sum((v - center) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def fit_through_origin(xs: Sequence[float], ys: Sequence[float]
+                       ) -> Tuple[float, float]:
+    """Least-squares slope of ``y = m*x`` plus the fit's R^2.
+
+    Used to test Figure 2's model that the variable component of
+    sampling overhead is proportional to the sampling rate.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need matching sequences of length >= 2")
+    sxx = sum(x * x for x in xs)
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sum(x * y for x, y in zip(xs, ys)) / sxx
+    y_mean = mean(ys)
+    ss_tot = sum((y - y_mean) ** 2 for y in ys)
+    ss_res = sum((y - slope * x) ** 2 for x, y in zip(xs, ys))
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot else 1.0
+    return slope, r_squared
+
+
+def welch_t(a: Sequence[float], b: Sequence[float]) -> Tuple[float, float]:
+    """Welch's t statistic and two-sided p-value (via scipy)."""
+    from scipy import stats as scipy_stats
+
+    t_stat, p_value = scipy_stats.ttest_ind(list(a), list(b), equal_var=False)
+    return float(t_stat), float(p_value)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("geometric mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean needs positive values")
+    product = 1.0
+    for value in values:
+        product *= value
+    return product ** (1.0 / len(values))

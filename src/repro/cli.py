@@ -1,0 +1,159 @@
+"""Command-line interface: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro figure9 [--scale 0.05]
+    python -m repro figure10 [--scale 0.05]
+    python -m repro figure12 [--jvm-scale 3]
+    python -m repro figure13 [--chars 4000]
+    python -m repro figure14 [--chars 4000]
+    python -m repro figure2  [--chars 4000]
+    python -m repro sensitivity [--scale 0.02]
+    python -m repro cost
+    python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
+    python -m repro all      # everything (several minutes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import pathlib
+import sys
+import time
+from typing import List, Optional
+
+
+def _figure9(args) -> None:
+    from .experiments import figure9, format_accuracy_rows
+
+    rows = figure9(scale=args.scale)
+    print(format_accuracy_rows(
+        rows, f"Figure 9: accuracy at 2^10 (scale {args.scale})"))
+
+
+def _figure10(args) -> None:
+    from .experiments import figure10, format_accuracy_rows
+
+    rows = figure10(scale=args.scale)
+    print(format_accuracy_rows(
+        rows, f"Figure 10: accuracy at 2^13 (scale {args.scale})"))
+
+
+def _figure12(args) -> None:
+    from .experiments import figure12, format_fig12_rows
+
+    print(format_fig12_rows(figure12(scale=args.jvm_scale)))
+
+
+def _sweep(args):
+    from .experiments import microbench_sweep
+
+    return microbench_sweep(n_chars=args.chars)
+
+
+def _figure13(args) -> None:
+    from .experiments import format_figure13
+
+    print(format_figure13(_sweep(args)))
+
+
+def _figure14(args) -> None:
+    from .experiments import format_figure14
+
+    print(format_figure14(_sweep(args)))
+
+
+def _figure2(args) -> None:
+    from .analysis import decompose, format_decomposition
+
+    sweep = _sweep(args)
+    for kind in ("cbs", "brr"):
+        print(format_decomposition(decompose(sweep, kind, "full-dup")))
+
+
+def _sensitivity(args) -> None:
+    from .experiments import (
+        bit_policy_sensitivity,
+        format_sensitivity_result,
+        seed_noise_baseline,
+        taps_sensitivity,
+    )
+
+    print(format_sensitivity_result(taps_sensitivity(scale=args.scale)))
+    print(format_sensitivity_result(bit_policy_sensitivity(scale=args.scale)))
+    noise = seed_noise_baseline(scale=args.scale)
+    print(f"seed-variation baseline: mean={noise['mean']:.2f}% "
+          f"std={noise['std']:.3f}%")
+
+
+def _cost(args) -> None:
+    from .experiments import format_cost_table
+
+    print(format_cost_table())
+
+
+def _scorecard(args) -> None:
+    from .experiments import format_scorecard, run_scorecard
+
+    print(format_scorecard(run_scorecard(quick=args.scale <= 0.02)))
+
+
+COMMANDS = {
+    "figure9": _figure9,
+    "figure10": _figure10,
+    "figure12": _figure12,
+    "figure13": _figure13,
+    "figure14": _figure14,
+    "figure2": _figure2,
+    "sensitivity": _sensitivity,
+    "cost": _cost,
+    "scorecard": _scorecard,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the Branch-on-Random (CGO 2008) evaluation.",
+    )
+    parser.add_argument("command", choices=list(COMMANDS) + ["all"],
+                        help="which figure/table to regenerate")
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="fraction of the paper's invocation counts "
+                             "for accuracy experiments (default 0.05)")
+    parser.add_argument("--jvm-scale", type=float, default=3.0,
+                        help="outer-loop multiplier for Figure 12")
+    parser.add_argument("--chars", type=int, default=4000,
+                        help="microbenchmark characters for Figures 13/14/2")
+    parser.add_argument("--out", type=str, default=None,
+                        help="directory to also write each figure's table "
+                             "into (<out>/<command>.txt)")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    commands = list(COMMANDS) if args.command == "all" else [args.command]
+    out_dir = pathlib.Path(args.out) if args.out else None
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    for name in commands:
+        started = time.time()
+        if out_dir is not None:
+            buffer = io.StringIO()
+            with contextlib.redirect_stdout(buffer):
+                COMMANDS[name](args)
+            text = buffer.getvalue()
+            (out_dir / f"{name}.txt").write_text(text)
+            sys.stdout.write(text)
+        else:
+            COMMANDS[name](args)
+        print(f"[{name} finished in {time.time() - started:.1f}s]\n",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module smoke-tested via main()
+    raise SystemExit(main())

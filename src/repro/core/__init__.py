@@ -1,0 +1,73 @@
+"""The paper's primary contribution: the branch-on-random instruction.
+
+This package models the hardware of Section 3 — the LFSR randomness
+source (:mod:`repro.core.lfsr`), the frequency encoding and AND-tree
+condition unit (:mod:`repro.core.condition`), the per-decoder
+branch-on-random unit with superscalar and deterministic variants
+(:mod:`repro.core.brr`), and the gate/state cost model
+(:mod:`repro.core.cost`).
+"""
+
+from .brr import (
+    BranchOnRandomUnit,
+    DecoderBank,
+    HardwareCounterUnit,
+    RandomSource,
+    measured_probability,
+)
+from .condition import (
+    FREQ_FIELD_BITS,
+    FREQ_FIELD_VALUES,
+    ConditionUnit,
+    EncodingError,
+    contiguous_bits,
+    field_for_interval,
+    interval_of_field,
+    nearest_field,
+    probability_of_field,
+    spaced_bits,
+)
+from .cost import CostEstimate, claims_hold, estimate_cost, paper_design_points
+from .lfsr import Lfsr, LfsrError
+from .taps import (
+    FIGURE6_TAPS,
+    MAXIMAL_TAPS,
+    MINIMUM_WIDTH,
+    PAPER_SENSITIVITY_TAPS_32,
+    RECOMMENDED_WIDTH,
+    default_taps,
+    taps_are_maximal,
+    taps_to_polynomial,
+)
+
+__all__ = [
+    "BranchOnRandomUnit",
+    "DecoderBank",
+    "HardwareCounterUnit",
+    "RandomSource",
+    "measured_probability",
+    "FREQ_FIELD_BITS",
+    "FREQ_FIELD_VALUES",
+    "ConditionUnit",
+    "EncodingError",
+    "contiguous_bits",
+    "spaced_bits",
+    "field_for_interval",
+    "interval_of_field",
+    "nearest_field",
+    "probability_of_field",
+    "CostEstimate",
+    "claims_hold",
+    "estimate_cost",
+    "paper_design_points",
+    "Lfsr",
+    "LfsrError",
+    "FIGURE6_TAPS",
+    "MAXIMAL_TAPS",
+    "MINIMUM_WIDTH",
+    "PAPER_SENSITIVITY_TAPS_32",
+    "RECOMMENDED_WIDTH",
+    "default_taps",
+    "taps_are_maximal",
+    "taps_to_polynomial",
+]

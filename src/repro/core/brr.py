@@ -1,0 +1,257 @@
+"""Architectural model of the branch-on-random instruction.
+
+A :class:`BranchOnRandomUnit` is the per-decoder hardware from Section
+3.3: an LFSR, the parallel AND tree, and the selecting mux.  Resolving
+an instruction reads the condition for its freq field and clocks the
+LFSR ("to minimize the power consumption, the LFSR is only clocked on
+cycles in which it is used").
+
+The module also provides:
+
+* :class:`HardwareCounterUnit` — the deterministic take-every-Nth
+  variant the paper evaluates as "hw count" in Section 4 ("essentially
+  a hardware counter triggered by the branch-on-random instruction");
+* :class:`DecoderBank` — superscalar decode integration, either with
+  fully replicated per-decoder LFSRs or a single LFSR with
+  program-order priority arbitration that splits the fetch packet when
+  more branch-on-randoms arrive than LFSRs (footnote 3);
+* speculative-update recovery and context save/restore built on the
+  LFSR's shift-back history and scan-chain access (Section 3.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .condition import (
+    FREQ_FIELD_VALUES,
+    ConditionUnit,
+    check_field,
+    interval_of_field,
+    probability_of_field,
+)
+from .lfsr import Lfsr
+from .taps import RECOMMENDED_WIDTH
+
+
+class RandomSource:
+    """Interface shared by the random and deterministic branch units."""
+
+    def resolve(self, field: int) -> bool:
+        """Resolve one branch-on-random: is it taken?"""
+        raise NotImplementedError
+
+    def probability(self, field: int) -> float:
+        """Long-run taken probability for ``field``."""
+        return probability_of_field(field)
+
+
+class BranchOnRandomUnit(RandomSource):
+    """One decoder's branch-on-random hardware.
+
+    Parameters
+    ----------
+    lfsr:
+        The pseudo-random state register; defaults to the paper's
+        recommended 20-bit design point.
+    policy:
+        Bit-selection policy for the AND tree (``"spaced"`` per the
+        paper's recommendation, or ``"contiguous"``).
+    speculative_depth:
+        When non-zero, the unit keeps that many shifted-out bits so
+        squashed speculative updates can be recovered exactly
+        (Section 3.4's deterministic implementation).  Zero models the
+        baseline implementation where lost transitions are simply
+        tolerated.
+    """
+
+    def __init__(
+        self,
+        lfsr: Optional[Lfsr] = None,
+        policy="spaced",
+        speculative_depth: int = 0,
+    ) -> None:
+        if lfsr is None:
+            lfsr = Lfsr(RECOMMENDED_WIDTH, history_bits=speculative_depth)
+        elif speculative_depth and lfsr.history_bits < speculative_depth:
+            raise ValueError(
+                "LFSR history too small for requested speculative depth"
+            )
+        self.lfsr = lfsr
+        self.condition = ConditionUnit(lfsr, policy)
+        self.speculative_depth = speculative_depth
+        self._in_flight = 0
+        #: Total branch-on-random instructions resolved.
+        self.resolved = 0
+        #: Total resolved taken.
+        self.taken = 0
+
+    def resolve(self, field: int) -> bool:
+        """Resolve a branch-on-random at decode and clock the LFSR."""
+        outcome = self.condition.evaluate(check_field(field))
+        self.lfsr.step()
+        if self.speculative_depth:
+            self._in_flight = min(self._in_flight + 1, self.speculative_depth)
+        self.resolved += 1
+        if outcome:
+            self.taken += 1
+        return outcome
+
+    # -- Section 3.4: determinism support ------------------------------
+
+    @property
+    def in_flight(self) -> int:
+        """Speculatively resolved branch-on-randoms not yet retired."""
+        return self._in_flight
+
+    def retire(self, count: int = 1) -> None:
+        """Mark ``count`` speculative resolutions as committed."""
+        if count > self._in_flight:
+            raise ValueError("retiring more updates than are in flight")
+        self._in_flight -= count
+
+    def squash(self, count: Optional[int] = None) -> None:
+        """Undo speculative LFSR updates after a pipeline squash.
+
+        ``count`` defaults to every in-flight update (a full squash).
+        Only meaningful when built with a non-zero speculative depth.
+        """
+        if not self.speculative_depth:
+            return  # baseline hardware: lost transitions are harmless
+        if count is None:
+            count = self._in_flight
+        if count > self._in_flight:
+            raise ValueError("squashing more updates than are in flight")
+        self.lfsr.shift_back(count)
+        self._in_flight -= count
+        self.resolved -= count
+
+    def save_context(self) -> int:
+        """Read the LFSR for a context switch (scan-chain access)."""
+        return self.lfsr.read_scan()
+
+    def restore_context(self, value: int) -> None:
+        """Restore a previously saved LFSR value."""
+        self.lfsr.write_scan(value)
+
+    # -- fast PRNG use case (Section 7) --------------------------------
+
+    def random_bits(self, count: int) -> int:
+        """Read ``count`` pseudo-random bits, as a randomized algorithm
+        would use a software-readable LFSR (Section 3.4 / 7)."""
+        value = 0
+        for _ in range(count):
+            value = (value << 1) | self.lfsr.step()
+        return value
+
+
+class HardwareCounterUnit(RandomSource):
+    """Deterministic variant: take exactly every Nth resolution.
+
+    Section 4.1 uses this as the "hardware counter" baseline: the same
+    single-instruction interface as branch-on-random, but triggered by
+    a countdown rather than the LFSR.  A separate counter is kept per
+    freq field so differently encoded instructions do not interfere.
+    """
+
+    def __init__(self, phase: int = 0) -> None:
+        if phase < 0:
+            raise ValueError("phase must be non-negative")
+        self._phase = phase
+        self._counters = {}
+        self.resolved = 0
+        self.taken = 0
+
+    def resolve(self, field: int) -> bool:
+        field = check_field(field)
+        interval = interval_of_field(field)
+        count = self._counters.get(field)
+        if count is None:
+            count = (interval - 1 - self._phase) % interval
+        taken = count == 0
+        self._counters[field] = interval - 1 if taken else count - 1
+        self.resolved += 1
+        if taken:
+            self.taken += 1
+        return taken
+
+
+class DecoderBank:
+    """Branch-on-random hardware across a superscalar decode stage.
+
+    ``replicated=True`` gives every decoder its own decoupled LFSR, the
+    paper's simplest superscalar arrangement.  ``replicated=False``
+    models the shared alternative of footnote 3: one LFSR with a
+    program-order priority encoder, where a fetch packet containing
+    more branch-on-randoms than LFSRs "will have to be split, with the
+    additional branch-on-randoms decoded the following cycle".
+    """
+
+    def __init__(
+        self,
+        decode_width: int,
+        replicated: bool = True,
+        lfsr_width: int = RECOMMENDED_WIDTH,
+        policy="spaced",
+        seeds: Optional[Sequence[int]] = None,
+    ) -> None:
+        if decode_width < 1:
+            raise ValueError("decode width must be >= 1")
+        self.decode_width = decode_width
+        self.replicated = replicated
+        count = decode_width if replicated else 1
+        if seeds is None:
+            # Distinct non-zero default seeds so replicated LFSRs are
+            # decorrelated, as truly decoupled hardware would be.
+            seeds = [(0x9E37 * (i + 1)) & ((1 << lfsr_width) - 1) or 1
+                     for i in range(count)]
+        if len(seeds) != count:
+            raise ValueError(f"expected {count} seeds, got {len(seeds)}")
+        self.units: List[BranchOnRandomUnit] = [
+            BranchOnRandomUnit(Lfsr(lfsr_width, seed=seed), policy=policy)
+            for seed in seeds
+        ]
+        #: Extra decode cycles consumed by packet splits (shared mode).
+        self.packet_splits = 0
+
+    def resolve_packet(self, fields: Sequence[int]) -> Tuple[List[bool], int]:
+        """Resolve the branch-on-randoms of one fetch packet.
+
+        Returns the outcomes in program order and the number of decode
+        cycles the packet required (1 unless a shared LFSR forces
+        splitting).
+        """
+        if len(fields) > self.decode_width:
+            raise ValueError(
+                f"packet has {len(fields)} branch-on-randoms but decode "
+                f"width is {self.decode_width}"
+            )
+        outcomes: List[bool] = []
+        if self.replicated:
+            for slot, field in enumerate(fields):
+                outcomes.append(self.units[slot].resolve(field))
+            return outcomes, 1
+        unit = self.units[0]
+        for field in fields:
+            outcomes.append(unit.resolve(field))
+        cycles = max(1, len(fields))
+        self.packet_splits += max(0, len(fields) - 1)
+        return outcomes, cycles
+
+
+def measured_probability(unit: RandomSource, field: int, trials: int) -> float:
+    """Empirical taken frequency of ``field`` over ``trials`` resolutions."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    taken = sum(1 for _ in range(trials) if unit.resolve(field))
+    return taken / trials
+
+
+__all__ = [
+    "RandomSource",
+    "BranchOnRandomUnit",
+    "HardwareCounterUnit",
+    "DecoderBank",
+    "measured_probability",
+    "FREQ_FIELD_VALUES",
+]

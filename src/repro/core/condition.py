@@ -1,0 +1,198 @@
+"""The branch-on-random condition unit: frequency encoding and AND tree.
+
+Section 3.2 of the paper encodes the branch frequency in a 4-bit field
+``freq``; the taken probability is ``(1/2)**(freq+1)``, spanning 50%
+(``freq = 0``) down to ~0.0015% (``freq = 15``).  Section 3.3 realises
+each probability by ANDing ``freq + 1`` bits of the LFSR — "the
+probability of x bits being all set to 1 is (1/2)^x" — with a 16-input
+mux selecting the desired AND-gate output.
+
+Because LFSR bits are not independent, the paper recommends "ANDing
+non-contiguous bits with varied spacing (e.g., selecting bits 0, 2, 5,
+and 9 to compute a 6.25% probability)".  Both the naive contiguous
+selection and the recommended spaced selection are implemented here so
+the Section 4.2 sensitivity analysis can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from .lfsr import Lfsr
+
+#: Width of the instruction's frequency field (Figure 5).
+FREQ_FIELD_BITS = 4
+
+#: Number of encodable frequencies.
+FREQ_FIELD_VALUES = 1 << FREQ_FIELD_BITS
+
+
+class EncodingError(ValueError):
+    """Raised for out-of-range frequency fields or intervals."""
+
+
+def check_field(field: int) -> int:
+    """Validate a frequency-field value and return it."""
+    if not 0 <= field < FREQ_FIELD_VALUES:
+        raise EncodingError(
+            f"freq field must be in 0..{FREQ_FIELD_VALUES - 1}, got {field}"
+        )
+    return field
+
+
+def probability_of_field(field: int) -> float:
+    """Taken probability ``(1/2)**(field+1)`` for an encoded field."""
+    return 0.5 ** (check_field(field) + 1)
+
+
+def interval_of_field(field: int) -> int:
+    """Expected interval between taken branches, ``2**(field+1)``."""
+    return 1 << (check_field(field) + 1)
+
+
+def field_for_interval(interval: int) -> int:
+    """Field whose expected interval is exactly ``interval``.
+
+    ``interval`` must be a power of two between 2 and ``2**16``; this is
+    the mapping used throughout the evaluation, where a counter-based
+    sampling interval of ``2**k`` corresponds to field ``k - 1``.
+    """
+    if interval < 2 or interval & (interval - 1):
+        raise EncodingError(
+            f"interval must be a power of two >= 2, got {interval}"
+        )
+    field = interval.bit_length() - 2
+    return check_field(field)
+
+
+def nearest_field(probability: float) -> int:
+    """Encodable field whose probability is nearest (in log space)."""
+    if not 0.0 < probability <= 0.5:
+        raise EncodingError(
+            f"probability must be in (0, 0.5], got {probability}"
+        )
+    import math
+
+    field = round(-math.log2(probability) - 1)
+    return max(0, min(FREQ_FIELD_VALUES - 1, int(field)))
+
+
+# ----------------------------------------------------------------------
+# Bit-selection policies
+# ----------------------------------------------------------------------
+
+BitPolicy = Callable[[int, int], Tuple[int, ...]]
+
+
+def contiguous_bits(count: int, width: int) -> Tuple[int, ...]:
+    """Select the ``count`` right-most (adjacent) LFSR bits.
+
+    This is the selection the paper warns about: adjacent bits make
+    consecutive outcomes correlated (a taken 25% branch is followed by
+    a taken 25% branch half the time), though it did not measurably
+    hurt the profiling application.
+    """
+    if count > width:
+        raise EncodingError(
+            f"cannot AND {count} bits of a {width}-bit LFSR"
+        )
+    return tuple(range(count))
+
+
+def spaced_bits(count: int, width: int) -> Tuple[int, ...]:
+    """Select ``count`` bits with varied spacing (paper Section 3.3).
+
+    Gaps grow 2, 3, 4, ... as in the paper's example (bits 0, 2, 5, 9
+    for a 4-input AND), degrading gracefully toward adjacent placement
+    when the register is too narrow to keep the full spacing — which is
+    why the paper suggests extending the LFSR to 20 bits.
+    """
+    if count > width:
+        raise EncodingError(
+            f"cannot AND {count} bits of a {width}-bit LFSR"
+        )
+    positions = [0]
+    gap = 2
+    for index in range(1, count):
+        remaining_after = count - 1 - index
+        max_position = width - 1 - remaining_after
+        candidate = min(positions[-1] + gap, max_position)
+        candidate = max(candidate, positions[-1] + 1)
+        positions.append(candidate)
+        gap += 1
+    return tuple(positions)
+
+
+POLICIES = {
+    "contiguous": contiguous_bits,
+    "spaced": spaced_bits,
+}
+
+
+def resolve_policy(policy) -> BitPolicy:
+    """Accept a policy name or a callable and return the callable."""
+    if callable(policy):
+        return policy
+    try:
+        return POLICIES[policy]
+    except KeyError:
+        raise EncodingError(
+            f"unknown bit policy {policy!r}; known: {sorted(POLICIES)}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Condition unit
+# ----------------------------------------------------------------------
+
+
+class ConditionUnit:
+    """Combinational branch-outcome logic fed by an LFSR (Figure 7).
+
+    The hardware computes all 16 AND-gate outputs in parallel and a
+    16-input mux driven by the instruction's freq field selects the
+    outcome.  :meth:`all_outputs` models the parallel AND outputs;
+    :meth:`evaluate` models the mux selection.  Neither advances the
+    LFSR — clocking belongs to the decode pipeline
+    (:class:`repro.core.brr.BranchOnRandomUnit`).
+    """
+
+    def __init__(self, lfsr: Lfsr, policy="spaced") -> None:
+        self.lfsr = lfsr
+        self.policy = resolve_policy(policy)
+        self._selections: List[Tuple[int, ...]] = [
+            self.policy(field + 1, lfsr.width)
+            for field in range(FREQ_FIELD_VALUES)
+            if field + 1 <= lfsr.width
+        ]
+        if len(self._selections) < FREQ_FIELD_VALUES:
+            raise EncodingError(
+                f"a {lfsr.width}-bit LFSR cannot produce all "
+                f"{FREQ_FIELD_VALUES} frequencies; need width >= "
+                f"{FREQ_FIELD_VALUES}"
+            )
+
+    def bit_selection(self, field: int) -> Tuple[int, ...]:
+        """LFSR bit positions wired to the AND gate for ``field``."""
+        return self._selections[check_field(field)]
+
+    def all_outputs(self) -> List[int]:
+        """The 16 parallel AND-gate outputs for the current state."""
+        state = self.lfsr.state
+        outputs = []
+        for selection in self._selections:
+            value = 1
+            for position in selection:
+                value &= (state >> position) & 1
+                if not value:
+                    break
+            outputs.append(value)
+        return outputs
+
+    def evaluate(self, field: int) -> bool:
+        """Mux selection: is the branch taken for this freq field?"""
+        state = self.lfsr.state
+        for position in self.bit_selection(field):
+            if not (state >> position) & 1:
+                return False
+        return True

@@ -1,0 +1,136 @@
+"""Polynomial arithmetic over GF(2), used to verify LFSR maximality.
+
+An n-bit Fibonacci LFSR with feedback (characteristic) polynomial ``p(x)``
+produces a maximal-length sequence (period ``2**n - 1``) if and only if
+``p(x)`` is *primitive* over GF(2).  The paper (Section 3.3) requires
+"choosing the correct bits to XOR" so that the LFSR "cycles through all
+2^n values except 0"; this module provides the algebra to check a tap set
+for that property instead of taking it on faith.
+
+Polynomials are represented as Python ints: bit ``i`` of the int is the
+coefficient of ``x**i``.  For example ``0b10011`` is ``x^4 + x + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def poly_from_exponents(exponents: Iterable[int]) -> int:
+    """Build a polynomial int from an iterable of exponents.
+
+    >>> bin(poly_from_exponents([4, 1, 0]))
+    '0b10011'
+    """
+    poly = 0
+    for e in exponents:
+        if e < 0:
+            raise ValueError("polynomial exponents must be non-negative")
+        poly |= 1 << e
+    return poly
+
+
+def poly_degree(poly: int) -> int:
+    """Degree of the polynomial (``-1`` for the zero polynomial)."""
+    return poly.bit_length() - 1
+
+
+def poly_mulmod(a: int, b: int, mod: int) -> int:
+    """Multiply two polynomials modulo ``mod`` over GF(2)."""
+    if mod <= 1:
+        raise ValueError("modulus must have degree >= 1")
+    deg = poly_degree(mod)
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a >> deg & 1:
+            a ^= mod
+    return result
+
+
+def poly_powmod(base: int, exponent: int, mod: int) -> int:
+    """Raise ``base`` to ``exponent`` modulo ``mod`` over GF(2)."""
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    result = 1
+    base = poly_modreduce(base, mod)
+    while exponent:
+        if exponent & 1:
+            result = poly_mulmod(result, base, mod)
+        base = poly_mulmod(base, base, mod)
+        exponent >>= 1
+    return result
+
+
+def poly_modreduce(a: int, mod: int) -> int:
+    """Reduce ``a`` modulo ``mod`` over GF(2)."""
+    deg = poly_degree(mod)
+    while poly_degree(a) >= deg:
+        a ^= mod << (poly_degree(a) - deg)
+    return a
+
+
+def _prime_factors(n: int) -> List[int]:
+    """Distinct prime factors by trial division.
+
+    ``2**n - 1`` for the LFSR widths we care about (n <= 40) has only
+    small prime factors or cofactors that are themselves prime, so plain
+    trial division up to ``sqrt(n)`` is fast enough.
+    """
+    factors = []
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            factors.append(d)
+            while n % d == 0:
+                n //= d
+        d += 1 if d == 2 else 2
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+def is_irreducible(poly: int) -> bool:
+    """Check irreducibility of ``poly`` over GF(2).
+
+    Uses the standard criterion: ``p`` of degree ``n`` is irreducible iff
+    ``x**(2**n) == x (mod p)`` and ``gcd-style`` conditions
+    ``x**(2**(n/q)) != x (mod p)`` hold for every prime ``q | n``.
+    """
+    n = poly_degree(poly)
+    if n <= 0:
+        return False
+    if not poly & 1:  # divisible by x
+        return poly == 0b10  # the polynomial x itself
+    x = 0b10
+    if poly_powmod(x, 1 << n, poly) != poly_modreduce(x, poly):
+        return False
+    for q in _prime_factors(n):
+        if poly_powmod(x, 1 << (n // q), poly) == poly_modreduce(x, poly):
+            return False
+    return True
+
+
+def is_primitive(poly: int) -> bool:
+    """Check primitivity of ``poly`` over GF(2).
+
+    A degree-``n`` polynomial is primitive iff it is irreducible and the
+    multiplicative order of ``x`` modulo ``p`` is exactly ``2**n - 1``:
+    ``x**(2**n - 1) == 1`` and ``x**((2**n - 1)/q) != 1`` for each prime
+    ``q`` dividing ``2**n - 1``.
+    """
+    n = poly_degree(poly)
+    if n <= 0:
+        return False
+    if not is_irreducible(poly):
+        return False
+    order = (1 << n) - 1
+    if poly_powmod(0b10, order, poly) != 1:
+        return False
+    for q in _prime_factors(order):
+        if poly_powmod(0b10, order // q, poly) == 1:
+            return False
+    return True

@@ -1,0 +1,293 @@
+"""Linear feedback shift registers, the paper's source of randomness.
+
+The implementation follows the paper's Figure 6 exactly: a Fibonacci
+LFSR built from D-type flip-flops in which *all bits shift right on an
+update except the left-most bit, which gets the result of the XOR* of
+the tapped bits.  With the Figure 6 tap set (:data:`~repro.core.taps.
+FIGURE6_TAPS`), a 4-bit register seeded with ``0001`` walks the exact
+15-state sequence printed in the figure.
+
+The module also implements the paper's Section 3.4 *deterministic
+implementation* machinery:
+
+* **shift-back recovery** — speculative updates are undone by keeping
+  the bits that "would have shifted off the end of the LFSR (one
+  additional bit per speculative branch-on-random allowed) and shifting
+  back";
+* **scan-chain access** — :meth:`Lfsr.read_scan` / :meth:`Lfsr.
+  write_scan` model hooking the LFSR to an existing scan chain so
+  testers (or, for the software-visible variant, applications) can read
+  and write it, e.g. to save/restore it across context switches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .taps import default_taps, taps_are_maximal, taps_to_polynomial
+
+
+class LfsrError(Exception):
+    """Raised for invalid LFSR construction or operation."""
+
+
+class Lfsr:
+    """A right-shifting Fibonacci LFSR.
+
+    Parameters
+    ----------
+    width:
+        Number of flip-flops in the register.
+    taps:
+        Tap positions in the standard descending notation
+        ``(width, a, b, ...)`` denoting the feedback polynomial
+        ``x^width + x^a + ... + 1``.  Defaults to the canonical
+        maximal-length set for ``width``.
+    seed:
+        Initial register contents; any non-zero ``width``-bit value.
+    history_bits:
+        Capacity of the shift-back history used for speculative
+        recovery (Section 3.4).  ``0`` disables checkpointing, which
+        matches the paper's baseline non-deterministic implementation.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        taps: Optional[Sequence[int]] = None,
+        seed: int = 1,
+        history_bits: int = 0,
+    ) -> None:
+        if width < 2:
+            raise LfsrError(f"LFSR width must be >= 2, got {width}")
+        self.width = width
+        self.taps: Tuple[int, ...] = (
+            tuple(taps) if taps is not None else default_taps(width)
+        )
+        if self.taps[0] != width:
+            raise LfsrError(
+                f"leading tap {self.taps[0]} must equal the width {width}"
+            )
+        # The recurrence o[t+n] = XOR of o[t+a] for the sub-degree
+        # exponents a (plus a=0 from the implicit +1 term), which in the
+        # right-shift register means XORing bits a and bit 0.
+        taps_to_polynomial(self.taps)  # validates ordering/range
+        self._tap_bits: Tuple[int, ...] = tuple(
+            sorted({t for t in self.taps if t < width} | {0})
+        )
+        self._mask = (1 << width) - 1
+        self._state = 0
+        self.write_scan(seed)
+        self._history: deque = deque(maxlen=history_bits) if history_bits else deque(maxlen=0)
+        self.history_bits = history_bits
+        #: Number of updates applied over the LFSR's lifetime.  The
+        #: hardware clocks the register only on cycles where a
+        #: branch-on-random is decoded; this counter is the software
+        #: analogue for power/usage accounting.
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # State access (scan chain / software-visible register)
+    # ------------------------------------------------------------------
+
+    @property
+    def state(self) -> int:
+        """Current register contents as an int (bit 0 = right-most)."""
+        return self._state
+
+    def read_scan(self) -> int:
+        """Read the register through the scan chain."""
+        return self._state
+
+    def write_scan(self, value: int) -> None:
+        """Write the register through the scan chain.
+
+        The all-zero state is the LFSR's single fixed point and is
+        rejected, as the register would never leave it.
+        """
+        value &= self._mask
+        if value == 0:
+            raise LfsrError("LFSR state must be non-zero")
+        self._state = value
+
+    def bit(self, position: int) -> int:
+        """Bit ``position`` of the register, 0 = right-most (output)."""
+        if not 0 <= position < self.width:
+            raise LfsrError(
+                f"bit position {position} out of range for width {self.width}"
+            )
+        return (self._state >> position) & 1
+
+    def bits(self, positions: Sequence[int]) -> List[int]:
+        """Read several bit positions at once."""
+        return [self.bit(p) for p in positions]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+
+    def _feedback(self) -> int:
+        fb = 0
+        state = self._state
+        for b in self._tap_bits:
+            fb ^= (state >> b) & 1
+        return fb
+
+    def step(self) -> int:
+        """Advance one update; return the bit shifted off the end."""
+        out = self._state & 1
+        fb = self._feedback()
+        self._state = (self._state >> 1) | (fb << (self.width - 1))
+        if self._history.maxlen:
+            self._history.append(out)
+        self.updates += 1
+        return out
+
+    def step_many(self, count: int) -> None:
+        """Advance ``count`` updates (no per-step output)."""
+        for _ in range(count):
+            self.step()
+
+    def shift_back(self, count: int = 1) -> None:
+        """Undo ``count`` speculative updates (Section 3.4).
+
+        Recovery reconstructs the prior state from the saved
+        shifted-out bits: the left-most (feedback) bit is discarded and
+        each saved bit re-enters on the right.
+        """
+        if count < 0:
+            raise LfsrError("shift_back count must be non-negative")
+        if count > len(self._history):
+            raise LfsrError(
+                f"cannot shift back {count} updates; only "
+                f"{len(self._history)} saved bits available"
+            )
+        for _ in range(count):
+            saved = self._history.pop()
+            self._state = ((self._state << 1) & self._mask) | saved
+            self.updates -= 1
+
+    # ------------------------------------------------------------------
+    # Sequence utilities
+    # ------------------------------------------------------------------
+
+    def sequence(self, limit: int) -> Iterator[int]:
+        """Yield up to ``limit`` successive states, starting with the
+        current one, advancing the register as it goes."""
+        for _ in range(limit):
+            yield self._state
+            self.step()
+
+    def period(self, limit: Optional[int] = None) -> int:
+        """Measure the cycle length from the current state.
+
+        Walks the register (on a scratch copy) until the start state
+        recurs.  ``limit`` bounds the walk; it defaults to ``2**width``
+        which is only practical for small widths.
+        """
+        if limit is None:
+            limit = 1 << self.width
+        scratch = Lfsr(self.width, self.taps, seed=self._state)
+        start = scratch.state
+        for count in range(1, limit + 1):
+            scratch.step()
+            if scratch.state == start:
+                return count
+        raise LfsrError(f"no cycle found within {limit} steps")
+
+    def is_maximal(self) -> bool:
+        """True iff the tap set's polynomial is primitive (full period)."""
+        return taps_are_maximal(self.taps)
+
+    def one_probability(self) -> float:
+        """Exact probability that a given bit reads 1 over a full period.
+
+        Footnote 2 of the paper: an n-bit maximal LFSR visits
+        ``2**n - 1`` states and each bit is 1 in ``2**(n-1)`` of them,
+        so the probability is ``2**(n-1) / (2**n - 1)`` (0.5000076 for
+        n = 16).
+        """
+        return float(1 << (self.width - 1)) / float((1 << self.width) - 1)
+
+    # ------------------------------------------------------------------
+    # Jump-ahead
+    # ------------------------------------------------------------------
+
+    def _transition_matrix(self) -> List[int]:
+        """The one-step state-transition matrix over GF(2).
+
+        Row ``i`` is a bitmask of the current-state bits XORed into new
+        bit ``i``: bits 0..n-2 shift from their left neighbour; bit
+        n-1 is the tap XOR.
+        """
+        rows = [1 << (i + 1) for i in range(self.width - 1)]
+        tap_mask = 0
+        for bit in self._tap_bits:
+            tap_mask |= 1 << bit
+        rows.append(tap_mask)
+        return rows
+
+    @staticmethod
+    def _mat_vec(rows: List[int], vector: int) -> int:
+        out = 0
+        for i, row in enumerate(rows):
+            out |= ((row & vector).bit_count() & 1) << i
+        return out
+
+    @staticmethod
+    def _mat_mul(a: List[int], b: List[int]) -> List[int]:
+        out = []
+        for row in a:
+            acc = 0
+            j = 0
+            while row:
+                if row & 1:
+                    acc ^= b[j]
+                row >>= 1
+                j += 1
+            out.append(acc)
+        return out
+
+    def jump(self, count: int) -> None:
+        """Advance ``count`` updates in O(width^2 log count) time.
+
+        Exploits the LFSR's linearity over GF(2): the state after
+        ``count`` steps is ``M^count · s``.  Lets software place many
+        decorrelated streams along one maximal cycle (e.g. one LFSR
+        seed per thread) without stepping through the gap.
+        """
+        if count < 0:
+            raise LfsrError("jump count must be non-negative")
+        matrix = self._transition_matrix()
+        power = None  # identity, represented lazily
+        base = matrix
+        remaining = count
+        while remaining:
+            if remaining & 1:
+                power = base if power is None else self._mat_mul(base, power)
+            remaining >>= 1
+            if remaining:
+                base = self._mat_mul(base, base)
+        if power is not None:
+            self._state = self._mat_vec(power, self._state)
+        self.updates += count
+        # A jump is not a sequence of recoverable shifts.
+        self._history.clear()
+
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "Lfsr":
+        """An independent copy with identical state and configuration."""
+        copy = Lfsr(
+            self.width, self.taps, seed=self._state, history_bits=self.history_bits
+        )
+        copy._history = deque(self._history, maxlen=self._history.maxlen)
+        copy.updates = self.updates
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Lfsr(width={self.width}, taps={self.taps}, "
+            f"state={self._state:0{self.width}b})"
+        )

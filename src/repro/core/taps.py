@@ -1,0 +1,110 @@
+"""Canonical LFSR tap configurations.
+
+Tap sets use the standard descending notation from the literature: the
+tuple ``(n, a, b, ...)`` denotes the feedback polynomial
+``x^n + x^a + x^b + ... + 1``.  A Fibonacci LFSR built from such a set
+taps bits ``a, b, ..`` and the output bit (exponent 0).
+
+``MAXIMAL_TAPS`` lists one known maximal-length configuration per width
+(2..32 bits), following the widely used XNOR/XOR shift-register tables.
+Every entry is verified primitive by the test suite using
+:mod:`repro.core.gf2`.
+
+``PAPER_SENSITIVITY_TAPS_32`` reproduces the four 32-bit configurations
+from the paper's Section 4.2 sensitivity analysis: two with four taps at
+bits (32, 31, 30, 10) and (32, 19, 18, 13), and two with six taps at
+(32, 31, 30, 29, 28, 22) and (32, 22, 16, 15, 12, 11).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .gf2 import is_primitive, poly_from_exponents
+
+#: One maximal-length tap configuration per register width.
+MAXIMAL_TAPS: Dict[int, Tuple[int, ...]] = {
+    2: (2, 1),
+    3: (3, 2),
+    4: (4, 3),
+    5: (5, 3),
+    6: (6, 5),
+    7: (7, 6),
+    8: (8, 6, 5, 4),
+    9: (9, 5),
+    10: (10, 7),
+    11: (11, 9),
+    12: (12, 6, 4, 1),
+    13: (13, 4, 3, 1),
+    14: (14, 5, 3, 1),
+    15: (15, 14),
+    16: (16, 15, 13, 4),
+    17: (17, 14),
+    18: (18, 11),
+    19: (19, 6, 2, 1),
+    20: (20, 17),
+    21: (21, 19),
+    22: (22, 21),
+    23: (23, 18),
+    24: (24, 23, 22, 17),
+    25: (25, 22),
+    26: (26, 6, 2, 1),
+    27: (27, 5, 2, 1),
+    28: (28, 25),
+    29: (29, 27),
+    30: (30, 6, 4, 1),
+    31: (31, 28),
+    32: (32, 22, 2, 1),
+}
+
+#: The tap set drawn in the paper's Figure 6: a 4-bit LFSR XORing "the
+#: right two bits" (the output bit and its neighbour), i.e. polynomial
+#: x^4 + x + 1.  It reproduces the exact 15-state sequence in the figure.
+FIGURE6_TAPS: Tuple[int, ...] = (4, 1)
+
+#: The four 32-bit configurations compared in the Section 4.2
+#: sensitivity analysis.
+PAPER_SENSITIVITY_TAPS_32: Tuple[Tuple[int, ...], ...] = (
+    (32, 31, 30, 10),
+    (32, 19, 18, 13),
+    (32, 31, 30, 29, 28, 22),
+    (32, 22, 16, 15, 12, 11),
+)
+
+#: The paper's recommended design point (Section 3.3): a 20-bit LFSR,
+#: large enough to provide spaced AND inputs for the rarest frequencies.
+RECOMMENDED_WIDTH = 20
+
+#: Minimum width able to express all 16 encoded frequencies.
+MINIMUM_WIDTH = 16
+
+
+def taps_to_polynomial(taps: Tuple[int, ...]) -> int:
+    """Convert a descending tap tuple to its feedback polynomial."""
+    if not taps:
+        raise ValueError("tap set is empty")
+    ordered = tuple(sorted(taps, reverse=True))
+    if ordered != tuple(taps):
+        raise ValueError(f"taps must be listed in descending order: {taps}")
+    if len(set(taps)) != len(taps):
+        raise ValueError(f"duplicate tap positions: {taps}")
+    width = taps[0]
+    if any(t <= 0 or t > width for t in taps):
+        raise ValueError(f"tap positions must be in 1..{width}: {taps}")
+    return poly_from_exponents(list(taps) + [0])
+
+
+def taps_are_maximal(taps: Tuple[int, ...]) -> bool:
+    """Return True iff the tap set yields a maximal-length LFSR."""
+    return is_primitive(taps_to_polynomial(taps))
+
+
+def default_taps(width: int) -> Tuple[int, ...]:
+    """Look up the canonical maximal tap set for ``width``."""
+    try:
+        return MAXIMAL_TAPS[width]
+    except KeyError:
+        raise ValueError(
+            f"no canonical tap set for width {width}; "
+            f"supported widths are {min(MAXIMAL_TAPS)}..{max(MAXIMAL_TAPS)}"
+        ) from None

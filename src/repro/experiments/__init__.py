@@ -1,0 +1,63 @@
+"""One runner per paper table/figure, shared by benches and examples."""
+
+from .accuracy import (
+    AccuracyResult,
+    accuracy_figure,
+    figure9,
+    figure10,
+    format_rows as format_accuracy_rows,
+    run_accuracy,
+)
+from .cost_table import cost_rows, format_cost_table
+from .fig12 import Fig12Row, figure12, format_rows as format_fig12_rows, run_benchmark
+from .fig13 import (
+    COMBOS,
+    INTERVALS,
+    MicrobenchSweep,
+    SweepPoint,
+    format_figure13,
+    format_figure14,
+    microbench_sweep,
+    sampling_payoff_interval,
+)
+from .scorecard import ClaimResult, format_scorecard, run_scorecard
+from .sensitivity import (
+    SensitivityResult,
+    bit_policy_sensitivity,
+    format_result as format_sensitivity_result,
+    seed_noise_baseline,
+    taps_sensitivity,
+    width_sensitivity,
+)
+
+__all__ = [
+    "ClaimResult",
+    "format_scorecard",
+    "run_scorecard",
+    "AccuracyResult",
+    "accuracy_figure",
+    "figure9",
+    "figure10",
+    "format_accuracy_rows",
+    "run_accuracy",
+    "cost_rows",
+    "format_cost_table",
+    "Fig12Row",
+    "figure12",
+    "format_fig12_rows",
+    "run_benchmark",
+    "COMBOS",
+    "INTERVALS",
+    "MicrobenchSweep",
+    "SweepPoint",
+    "format_figure13",
+    "format_figure14",
+    "microbench_sweep",
+    "sampling_payoff_interval",
+    "SensitivityResult",
+    "bit_policy_sensitivity",
+    "format_sensitivity_result",
+    "seed_noise_baseline",
+    "taps_sensitivity",
+    "width_sensitivity",
+]

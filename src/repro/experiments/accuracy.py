@@ -1,0 +1,156 @@
+"""Section 4 accuracy experiments (Figures 9 and 10).
+
+Compares three sampling schemes on the synthetic DaCapo method-
+invocation streams, measuring profile quality with the overlap metric:
+
+- ``sw`` — the Arnold-Ryder software counter (Figure 1);
+- ``hw`` — the deterministic hardware counter triggered via the brr
+  interface (take every Nth);
+- ``random`` — branch-on-random with an LFSR.
+
+The two counters sample identical arithmetic progressions up to phase
+(we start the hardware counter at a different phase, as a separately
+initialised piece of hardware would be); branch-on-random samples the
+pseudo-random positions of its LFSR AND-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.condition import field_for_interval
+from ..sampling.positions import (
+    BrrPositionStream,
+    CounterPositionStream,
+    overlap_from_counts,
+)
+from ..workloads.dacapo import DACAPO_BENCHMARKS, DacapoSpec, event_chunks
+
+SCHEMES = ("sw", "hw", "random")
+
+
+@dataclass
+class AccuracyResult:
+    """Accuracy of one (benchmark, scheme, interval) cell."""
+
+    benchmark: str
+    scheme: str
+    interval: int
+    accuracy: float
+    samples: int
+    events: int
+
+
+def _make_stream(scheme: str, interval: int, seed: int,
+                 lfsr_width: int = 16,
+                 taps: Optional[Sequence[int]] = None,
+                 policy="spaced"):
+    if scheme == "sw":
+        return CounterPositionStream(interval)
+    if scheme == "hw":
+        # Same mechanism, independently initialised: different phase.
+        return CounterPositionStream(interval, first=interval // 2)
+    if scheme == "random":
+        field = field_for_interval(interval)
+        lfsr_seed = (seed * 0x9E3779B1 + 1) & ((1 << lfsr_width) - 1) or 1
+        return BrrPositionStream(field, width=lfsr_width, taps=taps,
+                                 seed=lfsr_seed, policy=policy)
+    raise ValueError(f"unknown scheme {scheme!r}")
+
+
+def run_accuracy(
+    spec: DacapoSpec,
+    interval: int,
+    schemes: Sequence[str] = SCHEMES,
+    scale: float = 0.1,
+    seed: int = 0,
+    lfsr_width: int = 16,
+    taps: Optional[Sequence[int]] = None,
+    policy="spaced",
+) -> Dict[str, AccuracyResult]:
+    """One benchmark at one interval: overlap accuracy per scheme.
+
+    Streams the workload once, accumulating the full profile and each
+    scheme's sampled profile chunk by chunk.
+    """
+    streams = {
+        scheme: _make_stream(scheme, interval, seed, lfsr_width, taps, policy)
+        for scheme in schemes
+    }
+    full = np.zeros(spec.methods, dtype=np.int64)
+    sampled = {scheme: np.zeros(spec.methods, dtype=np.int64)
+               for scheme in schemes}
+    events = 0
+    for chunk in event_chunks(spec, scale=scale, seed=seed):
+        events += chunk.size
+        full += np.bincount(chunk, minlength=spec.methods)
+        for scheme, stream in streams.items():
+            positions = stream.take(chunk.size)
+            if positions.size:
+                sampled[scheme] += np.bincount(chunk[positions],
+                                               minlength=spec.methods)
+    return {
+        scheme: AccuracyResult(
+            benchmark=spec.name,
+            scheme=scheme,
+            interval=interval,
+            accuracy=overlap_from_counts(full, sampled[scheme]),
+            samples=int(sampled[scheme].sum()),
+            events=events,
+        )
+        for scheme in schemes
+    }
+
+
+def accuracy_figure(
+    interval: int,
+    scale: float = 0.1,
+    seeds: Sequence[int] = (0,),
+    benchmarks: Iterable[DacapoSpec] = DACAPO_BENCHMARKS,
+) -> List[Dict[str, float]]:
+    """One row per benchmark: mean accuracy per scheme (plus the
+    cross-benchmark average row, as in Figures 9/10)."""
+    rows: List[Dict[str, float]] = []
+    sums = {scheme: 0.0 for scheme in SCHEMES}
+    count = 0
+    for spec in benchmarks:
+        row: Dict[str, float] = {"benchmark": spec.name}
+        for scheme in SCHEMES:
+            accs = [
+                run_accuracy(spec, interval, schemes=(scheme,),
+                             scale=scale, seed=seed)[scheme].accuracy
+                for seed in seeds
+            ]
+            row[scheme] = sum(accs) / len(accs)
+            sums[scheme] += row[scheme]
+        rows.append(row)
+        count += 1
+    average = {"benchmark": "average"}
+    for scheme in SCHEMES:
+        average[scheme] = sums[scheme] / count
+    rows.append(average)
+    return rows
+
+
+def figure9(scale: float = 0.1, seeds: Sequence[int] = (0,)):
+    """Figure 9: sampling accuracy at interval 2^10."""
+    return accuracy_figure(1 << 10, scale=scale, seeds=seeds)
+
+
+def figure10(scale: float = 0.1, seeds: Sequence[int] = (0,)):
+    """Figure 10: sampling accuracy at interval 2^13."""
+    return accuracy_figure(1 << 13, scale=scale, seeds=seeds)
+
+
+def format_rows(rows: List[Dict[str, float]], title: str) -> str:
+    """Fixed-width table for bench output."""
+    lines = [title, f"{'benchmark':<10} " + " ".join(f"{s:>8}" for s in SCHEMES)]
+    for row in rows:
+        lines.append(
+            f"{row['benchmark']:<10} "
+            + " ".join(f"{row[s]:8.2f}" for s in SCHEMES)
+        )
+    return "\n".join(lines)

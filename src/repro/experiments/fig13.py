@@ -1,0 +1,210 @@
+"""Figures 13 and 14 and the Section 5.3 baseline characterisation.
+
+One sweep over the checksum microbenchmark drives both figures:
+
+* Figure 13 — percent execution overhead vs. sampling interval for the
+  eight framework combinations (cbs/brr x no-dup/full-dup x with and
+  without the instrumentation payload);
+* Figure 14 — average added cycles per dynamically encountered
+  sampling site (Full-Duplication curves), where the paper reports
+  3.19 cycles for a 50% branch-on-random, a ~0.1-cycle asymptote, and
+  a 10-20x gap to counter-based sampling above interval 64.
+
+The sweep also measures the ``full-instrumentation`` reference the
+paper quotes (4.3 cycles per site on their machine) and the baseline
+statistics of Section 5.3 (branch prediction accuracy, cache hit
+rates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..core.brr import BranchOnRandomUnit
+from ..timing.config import TimingConfig
+from ..timing.runner import WindowResult, cycles_per_site, overhead_percent, time_window
+from ..workloads.microbench import (
+    END_MARKER,
+    WARM_MARKER,
+    Microbench,
+    build_microbench,
+)
+
+#: Interval sweep of Figure 13/14.
+INTERVALS: Tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: (kind, duplication) framework combinations.
+COMBOS: Tuple[Tuple[str, str], ...] = (
+    ("cbs", "no-dup"),
+    ("cbs", "full-dup"),
+    ("brr", "no-dup"),
+    ("brr", "full-dup"),
+)
+
+
+@dataclass
+class SweepPoint:
+    """One simulated configuration."""
+
+    kind: str
+    duplication: str
+    interval: int
+    with_payload: bool
+    cycles: int
+    overhead: float
+    cycles_per_site: float
+
+
+@dataclass
+class MicrobenchSweep:
+    """All Figure 13/14 series for one text/size."""
+
+    n_chars: int
+    sites: int
+    base_cycles: int
+    base_branch_accuracy: float
+    base_l1i_hit_rate: float
+    base_l1d_hit_rate: float
+    full_instr_overhead: float
+    full_instr_cycles_per_site: float
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def series(self, kind: str, duplication: str,
+               with_payload: bool) -> List[SweepPoint]:
+        """One Figure 13 curve, ordered by interval."""
+        return sorted(
+            (p for p in self.points
+             if (p.kind, p.duplication, p.with_payload)
+             == (kind, duplication, with_payload)),
+            key=lambda p: p.interval,
+        )
+
+
+def _run(bench: Microbench, config: Optional[TimingConfig],
+         lfsr_seed: int = 0) -> WindowResult:
+    unit = None
+    if bench.variant.startswith("brr"):
+        from ..core.lfsr import Lfsr
+
+        seed = (0xACE1 + lfsr_seed * 7919) & 0xFFFFF or 1
+        unit = BranchOnRandomUnit(Lfsr(20, seed=seed))
+    return time_window(
+        bench.program,
+        begin=(WARM_MARKER, 1),
+        end=(END_MARKER, 1),
+        setup=bench.load_text,
+        brr_unit=unit,
+        config=config,
+    )
+
+
+def microbench_sweep(
+    n_chars: int = 4000,
+    intervals: Sequence[int] = INTERVALS,
+    seed: int = 1,
+    config: Optional[TimingConfig] = None,
+    include_payload_variants: bool = True,
+) -> MicrobenchSweep:
+    """Run the whole Figure 13/14 sweep at one scale."""
+    base_bench = build_microbench(n_chars, variant="none", seed=seed)
+    base = _run(base_bench, config)
+    sites = base_bench.measured_sites
+
+    full_bench = build_microbench(n_chars, variant="full", seed=seed)
+    full = _run(full_bench, config)
+
+    hierarchy_stats_base = base.stats
+    sweep = MicrobenchSweep(
+        n_chars=n_chars,
+        sites=sites,
+        base_cycles=base.cycles,
+        base_branch_accuracy=base.stats.branch_accuracy,
+        base_l1i_hit_rate=1.0 - (base.stats.icache_misses
+                                 / max(1, base.instructions)),
+        base_l1d_hit_rate=1.0 - (base.stats.dcache_misses
+                                 / max(1, base.stats.loads + base.stats.stores)),
+        full_instr_overhead=overhead_percent(base.cycles, full.cycles),
+        full_instr_cycles_per_site=cycles_per_site(base.cycles, full.cycles,
+                                                   sites),
+    )
+
+    payload_options = (True, False) if include_payload_variants else (False,)
+    for kind, duplication in COMBOS:
+        for with_payload in payload_options:
+            for interval in intervals:
+                bench = build_microbench(
+                    n_chars, variant=duplication, kind=kind,
+                    interval=interval, include_payload=with_payload,
+                    seed=seed,
+                )
+                result = _run(bench, config, lfsr_seed=interval)
+                sweep.points.append(SweepPoint(
+                    kind=kind,
+                    duplication=duplication,
+                    interval=interval,
+                    with_payload=with_payload,
+                    cycles=result.cycles,
+                    overhead=overhead_percent(base.cycles, result.cycles),
+                    cycles_per_site=cycles_per_site(base.cycles,
+                                                    result.cycles, sites),
+                ))
+    return sweep
+
+
+def sampling_payoff_interval(sweep: MicrobenchSweep, kind: str,
+                             duplication: str) -> Optional[int]:
+    """The smallest interval at which sampled instrumentation costs
+    less than unsampled full instrumentation.
+
+    This is Figure 2's narrative made operational: sampling pays off
+    once the (fixed + variable) framework cost drops below the full
+    instrumentation cost it replaces.  Returns ``None`` if sampling
+    never wins in the sweep's range (which is counter-based sampling's
+    problem at high fixed cost).
+    """
+    for point in sweep.series(kind, duplication, with_payload=True):
+        if point.overhead < sweep.full_instr_overhead:
+            return point.interval
+    return None
+
+
+def format_figure13(sweep: MicrobenchSweep) -> str:
+    """Figure 13's eight curves as a fixed-width table."""
+    lines = [
+        f"Figure 13: % overhead vs. interval "
+        f"({sweep.n_chars} chars, {sweep.sites} sites, "
+        f"baseline {sweep.base_cycles} cycles)",
+        "curve" + " " * 21 + " ".join(f"{iv:>7}" for iv in INTERVALS),
+    ]
+    for kind, dup in COMBOS:
+        for payload in (True, False):
+            series = sweep.series(kind, dup, payload)
+            if not series:
+                continue
+            label = f"{kind} {'+inst' if payload else '     '} ({dup})"
+            lines.append(
+                f"{label:<26}" + " ".join(f"{p.overhead:7.2f}" for p in series)
+            )
+    return "\n".join(lines)
+
+
+def format_figure14(sweep: MicrobenchSweep) -> str:
+    """Figure 14: cycles per site (Full-Duplication curves)."""
+    lines = [
+        "Figure 14: average cycles per sampling site (Full-Duplication)",
+        f"(full-instrumentation reference: "
+        f"{sweep.full_instr_cycles_per_site:.2f} cycles/site)",
+        "curve" + " " * 16 + " ".join(f"{iv:>7}" for iv in INTERVALS),
+    ]
+    for kind in ("cbs", "brr"):
+        for payload in (True, False):
+            series = sweep.series(kind, "full-dup", payload)
+            if not series:
+                continue
+            label = f"{kind}{' + inst' if payload else '       '}"
+            lines.append(
+                f"{label:<21}"
+                + " ".join(f"{p.cycles_per_site:7.3f}" for p in series)
+            )
+    return "\n".join(lines)

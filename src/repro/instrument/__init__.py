@@ -1,0 +1,28 @@
+"""CFG IR and the Arnold-Ryder sampling transformations."""
+
+from .arnold_ryder import (
+    DEFAULT_COUNTER_ADDR,
+    VARIANTS,
+    SamplingSpec,
+    apply_framework,
+    full_duplication,
+    full_instrumentation,
+    no_duplication,
+    strip_instrumentation,
+)
+from .cfg import Block, Cfg, CfgError, Terminator
+
+__all__ = [
+    "DEFAULT_COUNTER_ADDR",
+    "VARIANTS",
+    "SamplingSpec",
+    "apply_framework",
+    "full_duplication",
+    "full_instrumentation",
+    "no_duplication",
+    "strip_instrumentation",
+    "Block",
+    "Cfg",
+    "CfgError",
+    "Terminator",
+]

@@ -1,0 +1,349 @@
+"""The Arnold-Ryder instrumentation-sampling transformations.
+
+Arnold and Ryder's framework converts fully instrumented code into
+profile *sampling* code.  The paper evaluates two of its layouts
+(Figure 11) under two sampling mechanisms:
+
+``no_duplication``
+    every instrumentation site gets its own sampling check;
+``full_duplication``
+    the code region is replicated — a checking version without
+    instrumentation and a duplicate with it — and a check at the
+    method entry and every loop backedge picks the version, amortising
+    the check across all sites in an acyclic region.
+
+Each layout supports two check mechanisms:
+
+``cbs`` (counter-based sampling)
+    the Figure 1/4 global software counter: load, compare-to-zero
+    branch, decrement, store; the sample path reloads the reset value;
+``brr`` (branch-on-random)
+    a single ``brr`` instruction; the instrumentation is placed out of
+    line (at the end of the method) with the common case falling
+    through, and the sampled path returns via ``brra``, exactly the
+    Figure 8 code layout.
+
+All four combinations produce a new :class:`~repro.instrument.cfg.Cfg`
+ready to lower; ``include_payload=False`` keeps the sampling framework
+but drops the profile-collection payload, which is how the evaluation
+isolates framework overhead from instrumentation overhead (the solid
+vs. dashed curves of Figure 13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from ..core.condition import field_for_interval
+from .cfg import Block, Cfg, Terminator
+
+#: Default memory address of the software counter's [count, reset] pair.
+DEFAULT_COUNTER_ADDR = 0xF000
+
+
+@dataclass(frozen=True)
+class SamplingSpec:
+    """Configuration of a sampling framework instance.
+
+    ``kind`` is ``"cbs"`` or ``"brr"``.  ``interval`` must be a power
+    of two (2..65536) so both frameworks can express exactly the same
+    sampling rate.  The software counter lives at ``counter_addr``
+    (count at +0, reset value at +4), addressed through ``base_reg``
+    with ``scratch_reg`` as the counter scratch — the framework's
+    register-pressure cost (Section 2, overhead source 3/4).
+    """
+
+    kind: str
+    interval: int = 1024
+    counter_addr: int = DEFAULT_COUNTER_ADDR
+    base_reg: str = "r13"
+    scratch_reg: str = "r12"
+    #: Keep the cbs counter resident in ``scratch_reg`` instead of
+    #: memory — Section 2's alternative placement: no loads/stores per
+    #: check, but the register is permanently unavailable to the
+    #: program ("a large cost in an ISA with few registers").
+    counter_in_register: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("cbs", "brr"):
+            raise ValueError(f"unknown sampling kind {self.kind!r}")
+        if self.counter_in_register and self.kind != "cbs":
+            raise ValueError("counter_in_register applies to cbs only")
+        field_for_interval(self.interval)  # validates power of two
+
+    @property
+    def freq(self) -> str:
+        """Assembler frequency operand for brr at this interval."""
+        return f"1/{self.interval}"
+
+    def init_lines(self) -> List[str]:
+        """Program-startup code establishing the framework's state.
+
+        For cbs: point ``base_reg`` at the counter pair and initialise
+        count (= interval - 1, so the first sample falls exactly one
+        interval in, matching the event-level samplers) and reset
+        (= interval).  brr needs no architectural state at all — the
+        asymmetry the paper is about.
+        """
+        if self.kind == "brr":
+            return []
+        if self.counter_in_register:
+            return [
+                f"li {self.scratch_reg}, {self.interval - 1}",
+            ]
+        return [
+            f"li {self.base_reg}, {self.counter_addr:#x}",
+            f"li {self.scratch_reg}, {self.interval}",
+            f"sw {self.scratch_reg}, 4({self.base_reg})",
+            f"addi {self.scratch_reg}, {self.scratch_reg}, -1",
+            f"sw {self.scratch_reg}, 0({self.base_reg})",
+        ]
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+
+def strip_instrumentation(cfg: Cfg) -> Cfg:
+    """The uninstrumented baseline: drop every site."""
+    out = cfg.map_blocks(lambda name: name)
+    for block in out.blocks():
+        block.site_id = None
+        block.site_lines = []
+    return out
+
+
+def full_instrumentation(cfg: Cfg) -> Cfg:
+    """Unsampled instrumentation: every site's payload runs inline."""
+    return cfg.map_blocks(lambda name: name)
+
+
+# ----------------------------------------------------------------------
+# No-Duplication
+# ----------------------------------------------------------------------
+
+
+def no_duplication(cfg: Cfg, spec: SamplingSpec,
+                   include_payload: bool = True) -> Cfg:
+    """A sampling check in front of every instrumentation site.
+
+    The sampled (uncommon) path is placed out of line after the method
+    body so the common case falls through (Figure 8's layout change,
+    applied to both mechanisms for comparability with Figure 4).
+    """
+    out = Cfg(cfg.name, cfg.entry)
+    out_of_line: List[Block] = []
+    sr, br = spec.scratch_reg, spec.base_reg
+    for block in cfg.blocks():
+        if block.site_id is None:
+            out.add(block.clone())
+            continue
+        payload = list(block.site_lines) if include_payload else []
+        res_name = f"{block.name}__res"
+        smp_name = f"{block.name}__smp"
+        if spec.kind == "cbs" and spec.counter_in_register:
+            # Register-resident counter: check and decrement without
+            # touching memory; the sample path reloads the interval.
+            check = Block(
+                block.name,
+                body=[],
+                term=Terminator("cond", op="beq", ra=sr, rb="r0",
+                                taken=smp_name, target=res_name),
+            )
+            resume = Block(
+                res_name,
+                body=[f"addi {sr}, {sr}, -1"] + list(block.body),
+                term=replace(block.term),
+            )
+            sample = Block(
+                smp_name,
+                body=payload + [f"li {sr}, {spec.interval}"],
+                term=Terminator("jump", target=res_name),
+                cold=True,
+            )
+        elif spec.kind == "cbs":
+            check = Block(
+                block.name,
+                body=[f"lw {sr}, 0({br})"],
+                term=Terminator("cond", op="beq", ra=sr, rb="r0",
+                                taken=smp_name, target=res_name),
+            )
+            resume = Block(
+                res_name,
+                body=[f"addi {sr}, {sr}, -1", f"sw {sr}, 0({br})"]
+                + list(block.body),
+                term=replace(block.term),
+            )
+            sample = Block(
+                smp_name,
+                body=payload + [f"lw {sr}, 4({br})"],
+                term=Terminator("jump", target=res_name),
+                cold=True,
+            )
+        else:
+            check = Block(
+                block.name,
+                body=[],
+                term=Terminator("brr", freq=spec.freq,
+                                taken=smp_name, target=res_name),
+            )
+            resume = Block(res_name, body=list(block.body),
+                           term=replace(block.term))
+            sample = Block(smp_name, body=payload,
+                           term=Terminator("brra", target=res_name),
+                           cold=True)
+        out.add(check)
+        out.add(resume)
+        out_of_line.append(sample)
+    for block in out_of_line:
+        out.add(block)
+    out.validate()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Full-Duplication
+# ----------------------------------------------------------------------
+
+
+def full_duplication(cfg: Cfg, spec: SamplingSpec,
+                     include_payload: bool = True) -> Cfg:
+    """Figure 11's Full-Duplication layout.
+
+    The checking version carries no instrumentation; the duplicate
+    carries it all, with its backedges pointing back at the checking
+    version's headers so each sample instruments one acyclic pass.
+    Checks sit at the method entry and in front of every loop header.
+    """
+    backedges = cfg.backedges()
+    headers = {dst for __, dst in backedges}
+    check_targets = set(headers)
+    check_targets.add(cfg.entry)
+
+    def chk(name: str) -> str:
+        return f"{name}__chk"
+
+    def dup(name: str) -> str:
+        return f"{name}__dup"
+
+    sr, br = spec.scratch_reg, spec.base_reg
+    out = Cfg(cfg.name, chk(cfg.entry))
+    trailing: List[Block] = []
+    into_checks = {name: chk(name) for name in check_targets}
+
+    def add_check(name: str) -> None:
+        """Emit the check block(s) deciding orig vs. duplicate."""
+        if spec.kind == "brr":
+            out.add(Block(
+                chk(name),
+                body=[],
+                term=Terminator("brr", freq=spec.freq,
+                                taken=dup(name), target=name),
+            ))
+            return
+        res_name = chk(name) + "r"
+        smp_name = chk(name) + "s"
+        if spec.counter_in_register:
+            out.add(Block(
+                chk(name),
+                body=[],
+                term=Terminator("cond", op="beq", ra=sr, rb="r0",
+                                taken=smp_name, target=res_name),
+            ))
+            out.add(Block(
+                res_name,
+                body=[f"addi {sr}, {sr}, -1"],
+                term=Terminator("fall", target=name),
+            ))
+            trailing.append(Block(
+                smp_name,
+                body=[f"li {sr}, {spec.interval - 1}"],
+                term=Terminator("jump", target=dup(name)),
+                cold=True,
+            ))
+            return
+        out.add(Block(
+            chk(name),
+            body=[f"lw {sr}, 0({br})"],
+            term=Terminator("cond", op="beq", ra=sr, rb="r0",
+                            taken=smp_name, target=res_name),
+        ))
+        out.add(Block(
+            res_name,
+            body=[f"addi {sr}, {sr}, -1", f"sw {sr}, 0({br})"],
+            term=Terminator("fall", target=name),
+        ))
+        trailing.append(Block(
+            smp_name,
+            body=[f"lw {sr}, 4({br})", f"addi {sr}, {sr}, -1",
+                  f"sw {sr}, 0({br})"],
+            term=Terminator("jump", target=dup(name)),
+            cold=True,
+        ))
+
+    # Checking version: instrumentation removed, header edges detour
+    # through the checks.
+    for block in cfg.blocks():
+        if block.name in check_targets:
+            add_check(block.name)
+        clone = block.clone()
+        clone.site_id = None
+        clone.site_lines = []
+        clone.term = block.term.retargeted(into_checks)
+        out.add(clone)
+
+    # Duplicate version: instrumentation inline, backedges exit to the
+    # corresponding check so at most one acyclic pass is instrumented.
+    for block in cfg.blocks():
+        dclone = block.clone(dup(block.name))
+        dclone.cold = True
+        if not include_payload:
+            dclone.site_lines = []
+        mapping = {}
+        for succ in block.term.successors():
+            if (block.name, succ) in backedges:
+                mapping[succ] = chk(succ)
+            else:
+                mapping[succ] = dup(succ)
+        dclone.term = block.term.retargeted(mapping)
+        out.add(dclone)
+
+    for block in trailing:
+        out.add(block)
+    out.validate()
+    return out
+
+
+# ----------------------------------------------------------------------
+# Dispatcher
+# ----------------------------------------------------------------------
+
+VARIANTS = ("none", "full", "no-dup", "full-dup")
+
+
+def apply_framework(
+    cfg: Cfg,
+    duplication: str,
+    spec: Optional[SamplingSpec] = None,
+    include_payload: bool = True,
+) -> Cfg:
+    """Produce one evaluation variant of an instrumented CFG.
+
+    ``duplication``: ``"none"`` (uninstrumented baseline), ``"full"``
+    (unsampled full instrumentation), ``"no-dup"`` or ``"full-dup"``
+    (sampled; requires ``spec``).
+    """
+    if duplication == "none":
+        return strip_instrumentation(cfg)
+    if duplication == "full":
+        return full_instrumentation(cfg)
+    if spec is None:
+        raise ValueError(f"{duplication!r} requires a SamplingSpec")
+    if duplication == "no-dup":
+        return no_duplication(cfg, spec, include_payload)
+    if duplication == "full-dup":
+        return full_duplication(cfg, spec, include_payload)
+    raise ValueError(f"unknown duplication mode {duplication!r}; "
+                     f"expected one of {VARIANTS}")

@@ -1,0 +1,299 @@
+"""Control-flow-graph IR for instrumented code generation.
+
+The Arnold-Ryder framework (Section 4.1/5.2) is a compile-time
+transformation over the compiler's CFG.  This module provides that
+CFG: basic blocks of straight-line assembly with explicit terminators,
+instrumentation attachments on blocks, backedge identification, and
+lowering to assembler text for the reproduction ISA.
+
+Blocks carry two instrumentation-related attributes consumed by the
+transforms in :mod:`repro.instrument.arnold_ryder`:
+
+``site_id`` / ``site_lines``
+    An instrumentation site anchored at the top of the block — e.g. a
+    method-entry invocation counter or an edge-profile counter — as raw
+    assembly lines.  The transforms decide where this code ends up
+    (inline, out of line, or in the duplicated body) and under which
+    sampling regime it runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class CfgError(Exception):
+    """Malformed control-flow graph."""
+
+
+@dataclass
+class Terminator:
+    """Block-ending control flow.
+
+    ``kind`` is one of:
+
+    - ``"fall"`` — fall through to ``target``;
+    - ``"jump"`` — unconditional direct jump to ``target``;
+    - ``"cond"`` — conditional branch ``op ra, rb`` to ``taken``,
+      falling through to ``target``;
+    - ``"brr"`` — branch-on-random at frequency ``freq`` (assembler
+      frequency syntax) to ``taken``, falling through to ``target``;
+    - ``"brra"`` — the 100%-taken branch-on-random to ``target``
+      (footnote 4: an unconditional jump that stays out of the BTB);
+    - ``"ret"`` — function return (``jr lr``);
+    - ``"halt"`` — stop the machine.
+    """
+
+    kind: str
+    target: Optional[str] = None
+    op: Optional[str] = None
+    ra: Optional[str] = None
+    rb: Optional[str] = None
+    taken: Optional[str] = None
+    freq: Optional[str] = None
+
+    KINDS = ("fall", "jump", "cond", "brr", "brra", "ret", "halt")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise CfgError(f"unknown terminator kind {self.kind!r}")
+        if self.kind in ("fall", "jump", "brra") and not self.target:
+            raise CfgError(f"{self.kind} terminator needs a target")
+        if self.kind == "cond" and not (
+            self.op and self.ra and self.rb and self.taken and self.target
+        ):
+            raise CfgError("cond terminator needs op, ra, rb, taken, target")
+        if self.kind == "brr" and not (self.freq and self.taken and self.target):
+            raise CfgError("brr terminator needs freq, taken, target")
+
+    def successors(self) -> Tuple[str, ...]:
+        if self.kind in ("fall", "jump", "brra"):
+            return (self.target,)
+        if self.kind in ("cond", "brr"):
+            return (self.taken, self.target)
+        return ()
+
+    def retargeted(self, mapping: Dict[str, str]) -> "Terminator":
+        """A copy with successor names rewritten through ``mapping``."""
+        kwargs = {}
+        if self.target is not None:
+            kwargs["target"] = mapping.get(self.target, self.target)
+        if self.taken is not None:
+            kwargs["taken"] = mapping.get(self.taken, self.taken)
+        return replace(self, **kwargs)
+
+
+@dataclass
+class Block:
+    """One basic block: straight-line body plus a terminator."""
+
+    name: str
+    body: List[str] = field(default_factory=list)
+    term: Terminator = field(default_factory=lambda: Terminator("halt"))
+    #: Instrumentation site anchored at this block (None = no site).
+    site_id: Optional[int] = None
+    #: The site's profile-collection code (raw assembly lines).
+    site_lines: List[str] = field(default_factory=list)
+    #: Rarely executed block (sampled paths, duplicated bodies).  Cold
+    #: blocks can be laid out away from the hot instruction stream so
+    #: they do not dilute the I-cache working set.
+    cold: bool = False
+
+    def clone(self, name: Optional[str] = None) -> "Block":
+        return Block(
+            name=name or self.name,
+            body=list(self.body),
+            term=replace(self.term),
+            site_id=self.site_id,
+            site_lines=list(self.site_lines),
+            cold=self.cold,
+        )
+
+
+class Cfg:
+    """A function's control-flow graph with a fixed block layout."""
+
+    def __init__(self, name: str, entry: str) -> None:
+        self.name = name
+        self.entry = entry
+        self._blocks: Dict[str, Block] = {}
+        self._order: List[str] = []
+
+    # -- construction ---------------------------------------------------
+
+    def add(self, block: Block) -> Block:
+        if block.name in self._blocks:
+            raise CfgError(f"duplicate block {block.name!r} in {self.name}")
+        self._blocks[block.name] = block
+        self._order.append(block.name)
+        return block
+
+    def block(self, name: str) -> Block:
+        try:
+            return self._blocks[name]
+        except KeyError:
+            raise CfgError(f"no block {name!r} in {self.name}") from None
+
+    @property
+    def order(self) -> List[str]:
+        return list(self._order)
+
+    def blocks(self) -> Iterable[Block]:
+        for name in self._order:
+            yield self._blocks[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    # -- analysis ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants (all successors exist, entry
+        exists, fallthrough layout is realisable)."""
+        if self.entry not in self._blocks:
+            raise CfgError(f"entry block {self.entry!r} missing")
+        for block in self.blocks():
+            for succ in block.term.successors():
+                if succ not in self._blocks:
+                    raise CfgError(
+                        f"block {block.name!r} targets unknown block {succ!r}"
+                    )
+
+    def successors(self, name: str) -> Tuple[str, ...]:
+        return self.block(name).term.successors()
+
+    def dominators(self) -> Dict[str, Set[str]]:
+        """Dominator sets for every block reachable from the entry.
+
+        Iterative dataflow: ``dom(b) = {b} ∪ ⋂ dom(preds(b))``, with
+        the entry dominated only by itself.  The graphs this library
+        builds are small, so the simple fixed point is plenty fast.
+        """
+        self.validate()
+        preds: Dict[str, List[str]] = {name: [] for name in self._order}
+        for block in self.blocks():
+            for succ in block.term.successors():
+                preds[succ].append(block.name)
+        # Restrict to blocks reachable from the entry.
+        reachable: Set[str] = set()
+        stack = [self.entry]
+        while stack:
+            name = stack.pop()
+            if name in reachable:
+                continue
+            reachable.add(name)
+            stack.extend(self.block(name).term.successors())
+        dom: Dict[str, Set[str]] = {
+            name: ({name} if name == self.entry else set(reachable))
+            for name in reachable
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name in self._order:
+                if name not in reachable or name == self.entry:
+                    continue
+                incoming = [dom[p] for p in preds[name] if p in reachable]
+                new = set.intersection(*incoming) if incoming else set()
+                new = new | {name}
+                if new != dom[name]:
+                    dom[name] = new
+                    changed = True
+        return dom
+
+    def backedges(self) -> Set[Tuple[str, str]]:
+        """True loop backedges: edges ``(u, v)`` where ``v`` dominates
+        ``u`` — the points where Arnold-Ryder inserts sampling checks."""
+        dom = self.dominators()
+        edges = set()
+        for block in self.blocks():
+            if block.name not in dom:
+                continue  # unreachable code has no loops worth checking
+            for succ in block.term.successors():
+                if succ in dom[block.name]:
+                    edges.add((block.name, succ))
+        return edges
+
+    def instrumented_blocks(self) -> List[Block]:
+        return [b for b in self.blocks() if b.site_id is not None]
+
+    # -- lowering -----------------------------------------------------------
+
+    def label(self, block_name: str) -> str:
+        """The assembler label of a block."""
+        return f"{self.name}__{block_name}"
+
+    def lower(self) -> List[str]:
+        """Emit assembler lines for the whole CFG (hot then cold).
+
+        Any remaining ``site_lines`` are emitted inline at the top of
+        their block (the "full instrumentation" interpretation); the
+        sampling transforms rewrite the CFG so that by lowering time
+        the instrumentation is where they want it.
+        """
+        hot, cold = self.lower_split()
+        return hot + cold
+
+    def lower_split(self) -> Tuple[List[str], List[str]]:
+        """Emit (hot lines, cold lines) as two relocatable sections.
+
+        Cold blocks are only ever entered by explicit branches and
+        fall-throughs are resolved within each section, so callers may
+        place the cold section anywhere (e.g. after all hot code,
+        keeping duplicated bodies out of the I-cache working set).
+        """
+        self.validate()
+        hot_order = [n for n in self._order if not self._blocks[n].cold]
+        cold_order = [n for n in self._order if self._blocks[n].cold]
+        return (self._lower_section(hot_order),
+                self._lower_section(cold_order))
+
+    def _lower_section(self, order: List[str]) -> List[str]:
+        lines: List[str] = []
+        for index, name in enumerate(order):
+            block = self._blocks[name]
+            lines.append(f"{self.label(name)}:")
+            if block.site_lines:
+                lines.extend(block.site_lines)
+            lines.extend(block.body)
+            term = block.term
+            next_name = order[index + 1] if index + 1 < len(order) else None
+            if term.kind == "halt":
+                lines.append("halt")
+            elif term.kind == "ret":
+                lines.append("ret")
+            elif term.kind == "jump":
+                lines.append(f"jmp {self.label(term.target)}")
+            elif term.kind == "fall":
+                if term.target != next_name:
+                    lines.append(f"jmp {self.label(term.target)}")
+            elif term.kind == "cond":
+                lines.append(
+                    f"{term.op} {term.ra}, {term.rb}, {self.label(term.taken)}"
+                )
+                if term.target != next_name:
+                    lines.append(f"jmp {self.label(term.target)}")
+            elif term.kind == "brr":
+                lines.append(f"brr {term.freq}, {self.label(term.taken)}")
+                if term.target != next_name:
+                    lines.append(f"jmp {self.label(term.target)}")
+            elif term.kind == "brra":
+                lines.append(f"brra {self.label(term.target)}")
+        return lines
+
+    # -- transformation support --------------------------------------------
+
+    def map_blocks(self, rename) -> "Cfg":
+        """A deep copy with every block (and successor reference)
+        renamed through ``rename(name) -> new name``."""
+        mapping = {name: rename(name) for name in self._order}
+        copy = Cfg(self.name, mapping[self.entry])
+        for block in self.blocks():
+            clone = block.clone(mapping[block.name])
+            clone.term = block.term.retargeted(mapping)
+            copy.add(clone)
+        return copy

@@ -1,0 +1,45 @@
+"""RISC-style ISA with the architected branch-on-random extension.
+
+Exports the instruction model (:mod:`~repro.isa.instructions`), the
+two-pass assembler (:mod:`~repro.isa.asm`), assembled program images
+(:mod:`~repro.isa.program`) and the disassembler
+(:mod:`~repro.isa.disasm`).
+"""
+
+from .asm import AsmError, Assembler, TRAP_BRR_OPCODE, assemble, parse_freq
+from .disasm import disassemble, disassemble_word, format_instruction
+from .instructions import (
+    LINK_REG,
+    NUM_REGS,
+    WORD,
+    EncodingError,
+    Format,
+    Instruction,
+    InvalidOpcodeError,
+    Op,
+    decode,
+    encode,
+)
+from .program import Program
+
+__all__ = [
+    "AsmError",
+    "Assembler",
+    "TRAP_BRR_OPCODE",
+    "assemble",
+    "parse_freq",
+    "disassemble",
+    "disassemble_word",
+    "format_instruction",
+    "LINK_REG",
+    "NUM_REGS",
+    "WORD",
+    "EncodingError",
+    "Format",
+    "Instruction",
+    "InvalidOpcodeError",
+    "Op",
+    "decode",
+    "encode",
+    "Program",
+]

@@ -1,0 +1,292 @@
+"""Two-pass assembler for the reproduction ISA.
+
+Syntax overview (one statement per line, ``;`` or ``#`` comments)::
+
+    loop:
+        lb    r2, 0(r1)        ; load byte
+        addi  r1, r1, 1
+        slti  r3, r2, 97
+        beq   r3, r0, lower
+        brr   1/1024, profile  ; branch-on-random, interval syntax
+        brra  common           ; 100%-taken brr (footnote 4)
+        jal   helper
+        ret                    ; pseudo: jr lr
+        marker 1
+        halt
+        .word 0xdeadbeef
+
+Branch-on-random frequencies accept three spellings: a raw field value
+(``brr 9, target``), an interval (``brr 1/1024, target``), or a percent
+(``brr 1%, target`` — rounded to the nearest encodable power of two,
+exactly how a compiler would emit the instruction).
+
+``brr_mode="trap"`` reproduces the paper's Section 3.4/4.1 software
+emulation: each ``brr`` is emitted as an *invalid opcode* carrying the
+freq field "followed by 4 bytes for a branch offset"; the functional
+simulator's SIGILL-style handler emulates the branch.  ``brra`` lowers
+to a plain ``jmp`` in trap mode (its only difference from ``jmp`` is
+microarchitectural).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from .instructions import (
+    WORD,
+    EncodingError,
+    Format,
+    Instruction,
+    Op,
+    encode,
+)
+from .program import Program
+from ..core.condition import field_for_interval, nearest_field
+
+#: Opcode value (bits 31:26) reserved as *un-architected*: decoding it
+#: raises InvalidOpcodeError, which the trap-emulation path catches.
+TRAP_BRR_OPCODE = 0x3D
+
+#: Registers may be written r0..r15 or by ABI alias.
+REG_ALIASES = {"sp": 14, "lr": 15}
+
+
+class AsmError(Exception):
+    """Assembly failure, annotated with the offending line."""
+
+    def __init__(self, message: str, line_no: int, line: str) -> None:
+        super().__init__(f"line {line_no}: {message}: {line.strip()!r}")
+        self.line_no = line_no
+        self.line = line
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_.$][\w.$]*):")
+_TOKEN_SPLIT = re.compile(r"[,\s]+")
+_MEM_RE = re.compile(r"^(-?\w+)\((\w+)\)$")
+
+
+def parse_register(token: str) -> int:
+    token = token.lower()
+    if token in REG_ALIASES:
+        return REG_ALIASES[token]
+    if token.startswith("r") and token[1:].isdigit():
+        reg = int(token[1:])
+        if 0 <= reg < 16:
+            return reg
+    raise ValueError(f"not a register: {token!r}")
+
+
+def parse_int(token: str) -> int:
+    return int(token, 0)
+
+
+def parse_freq(token: str) -> int:
+    """Parse a brr frequency operand into its 4-bit field value."""
+    token = token.strip()
+    if token.endswith("%"):
+        return nearest_field(float(token[:-1]) / 100.0)
+    if "/" in token:
+        numerator, denominator = token.split("/", 1)
+        if int(numerator) != 1:
+            raise ValueError(f"frequency ratio must be 1/N: {token!r}")
+        return field_for_interval(int(denominator, 0))
+    return int(token, 0)
+
+
+class _Statement:
+    """One assembled statement (pass-1 record)."""
+
+    def __init__(self, kind: str, args: List[str], line_no: int,
+                 line: str, size_words: int) -> None:
+        self.kind = kind
+        self.args = args
+        self.line_no = line_no
+        self.line = line
+        self.size_words = size_words
+        self.address = 0  # filled in by layout
+
+
+class Assembler:
+    """Two-pass assembler producing a :class:`Program`."""
+
+    def __init__(self, base: int = 0, brr_mode: str = "native") -> None:
+        if brr_mode not in ("native", "trap"):
+            raise ValueError(f"brr_mode must be 'native' or 'trap': {brr_mode!r}")
+        self.base = base
+        self.brr_mode = brr_mode
+
+    # -- public entry ---------------------------------------------------
+
+    def assemble(self, source: str) -> Program:
+        statements, symbols = self._parse_and_layout(source)
+        words: List[int] = []
+        source_map: Dict[int, str] = {}
+        for stmt in statements:
+            emitted = self._emit(stmt, symbols)
+            index = len(words)
+            for offset, word in enumerate(emitted):
+                source_map[index + offset] = stmt.line.strip()
+            words.extend(emitted)
+        return Program(words, base=self.base, symbols=symbols,
+                       source_map=source_map)
+
+    # -- pass 1: parse, size, lay out ------------------------------------
+
+    def _parse_and_layout(self, source: str):
+        statements: List[_Statement] = []
+        symbols: Dict[str, int] = {}
+        address = self.base
+        for line_no, raw in enumerate(source.splitlines(), start=1):
+            line = raw.split(";")[0].split("#")[0]
+            text = line.strip()
+            while text:
+                match = _LABEL_RE.match(text)
+                if match:
+                    label = match.group(1)
+                    if label in symbols:
+                        raise AsmError(f"duplicate label {label!r}", line_no, raw)
+                    symbols[label] = address
+                    text = text[match.end():].strip()
+                    continue
+                stmt = self._parse_statement(text, line_no, raw)
+                stmt.address = address
+                address += stmt.size_words * WORD
+                statements.append(stmt)
+                text = ""
+        return statements, symbols
+
+    def _parse_statement(self, text: str, line_no: int, raw: str) -> _Statement:
+        tokens = [t for t in _TOKEN_SPLIT.split(text) if t]
+        mnemonic = tokens[0].lower()
+        args = tokens[1:]
+        if mnemonic == ".word":
+            return _Statement(".word", args, line_no, raw, len(args))
+        if mnemonic == ".space":
+            try:
+                count = parse_int(args[0])
+            except (IndexError, ValueError):
+                raise AsmError(".space needs a word count", line_no, raw)
+            return _Statement(".space", [str(count)], line_no, raw, count)
+        if mnemonic == "brr" and self.brr_mode == "trap":
+            # Invalid opcode word + 4-byte branch offset (Section 4.1).
+            return _Statement("brr.trap", args, line_no, raw, 2)
+        if mnemonic == "brra" and self.brr_mode == "trap":
+            return _Statement("jmp", args, line_no, raw, 1)
+        if mnemonic == "ret":
+            return _Statement("jr", ["lr"], line_no, raw, 1)
+        if mnemonic == "mov":
+            return _Statement("addi", args + ["0"], line_no, raw, 1)
+        return _Statement(mnemonic, args, line_no, raw, 1)
+
+    # -- pass 2: encode ---------------------------------------------------
+
+    def _resolve(self, token: str, symbols: Dict[str, int],
+                 stmt: _Statement) -> int:
+        """Label address or literal integer."""
+        if token in symbols:
+            return symbols[token]
+        try:
+            return parse_int(token)
+        except ValueError:
+            raise AsmError(f"undefined symbol {token!r}", stmt.line_no, stmt.line)
+
+    def _branch_offset(self, token: str, symbols: Dict[str, int],
+                       stmt: _Statement) -> int:
+        """PC-relative word offset to a label (relative to pc + 4)."""
+        target = self._resolve(token, symbols, stmt)
+        delta = target - (stmt.address + WORD)
+        if delta % WORD:
+            raise AsmError(f"misaligned target {token!r}", stmt.line_no, stmt.line)
+        return delta // WORD
+
+    def _emit(self, stmt: _Statement, symbols: Dict[str, int]) -> List[int]:
+        try:
+            return self._emit_inner(stmt, symbols)
+        except (ValueError, IndexError, EncodingError) as exc:
+            if isinstance(exc, AsmError):
+                raise
+            raise AsmError(str(exc), stmt.line_no, stmt.line) from exc
+
+    def _emit_inner(self, stmt: _Statement, symbols: Dict[str, int]) -> List[int]:
+        kind, args = stmt.kind, stmt.args
+        if kind == ".word":
+            return [self._resolve(a, symbols, stmt) & 0xFFFFFFFF for a in args]
+        if kind == ".space":
+            return [0] * int(args[0])
+        if kind == "brr.trap":
+            freq = parse_freq(args[0])
+            if not 0 <= freq < 16:
+                raise ValueError(f"freq field out of range: {freq}")
+            target = self._resolve(args[1], symbols, stmt)
+            # Offset applied by the trap handler relative to the 8-byte
+            # (opcode + offset word) emulated instruction.
+            offset = target - (stmt.address + 2 * WORD)
+            return [
+                (TRAP_BRR_OPCODE << 26) | (freq << 22),
+                offset & 0xFFFFFFFF,
+            ]
+        try:
+            op = Op[kind.upper()]
+        except KeyError:
+            raise ValueError(f"unknown mnemonic {kind!r}")
+        fmt = {
+            Format.R: self._emit_r,
+            Format.I: self._emit_i,
+            Format.LI: self._emit_li,
+            Format.MEM: self._emit_mem,
+            Format.BRANCH: self._emit_branch,
+            Format.JUMP: self._emit_jump,
+            Format.JR: self._emit_jr,
+            Format.BRR: self._emit_brr,
+            Format.MARKER: self._emit_marker,
+            Format.NONE: self._emit_none,
+        }[Instruction(op).format]
+        return [encode(fmt(op, args, symbols, stmt))]
+
+    def _emit_r(self, op, args, symbols, stmt) -> Instruction:
+        rd, ra, rb = (parse_register(a) for a in args[:3])
+        return Instruction(op, rd=rd, ra=ra, rb=rb)
+
+    def _emit_i(self, op, args, symbols, stmt) -> Instruction:
+        rd, ra = parse_register(args[0]), parse_register(args[1])
+        return Instruction(op, rd=rd, ra=ra,
+                           imm=self._resolve(args[2], symbols, stmt))
+
+    def _emit_li(self, op, args, symbols, stmt) -> Instruction:
+        return Instruction(op, rd=parse_register(args[0]),
+                           imm=self._resolve(args[1], symbols, stmt))
+
+    def _emit_mem(self, op, args, symbols, stmt) -> Instruction:
+        rd = parse_register(args[0])
+        match = _MEM_RE.match(args[1])
+        if not match:
+            raise ValueError(f"expected offset(base), got {args[1]!r}")
+        return Instruction(op, rd=rd, ra=parse_register(match.group(2)),
+                           imm=parse_int(match.group(1)))
+
+    def _emit_branch(self, op, args, symbols, stmt) -> Instruction:
+        ra, rb = parse_register(args[0]), parse_register(args[1])
+        return Instruction(op, ra=ra, rb=rb,
+                           imm=self._branch_offset(args[2], symbols, stmt))
+
+    def _emit_jump(self, op, args, symbols, stmt) -> Instruction:
+        return Instruction(op, imm=self._branch_offset(args[0], symbols, stmt))
+
+    def _emit_jr(self, op, args, symbols, stmt) -> Instruction:
+        return Instruction(op, ra=parse_register(args[0]))
+
+    def _emit_brr(self, op, args, symbols, stmt) -> Instruction:
+        return Instruction(op, freq=parse_freq(args[0]),
+                           imm=self._branch_offset(args[1], symbols, stmt))
+
+    def _emit_marker(self, op, args, symbols, stmt) -> Instruction:
+        return Instruction(op, imm=parse_int(args[0]))
+
+    def _emit_none(self, op, args, symbols, stmt) -> Instruction:
+        return Instruction(op)
+
+
+def assemble(source: str, base: int = 0, brr_mode: str = "native") -> Program:
+    """Assemble ``source`` into a :class:`Program`."""
+    return Assembler(base=base, brr_mode=brr_mode).assemble(source)

@@ -1,0 +1,73 @@
+"""Disassembler: decoded instructions and raw words back to text."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .instructions import (
+    WORD,
+    Format,
+    Instruction,
+    InvalidOpcodeError,
+    decode,
+)
+from .program import Program
+from ..core.condition import interval_of_field
+
+
+def format_instruction(instr: Instruction, addr: Optional[int] = None) -> str:
+    """Render one instruction as assembler text.
+
+    When ``addr`` is given, PC-relative targets are rendered as
+    absolute hexadecimal byte addresses; otherwise as ``.+N`` word
+    offsets.
+    """
+    name = instr.op.name.lower()
+    fmt = instr.format
+
+    def target() -> str:
+        if addr is None:
+            return f".{instr.imm:+d}"
+        return f"{addr + WORD + instr.imm * WORD:#x}"
+
+    if fmt is Format.R:
+        return f"{name} r{instr.rd}, r{instr.ra}, r{instr.rb}"
+    if fmt is Format.I:
+        return f"{name} r{instr.rd}, r{instr.ra}, {instr.imm}"
+    if fmt is Format.LI:
+        return f"{name} r{instr.rd}, {instr.imm}"
+    if fmt is Format.MEM:
+        return f"{name} r{instr.rd}, {instr.imm}(r{instr.ra})"
+    if fmt is Format.BRANCH:
+        return f"{name} r{instr.ra}, r{instr.rb}, {target()}"
+    if fmt is Format.JUMP:
+        return f"{name} {target()}"
+    if fmt is Format.JR:
+        return f"{name} r{instr.ra}"
+    if fmt is Format.BRR:
+        return f"{name} 1/{interval_of_field(instr.freq)}, {target()}"
+    if fmt is Format.MARKER:
+        return f"{name} {instr.imm}"
+    return name
+
+
+def disassemble_word(word: int, addr: Optional[int] = None) -> str:
+    """Disassemble one raw word; unknown opcodes render as ``.word``."""
+    try:
+        return format_instruction(decode(word, pc=addr), addr)
+    except InvalidOpcodeError:
+        return f".word {word:#010x}"
+
+
+def disassemble(program: Program) -> str:
+    """Full listing of a program, one line per word, with labels."""
+    by_addr = {}
+    for label, label_addr in program.symbols.items():
+        by_addr.setdefault(label_addr, []).append(label)
+    lines = []
+    for index, word in enumerate(program.words):
+        addr = program.base + index * WORD
+        for label in sorted(by_addr.get(addr, [])):
+            lines.append(f"{label}:")
+        lines.append(f"  {addr:#06x}:  {disassemble_word(word, addr)}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Assembled program images."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .instructions import WORD, Instruction, decode
+
+
+@dataclass
+class Program:
+    """An assembled code image.
+
+    ``words`` are the raw 32-bit instruction words laid out from
+    ``base`` (a byte address, word aligned).  ``symbols`` maps label
+    names to byte addresses.  ``source_map`` maps a word index back to
+    the originating assembly line for diagnostics.
+    """
+
+    words: List[int]
+    base: int = 0
+    symbols: Dict[str, int] = field(default_factory=dict)
+    source_map: Dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base % WORD:
+            raise ValueError(f"base address {self.base:#x} is not word aligned")
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.words) * WORD
+
+    @property
+    def end(self) -> int:
+        """First byte address past the image."""
+        return self.base + self.size_bytes
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    def word_at(self, addr: int) -> int:
+        """Raw instruction word at a byte address."""
+        if not self.contains(addr):
+            raise IndexError(f"address {addr:#x} outside program image")
+        if addr % WORD:
+            raise ValueError(f"misaligned instruction address {addr:#x}")
+        return self.words[(addr - self.base) // WORD]
+
+    def decode_at(self, addr: int) -> Instruction:
+        """Decoded instruction at a byte address (may raise
+        :class:`~repro.isa.instructions.InvalidOpcodeError`)."""
+        return decode(self.word_at(addr), pc=addr)
+
+    def address_of(self, label: str) -> int:
+        try:
+            return self.symbols[label]
+        except KeyError:
+            raise KeyError(f"no such label: {label!r}") from None
+
+    def source_for(self, addr: int) -> Optional[str]:
+        """Assembly source line for the word at ``addr``, if recorded."""
+        return self.source_map.get((addr - self.base) // WORD)

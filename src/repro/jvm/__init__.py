@@ -1,0 +1,53 @@
+"""Mini-JVM substrate: program model, baseline compiler, workloads."""
+
+from .benchmarks import (
+    FIGURE12_BENCHMARKS,
+    MEASURE_BEGIN,
+    MEASURE_END,
+    build_bloat,
+    build_fop,
+    build_jython,
+    build_luindex,
+    build_lusearch,
+)
+from .compiler import (
+    PROFILE_BASE,
+    STACK_TOP,
+    CompiledJvm,
+    compile_program,
+    method_label,
+)
+from .model import (
+    Call,
+    JvmError,
+    JvmProgram,
+    Loop,
+    Marker,
+    MethodSpec,
+    Stmt,
+    Work,
+)
+
+__all__ = [
+    "FIGURE12_BENCHMARKS",
+    "MEASURE_BEGIN",
+    "MEASURE_END",
+    "build_bloat",
+    "build_fop",
+    "build_jython",
+    "build_luindex",
+    "build_lusearch",
+    "PROFILE_BASE",
+    "STACK_TOP",
+    "CompiledJvm",
+    "compile_program",
+    "method_label",
+    "Call",
+    "JvmError",
+    "JvmProgram",
+    "Loop",
+    "Marker",
+    "MethodSpec",
+    "Stmt",
+    "Work",
+]

@@ -1,0 +1,153 @@
+"""Mini-JVM workloads for the Figure 12 timing experiments.
+
+Five of the paper's DaCapo benchmarks survived its Jikes/Simics
+toolchain (bloat, fop, luindex, lusearch, jython).  Each is modelled
+as a call tree over a generated *population* of methods sized like
+baseline-compiled Java: a few driver methods iterating over dozens of
+library methods of 60-250 busy-work instructions.  Two properties of
+real JVM code matter for the figure and are reproduced here:
+
+1. **Instruction working set** — the code footprint substantially
+   exceeds the 32KB L1 I-cache and each outer iteration walks all of
+   it, so a framework that inflates the code (counter-based sampling
+   adds ~5 instructions per site; Section 2's overhead source 1) pays
+   additional I-cache misses that a single ``brr`` does not.
+2. **Site density** — instrumentation counts method executions, so
+   sites are method entries; ``jython`` gets the interpreter-style
+   tight dispatch loops over small opcode methods (high density, and
+   the footnote-7 alternating leaf pattern behind its Figure 9/10
+   counter resonance).
+
+Every ``main`` runs a warm-up pass before ``marker 1`` and ends the
+measured window at ``marker 2``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List
+
+from .model import Call, JvmProgram, Loop, Marker, MethodSpec, Work
+
+#: Marker ids delimiting the measured window.
+MEASURE_BEGIN = 1
+MEASURE_END = 2
+
+
+def _program(methods: List[MethodSpec]) -> JvmProgram:
+    return JvmProgram({m.name: m for m in methods}, entry="main")
+
+
+def _main(measured: Loop, warm: Loop) -> MethodSpec:
+    return MethodSpec("main", [
+        warm,
+        Marker(MEASURE_BEGIN),
+        measured,
+        Marker(MEASURE_END),
+    ])
+
+
+def _generated(
+    name: str,
+    seed: int,
+    n_lib: int,
+    work_lo: int,
+    work_hi: int,
+    libs_per_driver: int,
+    outer: int,
+    inner_loop: int = 0,
+) -> JvmProgram:
+    """Build a benchmark from a seeded method population.
+
+    ``n_lib`` library methods with Work in [lo, hi] are partitioned
+    among drivers; each driver calls its slice (optionally inside an
+    ``inner_loop``-iteration loop), and ``main`` calls every driver per
+    outer iteration — touching the whole code footprint each pass.
+    """
+    rng = random.Random(seed)
+    libs = [
+        MethodSpec(f"{name}_m{i:02d}", [Work(rng.randint(work_lo, work_hi))])
+        for i in range(n_lib)
+    ]
+    drivers: List[MethodSpec] = []
+    for index in range(0, n_lib, libs_per_driver):
+        slice_calls: List = [Call(m.name)
+                             for m in libs[index:index + libs_per_driver]]
+        body: List = [Work(rng.randint(24, 64))]
+        if inner_loop:
+            body.append(Loop(inner_loop, slice_calls))
+        else:
+            body.extend(slice_calls)
+        drivers.append(MethodSpec(f"{name}_d{index // libs_per_driver}", body))
+    main_body: List = [Call(d.name) for d in drivers]
+    warm = Loop(max(1, outer // 4), main_body)
+    return _program([_main(Loop(outer, main_body), warm)] + drivers + libs)
+
+
+def build_fop(scale: float = 1.0) -> JvmProgram:
+    """Formatter: medium population, straight-line drivers."""
+    return _generated("fop", seed=11, n_lib=36, work_lo=90, work_hi=230,
+                      libs_per_driver=6, outer=max(2, int(10 * scale)))
+
+
+def build_bloat(scale: float = 1.0) -> JvmProgram:
+    """Bytecode optimizer: large population of analysis visitors."""
+    return _generated("bloat", seed=12, n_lib=48, work_lo=70, work_hi=210,
+                      libs_per_driver=8, outer=max(2, int(9 * scale)))
+
+
+def build_luindex(scale: float = 1.0) -> JvmProgram:
+    """Indexer: biggest footprint, looping drivers (per-token work)."""
+    return _generated("luindex", seed=13, n_lib=52, work_lo=80, work_hi=250,
+                      libs_per_driver=13, outer=max(2, int(7 * scale)),
+                      inner_loop=2)
+
+
+def build_lusearch(scale: float = 1.0) -> JvmProgram:
+    """Searcher: scoring loops over a moderate population."""
+    return _generated("lusearch", seed=14, n_lib=40, work_lo=80, work_hi=220,
+                      libs_per_driver=10, outer=max(2, int(9 * scale)),
+                      inner_loop=2)
+
+
+def build_jython(scale: float = 1.0) -> JvmProgram:
+    """Interpreter: tight dispatch loops over small opcode methods —
+    the highest site density — including an alternating two-leaf
+    pattern (opA/opB), footnote 7's resonant loop body."""
+    rng = random.Random(15)
+    ops = [
+        MethodSpec(f"jython_op{i:02d}", [Work(rng.randint(40, 90))])
+        for i in range(30)
+    ]
+    frames: List[MethodSpec] = []
+    for index in range(0, 30, 6):
+        calls: List = [Call(op.name) for op in ops[index:index + 6]]
+        frames.append(MethodSpec(
+            f"jython_f{index // 6}",
+            [Work(30), Loop(2, calls)],
+        ))
+    dispatch = MethodSpec("jython_dispatch", [
+        Work(24),
+        Loop(4, [Call("jython_opA"), Call("jython_opB")]),
+    ])
+    leaves = [
+        MethodSpec("jython_opA", [Work(42)]),
+        MethodSpec("jython_opB", [Work(46)]),
+    ]
+    outer = max(2, int(9 * scale))
+    main_body: List = [Call(f.name) for f in frames] + [Call("jython_dispatch")]
+    warm = Loop(max(1, outer // 4), main_body)
+    return _program(
+        [_main(Loop(outer, main_body), warm), dispatch]
+        + frames + leaves + ops
+    )
+
+
+#: Benchmark builders in the Figure 12 presentation order.
+FIGURE12_BENCHMARKS: Dict[str, Callable[[float], JvmProgram]] = {
+    "bloat": build_bloat,
+    "fop": build_fop,
+    "luindex": build_luindex,
+    "lusearch": build_lusearch,
+    "jython": build_jython,
+}

@@ -1,0 +1,235 @@
+"""The baseline compiler: JVM program AST → instrumented assembly.
+
+Mirrors the methodology of Section 5.2: "we simply configured Jikes to
+instrument method execution frequencies ... we turn Jikes's adaptive
+optimization off, so that all code runs using the baseline compiler
+with instrumentation for the full run."
+
+Per method the compiler emits unoptimized, ABI-faithful code: a
+prologue saving the link register and the two loop-counter registers
+to the stack, the body (busy work, calls, counted loops), and the
+matching epilogue.  A method-invocation-counter instrumentation site
+is attached to the entry block, and the whole method CFG is passed
+through the requested Arnold-Ryder variant before lowering.
+
+Register conventions:
+
+========  =======================================================
+``r3/r4``  busy-work accumulators (caller-clobbered)
+``r5/r6``  loop counters, callee-saved in the prologue
+``r10``    profile-array base (global, set in the runtime preamble)
+``r11``    instrumentation scratch
+``r12/13`` sampling-framework counter scratch/base (cbs only)
+``sp``     stack pointer (r14), ``lr`` link register (r15)
+========  =======================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..instrument.arnold_ryder import SamplingSpec, apply_framework
+from ..instrument.cfg import Block, Cfg, Terminator
+from ..isa.asm import assemble
+from ..isa.program import Program
+from .model import Call, JvmError, JvmProgram, Loop, Marker, MethodSpec, Work
+
+#: Memory layout.  Full-Duplication more than doubles the code image
+#: of the larger benchmarks, so data regions sit well above any code.
+PROFILE_BASE = 0x60000
+COUNTER_ADDR = 0x5F000
+STACK_TOP = 0x7FF00
+
+#: Loop counter registers by nesting depth.
+LOOP_REGS = ("r5", "r6")
+
+#: Busy-work instruction rotation: four independent dependence chains
+#: (r3, r4, r7, r9), giving the instruction-level parallelism typical
+#: of compiled Java bodies so the machine runs near its fetch/commit
+#: bandwidth — the regime in which added framework instructions cost
+#: real cycles, as on the paper's testbed.
+WORK_LINES = (
+    "addi r3, r3, 1",
+    "addi r4, r4, 3",
+    "xori r7, r7, 0x55",
+    "addi r9, r9, -1",
+)
+
+
+def method_label(name: str) -> str:
+    """The call target label of a compiled method."""
+    return f"fn_{name}"
+
+
+class MethodCompiler:
+    """Compiles one method body to a CFG."""
+
+    def __init__(self, method: MethodSpec, method_id: int) -> None:
+        self.method = method
+        self.method_id = method_id
+        self.cfg = Cfg(method.name, entry="entry")
+        self._block_counter = 0
+        self._work_rotation = 0
+
+    def _fresh(self, hint: str) -> str:
+        self._block_counter += 1
+        return f"{hint}{self._block_counter}"
+
+    def _work(self, amount: int) -> List[str]:
+        lines = []
+        for __ in range(amount):
+            lines.append(WORK_LINES[self._work_rotation % len(WORK_LINES)])
+            self._work_rotation += 1
+        return lines
+
+    def compile(self) -> Cfg:
+        entry = Block(
+            "entry",
+            body=[
+                "addi sp, sp, -12",
+                "sw lr, 8(sp)",
+                "sw r5, 4(sp)",
+                "sw r6, 0(sp)",
+            ],
+        )
+        offset = 4 * self.method_id
+        entry.site_id = self.method_id
+        entry.site_lines = [
+            f"lw r11, {offset}(r10)",
+            "addi r11, r11, 1",
+            f"sw r11, {offset}(r10)",
+        ]
+        self.cfg.add(entry)
+        last = self._compile_body(entry, self.method.body, depth=0)
+        exit_block = Block(
+            self._fresh("exit"),
+            body=[
+                "lw r6, 0(sp)",
+                "lw r5, 4(sp)",
+                "lw lr, 8(sp)",
+                "addi sp, sp, 12",
+            ],
+            term=Terminator("ret"),
+        )
+        last.term = Terminator("fall", target=exit_block.name)
+        self.cfg.add(exit_block)
+        self.cfg.validate()
+        return self.cfg
+
+    def _compile_body(self, current: Block, body, depth: int) -> Block:
+        """Append statements after ``current``; returns the open block
+        execution falls out of."""
+        for stmt in body:
+            if isinstance(stmt, Work):
+                current.body.extend(self._work(stmt.amount))
+            elif isinstance(stmt, Marker):
+                current.body.append(f"marker {stmt.marker_id}")
+            elif isinstance(stmt, Call):
+                current.body.append(f"jal {method_label(stmt.callee)}")
+            elif isinstance(stmt, Loop):
+                current = self._compile_loop(current, stmt, depth)
+            else:  # pragma: no cover - exhaustive over Stmt
+                raise JvmError(f"unknown statement {stmt!r}")
+        return current
+
+    def _compile_loop(self, current: Block, loop: Loop, depth: int) -> Block:
+        if depth >= len(LOOP_REGS):
+            raise JvmError("loops nest deeper than the register budget")
+        counter = LOOP_REGS[depth]
+        head_name = self._fresh("head")
+        latch_name = self._fresh("latch")
+        after_name = self._fresh("after")
+        current.body.append(f"li {counter}, {loop.count}")
+        current.term = Terminator("fall", target=head_name)
+        head = Block(head_name)
+        self.cfg.add(head)
+        body_end = self._compile_body(head, loop.body, depth + 1)
+        body_end.term = Terminator("fall", target=latch_name)
+        self.cfg.add(Block(
+            latch_name,
+            body=[f"addi {counter}, {counter}, -1"],
+            term=Terminator("cond", op="bne", ra=counter, rb="r0",
+                            taken=head_name, target=after_name),
+        ))
+        after = Block(after_name)
+        self.cfg.add(after)
+        return after
+
+
+@dataclass
+class CompiledJvm:
+    """A compiled program plus metadata for running experiments."""
+
+    program: Program
+    method_ids: Dict[str, int]
+    variant: str
+    interval: Optional[int]
+
+    def read_profile(self, machine) -> Dict[str, int]:
+        """Per-method sample counts from the profile array."""
+        return {
+            name: machine.memory.load_word(PROFILE_BASE + 4 * method_id)
+            for name, method_id in self.method_ids.items()
+        }
+
+
+def compile_program(
+    jvm: JvmProgram,
+    variant: str = "full",
+    kind: Optional[str] = None,
+    interval: int = 1024,
+    include_payload: bool = True,
+    counter_in_register: bool = False,
+) -> CompiledJvm:
+    """Compile a JVM program under one instrumentation variant.
+
+    ``variant``/``kind`` follow :func:`repro.instrument.arnold_ryder.
+    apply_framework`: ``"none"``, ``"full"``, or ``"no-dup"`` /
+    ``"full-dup"`` with ``kind`` = ``"cbs"`` or ``"brr"``.
+    """
+    spec = None
+    if variant in ("no-dup", "full-dup"):
+        if kind is None:
+            raise JvmError("sampled variants need kind='cbs' or 'brr'")
+        spec = SamplingSpec(kind=kind, interval=interval,
+                            counter_addr=COUNTER_ADDR,
+                            counter_in_register=counter_in_register)
+    method_ids = jvm.method_ids()
+
+    lines: List[str] = [
+        f"li sp, {STACK_TOP}",
+        f"li r10, {PROFILE_BASE}",
+    ]
+    if spec is not None:
+        lines.extend(spec.init_lines())
+    lines.append(f"jal {method_label(jvm.entry)}")
+    lines.append("halt")
+
+    cold_lines: List[str] = []
+    for name, method in jvm.methods.items():
+        cfg = MethodCompiler(method, method_ids[name]).compile()
+        transformed = apply_framework(cfg, variant, spec=spec,
+                                      include_payload=include_payload)
+        hot_order = [n for n in transformed.order
+                     if not transformed.block(n).cold]
+        if not hot_order or hot_order[0] != transformed.entry:
+            raise JvmError(
+                f"transformed method {name} does not start at its entry"
+            )
+        hot, cold = transformed.lower_split()
+        lines.append(f"{method_label(name)}:")
+        lines.extend(hot)
+        cold_lines.extend(cold)
+
+    # Hot/cold code splitting: duplicated bodies and sampled paths go
+    # after all hot code so they do not dilute the I-cache working set
+    # while unsampled.
+    lines.extend(cold_lines)
+    program = assemble("\n".join(lines))
+    return CompiledJvm(
+        program=program,
+        method_ids=method_ids,
+        variant=variant if spec is None else f"{kind}+{variant}",
+        interval=interval if spec is not None else None,
+    )

@@ -1,0 +1,139 @@
+"""Program model for the mini-JVM substrate.
+
+The Figure 12 experiments run "DaCapo benchmarks running on Jikes"
+with the adaptive optimizer off, so every method is baseline-compiled
+with method-execution-frequency instrumentation.  What that requires
+of a substrate is: methods with bodies of varying size, real
+call/return linkage through a stack, loops (whose backedges are where
+Full-Duplication re-checks), and a per-method invocation counter as
+the instrumentation payload.  This module is the AST for such
+programs; :mod:`repro.jvm.compiler` is the baseline compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Union
+
+
+class JvmError(Exception):
+    """Malformed program specification."""
+
+
+@dataclass(frozen=True)
+class Work:
+    """``amount`` dependent ALU instructions of busy work."""
+
+    amount: int
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise JvmError("work amount must be non-negative")
+
+
+@dataclass(frozen=True)
+class Call:
+    """Invoke another method."""
+
+    callee: str
+
+
+@dataclass(frozen=True)
+class Marker:
+    """Emit a simulation marker (Section 5.1 magic instruction)."""
+
+    marker_id: int
+
+
+@dataclass(frozen=True)
+class Loop:
+    """A counted loop; the body may contain further statements.
+
+    Loops may nest at most two deep (the compiler dedicates one saved
+    register per nesting level, like a baseline register allocator
+    with a fixed assignment)."""
+
+    count: int
+    body: Sequence["Stmt"]
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise JvmError("loop count must be >= 1")
+
+
+Stmt = Union[Work, Call, Marker, Loop]
+
+
+@dataclass
+class MethodSpec:
+    """One method: a name and a statement body."""
+
+    name: str
+    body: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class JvmProgram:
+    """A whole program: methods plus the entry method name."""
+
+    methods: Dict[str, MethodSpec]
+    entry: str = "main"
+
+    def __post_init__(self) -> None:
+        if self.entry not in self.methods:
+            raise JvmError(f"entry method {self.entry!r} missing")
+        for method in self.methods.values():
+            self._check_calls(method.body, method.name)
+        self._check_recursion(self.entry, [])
+
+    def _check_recursion(self, name: str, stack: List[str]) -> None:
+        """Reject call cycles: the static invocation accounting (and a
+        fixed stack budget) assume a call tree."""
+        if name in stack:
+            cycle = " -> ".join(stack + [name])
+            raise JvmError(f"recursive call cycle: {cycle}")
+
+        def walk(body: Sequence[Stmt]) -> None:
+            for stmt in body:
+                if isinstance(stmt, Call):
+                    self._check_recursion(stmt.callee, stack + [name])
+                elif isinstance(stmt, Loop):
+                    walk(stmt.body)
+
+        walk(self.methods[name].body)
+
+    def _check_calls(self, body: Sequence[Stmt], where: str,
+                     depth: int = 0) -> None:
+        for stmt in body:
+            if isinstance(stmt, Call) and stmt.callee not in self.methods:
+                raise JvmError(
+                    f"{where} calls unknown method {stmt.callee!r}"
+                )
+            if isinstance(stmt, Loop):
+                if depth >= 2:
+                    raise JvmError(
+                        f"{where}: loops nest deeper than 2 levels"
+                    )
+                self._check_calls(stmt.body, where, depth + 1)
+
+    def method_ids(self) -> Dict[str, int]:
+        """Stable method-id assignment (profile array slots)."""
+        return {name: index for index, name in enumerate(self.methods)}
+
+    def static_invocations(self, iterations_resolved: bool = True) -> Dict[str, int]:
+        """Expected dynamic invocation count per method, computed from
+        the AST (loops multiply, calls add).  Useful for sizing
+        experiments and validating functional runs."""
+        counts = {name: 0 for name in self.methods}
+
+        def walk(body: Sequence[Stmt], multiplier: int) -> None:
+            for stmt in body:
+                if isinstance(stmt, Call):
+                    counts[stmt.callee] += multiplier
+                    walk(self.methods[stmt.callee].body, multiplier)
+                elif isinstance(stmt, Loop):
+                    walk(stmt.body, multiplier * stmt.count)
+
+        counts[self.entry] += 1
+        walk(self.methods[self.entry].body, 1)
+        return counts

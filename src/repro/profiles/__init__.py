@@ -1,0 +1,5 @@
+"""Profile containers and the Section 4.1 overlap-accuracy metric."""
+
+from .profile import Profile, overlap_accuracy
+
+__all__ = ["Profile", "overlap_accuracy"]

@@ -1,0 +1,118 @@
+"""Profiles: per-key sample counts and the overlap accuracy metric.
+
+Section 4.1 measures profile quality as the *overlap percentage*:
+
+    accuracy = sum_i min(f_full(i), f_sampled(i))
+
+where ``f_full(i)`` and ``f_sampled(i)`` are the fraction of all
+collected samples attributed to method ``i`` in the full and sampled
+profiles.  A perfect sampling scores 100%.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Mapping, Optional
+
+
+class Profile:
+    """A multiset of profile samples keyed by method (or edge, etc.)."""
+
+    def __init__(self, counts: Optional[Mapping[Hashable, int]] = None) -> None:
+        self._counts: Counter = Counter()
+        if counts:
+            for key, value in counts.items():
+                if value < 0:
+                    raise ValueError(f"negative count for {key!r}")
+                if value:
+                    self._counts[key] = int(value)
+
+    @classmethod
+    def from_events(cls, events: Iterable[Hashable]) -> "Profile":
+        profile = cls()
+        profile._counts.update(events)
+        return profile
+
+    @classmethod
+    def from_array(cls, counts) -> "Profile":
+        """Build from an indexable of per-key counts (e.g. np.bincount
+        output); keys are the array indices."""
+        return cls({index: int(value) for index, value in enumerate(counts)
+                    if value})
+
+    def add(self, key: Hashable, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        self._counts[key] += count
+
+    def count(self, key: Hashable) -> int:
+        return self._counts.get(key, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._counts.values())
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def keys(self):
+        return self._counts.keys()
+
+    def items(self):
+        return self._counts.items()
+
+    def fraction(self, key: Hashable) -> float:
+        total = self.total
+        return self._counts.get(key, 0) / total if total else 0.0
+
+    def fractions(self) -> Dict[Hashable, float]:
+        total = self.total
+        if not total:
+            return {}
+        return {key: value / total for key, value in self._counts.items()}
+
+    def top(self, n: int):
+        """The ``n`` most frequent keys with their fractions."""
+        total = self.total
+        return [(key, value / total)
+                for key, value in self._counts.most_common(n)]
+
+    def merged(self, other: "Profile") -> "Profile":
+        """A new profile combining both sample sets (multi-run
+        aggregation)."""
+        merged = Profile(self._counts)
+        merged._counts.update(other._counts)
+        return merged
+
+    def to_dict(self):
+        """Plain-dict form for serialisation."""
+        return dict(self._counts)
+
+    @classmethod
+    def from_dict(cls, data) -> "Profile":
+        return cls(data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Profile({len(self)} keys, {self.total} samples)"
+
+
+def overlap_accuracy(full: Profile, sampled: Profile) -> float:
+    """Overlap percentage between a full and a sampled profile (0..100).
+
+    An empty sampled profile scores 0 (nothing was learned); comparing
+    against an empty full profile is an error.
+    """
+    full_total = full.total
+    if full_total == 0:
+        raise ValueError("full profile is empty")
+    if sampled.total == 0:
+        return 0.0
+    sampled_fractions = sampled.fractions()
+    overlap = 0.0
+    for key, count in full.items():
+        f_full = count / full_total
+        overlap += min(f_full, sampled_fractions.get(key, 0.0))
+    return 100.0 * overlap

@@ -1,0 +1,42 @@
+"""Sampling frameworks: counter-based, hardware-counter, branch-on-
+random, convergent profiling and online auditing."""
+
+from .auditing import VersionAuditor, VersionStats
+from .convergent import ConvergentProfiler, SiteState
+from .convergent_isa import ConvergentController, SiteBinding, SiteControl
+from .positions import (
+    brr_decision_array,
+    brr_positions,
+    overlap_from_counts,
+    periodic_positions,
+    profile_counts,
+)
+from .samplers import (
+    BrrSampler,
+    FullSampler,
+    HardwareCounterSampler,
+    Sampler,
+    SoftwareCounterSampler,
+    collect_profile,
+)
+
+__all__ = [
+    "VersionAuditor",
+    "VersionStats",
+    "ConvergentProfiler",
+    "SiteState",
+    "ConvergentController",
+    "SiteBinding",
+    "SiteControl",
+    "brr_decision_array",
+    "brr_positions",
+    "overlap_from_counts",
+    "periodic_positions",
+    "profile_counts",
+    "BrrSampler",
+    "FullSampler",
+    "HardwareCounterSampler",
+    "Sampler",
+    "SoftwareCounterSampler",
+    "collect_profile",
+]

@@ -1,0 +1,103 @@
+"""Online performance auditing via branch-on-random (Section 7).
+
+"Another example is using branch-on-random to efficiently select among
+functionally-equivalent code versions to determine which is fastest."
+A dispatch site normally falls through to the incumbent version; a
+branch-on-random occasionally diverts execution to an audit, running a
+candidate version and recording its cost.  Because the audit check is
+a single brr instruction, the steady-state dispatch overhead is
+negligible — the property the Lau et al. online-auditing system needed
+hardware support for.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.brr import BranchOnRandomUnit, RandomSource
+from ..core.condition import field_for_interval
+
+
+class VersionStats:
+    """Running cost estimate of one code version."""
+
+    __slots__ = ("name", "runs", "total_cost")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.runs = 0
+        self.total_cost = 0.0
+
+    @property
+    def mean_cost(self) -> float:
+        return self.total_cost / self.runs if self.runs else float("inf")
+
+
+class VersionAuditor:
+    """brr-dispatched selection among functionally equivalent versions."""
+
+    def __init__(
+        self,
+        versions: Sequence[str],
+        audit_interval: int = 64,
+        unit: Optional[RandomSource] = None,
+        min_audits: int = 8,
+    ) -> None:
+        if len(versions) < 2:
+            raise ValueError("auditing needs at least two versions")
+        if len(set(versions)) != len(versions):
+            raise ValueError("version names must be unique")
+        self.field = field_for_interval(audit_interval)
+        self.unit: RandomSource = unit if unit is not None else BranchOnRandomUnit()
+        self.stats: Dict[str, VersionStats] = {
+            name: VersionStats(name) for name in versions
+        }
+        self._order: List[str] = list(versions)
+        self._incumbent = versions[0]
+        self._audit_cursor = 0
+        self.min_audits = min_audits
+        self.dispatches = 0
+        self.audits = 0
+
+    @property
+    def incumbent(self) -> str:
+        return self._incumbent
+
+    def choose(self) -> Tuple[str, bool]:
+        """Pick the version to run for this invocation.
+
+        Returns ``(version, audited)``.  Most invocations fall through
+        to the incumbent; with the encoded audit frequency, a candidate
+        (rotating round-robin, incumbent included so its estimate stays
+        fresh) is measured instead.
+        """
+        self.dispatches += 1
+        if self.unit.resolve(self.field):
+            self.audits += 1
+            candidate = self._order[self._audit_cursor % len(self._order)]
+            self._audit_cursor += 1
+            return candidate, True
+        return self._incumbent, False
+
+    def report(self, version: str, cost: float) -> None:
+        """Record the measured cost of an audited run."""
+        try:
+            stats = self.stats[version]
+        except KeyError:
+            raise KeyError(f"unknown version {version!r}") from None
+        stats.runs += 1
+        stats.total_cost += cost
+        self._maybe_switch()
+
+    def _maybe_switch(self) -> None:
+        if any(s.runs < self.min_audits for s in self.stats.values()):
+            return
+        best = min(self.stats.values(), key=lambda s: s.mean_cost)
+        self._incumbent = best.name
+
+    def ranking(self) -> List[Tuple[str, float]]:
+        """Versions ordered fastest-first by estimated mean cost."""
+        return sorted(
+            ((s.name, s.mean_cost) for s in self.stats.values()),
+            key=lambda pair: pair[1],
+        )

@@ -1,0 +1,135 @@
+"""Convergent profiling on top of branch-on-random (Section 7).
+
+"Because each branch-on-random instruction encodes its own frequency,
+it is possible to efficiently implement convergent profiling, by
+modifying the sampling frequency as information is collected.  In
+convergent profiling, a high sampling rate is used initially, but as
+the profile 'converges' the sampling rate can be reduced, as we merely
+need to validate that program behavior continues as we have
+characterized it.  If the low frequency samples appear out of line
+with the characterization, sampling rates can be increased to
+re-characterize the behavior."
+
+:class:`ConvergentProfiler` realises that loop per instrumentation
+site: every site owns a current freq field (the value a JIT would
+patch into the site's brr instruction), escalating the interval as the
+site's observed value distribution stabilises, and dropping back to
+the initial rate when fresh samples drift away from the converged
+characterisation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field as dataclass_field
+from typing import Dict, Hashable, Optional
+
+from ..core.brr import BranchOnRandomUnit, RandomSource
+from ..core.condition import check_field, field_for_interval, interval_of_field
+
+
+@dataclass
+class SiteState:
+    """Adaptive state of one instrumentation site."""
+
+    field: int
+    samples: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+    converged: bool = False
+    converged_mean: float = 0.0
+    converged_std: float = 0.0
+    recharacterizations: int = 0
+    window: deque = dataclass_field(default_factory=lambda: deque(maxlen=16))
+
+    @property
+    def variance(self) -> float:
+        return self.m2 / (self.samples - 1) if self.samples > 1 else 0.0
+
+    def observe(self, value: float) -> None:
+        """Welford update of the running characterisation."""
+        self.samples += 1
+        delta = value - self.mean
+        self.mean += delta / self.samples
+        self.m2 += delta * (value - self.mean)
+        self.window.append(value)
+
+
+class ConvergentProfiler:
+    """Per-site rate adaptation driven by sample stability."""
+
+    def __init__(
+        self,
+        initial_interval: int = 16,
+        max_interval: int = 4096,
+        samples_per_level: int = 32,
+        drift_sigma: float = 4.0,
+        unit: Optional[RandomSource] = None,
+    ) -> None:
+        self.initial_field = field_for_interval(initial_interval)
+        self.max_field = field_for_interval(max_interval)
+        if self.max_field < self.initial_field:
+            raise ValueError("max interval below initial interval")
+        if samples_per_level < 2:
+            raise ValueError("need at least 2 samples per level")
+        self.samples_per_level = samples_per_level
+        self.drift_sigma = drift_sigma
+        self.unit: RandomSource = unit if unit is not None else BranchOnRandomUnit()
+        self.sites: Dict[Hashable, SiteState] = {}
+        self.encounters = 0
+        self.samples = 0
+
+    def _site(self, key: Hashable) -> SiteState:
+        state = self.sites.get(key)
+        if state is None:
+            state = SiteState(field=self.initial_field)
+            self.sites[key] = state
+        return state
+
+    def current_interval(self, key: Hashable) -> int:
+        """The interval currently encoded at a site's brr instruction."""
+        return interval_of_field(self._site(key).field)
+
+    def encounter(self, key: Hashable) -> bool:
+        """One dynamic encounter of the site; True if it samples."""
+        self.encounters += 1
+        state = self._site(key)
+        taken = self.unit.resolve(check_field(state.field))
+        if taken:
+            self.samples += 1
+        return taken
+
+    def record(self, key: Hashable, value: float) -> None:
+        """Feed the instrumented value collected by a taken sample."""
+        state = self._site(key)
+        state.observe(value)
+        if state.converged:
+            self._check_drift(state)
+        elif (state.samples >= self.samples_per_level
+              and state.field < self.max_field):
+            # Behaviour stable so far: halve the sampling rate.
+            state.field += 1
+            state.samples = 0
+            state.mean, state.m2 = 0.0, 0.0
+        elif state.samples >= self.samples_per_level:
+            state.converged = True
+            state.converged_mean = state.mean
+            state.converged_std = max(state.variance ** 0.5, 1e-12)
+
+    def _check_drift(self, state: SiteState) -> None:
+        if len(state.window) < state.window.maxlen:
+            return
+        window_mean = sum(state.window) / len(state.window)
+        # Compare the recent window against the characterisation with a
+        # full per-sample sigma margin: robust to the converged_std
+        # itself being estimated from few samples.
+        if abs(window_mean - state.converged_mean) > self.drift_sigma * max(
+            state.converged_std, 1e-12
+        ):
+            # Out of line with the characterisation: re-characterize.
+            state.field = self.initial_field
+            state.samples = 0
+            state.mean, state.m2 = 0.0, 0.0
+            state.converged = False
+            state.recharacterizations += 1
+            state.window.clear()

@@ -1,0 +1,168 @@
+"""Convergent profiling against a *running program* (Section 7).
+
+:class:`~repro.sampling.convergent.ConvergentProfiler` models the
+adaptation policy at event level; this module closes the loop at the
+ISA level: "because each branch-on-random instruction encodes its own
+frequency", a runtime can re-encode a site's rate by patching the
+4-bit freq field of its ``brr`` instruction in place
+(:meth:`repro.sim.machine.Machine.patch_brr_frequency`).
+
+:class:`ConvergentController` owns a set of *site bindings* — the
+memory address of each site's ``brr`` instruction and of its profile
+counter — and polls the counters as the program runs.  Each site's
+profile share is estimated rate-correctedly (a sample at interval
+``2^(f+1)`` represents that many encounters), so sites sampled at
+different rates remain comparable.  When a site's share stabilises,
+its interval is doubled; when fresh samples disagree with the
+converged share, the site is re-characterised at the initial rate —
+the exact escalate/back-off loop the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from ..core.condition import check_field, interval_of_field
+from ..sim.machine import Machine
+
+
+@dataclass
+class SiteBinding:
+    """Where one instrumentation site lives in the running program."""
+
+    brr_addr: int
+    counter_addr: int
+
+
+@dataclass
+class SiteControl:
+    """Controller state for one site."""
+
+    binding: SiteBinding
+    field: int
+    last_count: int = 0
+    weighted_total: float = 0.0
+    share: Optional[float] = None
+    stable_polls: int = 0
+    converged: bool = False
+    converged_share: float = 0.0
+    recharacterizations: int = 0
+    rate_changes: List[int] = field(default_factory=list)
+
+
+class ConvergentController:
+    """Adaptive per-site rate control by brr freq-field patching."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        bindings: Dict[Hashable, SiteBinding],
+        initial_field: int = 2,
+        max_field: int = 9,
+        stable_polls_to_backoff: int = 3,
+        share_tolerance: float = 0.02,
+        drift_tolerance: float = 0.08,
+    ) -> None:
+        if not bindings:
+            raise ValueError("need at least one site binding")
+        check_field(initial_field)
+        check_field(max_field)
+        if max_field < initial_field:
+            raise ValueError("max field below initial field")
+        self.machine = machine
+        self.initial_field = initial_field
+        self.max_field = max_field
+        self.stable_polls_to_backoff = stable_polls_to_backoff
+        self.share_tolerance = share_tolerance
+        self.drift_tolerance = drift_tolerance
+        self.sites: Dict[Hashable, SiteControl] = {}
+        for key, binding in bindings.items():
+            self.sites[key] = SiteControl(binding=binding,
+                                          field=initial_field)
+            machine.patch_brr_frequency(binding.brr_addr, initial_field)
+        self.polls = 0
+
+    # ------------------------------------------------------------------
+
+    def current_interval(self, key: Hashable) -> int:
+        return interval_of_field(self.sites[key].field)
+
+    def _set_field(self, key: Hashable, new_field: int) -> None:
+        control = self.sites[key]
+        if new_field == control.field:
+            return
+        control.field = new_field
+        control.rate_changes.append(new_field)
+        self.machine.patch_brr_frequency(control.binding.brr_addr, new_field)
+
+    def _read_new_weight(self, control: SiteControl) -> float:
+        """Rate-corrected weight of the samples since the last poll."""
+        count = self.machine.memory.load_word(control.binding.counter_addr)
+        new = count - control.last_count
+        control.last_count = count
+        return new * interval_of_field(control.field)
+
+    def poll(self) -> None:
+        """Inspect the counters and adapt every site's rate."""
+        self.polls += 1
+        controls = self.sites.values()
+        for control in controls:
+            control.weighted_total += self._read_new_weight(control)
+        total = sum(c.weighted_total for c in controls)
+        if total <= 0:
+            return
+        for key, control in self.sites.items():
+            share = control.weighted_total / total
+            previous = control.share
+            control.share = share
+            if previous is None:
+                continue
+            delta = abs(share - previous)
+            if control.converged:
+                if abs(share - control.converged_share) > self.drift_tolerance:
+                    # Out of line with the characterisation.
+                    control.converged = False
+                    control.stable_polls = 0
+                    control.recharacterizations += 1
+                    self._set_field(key, self.initial_field)
+                continue
+            if delta <= self.share_tolerance:
+                control.stable_polls += 1
+                if control.stable_polls >= self.stable_polls_to_backoff:
+                    control.stable_polls = 0
+                    if control.field < self.max_field:
+                        self._set_field(key, control.field + 1)
+                    else:
+                        control.converged = True
+                        control.converged_share = share
+            else:
+                control.stable_polls = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self, steps_per_poll: int, polls: int,
+            max_steps_total: int = 50_000_000) -> int:
+        """Interleave execution and polling; returns steps executed."""
+        executed = 0
+        for __ in range(polls):
+            for __ in range(steps_per_poll):
+                if self.machine.halted or executed >= max_steps_total:
+                    self.poll()
+                    return executed
+                self.machine.step()
+                executed += 1
+            self.poll()
+        return executed
+
+    def summary(self) -> Dict[Hashable, Dict[str, float]]:
+        return {
+            key: {
+                "interval": interval_of_field(control.field),
+                "share": control.share if control.share is not None else 0.0,
+                "samples": control.last_count,
+                "converged": control.converged,
+                "recharacterizations": control.recharacterizations,
+            }
+            for key, control in self.sites.items()
+        }

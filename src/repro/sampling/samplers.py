@@ -1,0 +1,144 @@
+"""Event-level models of the sampling frameworks compared in Section 4.
+
+Each sampler answers, per dynamically encountered instrumentation
+site, "is a sample collected here?":
+
+* :class:`SoftwareCounterSampler` — the Arnold-Ryder global software
+  counter of Figure 1 (check for zero, profile + reset on zero,
+  decrement);
+* :class:`HardwareCounterSampler` — the paper's "hw count" baseline: a
+  deterministic take-every-Nth triggered through the brr interface;
+* :class:`BrrSampler` — branch-on-random: an LFSR-driven pseudo-random
+  decision at the encoded frequency;
+* :class:`FullSampler` — samples everything (the reference profile).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Optional
+
+from ..core.brr import BranchOnRandomUnit, RandomSource
+from ..core.condition import field_for_interval, interval_of_field
+from ..profiles import Profile
+
+
+class Sampler:
+    """Per-site sampling decision source."""
+
+    def should_sample(self) -> bool:
+        raise NotImplementedError
+
+    @property
+    def expected_rate(self) -> float:
+        """Long-run fraction of sites sampled."""
+        raise NotImplementedError
+
+
+class FullSampler(Sampler):
+    """Samples every site (full instrumentation, no sampling)."""
+
+    def should_sample(self) -> bool:
+        return True
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0
+
+
+class SoftwareCounterSampler(Sampler):
+    """Figure 1: ``if count == 0: do_profile(); count = reset`` then
+    ``count -= 1``.
+
+    With ``reset = interval`` a sample is collected exactly once every
+    ``interval`` encounters.  ``phase`` sets the initial counter value
+    (the Arnold-Ryder framework starts it at the sampling interval).
+    """
+
+    def __init__(self, interval: int, phase: Optional[int] = None) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.reset = interval
+        if phase is None:
+            phase = interval - 1
+        if phase < 0:
+            raise ValueError("phase must be non-negative")
+        self.count = phase % interval
+        self.samples = 0
+        self.encounters = 0
+
+    def should_sample(self) -> bool:
+        self.encounters += 1
+        sampled = self.count == 0
+        if sampled:
+            self.samples += 1
+            self.count = self.reset
+        self.count -= 1
+        return sampled
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0 / self.interval
+
+
+class HardwareCounterSampler(Sampler):
+    """Deterministic take-every-Nth through the brr interface."""
+
+    def __init__(self, interval: int, phase: int = 0) -> None:
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self._count = (interval - 1 - phase) % interval
+        self.samples = 0
+        self.encounters = 0
+
+    def should_sample(self) -> bool:
+        self.encounters += 1
+        sampled = self._count == 0
+        self._count = self.interval - 1 if sampled else self._count - 1
+        if sampled:
+            self.samples += 1
+        return sampled
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0 / self.interval
+
+
+class BrrSampler(Sampler):
+    """Branch-on-random sampling at an encoded frequency field."""
+
+    def __init__(
+        self,
+        interval: Optional[int] = None,
+        field: Optional[int] = None,
+        unit: Optional[RandomSource] = None,
+    ) -> None:
+        if (interval is None) == (field is None):
+            raise ValueError("specify exactly one of interval or field")
+        self.field = field_for_interval(interval) if interval is not None else field
+        self.unit: RandomSource = unit if unit is not None else BranchOnRandomUnit()
+        self.samples = 0
+        self.encounters = 0
+
+    def should_sample(self) -> bool:
+        self.encounters += 1
+        sampled = self.unit.resolve(self.field)
+        if sampled:
+            self.samples += 1
+        return sampled
+
+    @property
+    def expected_rate(self) -> float:
+        return 1.0 / interval_of_field(self.field)
+
+
+def collect_profile(events: Iterable[Hashable], sampler: Sampler) -> Profile:
+    """One pass over an event stream, recording the sampled subset."""
+    profile = Profile()
+    add = profile.add
+    should = sampler.should_sample
+    for event in events:
+        if should():
+            add(event)
+    return profile

@@ -1,0 +1,20 @@
+"""Functional simulation: memory, the architectural machine, traces,
+and the SIGILL-style branch-on-random trap emulation."""
+
+from .machine import Halted, Machine, MachineError
+from .memory import Memory, MemoryError_
+from .trace import TraceRecord
+from .threads import ContextScheduler, ThreadContext
+from .trap import BrrTrapEmulator
+
+__all__ = [
+    "Halted",
+    "Machine",
+    "MachineError",
+    "Memory",
+    "MemoryError_",
+    "TraceRecord",
+    "ContextScheduler",
+    "ThreadContext",
+    "BrrTrapEmulator",
+]

@@ -1,0 +1,273 @@
+"""The functional (architectural) simulator.
+
+Executes assembled programs at instruction granularity, maintaining
+the 16 general registers, the PC and a flat memory.  Branch-on-random
+instructions are resolved by a pluggable
+:class:`~repro.core.brr.RandomSource` (the LFSR unit, the
+deterministic hardware-counter variant, or — in trap mode — a software
+handler registered for the invalid opcode, reproducing the paper's
+SIGILL emulation).
+
+``marker`` instructions (the Simics magic-instruction analogue from
+Section 5.1) increment per-id counters and fire callbacks, which the
+experiment harness uses to delimit warm-up and measurement windows.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..core.brr import RandomSource
+from ..isa.instructions import (
+    LINK_REG,
+    WORD,
+    Instruction,
+    InvalidOpcodeError,
+    Op,
+    decode,
+)
+from ..isa.program import Program
+from .memory import Memory
+from .trace import TraceRecord
+
+_MASK = 0xFFFFFFFF
+
+
+def _signed(value: int) -> int:
+    return value - 0x100000000 if value & 0x80000000 else value
+
+
+class MachineError(Exception):
+    """Unrecoverable execution failure (e.g. unhandled trap)."""
+
+
+class Halted(Exception):
+    """Raised when stepping a machine that has already halted."""
+
+
+#: Signature of an invalid-opcode trap handler: receives the machine,
+#: the faulting word and its PC, and returns the next PC.
+TrapHandler = Callable[["Machine", int, int], int]
+
+#: Signature of a marker callback.
+MarkerCallback = Callable[["Machine", int, int], None]
+
+
+class Machine:
+    """Architectural state plus an interpreter loop."""
+
+    def __init__(
+        self,
+        program: Program,
+        memory: Optional[Memory] = None,
+        memory_size: int = 1 << 20,
+        brr_unit: Optional[RandomSource] = None,
+        entry: Optional[str] = None,
+    ) -> None:
+        self.program = program
+        self.memory = memory if memory is not None else Memory(memory_size)
+        self.memory.load_program(program)
+        self.regs: List[int] = [0] * 16
+        self.pc = program.address_of(entry) if entry else program.base
+        self.halted = False
+        self.brr_unit = brr_unit
+        #: Retired instruction count (trapped brr counts as one).
+        self.instret = 0
+        self.marker_counts: Dict[int, int] = {}
+        self.marker_callbacks: List[MarkerCallback] = []
+        self.trap_handlers: Dict[int, TrapHandler] = {}
+        self._decode_cache: Dict[int, Instruction] = {}
+
+    # ------------------------------------------------------------------
+
+    def register_trap_handler(self, opcode: int, handler: TrapHandler) -> None:
+        """Install a handler for an un-architected opcode value."""
+        if not 0 <= opcode < 64:
+            raise ValueError(f"opcode value out of range: {opcode}")
+        self.trap_handlers[opcode] = handler
+
+    def on_marker(self, callback: MarkerCallback) -> None:
+        self.marker_callbacks.append(callback)
+
+    def _decode(self, pc: int) -> Instruction:
+        cached = self._decode_cache.get(pc)
+        if cached is None:
+            cached = decode(self.memory.load_word(pc), pc=pc)
+            self._decode_cache[pc] = cached
+        return cached
+
+    def invalidate_decode(self, addr: int) -> None:
+        """Drop a cached decode after code has been patched in memory."""
+        self._decode_cache.pop(addr, None)
+
+    def patch_brr_frequency(self, addr: int, field: int) -> None:
+        """Rewrite the freq field of an in-memory ``brr`` instruction.
+
+        This is the code-patching step of convergent profiling
+        (Section 7): "it is possible to efficiently implement
+        convergent profiling, by modifying the sampling frequency as
+        information is collected" — the runtime patches the 4-bit freq
+        field of the site's brr instruction in place.
+        """
+        if not 0 <= field < 16:
+            raise ValueError(f"freq field out of range: {field}")
+        word = self.memory.load_word(addr)
+        instr = decode(word, pc=addr)
+        if instr.op is not Op.BRR:
+            raise MachineError(
+                f"instruction at {addr:#x} is {instr.op.name}, not BRR"
+            )
+        self.memory.store_word(addr, (word & ~(0xF << 22)) | (field << 22))
+        self.invalidate_decode(addr)
+
+    # ------------------------------------------------------------------
+
+    def step(self) -> TraceRecord:
+        """Execute one instruction; return its trace record."""
+        if self.halted:
+            raise Halted("machine has halted")
+        pc = self.pc
+        try:
+            instr = self._decode(pc)
+        except InvalidOpcodeError as exc:
+            handler = self.trap_handlers.get((exc.word >> 26) & 0x3F)
+            if handler is None:
+                raise MachineError(
+                    f"unhandled invalid opcode at pc={pc:#x}"
+                ) from exc
+            next_pc = handler(self, exc.word, pc)
+            self.pc = next_pc
+            self.instret += 1
+            return TraceRecord(pc, None, next_pc, taken=next_pc != pc + 2 * WORD)
+        regs = self.regs
+        op = instr.op
+        taken = False
+        mem_addr: Optional[int] = None
+        next_pc = pc + WORD
+
+        if op is Op.ADD:
+            regs[instr.rd] = (regs[instr.ra] + regs[instr.rb]) & _MASK
+        elif op is Op.ADDI:
+            regs[instr.rd] = (regs[instr.ra] + instr.imm) & _MASK
+        elif op is Op.SUB:
+            regs[instr.rd] = (regs[instr.ra] - regs[instr.rb]) & _MASK
+        elif op is Op.AND:
+            regs[instr.rd] = regs[instr.ra] & regs[instr.rb]
+        elif op is Op.OR:
+            regs[instr.rd] = regs[instr.ra] | regs[instr.rb]
+        elif op is Op.XOR:
+            regs[instr.rd] = regs[instr.ra] ^ regs[instr.rb]
+        elif op is Op.SHL:
+            regs[instr.rd] = (regs[instr.ra] << (regs[instr.rb] & 31)) & _MASK
+        elif op is Op.SHR:
+            regs[instr.rd] = regs[instr.ra] >> (regs[instr.rb] & 31)
+        elif op is Op.MUL:
+            regs[instr.rd] = (regs[instr.ra] * regs[instr.rb]) & _MASK
+        elif op is Op.SLT:
+            regs[instr.rd] = int(_signed(regs[instr.ra]) < _signed(regs[instr.rb]))
+        elif op is Op.ANDI:
+            regs[instr.rd] = regs[instr.ra] & (instr.imm & _MASK)
+        elif op is Op.ORI:
+            regs[instr.rd] = regs[instr.ra] | (instr.imm & _MASK)
+        elif op is Op.XORI:
+            regs[instr.rd] = regs[instr.ra] ^ (instr.imm & _MASK)
+        elif op is Op.SHLI:
+            regs[instr.rd] = (regs[instr.ra] << (instr.imm & 31)) & _MASK
+        elif op is Op.SHRI:
+            regs[instr.rd] = regs[instr.ra] >> (instr.imm & 31)
+        elif op is Op.SLTI:
+            regs[instr.rd] = int(_signed(regs[instr.ra]) < instr.imm)
+        elif op is Op.LI:
+            regs[instr.rd] = instr.imm & _MASK
+        elif op is Op.LW:
+            mem_addr = (regs[instr.ra] + instr.imm) & _MASK
+            regs[instr.rd] = self.memory.load_word(mem_addr)
+        elif op is Op.LB:
+            mem_addr = (regs[instr.ra] + instr.imm) & _MASK
+            regs[instr.rd] = self.memory.load_byte(mem_addr)
+        elif op is Op.SW:
+            mem_addr = (regs[instr.ra] + instr.imm) & _MASK
+            self.memory.store_word(mem_addr, regs[instr.rd])
+        elif op is Op.SB:
+            mem_addr = (regs[instr.ra] + instr.imm) & _MASK
+            self.memory.store_byte(mem_addr, regs[instr.rd])
+        elif op is Op.BEQ:
+            taken = regs[instr.ra] == regs[instr.rb]
+        elif op is Op.BNE:
+            taken = regs[instr.ra] != regs[instr.rb]
+        elif op is Op.BLT:
+            taken = _signed(regs[instr.ra]) < _signed(regs[instr.rb])
+        elif op is Op.BGE:
+            taken = _signed(regs[instr.ra]) >= _signed(regs[instr.rb])
+        elif op is Op.JMP:
+            taken = True
+        elif op is Op.JAL:
+            regs[LINK_REG] = (pc + WORD) & _MASK
+            taken = True
+        elif op is Op.JR:
+            taken = True
+            next_pc = regs[instr.ra]
+        elif op is Op.BRR:
+            if self.brr_unit is None:
+                raise MachineError(
+                    f"brr at pc={pc:#x} but no branch-on-random unit configured"
+                )
+            taken = self.brr_unit.resolve(instr.freq)
+        elif op is Op.BRRA:
+            taken = True
+        elif op is Op.MARKER:
+            count = self.marker_counts.get(instr.imm, 0) + 1
+            self.marker_counts[instr.imm] = count
+            for callback in self.marker_callbacks:
+                callback(self, instr.imm, count)
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            self.halted = True
+            next_pc = pc
+        else:  # pragma: no cover - every opcode is handled above
+            raise MachineError(f"unimplemented opcode {op.name}")
+
+        if taken and op is not Op.JR:
+            next_pc = pc + WORD + instr.imm * WORD
+        self.pc = next_pc
+        self.instret += 1
+        return TraceRecord(pc, instr, next_pc, taken, mem_addr)
+
+    # ------------------------------------------------------------------
+
+    def run(self, max_steps: int = 10_000_000) -> int:
+        """Run until halt (or the step limit); return steps executed."""
+        steps = 0
+        while not self.halted and steps < max_steps:
+            self.step()
+            steps += 1
+        if not self.halted and steps >= max_steps:
+            raise MachineError(f"did not halt within {max_steps} steps")
+        return steps
+
+    def run_trace(self, max_steps: int = 10_000_000) -> Iterator[TraceRecord]:
+        """Yield trace records until halt (or the step limit)."""
+        steps = 0
+        while not self.halted and steps < max_steps:
+            yield self.step()
+            steps += 1
+
+    def run_until_marker(
+        self, marker_id: int, count: int = 1, max_steps: int = 10_000_000
+    ) -> int:
+        """Run until marker ``marker_id`` has fired ``count`` times in
+        total; return steps executed.  Used to fast-forward to the
+        measurement window (Section 5.1)."""
+        steps = 0
+        while not self.halted and steps < max_steps:
+            if self.marker_counts.get(marker_id, 0) >= count:
+                return steps
+            self.step()
+            steps += 1
+        if self.marker_counts.get(marker_id, 0) >= count:
+            return steps
+        raise MachineError(
+            f"marker {marker_id} did not reach count {count} within "
+            f"{max_steps} steps"
+        )

@@ -1,0 +1,111 @@
+"""Thread contexts and the Section 3.4 LFSR save/restore.
+
+"Deterministic branch-on-random behavior for applications ... the LFSR
+state must be readable and writable by software, so that it can be
+initialized by the application to a known value and saved/restored on
+context switches."
+
+:class:`ThreadContext` captures one software thread's architectural
+state *including its LFSR value*; :class:`ContextScheduler` multiplexes
+threads over one :class:`~repro.sim.machine.Machine`, performing the
+full save/restore at each switch.  With the LFSR included in the
+context, each thread observes its own deterministic branch-on-random
+sequence regardless of interleaving — the property the paper needs for
+reproducible application testing.  (Setting ``switch_lfsr=False``
+models hardware without software-visible LFSR state: threads then
+perturb each other's sequences.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.brr import BranchOnRandomUnit
+from .machine import Machine
+
+
+@dataclass
+class ThreadContext:
+    """Saved architectural state of one software thread."""
+
+    name: str
+    pc: int
+    regs: List[int] = field(default_factory=lambda: [0] * 16)
+    lfsr_state: Optional[int] = None
+    finished: bool = False
+    steps: int = 0
+
+
+class ContextScheduler:
+    """Round-robin software threads on a single machine.
+
+    Threads are independent code regions of the same program image
+    (each with its own entry label and, by convention, disjoint
+    register/stack usage is the threads' own responsibility — exactly
+    like an OS).  The scheduler performs the context switch: registers,
+    PC and — when ``switch_lfsr`` — the branch-on-random LFSR, via the
+    unit's scan-chain access.
+    """
+
+    def __init__(self, machine: Machine, switch_lfsr: bool = True) -> None:
+        if machine.brr_unit is not None and not isinstance(
+                machine.brr_unit, BranchOnRandomUnit):
+            raise TypeError(
+                "context switching needs a BranchOnRandomUnit (or none)"
+            )
+        self.machine = machine
+        self.switch_lfsr = switch_lfsr and machine.brr_unit is not None
+        self.threads: List[ThreadContext] = []
+        self.switches = 0
+
+    def add_thread(self, name: str, entry_label: str,
+                   lfsr_seed: Optional[int] = None) -> ThreadContext:
+        """Register a thread starting at ``entry_label``."""
+        context = ThreadContext(
+            name=name,
+            pc=self.machine.program.address_of(entry_label),
+            lfsr_state=lfsr_seed,
+        )
+        self.threads.append(context)
+        return context
+
+    def _switch_in(self, context: ThreadContext) -> None:
+        machine = self.machine
+        machine.regs[:] = context.regs
+        machine.pc = context.pc
+        machine.halted = False
+        if self.switch_lfsr and context.lfsr_state is not None:
+            machine.brr_unit.restore_context(context.lfsr_state)
+
+    def _switch_out(self, context: ThreadContext) -> None:
+        machine = self.machine
+        context.regs = list(machine.regs)
+        context.pc = machine.pc
+        if self.switch_lfsr and machine.brr_unit is not None:
+            context.lfsr_state = machine.brr_unit.save_context()
+
+    def run(self, quantum: int = 100, max_rounds: int = 10_000) -> int:
+        """Round-robin until every thread halts; returns total steps.
+
+        Each thread runs ``quantum`` instructions (or to its halt) per
+        turn; a thread's halt finishes that thread only.
+        """
+        total = 0
+        for __ in range(max_rounds):
+            live = [t for t in self.threads if not t.finished]
+            if not live:
+                return total
+            for context in live:
+                self._switch_in(context)
+                self.switches += 1
+                executed = 0
+                while executed < quantum and not self.machine.halted:
+                    self.machine.step()
+                    executed += 1
+                context.steps += executed
+                total += executed
+                if self.machine.halted:
+                    context.finished = True
+                self._switch_out(context)
+        raise RuntimeError(f"threads did not finish within {max_rounds} rounds")

@@ -1,0 +1,44 @@
+"""Dynamic-instruction trace records consumed by the timing model."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..isa.instructions import Instruction
+
+
+class TraceRecord:
+    """One retired instruction.
+
+    Attributes
+    ----------
+    pc:
+        Byte address of the instruction.
+    instr:
+        The decoded instruction (classification and register fields).
+    next_pc:
+        Byte address of the *architecturally* next instruction — the
+        branch target for taken control flow.
+    taken:
+        For control-flow instructions, whether the transfer happened.
+    mem_addr:
+        Effective address for loads/stores, else ``None``.
+    """
+
+    __slots__ = ("pc", "instr", "next_pc", "taken", "mem_addr")
+
+    def __init__(self, pc: int, instr: Instruction, next_pc: int,
+                 taken: bool = False, mem_addr: Optional[int] = None) -> None:
+        self.pc = pc
+        self.instr = instr
+        self.next_pc = next_pc
+        self.taken = taken
+        self.mem_addr = mem_addr
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        extra = ""
+        if self.instr.is_branch:
+            extra = f" taken={self.taken}"
+        if self.mem_addr is not None:
+            extra += f" mem={self.mem_addr:#x}"
+        return f"<TraceRecord pc={self.pc:#x} {self.instr.op.name}{extra}>"

@@ -1,0 +1,58 @@
+"""Software emulation of branch-on-random via invalid-opcode traps.
+
+Section 4.1 of the paper: "we had Jikes emit an invalid opcode for the
+branch-on-random followed by 4 bytes for a branch offset.  We
+registered a signal handler for SIGILL ... When our invalid opcode is
+encountered, the O/S calls our signal handler which functionally
+emulates a branch-on-random by simulating an LFSR in software; based
+on the LFSR state, the signal handler either updates the PC to the
+fall-through instruction or adds the branch offset to the PC."
+
+:class:`BrrTrapEmulator` is that signal handler.  The assembler's
+``brr_mode="trap"`` emits the matching two-word encoding (see
+:data:`repro.isa.asm.TRAP_BRR_OPCODE`), and the LFSR lives in the
+emulator object — the analogue of the thread-local storage the paper
+stores it in.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.brr import BranchOnRandomUnit, RandomSource
+from ..isa.asm import TRAP_BRR_OPCODE
+from ..isa.instructions import WORD
+from .machine import Machine
+
+
+class BrrTrapEmulator:
+    """Invalid-opcode handler that emulates ``brr`` in software."""
+
+    def __init__(self, unit: Optional[RandomSource] = None) -> None:
+        #: The software LFSR state ("stored in thread-local storage").
+        self.unit: RandomSource = unit if unit is not None else BranchOnRandomUnit()
+        #: Number of traps serviced.
+        self.traps = 0
+        #: Number of emulated branches that were taken.
+        self.taken = 0
+
+    def install(self, machine: Machine) -> None:
+        """Register this emulator on a machine's trap table."""
+        machine.register_trap_handler(TRAP_BRR_OPCODE, self.handle)
+
+    def handle(self, machine: Machine, word: int, pc: int) -> int:
+        """Service one trap; return the next PC.
+
+        The emulated instruction occupies two words: the invalid
+        opcode (with the freq field in bits 25:22) and a signed 32-bit
+        byte offset applied when the branch is taken.
+        """
+        freq = (word >> 22) & 0xF
+        raw_offset = machine.memory.load_word(pc + WORD)
+        offset = raw_offset - 0x100000000 if raw_offset & 0x80000000 else raw_offset
+        fall_through = pc + 2 * WORD
+        self.traps += 1
+        if self.unit.resolve(freq):
+            self.taken += 1
+            return fall_through + offset
+        return fall_through

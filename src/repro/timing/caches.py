@@ -1,0 +1,114 @@
+"""Set-associative LRU caches and the two-level hierarchy of §5.1."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement.
+
+    ``access(addr)`` returns the total latency of the access,
+    recursing into ``next_level`` on a miss.  The model is blocking
+    (no MSHRs): the instruction that misses pays the full latency.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size: int,
+        assoc: int,
+        line_bytes: int,
+        latency: int,
+        next_level: Optional["Cache"] = None,
+        miss_latency: int = 0,
+    ) -> None:
+        if size % (assoc * line_bytes):
+            raise ValueError(
+                f"{name}: size {size} not divisible by assoc*line "
+                f"({assoc}*{line_bytes})"
+            )
+        self.name = name
+        self.size = size
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.latency = latency
+        self.next_level = next_level
+        #: Latency of the backing store when there is no next level.
+        self.miss_latency = miss_latency
+        self.num_sets = size // (assoc * line_bytes)
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"{name}: set count {self.num_sets} not a power of two")
+        self._sets: List[OrderedDict] = [OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def _locate(self, addr: int):
+        line = addr // self.line_bytes
+        return self._sets[line % self.num_sets], line
+
+    def access(self, addr: int) -> int:
+        """Access ``addr``; returns latency in cycles and updates LRU."""
+        cache_set, line = self._locate(addr)
+        if line in cache_set:
+            cache_set.move_to_end(line)
+            self.hits += 1
+            return self.latency
+        self.misses += 1
+        if self.next_level is not None:
+            fill_latency = self.next_level.access(addr)
+        else:
+            fill_latency = self.miss_latency
+        cache_set[line] = True
+        if len(cache_set) > self.assoc:
+            cache_set.popitem(last=False)
+        return self.latency + fill_latency
+
+    def contains(self, addr: int) -> bool:
+        cache_set, line = self._locate(addr)
+        return line in cache_set
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 1.0
+
+
+class Hierarchy:
+    """Split L1I/L1D over a shared L2 over memory (Section 5.1)."""
+
+    def __init__(self, config) -> None:
+        self.l2 = Cache(
+            "L2", config.l2_size, config.l2_assoc, config.line_bytes,
+            latency=config.l2_latency, miss_latency=config.memory_latency,
+        )
+        self.l1i = Cache(
+            "L1I", config.l1i_size, config.l1i_assoc, config.line_bytes,
+            latency=config.l1_latency, next_level=self.l2,
+        )
+        self.l1d = Cache(
+            "L1D", config.l1d_size, config.l1d_assoc, config.line_bytes,
+            latency=config.l1_latency, next_level=self.l2,
+        )
+
+    def fetch(self, addr: int) -> int:
+        """Instruction fetch access; returns latency."""
+        return self.l1i.access(addr)
+
+    def data(self, addr: int) -> int:
+        """Data access; returns latency."""
+        return self.l1d.access(addr)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "l1i_hit_rate": self.l1i.hit_rate,
+            "l1d_hit_rate": self.l1d.hit_rate,
+            "l2_hit_rate": self.l2.hit_rate,
+            "l1i_misses": self.l1i.misses,
+            "l1d_misses": self.l1d.misses,
+            "l2_misses": self.l2.misses,
+        }

@@ -1,0 +1,91 @@
+"""Timing-model configuration, defaulting to the paper's Section 5.1.
+
+"We configured our simulator to be a 4-wide (decode, execute, retire)
+out-of-order processor with a 80-entry reorder-buffer.  The front end
+can fetch up to three x86 instruction per cycle, but stops fetch at a
+predicted taken branch.  Its branch predictor is a tournament
+predictor with a 16-bit gshare and a 64k-entry bimodal predictor, and
+it includes a 32-entry RAS and a 1024-entry branch target buffer
+(BTB).  The minimum (back-end) misprediction penalty is 11 cycles.
+The L1 caches are 32KB, 4-way set-associative with 64-byte blocks.
+The shared L2 cache is 1MB, 8-way set-associative and responds in 8
+cycles, and memory responds in 140 cycles. ... Branch-on-random
+instructions are resolved in the decode stage, the 5th stage of the
+pipeline."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class TimingConfig:
+    """All knobs of the cycle-level model."""
+
+    # Widths.
+    fetch_width: int = 3
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+
+    # Buffering.
+    rob_entries: int = 80
+    phys_regs: int = 128
+
+    # Pipeline depth: decode is the 5th stage, so an instruction
+    # fetched in cycle c decodes no earlier than c + frontend_depth.
+    frontend_depth: int = 4
+
+    # Minimum back-end misprediction penalty in cycles.
+    backend_penalty: int = 11
+
+    # Branch predictor.
+    gshare_history_bits: int = 16
+    bimodal_entries: int = 1 << 16  # "64k-entry bimodal"
+    chooser_entries: int = 1 << 12
+    btb_entries: int = 1024
+    ras_entries: int = 32
+
+    # Caches: (size bytes, associativity).
+    line_bytes: int = 64
+    l1i_size: int = 32 << 10
+    l1i_assoc: int = 4
+    l1d_size: int = 32 << 10
+    l1d_assoc: int = 4
+    l2_size: int = 1 << 20
+    l2_assoc: int = 8
+    l1_latency: int = 1
+    l2_latency: int = 8
+    memory_latency: int = 140
+
+    # Branch-on-random microarchitecture (Section 3.3 rules).  The
+    # flags exist so ablation benchmarks can turn each rule off:
+    # resolving brr in the back end and/or letting it pollute the
+    # predictor recreates the behaviour of an ordinary conditional
+    # branch.
+    brr_resolve_at_decode: bool = True
+    brr_uses_predictor: bool = False
+    brr_commits_at_decode: bool = True
+    #: Footnote 3's alternative to per-decoder LFSR replication: a
+    #: single LFSR with a program-order priority encoder.  At most one
+    #: brr can then resolve per decode cycle; a fetch packet holding
+    #: more is split, the extras decoding the following cycle.
+    brr_shared_lfsr: bool = False
+
+    def with_overrides(self, **kwargs) -> "TimingConfig":
+        """A copy with selected fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: The exact Section 5.1 machine.
+PAPER_CONFIG = TimingConfig()
+
+#: A deliberately naive variant in which brr behaves like an ordinary
+#: conditional branch — used by the ablation benchmarks to show how
+#: much each Section 3.3 design rule buys.
+NAIVE_BRR_CONFIG = PAPER_CONFIG.with_overrides(
+    brr_resolve_at_decode=False,
+    brr_uses_predictor=True,
+    brr_commits_at_decode=False,
+)

@@ -1,0 +1,149 @@
+"""Timing-first co-simulation (Section 5.1 methodology).
+
+"This simulator uses the timing-first approach, where the timing
+simulator runs ahead and uses a 'golden' functional model (Simics) to
+verify the results produced by instructions as they commit. ... In
+timing simulation mode, the timing simulator (as the leading
+simulator) is responsible for functionally simulating the
+branch-on-random and communicating its computed outcome to Simics so
+that both simulators compute the same outcome."
+
+:class:`CoSimulator` reproduces that arrangement with two functional
+machines: the *leading* machine drives the timing model and owns the
+branch-on-random unit; the *golden* machine re-executes every retired
+instruction and is checked against the leader's architectural state.
+Branch-on-random outcomes are forwarded from the leader through a
+replay queue (:class:`ReplayUnit`) so the golden model takes exactly
+the same branches without owning an LFSR — precisely the
+communication channel the paper describes.
+
+A divergence raises :class:`CosimDivergence`, which is how a
+not-quite-correct timing simulator is caught without having to be
+"100% functionally-correct" itself.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from ..core.brr import RandomSource
+from ..isa.program import Program
+from ..sim.machine import Machine
+from .config import TimingConfig
+from .pipeline import TimingSimulator, TimingStats
+
+
+class CosimDivergence(Exception):
+    """Leading and golden simulators disagree."""
+
+    def __init__(self, pc: int, field: str, leading, golden) -> None:
+        self.pc = pc
+        self.field = field
+        self.leading = leading
+        self.golden = golden
+        super().__init__(
+            f"divergence at pc={pc:#x}: {field} leading={leading!r} "
+            f"golden={golden!r}"
+        )
+
+
+class ReplayUnit(RandomSource):
+    """The leader→golden outcome channel for branch-on-random.
+
+    The leading simulator pushes each resolved outcome; the golden
+    machine pops them in program order.  Architecturally legitimate
+    because brr promises no particular sequence — only that both
+    simulators agree, which is exactly what the channel enforces.
+    """
+
+    def __init__(self) -> None:
+        self._outcomes: Deque[bool] = deque()
+
+    def push(self, outcome: bool) -> None:
+        self._outcomes.append(outcome)
+
+    def resolve(self, field: int) -> bool:
+        if not self._outcomes:
+            raise CosimDivergence(0, "brr outcome queue", "empty", "pop")
+        return self._outcomes.popleft()
+
+    def __len__(self) -> int:
+        return len(self._outcomes)
+
+
+class _RecordingUnit(RandomSource):
+    """Wraps the leader's real unit, copying outcomes to the replay
+    channel."""
+
+    def __init__(self, inner: RandomSource, channel: ReplayUnit) -> None:
+        self.inner = inner
+        self.channel = channel
+
+    def resolve(self, field: int) -> bool:
+        outcome = self.inner.resolve(field)
+        self.channel.push(outcome)
+        return outcome
+
+
+class CoSimulator:
+    """Run the timing model with per-instruction golden verification."""
+
+    def __init__(
+        self,
+        program: Program,
+        brr_unit: Optional[RandomSource] = None,
+        config: Optional[TimingConfig] = None,
+        memory_size: int = 1 << 20,
+        check_registers: bool = True,
+    ) -> None:
+        self.channel = ReplayUnit()
+        leading_unit = (_RecordingUnit(brr_unit, self.channel)
+                        if brr_unit is not None else None)
+        self.leading = Machine(program, memory_size=memory_size,
+                               brr_unit=leading_unit)
+        self.golden = Machine(program, memory_size=memory_size,
+                              brr_unit=self.channel)
+        self.timing = TimingSimulator(config)
+        self.check_registers = check_registers
+        #: Instructions verified so far.
+        self.verified = 0
+
+    def setup(self, initialise) -> None:
+        """Apply identical memory setup to both machines."""
+        initialise(self.leading)
+        initialise(self.golden)
+
+    def step(self) -> None:
+        """Advance one instruction through timing + verification."""
+        record = self.leading.step()
+        self.timing.step(record)
+        golden_record = self.golden.step()
+        # Verify the retired instruction: control flow first (where a
+        # broken timing/functional model diverges soonest), then the
+        # architectural register file.
+        if golden_record.pc != record.pc:
+            raise CosimDivergence(record.pc, "pc", record.pc,
+                                  golden_record.pc)
+        if golden_record.next_pc != record.next_pc:
+            raise CosimDivergence(record.pc, "next_pc", record.next_pc,
+                                  golden_record.next_pc)
+        if self.check_registers and self.leading.regs != self.golden.regs:
+            for index, (lead, gold) in enumerate(
+                    zip(self.leading.regs, self.golden.regs)):
+                if lead != gold:
+                    raise CosimDivergence(record.pc, f"r{index}", lead, gold)
+        self.verified += 1
+
+    def run(self, max_steps: int = 20_000_000) -> TimingStats:
+        """Co-simulate to halt; returns the timing statistics."""
+        steps = 0
+        while not self.leading.halted and steps < max_steps:
+            self.step()
+            steps += 1
+        if not self.leading.halted:
+            raise RuntimeError(f"did not halt within {max_steps} steps")
+        if self.golden.halted != self.leading.halted:
+            raise CosimDivergence(self.leading.pc, "halted",
+                                  self.leading.halted, self.golden.halted)
+        return self.timing.stats

@@ -1,0 +1,356 @@
+"""Cycle-level out-of-order pipeline model.
+
+The model is trace-driven: the functional simulator supplies the
+retired instruction stream and the pipeline computes, per instruction,
+its fetch, decode, execute-complete and commit cycles subject to the
+Section 5.1 machine's resource constraints:
+
+* fetch delivers at most ``fetch_width`` instructions per cycle and
+  *stops at a predicted-taken branch*; instruction-cache misses stall
+  it;
+* decode/rename is ``decode_width`` per cycle, in order, and stalls
+  when the 80-entry ROB or the physical register pool is exhausted;
+* execution is dataflow-limited (operands forwarded at completion)
+  with ``issue_width`` instructions starting per cycle; loads pay the
+  data-cache hierarchy latency;
+* commit is in-order, ``commit_width`` per cycle;
+* conditional branches and indirect jumps resolve in the back end
+  (minimum 11-cycle misprediction penalty); unconditional direct
+  branches and — per Section 3.3 — branch-on-random resolve at decode,
+  the 5th pipeline stage, so a taken branch-on-random pays only a
+  short front-end flush.
+
+All six overhead sources of Section 2 are represented: extra
+instructions consume fetch/decode/commit slots and ROB entries (1, 2),
+extra destinations consume rename registers (3), sampling counters
+generate loads and stores through the D-cache (4), sampling branches
+mispredict (5), and counter-based sampling branches — unlike brr —
+train and pollute the shared predictor and its global history (6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, List, Optional
+
+from ..isa.instructions import Op
+from ..sim.trace import TraceRecord
+from .caches import Hierarchy
+from .config import TimingConfig
+from .predictors import Btb, ReturnAddressStack, Tournament
+
+
+class _Bandwidth:
+    """Allocates slots of ``width`` per cycle, earliest-first."""
+
+    __slots__ = ("width", "_counts", "_prune_at")
+
+    def __init__(self, width: int) -> None:
+        self.width = width
+        self._counts: Dict[int, int] = {}
+        self._prune_at = 16384
+
+    def allocate(self, ready: int) -> int:
+        counts = self._counts
+        cycle = ready
+        while counts.get(cycle, 0) >= self.width:
+            cycle += 1
+        counts[cycle] = counts.get(cycle, 0) + 1
+        if len(counts) > self._prune_at:
+            cutoff = cycle - 4096
+            stale = [key for key in counts if key < cutoff]
+            for key in stale:
+                del counts[key]
+        return cycle
+
+
+@dataclass
+class TimingStats:
+    """Counters accumulated over a simulated window."""
+
+    instructions: int = 0
+    cycles: int = 0
+    cond_branches: int = 0
+    cond_mispredicts: int = 0
+    brr_resolved: int = 0
+    brr_taken: int = 0
+    frontend_redirects: int = 0
+    backend_redirects: int = 0
+    brr_packet_splits: int = 0
+    fetch_breaks: int = 0
+    rob_stall_cycles: int = 0
+    loads: int = 0
+    stores: int = 0
+    icache_misses: int = 0
+    dcache_misses: int = 0
+    l2_misses: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        if not self.cond_branches:
+            return 1.0
+        return 1.0 - self.cond_mispredicts / self.cond_branches
+
+    def __sub__(self, other: "TimingStats") -> "TimingStats":
+        return TimingStats(**{
+            f.name: getattr(self, f.name) - getattr(other, f.name)
+            for f in fields(self)
+        })
+
+    def copy(self) -> "TimingStats":
+        return TimingStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+
+class TimingSimulator:
+    """Dependence/bandwidth timing model over a retired-instruction trace."""
+
+    def __init__(self, config: Optional[TimingConfig] = None) -> None:
+        self.config = config or TimingConfig()
+        cfg = self.config
+        self.hierarchy = Hierarchy(cfg)
+        self.predictor = Tournament(
+            cfg.gshare_history_bits, cfg.bimodal_entries, cfg.chooser_entries
+        )
+        self.btb = Btb(cfg.btb_entries)
+        self.ras = ReturnAddressStack(cfg.ras_entries)
+        self.stats = TimingStats()
+
+        self._fetch_cycle = 0
+        self._fetch_slots = cfg.fetch_width
+        self._last_line: Optional[int] = None
+        self._last_decode = 0
+        self._decode_bw = _Bandwidth(cfg.decode_width)
+        self._issue_bw = _Bandwidth(cfg.issue_width)
+        self._commit_bw = _Bandwidth(cfg.commit_width)
+        self._last_commit = 0
+        self._final_commit = 0
+        self._reg_ready: List[int] = [0] * 16
+        # Ring of commit cycles for in-flight ROB entries / dest-writing
+        # instructions (physical register pool).
+        from collections import deque
+        self._rob: "deque[int]" = deque()
+        self._pregs: "deque[int]" = deque()
+        self._preg_budget = max(1, cfg.phys_regs - 16)
+        # Shared-LFSR arbitration (footnote 3): the next decode cycle
+        # with a free LFSR read port.
+        self._next_brr_slot = 0
+
+    # ------------------------------------------------------------------
+
+    def _redirect(self, resume: int) -> None:
+        """Squash the front end; fetch restarts at ``resume``."""
+        if resume > self._fetch_cycle:
+            self._fetch_cycle = resume
+        self._fetch_slots = self.config.fetch_width
+        self._last_line = None
+
+    def _fetch_break(self, fetch_cycle: int) -> None:
+        """Predicted-taken branch: fetch stops, resumes next cycle at
+        the target."""
+        self.stats.fetch_breaks += 1
+        if fetch_cycle + 1 > self._fetch_cycle:
+            self._fetch_cycle = fetch_cycle + 1
+        self._fetch_slots = self.config.fetch_width
+        self._last_line = None
+
+    # ------------------------------------------------------------------
+
+    def run(self, trace: Iterable[TraceRecord]) -> TimingStats:
+        """Simulate a trace; returns the cumulative stats object."""
+        for record in trace:
+            self.step(record)
+        return self.stats
+
+    def step(self, record: TraceRecord) -> None:
+        """Account one retired instruction."""
+        cfg = self.config
+        stats = self.stats
+        instr = record.instr
+        if instr is None:
+            raise ValueError(
+                "timing simulation requires decoded instructions; "
+                "trap-emulated traces are functional-only"
+            )
+        pc = record.pc
+        op = instr.op
+
+        # ---------------- fetch ----------------
+        line = pc // cfg.line_bytes
+        if line != self._last_line:
+            latency = self.hierarchy.fetch(pc)
+            if latency > cfg.l1_latency:
+                self._fetch_cycle += latency - cfg.l1_latency
+                self._fetch_slots = cfg.fetch_width
+            self._last_line = line
+        fetch = self._fetch_cycle
+        self._fetch_slots -= 1
+        if self._fetch_slots == 0:
+            self._fetch_cycle = fetch + 1
+            self._fetch_slots = cfg.fetch_width
+
+        # ---------------- predict ----------------
+        # mispredict kind: None, "front" (resolved at decode) or
+        # "back" (resolved at execute).
+        mispredict: Optional[str] = None
+        predicted_taken = False
+        if op is Op.BRR or op is Op.BRRA:
+            stats.brr_resolved += 1
+            if record.taken:
+                stats.brr_taken += 1
+            if cfg.brr_uses_predictor:
+                # Ablation: brr behaves as an ordinary branch.
+                if op is Op.BRRA:
+                    target = self.btb.lookup(pc)
+                    predicted_taken = target is not None
+                    if not predicted_taken:
+                        mispredict = "front" if cfg.brr_resolve_at_decode else "back"
+                    self.btb.insert(pc, record.next_pc)
+                else:
+                    predicted_taken, mispredict = self._predict_conditional(
+                        pc, record,
+                        resolve="front" if cfg.brr_resolve_at_decode else "back",
+                    )
+            else:
+                # Section 3.3: always predicted not-taken, never entered
+                # into any prediction structure.
+                if record.taken:
+                    mispredict = "front" if cfg.brr_resolve_at_decode else "back"
+        elif instr.is_cond_branch:
+            stats.cond_branches += 1
+            predicted_taken, mispredict = self._predict_conditional(
+                pc, record, resolve="back"
+            )
+            if mispredict:
+                stats.cond_mispredicts += 1
+            self.predictor.record(mispredict is None)
+        elif op is Op.JMP or op is Op.JAL:
+            target = self.btb.lookup(pc)
+            predicted_taken = target == record.next_pc
+            if not predicted_taken:
+                mispredict = "front"  # resolved at decode
+            self.btb.insert(pc, record.next_pc)
+            if op is Op.JAL:
+                self.ras.push(pc + 4)
+        elif op is Op.JR:
+            if instr.is_return:
+                predicted = self.ras.pop()
+            else:
+                predicted = self.btb.lookup(pc)
+                self.btb.insert(pc, record.next_pc)
+            if predicted == record.next_pc:
+                predicted_taken = True
+            else:
+                mispredict = "back"
+
+        # ---------------- decode / rename ----------------
+        ready = fetch + cfg.frontend_depth
+        if ready < self._last_decode:
+            ready = self._last_decode
+        if cfg.brr_shared_lfsr and op is Op.BRR:
+            # One LFSR, one resolution per cycle: a packet with more
+            # branch-on-randoms than LFSRs is split (footnote 3).
+            if ready < self._next_brr_slot:
+                stats.brr_packet_splits += 1
+                ready = self._next_brr_slot
+        commits_at_decode = (
+            cfg.brr_commits_at_decode and (op is Op.BRR or op is Op.BRRA)
+        )
+        dest = instr.dest()
+        if not commits_at_decode:
+            if len(self._rob) >= cfg.rob_entries:
+                free_at = self._rob.popleft()
+                if free_at > ready:
+                    stats.rob_stall_cycles += free_at - ready
+                    ready = free_at
+            if dest is not None and len(self._pregs) >= self._preg_budget:
+                free_at = self._pregs.popleft()
+                if free_at > ready:
+                    ready = free_at
+        decode = self._decode_bw.allocate(ready)
+        self._last_decode = decode
+        if cfg.brr_shared_lfsr and op is Op.BRR:
+            self._next_brr_slot = decode + 1
+
+        # ---------------- execute & commit ----------------
+        if commits_at_decode:
+            # A not-taken brr "can be committed at decode time"; a taken
+            # one redirects fetch from decode.  Either way it occupies
+            # no ROB entry and writes no register.
+            complete = decode
+            commit = decode
+        else:
+            ready_ex = decode + 1
+            for src in instr.sources():
+                src_ready = self._reg_ready[src]
+                if src_ready > ready_ex:
+                    ready_ex = src_ready
+            issue = self._issue_bw.allocate(ready_ex)
+            if instr.is_load:
+                stats.loads += 1
+                complete = issue + max(1, self.hierarchy.data(record.mem_addr))
+            elif instr.is_store:
+                stats.stores += 1
+                self.hierarchy.data(record.mem_addr)  # fills the line
+                complete = issue + 1
+            else:
+                complete = issue + instr.latency
+            if dest is not None:
+                self._reg_ready[dest] = complete
+            ready_commit = complete + 1
+            if ready_commit < self._last_commit:
+                ready_commit = self._last_commit
+            commit = self._commit_bw.allocate(ready_commit)
+            self._last_commit = commit
+            self._rob.append(commit)
+            if dest is not None:
+                self._pregs.append(commit)
+        if commit > self._final_commit:
+            self._final_commit = commit
+
+        # ---------------- steer fetch ----------------
+        if mispredict == "front":
+            stats.frontend_redirects += 1
+            self._redirect(decode + 1)
+        elif mispredict == "back":
+            stats.backend_redirects += 1
+            resume = complete + 1
+            minimum = fetch + cfg.backend_penalty
+            if resume < minimum:
+                resume = minimum
+            self._redirect(resume)
+        elif predicted_taken:
+            self._fetch_break(fetch)
+
+        stats.instructions += 1
+        stats.cycles = self._final_commit + 1
+        stats.icache_misses = self.hierarchy.l1i.misses
+        stats.dcache_misses = self.hierarchy.l1d.misses
+        stats.l2_misses = self.hierarchy.l2.misses
+
+    def _predict_conditional(self, pc: int, record: TraceRecord, resolve: str):
+        """Tournament + BTB prediction for a conditional branch.
+
+        Returns ``(predicted_taken, mispredict_kind_or_None)`` and
+        trains the predictor and BTB with the actual outcome.
+        """
+        pred = self.predictor.predict(pc)
+        target = self.btb.lookup(pc) if pred else None
+        predicted_taken = pred and target is not None
+        if predicted_taken:
+            correct = record.taken and target == record.next_pc
+        else:
+            correct = not record.taken
+        self.predictor.update(pc, record.taken)
+        if record.taken:
+            self.btb.insert(pc, record.next_pc)
+        return predicted_taken, (None if correct else resolve)
+
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> TimingStats:
+        """Copy of the counters, for windowed (warm-up aware) runs."""
+        return self.stats.copy()

@@ -1,0 +1,185 @@
+"""Branch prediction structures for the timing model.
+
+The configuration follows Section 5.1: a tournament predictor pairing
+a 16-bit gshare with a 64k-entry bimodal table, a 1024-entry BTB and a
+32-entry return address stack.  All tables use 2-bit saturating
+counters.
+
+These structures are where two of the paper's overhead sources live:
+counter-based sampling branches consume predictor entries, alias with
+program branches, and dilute the global history with low-entropy
+outcomes, whereas branch-on-random instructions are "never entered ...
+into the branch prediction hardware" and therefore cannot pollute it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and not n & (n - 1)
+
+
+class TwoBitTable:
+    """A table of 2-bit saturating counters."""
+
+    def __init__(self, entries: int, init: int = 1) -> None:
+        if not _is_pow2(entries):
+            raise ValueError(f"table entries must be a power of two: {entries}")
+        self.entries = entries
+        self.mask = entries - 1
+        self.table: List[int] = [init] * entries
+
+    def predict(self, index: int) -> bool:
+        return self.table[index & self.mask] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        index &= self.mask
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+
+
+class Bimodal:
+    """PC-indexed 2-bit counter predictor."""
+
+    def __init__(self, entries: int) -> None:
+        self.table = TwoBitTable(entries)
+
+    @staticmethod
+    def _index(pc: int) -> int:
+        return pc >> 2
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self.table.update(self._index(pc), taken)
+
+
+class Gshare:
+    """Global-history-XOR-PC predictor.
+
+    The global history register is shared machine state: every
+    conditional branch the front end predicts shifts its outcome in.
+    Sampling branches from a counter-based framework therefore consume
+    history bits (the paper's "effective reduction in the global
+    history length").
+    """
+
+    def __init__(self, history_bits: int) -> None:
+        if not 1 <= history_bits <= 24:
+            raise ValueError(f"unreasonable history length: {history_bits}")
+        self.history_bits = history_bits
+        self.history = 0
+        self._hist_mask = (1 << history_bits) - 1
+        self.table = TwoBitTable(1 << history_bits)
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self.history
+
+    def predict(self, pc: int) -> bool:
+        return self.table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Update the counter then shift the outcome into history."""
+        self.table.update(self._index(pc), taken)
+        self.history = ((self.history << 1) | int(taken)) & self._hist_mask
+
+
+class Tournament:
+    """Chooser-arbitrated gshare/bimodal pair (Section 5.1)."""
+
+    def __init__(
+        self,
+        gshare_history_bits: int = 16,
+        bimodal_entries: int = 1 << 16,
+        chooser_entries: int = 1 << 12,
+    ) -> None:
+        self.gshare = Gshare(gshare_history_bits)
+        self.bimodal = Bimodal(bimodal_entries)
+        # Chooser counters: >=2 selects gshare.
+        self.chooser = TwoBitTable(chooser_entries, init=1)
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        if self.chooser.predict(pc >> 2):
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train both components; move the chooser toward whichever
+        component was correct when they disagree."""
+        g_correct = self.gshare.predict(pc) == taken
+        b_correct = self.bimodal.predict(pc) == taken
+        if g_correct != b_correct:
+            self.chooser.update(pc >> 2, g_correct)
+        self.gshare.update(pc, taken)
+        self.bimodal.update(pc, taken)
+
+    def record(self, correct: bool) -> None:
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+
+    @property
+    def accuracy(self) -> float:
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class Btb:
+    """Direct-mapped branch target buffer with full tags."""
+
+    def __init__(self, entries: int) -> None:
+        if not _is_pow2(entries):
+            raise ValueError(f"BTB entries must be a power of two: {entries}")
+        self.mask = entries - 1
+        self.tags: List[Optional[int]] = [None] * entries
+        self.targets: List[int] = [0] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, pc: int) -> Optional[int]:
+        index = (pc >> 2) & self.mask
+        if self.tags[index] == pc:
+            self.hits += 1
+            return self.targets[index]
+        self.misses += 1
+        return None
+
+    def insert(self, pc: int, target: int) -> None:
+        index = (pc >> 2) & self.mask
+        self.tags[index] = pc
+        self.targets[index] = target
+
+
+class ReturnAddressStack:
+    """Fixed-depth RAS; overflow wraps (oldest entry overwritten)."""
+
+    def __init__(self, entries: int) -> None:
+        if entries < 1:
+            raise ValueError("RAS needs at least one entry")
+        self.entries = entries
+        self._stack: List[int] = [0] * entries
+        self._top = 0
+        self._depth = 0
+
+    def push(self, return_addr: int) -> None:
+        self._top = (self._top + 1) % self.entries
+        self._stack[self._top] = return_addr
+        self._depth = min(self._depth + 1, self.entries)
+
+    def pop(self) -> Optional[int]:
+        if self._depth == 0:
+            return None
+        value = self._stack[self._top]
+        self._top = (self._top - 1) % self.entries
+        self._depth -= 1
+        return value

@@ -1,0 +1,63 @@
+"""Human-readable summaries of timing results.
+
+The paper characterises its microbenchmark baseline with a handful of
+pipeline statistics (branch accuracy, cache hit rates, how often fetch
+runs at full speed); :func:`format_stats` prints the same kind of
+summary for any simulated window, and :func:`compare` prints the
+framework-vs-baseline view the evaluation sections are built from.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .pipeline import TimingStats
+
+
+def format_stats(stats: TimingStats, title: str = "timing summary") -> str:
+    """A fixed-width block summarising one simulated window."""
+    lines = [
+        title,
+        f"  instructions        {stats.instructions:>12}",
+        f"  cycles              {stats.cycles:>12}",
+        f"  IPC                 {stats.ipc:>12.3f}",
+        f"  cond branches       {stats.cond_branches:>12}"
+        f"   (accuracy {100 * stats.branch_accuracy:.2f}%)",
+        f"  redirects           {stats.frontend_redirects:>12}"
+        f" front-end / {stats.backend_redirects} back-end",
+        f"  fetch breaks        {stats.fetch_breaks:>12}",
+        f"  loads / stores      {stats.loads:>12} / {stats.stores}",
+        f"  cache misses        {stats.icache_misses:>12} I"
+        f" / {stats.dcache_misses} D / {stats.l2_misses} L2",
+    ]
+    if stats.brr_resolved:
+        lines.append(
+            f"  branch-on-random    {stats.brr_resolved:>12}"
+            f"   ({stats.brr_taken} taken"
+            + (f", {stats.brr_packet_splits} packet splits"
+               if stats.brr_packet_splits else "")
+            + ")"
+        )
+    if stats.rob_stall_cycles:
+        lines.append(f"  ROB stall cycles    {stats.rob_stall_cycles:>12}")
+    return "\n".join(lines)
+
+
+def compare(base: TimingStats, variants: List[tuple],
+            title: Optional[str] = None) -> str:
+    """Overhead table: ``variants`` is a list of (label, stats) pairs,
+    each compared against ``base``."""
+    if base.cycles <= 0:
+        raise ValueError("baseline has no cycles")
+    lines = [title or "overhead vs. baseline",
+             f"  {'variant':<28} {'cycles':>10} {'overhead':>9} "
+             f"{'added instrs':>13}"]
+    lines.append(f"  {'baseline':<28} {base.cycles:>10} {'—':>9} {'—':>13}")
+    for label, stats in variants:
+        overhead = 100.0 * (stats.cycles - base.cycles) / base.cycles
+        added = stats.instructions - base.instructions
+        lines.append(
+            f"  {label:<28} {stats.cycles:>10} {overhead:>8.2f}% "
+            f"{added:>13}"
+        )
+    return "\n".join(lines)

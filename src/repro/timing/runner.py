@@ -1,0 +1,153 @@
+"""Glue between the functional simulator and the timing model.
+
+Reproduces the paper's marker-based measurement methodology (Section
+5.1): markers are magic instructions counted by the simulator, used to
+fast-forward, warm up, and delimit the measured window so that
+differently instrumented binaries are compared over the equivalent
+region of execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..core.brr import RandomSource
+from ..isa.program import Program
+from ..sim.machine import Machine
+from .config import TimingConfig
+from .pipeline import TimingSimulator, TimingStats
+
+#: (marker id, cumulative count) pair identifying an execution point.
+MarkerPoint = Tuple[int, int]
+
+
+def _prewarm_code(simulator: TimingSimulator, program: Program) -> None:
+    """Install the code image in the L2, as a JIT that just wrote it
+    would leave it.  Without this, the first taken sample pays DRAM
+    latency for compulsory misses on its (rarely executed) out-of-line
+    blocks — an artifact of short simulation windows, not of either
+    sampling framework."""
+    line = simulator.config.line_bytes
+    addr = program.base
+    while addr < program.end:
+        simulator.hierarchy.l2.access(addr)
+        addr += line
+
+
+@dataclass
+class WindowResult:
+    """Timing outcome of one measured window."""
+
+    stats: TimingStats
+    total_steps: int
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+
+def time_program(
+    program: Program,
+    brr_unit: Optional[RandomSource] = None,
+    config: Optional[TimingConfig] = None,
+    memory_size: int = 1 << 20,
+    max_steps: int = 20_000_000,
+    setup=None,
+    prewarm_code: bool = True,
+) -> WindowResult:
+    """Time a whole program from entry to halt.
+
+    ``setup(machine)``, if given, runs before execution — e.g. to load
+    a data buffer into simulated memory.
+    """
+    machine = Machine(program, memory_size=memory_size, brr_unit=brr_unit)
+    if setup is not None:
+        setup(machine)
+    simulator = TimingSimulator(config)
+    if prewarm_code:
+        _prewarm_code(simulator, program)
+    steps = 0
+    while not machine.halted and steps < max_steps:
+        simulator.step(machine.step())
+        steps += 1
+    if not machine.halted:
+        raise RuntimeError(f"program did not halt within {max_steps} steps")
+    return WindowResult(stats=simulator.stats, total_steps=steps)
+
+
+def time_window(
+    program: Program,
+    begin: MarkerPoint,
+    end: MarkerPoint,
+    brr_unit: Optional[RandomSource] = None,
+    config: Optional[TimingConfig] = None,
+    memory_size: int = 1 << 20,
+    fast_forward: Optional[MarkerPoint] = None,
+    max_steps: int = 50_000_000,
+    setup=None,
+    prewarm_code: bool = True,
+) -> WindowResult:
+    """Time a marker-delimited window of a program.
+
+    ``fast_forward`` (optional) is executed functionally only — the
+    analogue of Simics pure-functional mode.  From there to ``begin``
+    the timing model runs but its statistics are discarded (cache and
+    predictor warm-up); the returned stats cover ``begin``..``end``.
+    ``setup(machine)`` runs before execution (e.g. data loading).
+    """
+    machine = Machine(program, memory_size=memory_size, brr_unit=brr_unit)
+    if setup is not None:
+        setup(machine)
+    simulator = TimingSimulator(config)
+    if prewarm_code:
+        _prewarm_code(simulator, program)
+    steps = 0
+
+    if fast_forward is not None:
+        steps += machine.run_until_marker(
+            fast_forward[0], fast_forward[1], max_steps=max_steps
+        )
+
+    def run_to(point: MarkerPoint) -> int:
+        count = 0
+        marker_id, target = point
+        while (not machine.halted
+               and machine.marker_counts.get(marker_id, 0) < target):
+            simulator.step(machine.step())
+            count += 1
+            if steps + count > max_steps:
+                raise RuntimeError(
+                    f"marker {marker_id} not reached within {max_steps} steps"
+                )
+        if machine.marker_counts.get(marker_id, 0) < target:
+            raise RuntimeError(
+                f"program halted before marker {marker_id} fired "
+                f"{target} time(s)"
+            )
+        return count
+
+    steps += run_to(begin)
+    baseline = simulator.snapshot()
+    steps += run_to(end)
+    return WindowResult(stats=simulator.stats - baseline, total_steps=steps)
+
+
+def overhead_percent(base_cycles: int, instrumented_cycles: int) -> float:
+    """Execution-time overhead of an instrumented run vs. its baseline."""
+    if base_cycles <= 0:
+        raise ValueError("baseline cycle count must be positive")
+    return 100.0 * (instrumented_cycles - base_cycles) / base_cycles
+
+
+def cycles_per_site(base_cycles: int, instrumented_cycles: int,
+                    sites_encountered: int) -> float:
+    """Average added cycles per dynamically encountered sampling site
+    (the Figure 14 metric)."""
+    if sites_encountered <= 0:
+        raise ValueError("site count must be positive")
+    return (instrumented_cycles - base_cycles) / sites_encountered

@@ -1,0 +1,50 @@
+"""Workloads: DaCapo-like invocation streams, the checksum
+microbenchmark, and the Shakespeare-like text generator."""
+
+from .dacapo import (
+    DACAPO_BENCHMARKS,
+    DacapoSpec,
+    event_chunks,
+    generate_events,
+    method_weights,
+    spec_by_name,
+)
+from .microbench import (
+    END_MARKER,
+    PROFILE_BASE,
+    SITES,
+    TEXT_BASE,
+    WARM_MARKER,
+    Microbench,
+    build_cfg,
+    build_microbench,
+)
+from .text import (
+    class_counts,
+    classify,
+    generate_text,
+    reference_checksum,
+    site_encounters,
+)
+
+__all__ = [
+    "DACAPO_BENCHMARKS",
+    "DacapoSpec",
+    "event_chunks",
+    "generate_events",
+    "method_weights",
+    "spec_by_name",
+    "END_MARKER",
+    "PROFILE_BASE",
+    "SITES",
+    "TEXT_BASE",
+    "WARM_MARKER",
+    "Microbench",
+    "build_cfg",
+    "build_microbench",
+    "class_counts",
+    "classify",
+    "generate_text",
+    "reference_checksum",
+    "site_encounters",
+]

@@ -1,0 +1,113 @@
+"""Tests for statistics helpers and the Figure 2 decomposition."""
+
+import pytest
+
+from repro.analysis import (
+    decompose,
+    fit_through_origin,
+    format_decomposition,
+    geometric_mean,
+    mean,
+    sample_std,
+    welch_t,
+)
+from repro.experiments.fig13 import MicrobenchSweep, SweepPoint
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1, 2, 3]) == 2
+
+    def test_mean_empty(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_sample_std(self):
+        assert sample_std([2, 4, 4, 4, 5, 5, 7, 9]) == pytest.approx(
+            2.138, abs=1e-3)
+
+    def test_sample_std_needs_two(self):
+        with pytest.raises(ValueError):
+            sample_std([1])
+
+    def test_fit_through_origin_exact(self):
+        slope, r2 = fit_through_origin([1, 2, 3], [2, 4, 6])
+        assert slope == pytest.approx(2.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_fit_with_noise(self):
+        slope, r2 = fit_through_origin([1, 2, 3, 4], [2.1, 3.9, 6.2, 7.8])
+        assert slope == pytest.approx(1.97, abs=0.05)
+        assert r2 > 0.98
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            fit_through_origin([1], [2])
+        with pytest.raises(ValueError):
+            fit_through_origin([0, 0], [1, 2])
+
+    def test_welch(self):
+        t, p = welch_t([1, 2, 3, 4], [10, 11, 12, 13])
+        assert p < 0.01
+        t2, p2 = welch_t([1, 2, 3, 4], [1.1, 2.1, 2.9, 4.0])
+        assert p2 > 0.5
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1, 0])
+
+
+def synthetic_sweep():
+    """A sweep following Figure 2's model exactly: framework overhead
+    has a fixed floor, instrumentation overhead is proportional to the
+    sampling rate."""
+    sweep = MicrobenchSweep(
+        n_chars=100, sites=100, base_cycles=1000,
+        base_branch_accuracy=0.9, base_l1i_hit_rate=1.0,
+        base_l1d_hit_rate=1.0, full_instr_overhead=50.0,
+        full_instr_cycles_per_site=4.3,
+    )
+    fixed = 5.0
+    for interval in (2, 4, 8, 16):
+        rate = 1.0 / interval
+        framework = fixed + 20.0 * rate
+        sweep.points.append(SweepPoint(
+            "cbs", "full-dup", interval, False,
+            cycles=int(1000 * (1 + framework / 100)),
+            overhead=framework, cycles_per_site=framework / 10,
+        ))
+        sweep.points.append(SweepPoint(
+            "cbs", "full-dup", interval, True,
+            cycles=int(1000 * (1 + (framework + 40 * rate) / 100)),
+            overhead=framework + 40.0 * rate,
+            cycles_per_site=(framework + 40 * rate) / 10,
+        ))
+    return sweep
+
+
+class TestDecomposition:
+    def test_recovers_components(self):
+        decomposition = decompose(synthetic_sweep(), "cbs", "full-dup")
+        # Fixed floor: framework overhead at interval 16 = 5 + 20/16.
+        assert decomposition.fixed_cost == pytest.approx(6.25)
+        # Variable (instrumentation) slope: 40% per unit rate.
+        assert decomposition.variable_slope == pytest.approx(40.0)
+        assert decomposition.variable_r_squared == pytest.approx(1.0)
+
+    def test_rows_ordered_by_interval(self):
+        decomposition = decompose(synthetic_sweep(), "cbs", "full-dup")
+        intervals = [r.interval for r in decomposition.rows]
+        assert intervals == sorted(intervals)
+
+    def test_missing_curves_rejected(self):
+        with pytest.raises(ValueError):
+            decompose(synthetic_sweep(), "brr", "full-dup")
+
+    def test_format(self):
+        text = format_decomposition(decompose(synthetic_sweep(), "cbs",
+                                              "full-dup"))
+        assert "fixed (framework) cost floor" in text
+        assert "R^2" in text

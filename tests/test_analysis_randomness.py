@@ -1,0 +1,133 @@
+"""Tests for the sampling-placement quality statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.randomness import (
+    autocorrelation,
+    conditional_taken_probability,
+    gap_cv,
+    gap_distribution,
+    geometric_gap_test,
+    parity_balance,
+    placement_report,
+)
+from repro.sampling import brr_decision_array, brr_positions, periodic_positions
+
+N = 1 << 16
+FIELD = 2  # 1/8
+RATE = 1 / 8
+
+
+class TestGapDistribution:
+    def test_gaps(self):
+        assert gap_distribution([1, 4, 9]).tolist() == [3, 5]
+
+    def test_needs_two(self):
+        with pytest.raises(ValueError):
+            gap_distribution([5])
+
+    def test_monotone_required(self):
+        with pytest.raises(ValueError):
+            gap_distribution([5, 5])
+
+
+class TestGeometricTest:
+    def test_brr_gap_spread_is_geometric_like(self):
+        """The LFSR's short-range correlations mean the exact gap
+        distribution is not geometric (the paper's adjacent-bit
+        caveat), but the mean and spread are — unlike a counter's
+        degenerate single-gap distribution."""
+        positions = brr_positions(N, FIELD, width=20, seed=0xBEEF)
+        gaps = gap_distribution(positions)
+        assert gaps.mean() == pytest.approx(1 / RATE, rel=0.1)
+        assert 0.6 <= gap_cv(positions) <= 1.5  # geometric CV ~ 0.94
+        # No single gap value dominates (no resonance atom).
+        __, counts = np.unique(gaps, return_counts=True)
+        assert counts.max() / gaps.size < 0.5
+
+    def test_counter_gap_cv_zero(self):
+        assert gap_cv(periodic_positions(N, 8)) == 0.0
+
+    def test_counter_gaps_fail(self):
+        positions = periodic_positions(N, 8)
+        __, p_value = geometric_gap_test(positions, RATE)
+        assert p_value < 1e-6
+
+    def test_true_bernoulli_passes(self):
+        rng = np.random.default_rng(4)
+        positions = np.flatnonzero(rng.random(N) < RATE)
+        __, p_value = geometric_gap_test(positions, RATE)
+        assert p_value > 0.01
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            geometric_gap_test([1, 2, 3], 0.0)
+
+
+class TestAutocorrelation:
+    def test_alternating_stream_negative(self):
+        assert autocorrelation([0, 1] * 100) == pytest.approx(-1.0)
+
+    def test_constant_stream_zero(self):
+        assert autocorrelation([1] * 50) == 0.0
+
+    def test_too_short(self):
+        with pytest.raises(ValueError):
+            autocorrelation([1], lag=1)
+
+    def test_spaced_policy_decorrelates(self):
+        """The paper's fix: spaced AND inputs have much weaker lag-1
+        correlation than adjacent bits."""
+        contiguous = brr_decision_array(N, 3, width=20, seed=7,
+                                        policy="contiguous")
+        spaced = brr_decision_array(N, 3, width=20, seed=7, policy="spaced")
+        assert abs(autocorrelation(spaced.astype(int))) < \
+            abs(autocorrelation(contiguous.astype(int))) + 1e-9
+
+
+class TestConditionalProbability:
+    def test_paper_adjacent_bit_example(self):
+        """'the conditional probability of taking the branch given that
+        the previous (25% frequency) branch was taken is 50%, because
+        one of [the] bits is guaranteed to be one.'"""
+        decisions = brr_decision_array(1 << 17, 1, width=20, seed=0xACE1,
+                                       policy="contiguous")
+        conditional = conditional_taken_probability(decisions.astype(int))
+        assert conditional == pytest.approx(0.5, abs=0.03)
+
+    def test_spaced_bits_restore_independence(self):
+        decisions = brr_decision_array(1 << 17, 1, width=20, seed=0xACE1,
+                                       policy="spaced")
+        conditional = conditional_taken_probability(decisions.astype(int))
+        assert conditional == pytest.approx(0.25, abs=0.05)
+
+    def test_no_taken_rejected(self):
+        with pytest.raises(ValueError):
+            conditional_taken_probability([0, 0, 0])
+
+
+class TestParityBalance:
+    def test_counter_locks_parity(self):
+        positions = periodic_positions(N, 8)
+        balance = parity_balance(positions)
+        assert balance in (0.0, 1.0)  # the resonance mechanism
+
+    def test_brr_balanced(self):
+        positions = brr_positions(N, FIELD, width=20, seed=0x55)
+        assert abs(parity_balance(positions) - 0.5) < 0.03
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            parity_balance([])
+
+
+class TestReport:
+    def test_report_fields(self):
+        positions = brr_positions(N, FIELD, width=20, seed=0x99)
+        report = placement_report(positions, RATE)
+        assert set(report) == {"mean_gap", "expected_gap", "gap_std",
+                               "gap_cv", "geometric_p_value",
+                               "parity_balance"}
+        assert report["mean_gap"] == pytest.approx(report["expected_gap"],
+                                                   rel=0.1)

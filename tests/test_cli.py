@@ -1,0 +1,48 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_known_commands(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure9", "--scale", "0.01"])
+        assert args.command == "figure9"
+        assert args.scale == 0.01
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["cost"])
+        assert args.scale == 0.05
+        assert args.jvm_scale == 3.0
+        assert args.chars == 4000
+
+
+class TestCommands:
+    def test_cost(self, capsys):
+        assert main(["cost"]) == 0
+        out = capsys.readouterr().out
+        assert "hardware budget" in out
+        assert "HOLD" in out
+
+    def test_figure9_small(self, capsys):
+        assert main(["figure9", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+        assert "jython" in out and "average" in out
+
+    def test_figure13_small(self, capsys):
+        assert main(["figure13", "--chars", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 13" in out
+        assert "brr" in out and "cbs" in out
+
+    def test_figure2_small(self, capsys):
+        assert main(["figure2", "--chars", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "fixed (framework) cost floor" in out

@@ -1,0 +1,202 @@
+"""Tests for the branch-on-random unit, decoder bank and hw counter."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brr import (
+    BranchOnRandomUnit,
+    DecoderBank,
+    HardwareCounterUnit,
+    measured_probability,
+)
+from repro.core.lfsr import Lfsr
+
+
+class TestBranchOnRandomUnit:
+    def test_default_is_recommended_width(self):
+        unit = BranchOnRandomUnit()
+        assert unit.lfsr.width == 20
+
+    def test_resolve_clocks_lfsr(self):
+        unit = BranchOnRandomUnit()
+        before = unit.lfsr.updates
+        unit.resolve(0)
+        assert unit.lfsr.updates == before + 1
+
+    def test_counts_resolutions_and_taken(self):
+        unit = BranchOnRandomUnit()
+        for _ in range(100):
+            unit.resolve(0)
+        assert unit.resolved == 100
+        assert 20 <= unit.taken <= 80  # ~50%
+
+    def test_measured_probability_50pct(self):
+        unit = BranchOnRandomUnit()
+        p = measured_probability(unit, 0, 4096)
+        assert abs(p - 0.5) < 0.03
+
+    def test_measured_probability_helper_validates(self):
+        with pytest.raises(ValueError):
+            measured_probability(BranchOnRandomUnit(), 0, 0)
+
+    def test_narrow_lfsr_with_speculation_rejected(self):
+        lfsr = Lfsr(20, history_bits=2)
+        with pytest.raises(ValueError):
+            BranchOnRandomUnit(lfsr, speculative_depth=8)
+
+    def test_squash_restores_sequence(self):
+        """Section 3.4: checkpointed hardware replays the same outcomes
+        after a squash."""
+        unit = BranchOnRandomUnit(speculative_depth=16)
+        reference = BranchOnRandomUnit(
+            Lfsr(20, seed=unit.lfsr.state, history_bits=0)
+        )
+        expected = [reference.resolve(2) for _ in range(8)]
+        speculated = [unit.resolve(2) for _ in range(8)]
+        assert speculated == expected
+        unit.squash()  # full squash: all 8 undone
+        replayed = [unit.resolve(2) for _ in range(8)]
+        assert replayed == expected
+
+    def test_partial_squash(self):
+        unit = BranchOnRandomUnit(speculative_depth=16)
+        outcomes = [unit.resolve(1) for _ in range(6)]
+        unit.squash(2)
+        assert unit.in_flight == 4
+        assert [unit.resolve(1) for _ in range(2)] == outcomes[4:]
+
+    def test_retire_reduces_in_flight(self):
+        unit = BranchOnRandomUnit(speculative_depth=8)
+        for _ in range(5):
+            unit.resolve(0)
+        unit.retire(3)
+        assert unit.in_flight == 2
+        with pytest.raises(ValueError):
+            unit.retire(3)
+
+    def test_squash_too_many_rejected(self):
+        unit = BranchOnRandomUnit(speculative_depth=8)
+        unit.resolve(0)
+        with pytest.raises(ValueError):
+            unit.squash(2)
+
+    def test_squash_noop_without_speculation(self):
+        unit = BranchOnRandomUnit()
+        unit.resolve(0)
+        before = unit.lfsr.state
+        unit.squash()  # the paper's baseline: lost transitions tolerated
+        assert unit.lfsr.state == before
+
+    def test_context_save_restore(self):
+        unit = BranchOnRandomUnit()
+        saved = unit.save_context()
+        seq_a = [unit.resolve(3) for _ in range(32)]
+        unit.restore_context(saved)
+        seq_b = [unit.resolve(3) for _ in range(32)]
+        assert seq_a == seq_b
+
+    def test_random_bits(self):
+        unit = BranchOnRandomUnit()
+        value = unit.random_bits(16)
+        assert 0 <= value < (1 << 16)
+        # 16 LFSR steps consumed.
+        assert unit.lfsr.updates == 16
+
+
+class TestHardwareCounterUnit:
+    def test_takes_every_nth(self):
+        unit = HardwareCounterUnit()
+        outcomes = [unit.resolve(1) for _ in range(12)]  # interval 4
+        assert outcomes == [False, False, False, True] * 3
+
+    def test_phase_shifts_first_sample(self):
+        unit = HardwareCounterUnit(phase=3)
+        outcomes = [unit.resolve(1) for _ in range(8)]
+        assert outcomes == [True, False, False, False] * 2
+
+    def test_negative_phase_rejected(self):
+        with pytest.raises(ValueError):
+            HardwareCounterUnit(phase=-1)
+
+    def test_fields_independent(self):
+        unit = HardwareCounterUnit()
+        a = [unit.resolve(0) for _ in range(4)]
+        b = [unit.resolve(1) for _ in range(4)]
+        assert a == [False, True, False, True]
+        assert b == [False, False, False, True]
+
+    def test_exact_long_run_frequency(self):
+        unit = HardwareCounterUnit()
+        taken = sum(unit.resolve(2) for _ in range(8 * 100))
+        assert taken == 100
+
+    def test_statistics_tracked(self):
+        unit = HardwareCounterUnit()
+        for _ in range(16):
+            unit.resolve(0)
+        assert unit.resolved == 16
+        assert unit.taken == 8
+
+
+class TestDecoderBank:
+    def test_replicated_one_cycle(self):
+        bank = DecoderBank(decode_width=4, replicated=True)
+        outcomes, cycles = bank.resolve_packet([0, 0, 0, 0])
+        assert len(outcomes) == 4
+        assert cycles == 1
+
+    def test_replicated_units_decorrelated(self):
+        bank = DecoderBank(decode_width=4, replicated=True)
+        states = {unit.lfsr.state for unit in bank.units}
+        assert len(states) == 4
+
+    def test_shared_packet_split(self):
+        bank = DecoderBank(decode_width=4, replicated=False)
+        outcomes, cycles = bank.resolve_packet([0, 0, 0])
+        assert len(outcomes) == 3
+        assert cycles == 3  # footnote 3: split, decoded over cycles
+        assert bank.packet_splits == 2
+
+    def test_shared_single_brr_no_split(self):
+        bank = DecoderBank(decode_width=4, replicated=False)
+        __, cycles = bank.resolve_packet([5])
+        assert cycles == 1
+        assert bank.packet_splits == 0
+
+    def test_oversized_packet_rejected(self):
+        bank = DecoderBank(decode_width=2)
+        with pytest.raises(ValueError):
+            bank.resolve_packet([0, 0, 0])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ValueError):
+            DecoderBank(decode_width=0)
+
+    def test_explicit_seeds(self):
+        bank = DecoderBank(decode_width=2, seeds=[7, 9])
+        assert [u.lfsr.state for u in bank.units] == [7, 9]
+
+    def test_seed_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DecoderBank(decode_width=2, seeds=[7])
+
+    def test_empty_packet(self):
+        bank = DecoderBank(decode_width=4, replicated=False)
+        outcomes, cycles = bank.resolve_packet([])
+        assert outcomes == []
+        assert cycles == 1
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    field=st.integers(min_value=0, max_value=4),
+    prefix=st.integers(min_value=0, max_value=200),
+)
+def test_hw_counter_interval_exact(field, prefix):
+    """Every window of `interval` resolutions contains exactly one taken."""
+    unit = HardwareCounterUnit()
+    interval = 1 << (field + 1)
+    for _ in range(prefix):
+        unit.resolve(field)
+    window = [unit.resolve(field) for _ in range(interval)]
+    assert sum(window) == 1

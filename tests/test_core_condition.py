@@ -1,0 +1,195 @@
+"""Tests for the frequency encoding and AND-tree condition unit."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.condition import (
+    FREQ_FIELD_VALUES,
+    ConditionUnit,
+    EncodingError,
+    contiguous_bits,
+    field_for_interval,
+    interval_of_field,
+    nearest_field,
+    probability_of_field,
+    resolve_policy,
+    spaced_bits,
+)
+from repro.core.lfsr import Lfsr
+
+
+class TestEncoding:
+    def test_field0_is_50_percent(self):
+        assert probability_of_field(0) == 0.5
+
+    def test_field15_is_the_paper_minimum(self):
+        # (1/2)^16 = .0015% quoted in Section 3.2.
+        assert probability_of_field(15) == pytest.approx(0.0000152587890625)
+
+    def test_all_fields_powers_of_two(self):
+        for field in range(FREQ_FIELD_VALUES):
+            assert probability_of_field(field) == 0.5 ** (field + 1)
+
+    def test_out_of_range_field_rejected(self):
+        with pytest.raises(EncodingError):
+            probability_of_field(16)
+        with pytest.raises(EncodingError):
+            probability_of_field(-1)
+
+    def test_interval_of_field(self):
+        assert interval_of_field(0) == 2
+        assert interval_of_field(9) == 1024
+        assert interval_of_field(12) == 8192
+
+    def test_field_for_interval_roundtrip(self):
+        for field in range(FREQ_FIELD_VALUES):
+            assert field_for_interval(interval_of_field(field)) == field
+
+    def test_field_for_interval_rejects_non_power(self):
+        with pytest.raises(EncodingError):
+            field_for_interval(3)
+
+    def test_field_for_interval_rejects_one(self):
+        # 100% taken is intentionally not encodable (Section 3.2 adds
+        # 1 to freq to avoid re-encoding unconditional jumps).
+        with pytest.raises(EncodingError):
+            field_for_interval(1)
+
+    def test_field_for_interval_rejects_too_large(self):
+        with pytest.raises(EncodingError):
+            field_for_interval(1 << 17)
+
+    def test_nearest_field(self):
+        assert nearest_field(0.5) == 0
+        assert nearest_field(0.25) == 1
+        assert nearest_field(0.01) == 6  # nearest power of 1/2 to 1%
+        assert nearest_field(1e-9) == 15  # clamped
+
+    def test_nearest_field_rejects_out_of_range(self):
+        with pytest.raises(EncodingError):
+            nearest_field(0.0)
+        with pytest.raises(EncodingError):
+            nearest_field(0.75)
+
+
+class TestBitPolicies:
+    def test_contiguous(self):
+        assert contiguous_bits(4, 16) == (0, 1, 2, 3)
+
+    def test_contiguous_too_wide_rejected(self):
+        with pytest.raises(EncodingError):
+            contiguous_bits(17, 16)
+
+    def test_spaced_matches_paper_example(self):
+        # "selecting bits 0, 2, 5, and 9 to compute a 6.25% probability"
+        assert spaced_bits(4, 20) == (0, 2, 5, 9)
+
+    def test_spaced_single_bit(self):
+        assert spaced_bits(1, 20) == (0,)
+
+    def test_spaced_fills_narrow_register(self):
+        assert spaced_bits(16, 16) == tuple(range(16))
+
+    def test_spaced_strictly_increasing(self):
+        for count in range(1, 17):
+            for width in range(count, 33):
+                positions = spaced_bits(count, width)
+                assert len(positions) == count
+                assert all(b > a for a, b in zip(positions, positions[1:]))
+                assert positions[-1] < width
+
+    def test_spaced_wide_register_keeps_growing_gaps(self):
+        positions = spaced_bits(6, 32)
+        gaps = [b - a for a, b in zip(positions, positions[1:])]
+        assert gaps == [2, 3, 4, 5, 6]
+
+    def test_spaced_too_wide_rejected(self):
+        with pytest.raises(EncodingError):
+            spaced_bits(17, 16)
+
+    def test_resolve_policy_by_name(self):
+        assert resolve_policy("contiguous") is contiguous_bits
+        assert resolve_policy("spaced") is spaced_bits
+
+    def test_resolve_policy_callable_passthrough(self):
+        fn = lambda count, width: tuple(range(count))
+        assert resolve_policy(fn) is fn
+
+    def test_resolve_policy_unknown(self):
+        with pytest.raises(EncodingError):
+            resolve_policy("random")
+
+
+class TestConditionUnit:
+    def test_narrow_lfsr_rejected(self):
+        with pytest.raises(EncodingError):
+            ConditionUnit(Lfsr(8))
+
+    def test_field0_reads_single_bit(self):
+        lfsr = Lfsr(20)
+        unit = ConditionUnit(lfsr)
+        assert unit.bit_selection(0) == (0,)
+
+    def test_evaluate_matches_all_outputs(self):
+        lfsr = Lfsr(20, seed=0x5A5A5)
+        unit = ConditionUnit(lfsr)
+        for _ in range(200):
+            outputs = unit.all_outputs()
+            for field in range(FREQ_FIELD_VALUES):
+                assert unit.evaluate(field) == bool(outputs[field])
+            lfsr.step()
+
+    def test_outputs_monotone_in_field(self):
+        """With nested contiguous selections, a taken high field implies
+        taken lower fields (AND of a superset of bits)."""
+        lfsr = Lfsr(20, seed=0x12345)
+        unit = ConditionUnit(lfsr, policy="contiguous")
+        for _ in range(500):
+            outputs = unit.all_outputs()
+            for field in range(1, FREQ_FIELD_VALUES):
+                if outputs[field]:
+                    assert outputs[field - 1]
+            lfsr.step()
+
+    def test_evaluate_does_not_step(self):
+        lfsr = Lfsr(20, seed=0x777)
+        unit = ConditionUnit(lfsr)
+        before = lfsr.state
+        unit.evaluate(3)
+        unit.all_outputs()
+        assert lfsr.state == before
+
+    @pytest.mark.parametrize("policy", ["contiguous", "spaced"])
+    @pytest.mark.parametrize("field", [0, 1, 3])
+    def test_full_period_frequency_exact(self, policy, field):
+        """Over a full 2^16-1 period, the exact taken count of an
+        x-input AND is 2^(16-x) (every bit pattern occurs once except
+        all-zeros)."""
+        lfsr = Lfsr(16, seed=1)
+        unit = ConditionUnit(lfsr, policy=policy)
+        period = (1 << 16) - 1
+        taken = 0
+        for _ in range(period):
+            if unit.evaluate(field):
+                taken += 1
+            lfsr.step()
+        assert taken == 1 << (16 - (field + 1))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    field=st.integers(min_value=0, max_value=6),
+    seed=st.integers(min_value=1, max_value=(1 << 20) - 1),
+)
+def test_measured_probability_approaches_encoding(field, seed):
+    """Asymptotic frequency convergence (the architected property)."""
+    lfsr = Lfsr(20, seed=seed)
+    unit = ConditionUnit(lfsr)
+    trials = 4096 * (1 << field)
+    taken = 0
+    for _ in range(trials):
+        if unit.evaluate(field):
+            taken += 1
+        lfsr.step()
+    expected = probability_of_field(field)
+    assert abs(taken / trials - expected) < max(0.35 * expected, 0.004)

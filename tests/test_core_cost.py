@@ -1,0 +1,79 @@
+"""Tests for the Section 3.3 hardware cost model."""
+
+import pytest
+
+from repro.core.cost import (
+    CostEstimate,
+    claims_hold,
+    estimate_cost,
+    paper_design_points,
+)
+
+
+class TestEstimates:
+    def test_single_issue_design_point(self):
+        single, _ = paper_design_points()
+        assert single.state_bits == 20
+        assert single.gates_macro < 100
+
+    def test_four_wide_design_point(self):
+        _, wide = paper_design_points()
+        assert wide.state_bits == 80
+        assert wide.state_bits < 100
+        assert wide.gates_macro < 400
+
+    def test_claims_hold(self):
+        assert claims_hold()
+
+    def test_fifteen_and_gates(self):
+        # "15 AND gates, one of each size from 2 to 16 inputs"
+        est = estimate_cost(decode_width=1)
+        assert est.and_gates_macro == 15
+
+    def test_two_input_decomposition(self):
+        # sum over m=2..16 of (m-1) two-input gates = 120.
+        est = estimate_cost(decode_width=1)
+        assert est.and_gates_two_input == 120
+        assert est.mux_gates_two_input == 15
+
+    def test_replicated_scales_linearly(self):
+        one = estimate_cost(decode_width=1)
+        four = estimate_cost(decode_width=4, replicated=True)
+        assert four.state_bits == 4 * one.state_bits
+        assert four.gates_macro == 4 * one.gates_macro
+
+    def test_shared_lfsr_saves_state(self):
+        shared = estimate_cost(decode_width=4, replicated=False)
+        replicated = estimate_cost(decode_width=4, replicated=True)
+        assert shared.state_bits == 20
+        assert shared.state_bits < replicated.state_bits
+        assert shared.arbitration_gates > 0
+
+    def test_two_input_bound_dominates_macro(self):
+        for width in (1, 2, 4, 8):
+            est = estimate_cost(decode_width=width)
+            assert est.gates_two_input > est.gates_macro
+
+    def test_narrow_lfsr_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cost(lfsr_width=8)
+
+    def test_bad_decode_width_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_cost(decode_width=0)
+
+    def test_rows_report_all_lines(self):
+        est = estimate_cost()
+        labels = [label for label, __ in est.rows()]
+        assert "state bits (LFSR flip-flops)" in labels
+        assert "total gates (macro)" in labels
+
+    def test_custom_taps_change_xor_count(self):
+        two_tap = estimate_cost(taps=(20, 17))
+        four_tap = estimate_cost(taps=(20, 19, 18, 17))
+        assert four_tap.xor_gates > two_tap.xor_gates
+
+    def test_frozen_dataclass(self):
+        est = estimate_cost()
+        with pytest.raises(AttributeError):
+            est.state_bits = 0

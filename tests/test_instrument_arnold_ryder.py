@@ -1,0 +1,224 @@
+"""Tests for the Arnold-Ryder transformations.
+
+The decisive property (paper Section 4.1: the rewrite "retain[s] the
+desired functionality") is functional equivalence: every variant of an
+instrumented loop computes the same program result, and the sampled
+profiles approximate the full profile at the configured rate.
+"""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit, HardwareCounterUnit
+from repro.instrument.arnold_ryder import (
+    SamplingSpec,
+    apply_framework,
+    full_duplication,
+    full_instrumentation,
+    no_duplication,
+    strip_instrumentation,
+)
+from repro.instrument.cfg import Block, Cfg, Terminator
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+
+PROFILE_BASE = 0x8000
+ITERS = 64
+
+
+def counting_loop():
+    """A loop whose body has two instrumented blocks; r3 accumulates a
+    checksum, profile counters live at PROFILE_BASE."""
+    cfg = Cfg("t", entry="entry")
+    cfg.add(Block("entry",
+                  body=[f"li r10, {PROFILE_BASE}", f"li r1, {ITERS}",
+                        "li r3, 0"],
+                  term=Terminator("fall", target="head")))
+    cfg.add(Block("head", body=["andi r6, r1, 1"],
+                  term=Terminator("cond", op="beq", ra="r6", rb="r0",
+                                  taken="even", target="odd")))
+    odd = cfg.add(Block("odd", body=["addi r3, r3, 1"],
+                        term=Terminator("jump", target="latch")))
+    odd.site_id, odd.site_lines = 0, [
+        "lw r11, 0(r10)", "addi r11, r11, 1", "sw r11, 0(r10)"]
+    even = cfg.add(Block("even", body=["addi r3, r3, 100"],
+                         term=Terminator("fall", target="latch")))
+    even.site_id, even.site_lines = 1, [
+        "lw r11, 4(r10)", "addi r11, r11, 1", "sw r11, 4(r10)"]
+    cfg.add(Block("latch", body=["addi r1, r1, -1"],
+                  term=Terminator("cond", op="bne", ra="r1", rb="r0",
+                                  taken="head", target="exit")))
+    cfg.add(Block("exit", term=Terminator("halt")))
+    return cfg
+
+
+def run_variant(duplication, kind=None, interval=8, include_payload=True,
+                unit=None):
+    cfg = counting_loop()
+    spec = SamplingSpec(kind=kind, interval=interval) if kind else None
+    out = apply_framework(cfg, duplication, spec=spec,
+                          include_payload=include_payload)
+    preamble = spec.init_lines() if spec else []
+    entry = out.label(out.entry)
+    source = "\n".join(preamble + [f"jmp {entry}"] + out.lower())
+    machine = Machine(assemble(source), brr_unit=unit)
+    machine.run(max_steps=200_000)
+    counts = (machine.memory.load_word(PROFILE_BASE),
+              machine.memory.load_word(PROFILE_BASE + 4))
+    return machine.regs[3], counts, machine
+
+
+EXPECTED_R3 = (ITERS // 2) * 101  # 32 odd (+1) and 32 even (+100)
+
+
+class TestBaselines:
+    def test_strip_removes_sites(self):
+        stripped = strip_instrumentation(counting_loop())
+        assert not stripped.instrumented_blocks()
+        result, counts, __ = run_variant("none")
+        assert result == EXPECTED_R3
+        assert counts == (0, 0)
+
+    def test_full_instrumentation_counts_everything(self):
+        result, counts, __ = run_variant("full")
+        assert result == EXPECTED_R3
+        assert counts == (ITERS // 2, ITERS // 2)
+
+    def test_full_instrumentation_is_copy(self):
+        cfg = counting_loop()
+        copy = full_instrumentation(cfg)
+        copy.block("odd").site_lines.append("nop")
+        assert "nop" not in cfg.block("odd").site_lines
+
+
+class TestNoDuplication:
+    @pytest.mark.parametrize("kind", ["cbs", "brr"])
+    def test_functional_equivalence(self, kind):
+        unit = HardwareCounterUnit() if kind == "brr" else None
+        result, counts, __ = run_variant("no-dup", kind=kind, unit=unit)
+        assert result == EXPECTED_R3
+
+    def test_cbs_samples_exactly_at_interval(self):
+        """Sites encountered: 64 (one per iteration, alternating);
+        interval 8 -> exactly 8 samples."""
+        __, counts, __ = run_variant("no-dup", kind="cbs", interval=8)
+        assert sum(counts) == ITERS // 8
+        # Footnote 7 resonance: odd/even alternate and 8 is even, so
+        # every sample hits the same parity.
+        assert 0 in counts
+
+    def test_brr_hw_counter_samples_at_interval(self):
+        __, counts, __ = run_variant("no-dup", kind="brr",
+                                     unit=HardwareCounterUnit())
+        assert sum(counts) == ITERS // 8
+
+    def test_brr_lfsr_samples_roughly_at_rate(self):
+        __, counts, __ = run_variant("no-dup", kind="brr", interval=4,
+                                     unit=BranchOnRandomUnit())
+        assert 2 <= sum(counts) <= 36  # expectation 16 of 64
+
+    def test_payload_can_be_omitted(self):
+        result, counts, __ = run_variant("no-dup", kind="cbs",
+                                         include_payload=False)
+        assert result == EXPECTED_R3
+        assert counts == (0, 0)
+
+    def test_brr_sample_path_out_of_line(self):
+        cfg = counting_loop()
+        out = no_duplication(cfg, SamplingSpec("brr", interval=8))
+        order = out.order
+        # The sampled blocks come after every normal block (Figure 8).
+        smp_positions = [i for i, n in enumerate(order) if n.endswith("__smp")]
+        normal_positions = [i for i, n in enumerate(order)
+                            if not n.endswith("__smp")]
+        assert min(smp_positions) > max(normal_positions)
+
+    def test_brr_uses_single_check_instruction(self):
+        out = no_duplication(counting_loop(), SamplingSpec("brr"))
+        check = out.block("odd")
+        assert check.body == []
+        assert check.term.kind == "brr"
+
+    def test_cbs_check_shape_matches_figure4(self):
+        out = no_duplication(counting_loop(), SamplingSpec("cbs"))
+        check = out.block("odd")
+        assert check.body == ["lw r12, 0(r13)"]
+        assert check.term.kind == "cond" and check.term.op == "beq"
+        resume = out.block("odd__res")
+        assert resume.body[:2] == ["addi r12, r12, -1", "sw r12, 0(r13)"]
+        sample = out.block("odd__smp")
+        assert sample.body[-1] == "lw r12, 4(r13)"
+
+
+class TestFullDuplication:
+    @pytest.mark.parametrize("kind", ["cbs", "brr"])
+    def test_functional_equivalence(self, kind):
+        unit = HardwareCounterUnit() if kind == "brr" else None
+        result, counts, __ = run_variant("full-dup", kind=kind, unit=unit)
+        assert result == EXPECTED_R3
+
+    def test_checking_version_has_no_instrumentation(self):
+        out = full_duplication(counting_loop(), SamplingSpec("cbs"))
+        assert not out.block("odd").site_lines
+        assert out.block("odd__dup").site_lines
+
+    def test_check_at_entry_and_header(self):
+        out = full_duplication(counting_loop(), SamplingSpec("brr"))
+        assert "entry__chk" in out
+        assert "head__chk" in out
+        assert out.entry == "entry__chk"
+
+    def test_dup_backedge_returns_to_check(self):
+        out = full_duplication(counting_loop(), SamplingSpec("brr"))
+        dup_latch = out.block("latch__dup")
+        assert dup_latch.term.taken == "head__chk"
+        # Forward edges stay within the duplicate.
+        assert dup_latch.term.target == "exit__dup"
+
+    def test_sampling_rate_counts_regions(self):
+        """Full-dup's counter ticks per region entry (1/iteration), so
+        at interval 8 about ITERS/8 instrumented passes happen — each
+        collecting the sites of one acyclic path (1 site here)."""
+        __, counts, __ = run_variant("full-dup", kind="cbs", interval=8)
+        assert 6 <= sum(counts) <= 10
+
+    def test_payload_can_be_omitted(self):
+        result, counts, __ = run_variant("full-dup", kind="brr",
+                                         include_payload=False,
+                                         unit=HardwareCounterUnit())
+        assert result == EXPECTED_R3
+        assert counts == (0, 0)
+
+    def test_amortization_fewer_checks_than_no_dup(self):
+        """The point of Full-Duplication: fewer dynamic checks.  Here
+        the loop body has one site per iteration and full-dup also has
+        one check per iteration, but a two-site straightline body shows
+        the amortisation."""
+        cfg = counting_loop()
+        spec = SamplingSpec("brr", interval=8)
+        nodup = no_duplication(cfg, spec)
+        fulldup = full_duplication(cfg, spec)
+        nodup_checks = sum(1 for b in nodup.blocks() if b.term.kind == "brr")
+        fulldup_checks = sum(1 for b in fulldup.blocks()
+                             if b.term.kind == "brr")
+        assert nodup_checks == 2   # one per site
+        assert fulldup_checks == 2  # entry + single loop header
+
+
+class TestDispatcher:
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            apply_framework(counting_loop(), "triple-dup")
+
+    def test_sampled_mode_requires_spec(self):
+        with pytest.raises(ValueError):
+            apply_framework(counting_loop(), "no-dup")
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            SamplingSpec("magic")
+        with pytest.raises(Exception):
+            SamplingSpec("cbs", interval=1000)  # not a power of two
+
+    def test_brr_needs_no_init(self):
+        assert SamplingSpec("brr").init_lines() == []
+        assert len(SamplingSpec("cbs").init_lines()) == 5

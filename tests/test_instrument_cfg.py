@@ -1,0 +1,166 @@
+"""Tests for the CFG IR."""
+
+import pytest
+
+from repro.instrument.cfg import Block, Cfg, CfgError, Terminator
+from repro.isa.asm import assemble
+
+
+def diamond():
+    """entry -> (left | right) -> join(halt), with a site on left."""
+    cfg = Cfg("f", entry="entry")
+    cfg.add(Block("entry", body=["li r1, 1"],
+                  term=Terminator("cond", op="beq", ra="r1", rb="r0",
+                                  taken="left", target="right")))
+    cfg.add(Block("right", body=["addi r2, r2, 1"],
+                  term=Terminator("jump", target="join")))
+    left = cfg.add(Block("left", body=["addi r2, r2, 2"],
+                         term=Terminator("fall", target="join")))
+    left.site_id, left.site_lines = 0, ["addi r9, r9, 1"]
+    cfg.add(Block("join", term=Terminator("halt")))
+    return cfg
+
+
+def loop():
+    """entry -> head -> body -> latch -(back)-> head | exit."""
+    cfg = Cfg("g", entry="entry")
+    cfg.add(Block("entry", body=["li r1, 5"],
+                  term=Terminator("fall", target="head")))
+    cfg.add(Block("head", body=["addi r1, r1, -1"],
+                  term=Terminator("fall", target="latch")))
+    cfg.add(Block("latch",
+                  term=Terminator("cond", op="bne", ra="r1", rb="r0",
+                                  taken="head", target="exit")))
+    cfg.add(Block("exit", term=Terminator("halt")))
+    return cfg
+
+
+class TestTerminator:
+    def test_unknown_kind(self):
+        with pytest.raises(CfgError):
+            Terminator("banana")
+
+    def test_jump_needs_target(self):
+        with pytest.raises(CfgError):
+            Terminator("jump")
+
+    def test_cond_needs_fields(self):
+        with pytest.raises(CfgError):
+            Terminator("cond", taken="a", target="b")
+
+    def test_brr_needs_freq(self):
+        with pytest.raises(CfgError):
+            Terminator("brr", taken="a", target="b")
+
+    def test_successors(self):
+        assert Terminator("halt").successors() == ()
+        assert Terminator("ret").successors() == ()
+        assert Terminator("jump", target="x").successors() == ("x",)
+        t = Terminator("cond", op="beq", ra="r1", rb="r0",
+                       taken="a", target="b")
+        assert t.successors() == ("a", "b")
+        b = Terminator("brr", freq="1/4", taken="s", target="r")
+        assert b.successors() == ("s", "r")
+        assert Terminator("brra", target="z").successors() == ("z",)
+
+    def test_retargeted(self):
+        t = Terminator("cond", op="beq", ra="r1", rb="r0",
+                       taken="a", target="b")
+        m = t.retargeted({"a": "a2"})
+        assert m.taken == "a2" and m.target == "b"
+
+
+class TestCfg:
+    def test_duplicate_block_rejected(self):
+        cfg = Cfg("f", entry="a")
+        cfg.add(Block("a"))
+        with pytest.raises(CfgError):
+            cfg.add(Block("a"))
+
+    def test_missing_block(self):
+        with pytest.raises(CfgError):
+            Cfg("f", entry="a").block("a")
+
+    def test_validate_missing_entry(self):
+        cfg = Cfg("f", entry="nope")
+        cfg.add(Block("a"))
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+    def test_validate_dangling_successor(self):
+        cfg = Cfg("f", entry="a")
+        cfg.add(Block("a", term=Terminator("jump", target="ghost")))
+        with pytest.raises(CfgError):
+            cfg.validate()
+
+    def test_backedges(self):
+        assert loop().backedges() == {("latch", "head")}
+        assert diamond().backedges() == set()
+
+    def test_instrumented_blocks(self):
+        assert [b.name for b in diamond().instrumented_blocks()] == ["left"]
+
+    def test_map_blocks(self):
+        renamed = diamond().map_blocks(lambda n: n + "_x")
+        assert renamed.entry == "entry_x"
+        assert "left_x" in renamed
+        assert renamed.block("entry_x").term.taken == "left_x"
+        # Deep copy: sites preserved, original untouched.
+        assert renamed.block("left_x").site_id == 0
+
+    def test_contains_and_len(self):
+        cfg = diamond()
+        assert "left" in cfg and "ghost" not in cfg
+        assert len(cfg) == 4
+
+
+class TestLowering:
+    def test_diamond_assembles_and_runs(self):
+        from repro.sim.machine import Machine
+
+        source = "\n".join(diamond().lower())
+        machine = Machine(assemble(source))
+        machine.run()
+        # entry: r1=1 -> beq r1,r0 not taken -> right path.
+        assert machine.regs[2] == 1
+
+    def test_loop_assembles_and_runs(self):
+        from repro.sim.machine import Machine
+
+        source = "\n".join(loop().lower())
+        machine = Machine(assemble(source))
+        machine.run()
+        assert machine.regs[1] == 0
+
+    def test_fallthrough_avoids_jump(self):
+        lines = loop().lower()
+        # entry falls through to head: no jmp between them.
+        entry_index = lines.index("g__entry:")
+        head_index = lines.index("g__head:")
+        assert all("jmp" not in line
+                   for line in lines[entry_index:head_index])
+
+    def test_out_of_order_fallthrough_gets_jump(self):
+        cfg = Cfg("f", entry="a")
+        cfg.add(Block("a", term=Terminator("fall", target="c")))
+        cfg.add(Block("b", term=Terminator("halt")))
+        cfg.add(Block("c", term=Terminator("halt")))
+        lines = cfg.lower()
+        assert "jmp f__c" in lines
+
+    def test_site_lines_emitted_inline(self):
+        lines = diamond().lower()
+        left_index = lines.index("f__left:")
+        assert lines[left_index + 1] == "addi r9, r9, 1"
+
+    def test_brr_terminator_lowering(self):
+        cfg = Cfg("f", entry="a")
+        cfg.add(Block("a", term=Terminator("brr", freq="1/8",
+                                           taken="s", target="b")))
+        cfg.add(Block("b", term=Terminator("halt")))
+        cfg.add(Block("s", term=Terminator("brra", target="b")))
+        lines = cfg.lower()
+        assert "brr 1/8, f__s" in lines
+        assert "brra f__b" in lines
+        # And it assembles.
+        assemble("\n".join(lines))

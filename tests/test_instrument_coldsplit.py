@@ -1,0 +1,102 @@
+"""Tests for cold-block marking and split lowering."""
+
+import pytest
+
+from repro.core.brr import HardwareCounterUnit
+from repro.instrument.arnold_ryder import (
+    SamplingSpec,
+    full_duplication,
+    no_duplication,
+)
+from repro.instrument.cfg import Block, Cfg, Terminator
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+
+
+def loop_with_site():
+    cfg = Cfg("s", entry="entry")
+    cfg.add(Block("entry", body=["li r1, 12"],
+                  term=Terminator("fall", target="head")))
+    head = cfg.add(Block("head", body=["addi r2, r2, 1"],
+                         term=Terminator("fall", target="latch")))
+    head.site_id, head.site_lines = 0, ["addi r9, r9, 1"]
+    cfg.add(Block("latch", body=["addi r1, r1, -1"],
+                  term=Terminator("cond", op="bne", ra="r1", rb="r0",
+                                  taken="head", target="exit")))
+    cfg.add(Block("exit", term=Terminator("halt")))
+    return cfg
+
+
+class TestColdMarking:
+    def test_no_dup_sample_blocks_cold(self):
+        out = no_duplication(loop_with_site(), SamplingSpec("brr"))
+        assert out.block("head__smp").cold
+        assert not out.block("head__res").cold
+
+    def test_full_dup_duplicates_cold(self):
+        out = full_duplication(loop_with_site(), SamplingSpec("brr"))
+        for name in out.order:
+            block = out.block(name)
+            assert block.cold == name.endswith("__dup"), name
+
+    def test_cbs_trailing_blocks_cold(self):
+        out = full_duplication(loop_with_site(), SamplingSpec("cbs"))
+        cold_names = [b.name for b in out.blocks() if b.cold]
+        assert any(name.endswith("__chks") for name in cold_names)
+
+    def test_clone_preserves_cold(self):
+        block = Block("b", cold=True)
+        assert block.clone("b2").cold
+
+
+class TestSplitLowering:
+    def test_sections_partition_blocks(self):
+        out = full_duplication(loop_with_site(), SamplingSpec("brr"))
+        hot, cold = out.lower_split()
+        combined = out.lower()
+        assert combined == hot + cold
+        # Every dup label is in the cold section only.
+        assert any("__dup:" in line for line in cold)
+        assert not any("__dup:" in line for line in hot)
+
+    def test_cold_section_entered_by_branch_only(self):
+        """The hot section must not fall off its end into nothing: its
+        last block ends in an explicit transfer."""
+        out = full_duplication(loop_with_site(), SamplingSpec("brr"))
+        hot, __ = out.lower_split()
+        last_instr = [l for l in hot if not l.endswith(":")][-1]
+        mnemonic = last_instr.split()[0]
+        assert mnemonic in ("halt", "ret", "jmp", "brra")
+
+    def test_fall_across_sections_gets_jump(self):
+        cfg = Cfg("x", entry="a")
+        cfg.add(Block("a", term=Terminator("fall", target="c")))
+        cfg.add(Block("b", cold=True, term=Terminator("jump", target="c")))
+        cfg.add(Block("c", term=Terminator("halt")))
+        hot, cold = cfg.lower_split()
+        # In the hot section, a falls to c which IS next (b removed).
+        assert "jmp x__c" not in hot
+        assert "jmp x__c" in cold
+
+    def test_split_program_executes_identically(self):
+        spec = SamplingSpec("brr", interval=4)
+        out = full_duplication(loop_with_site(), spec)
+        hot, cold = out.lower_split()
+        combined = "\n".join(["jmp " + out.label(out.entry)] + out.lower())
+        split = "\n".join(["jmp " + out.label(out.entry)] + hot + cold)
+        results = []
+        for source in (combined, split):
+            machine = Machine(assemble(source),
+                              brr_unit=HardwareCounterUnit())
+            machine.run(max_steps=10_000)
+            results.append((machine.regs[2], machine.regs[9]))
+        assert results[0] == results[1]
+        assert results[0][0] == 12  # loop body always runs
+        assert results[0][1] == 3   # 12 checks at 1/4 -> 3 samples
+
+    def test_empty_cold_section(self):
+        cfg = Cfg("y", entry="a")
+        cfg.add(Block("a", term=Terminator("halt")))
+        hot, cold = cfg.lower_split()
+        assert cold == []
+        assert hot == ["y__a:", "halt"]

@@ -1,0 +1,56 @@
+"""Disassembler rendering matrix: every format, with and without an
+address context."""
+
+import pytest
+
+from repro.isa.disasm import disassemble_word, format_instruction
+from repro.isa.instructions import Instruction, Op, encode
+
+
+CASES = [
+    (Instruction(Op.ADD, rd=1, ra=2, rb=3), "add r1, r2, r3"),
+    (Instruction(Op.ADDI, rd=4, ra=5, imm=-7), "addi r4, r5, -7"),
+    (Instruction(Op.LI, rd=9, imm=1000), "li r9, 1000"),
+    (Instruction(Op.LW, rd=2, ra=14, imm=8), "lw r2, 8(r14)"),
+    (Instruction(Op.SB, rd=3, ra=1, imm=-2), "sb r3, -2(r1)"),
+    (Instruction(Op.JR, ra=15), "jr r15"),
+    (Instruction(Op.MARKER, imm=42), "marker 42"),
+    (Instruction(Op.NOP), "nop"),
+    (Instruction(Op.HALT), "halt"),
+]
+
+
+@pytest.mark.parametrize("instr,text", CASES,
+                         ids=[c[1] for c in CASES])
+def test_render_without_address(instr, text):
+    assert format_instruction(instr) == text
+    assert disassemble_word(encode(instr)) == text
+
+
+RELATIVE_CASES = [
+    (Instruction(Op.BEQ, ra=1, rb=2, imm=3), ".+3"),
+    (Instruction(Op.JMP, imm=-4), ".-4"),
+    (Instruction(Op.BRR, freq=9, imm=0), "brr 1/1024, .+0"),
+    (Instruction(Op.BRRA, imm=2), "brra .+2"),
+]
+
+
+@pytest.mark.parametrize("instr,needle", RELATIVE_CASES,
+                         ids=[c[1] for c in RELATIVE_CASES])
+def test_render_relative_targets(instr, needle):
+    assert needle in format_instruction(instr)
+
+
+def test_render_absolute_targets_with_address():
+    instr = Instruction(Op.BEQ, ra=1, rb=2, imm=3)
+    # target = 0x100 + 4 + 3*4 = 0x110
+    assert format_instruction(instr, addr=0x100).endswith("0x110")
+    jump = Instruction(Op.JMP, imm=-2)
+    # target = 0x20 + 4 - 8 = 0x1c
+    assert format_instruction(jump, addr=0x20).endswith("0x1c")
+
+
+def test_brr_interval_rendering_all_fields():
+    for field in range(16):
+        text = format_instruction(Instruction(Op.BRR, freq=field, imm=0))
+        assert f"1/{1 << (field + 1)}" in text

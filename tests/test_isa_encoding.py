@@ -1,0 +1,175 @@
+"""Tests for instruction encode/decode and classification."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.instructions import (
+    LINK_REG,
+    EncodingError,
+    Format,
+    Instruction,
+    InvalidOpcodeError,
+    Op,
+    decode,
+    encode,
+)
+
+
+def roundtrip(instr: Instruction) -> Instruction:
+    return decode(encode(instr))
+
+
+class TestRoundTrip:
+    def test_r_type(self):
+        instr = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert roundtrip(instr) == instr
+
+    def test_i_type_negative_imm(self):
+        instr = Instruction(Op.ADDI, rd=4, ra=5, imm=-123)
+        assert roundtrip(instr) == instr
+
+    def test_i_type_extremes(self):
+        for imm in (-(1 << 17), (1 << 17) - 1):
+            instr = Instruction(Op.ADDI, rd=0, ra=0, imm=imm)
+            assert roundtrip(instr) == instr
+
+    def test_li(self):
+        instr = Instruction(Op.LI, rd=7, imm=-(1 << 21))
+        assert roundtrip(instr) == instr
+
+    def test_mem(self):
+        instr = Instruction(Op.LW, rd=3, ra=9, imm=-64)
+        assert roundtrip(instr) == instr
+
+    def test_branch(self):
+        instr = Instruction(Op.BEQ, ra=1, rb=2, imm=-200)
+        assert roundtrip(instr) == instr
+
+    def test_jump(self):
+        instr = Instruction(Op.JAL, imm=(1 << 25) - 1)
+        assert roundtrip(instr) == instr
+
+    def test_jr(self):
+        instr = Instruction(Op.JR, ra=15)
+        assert roundtrip(instr) == instr
+
+    def test_brr_figure5_format(self):
+        """Figure 5: opcode | 4-bit freq | target."""
+        instr = Instruction(Op.BRR, freq=9, imm=-17)
+        word = encode(instr)
+        assert (word >> 26) == int(Op.BRR)
+        assert (word >> 22) & 0xF == 9
+        assert roundtrip(instr) == instr
+
+    def test_marker(self):
+        instr = Instruction(Op.MARKER, imm=12345)
+        assert roundtrip(instr) == instr
+
+    def test_none_format(self):
+        assert roundtrip(Instruction(Op.HALT)) == Instruction(Op.HALT)
+        assert roundtrip(Instruction(Op.NOP)) == Instruction(Op.NOP)
+
+
+class TestEncodingErrors:
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADD, rd=16, ra=0, rb=0))
+
+    def test_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDI, rd=0, ra=0, imm=1 << 17))
+
+    def test_freq_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BRR, freq=16, imm=0))
+
+    def test_marker_negative(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.MARKER, imm=-1))
+
+    def test_invalid_opcode_decode(self):
+        with pytest.raises(InvalidOpcodeError) as info:
+            decode(0x3D << 26, pc=0x40)
+        assert info.value.pc == 0x40
+
+
+class TestClassification:
+    def test_cond_branches(self):
+        for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE):
+            instr = Instruction(op)
+            assert instr.is_branch and instr.is_cond_branch
+            assert not instr.is_brr and not instr.is_uncond_direct
+
+    def test_brr_is_branch_not_conditional(self):
+        instr = Instruction(Op.BRR, freq=0)
+        assert instr.is_branch and instr.is_brr
+        assert not instr.is_cond_branch
+
+    def test_brra_is_brr_and_direct(self):
+        instr = Instruction(Op.BRRA)
+        assert instr.is_brr and instr.is_uncond_direct
+
+    def test_call_and_return(self):
+        assert Instruction(Op.JAL).is_call
+        assert Instruction(Op.JR, ra=LINK_REG).is_return
+        assert not Instruction(Op.JR, ra=3).is_return
+        assert Instruction(Op.JR, ra=3).is_indirect
+
+    def test_memory_classification(self):
+        assert Instruction(Op.LW).is_load and Instruction(Op.LW).is_mem
+        assert Instruction(Op.SB).is_store and not Instruction(Op.SB).is_load
+
+    def test_sources_r_type(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).sources() == (2, 3)
+
+    def test_sources_store_includes_data(self):
+        assert Instruction(Op.SW, rd=5, ra=6).sources() == (6, 5)
+
+    def test_sources_load(self):
+        assert Instruction(Op.LW, rd=5, ra=6).sources() == (6,)
+
+    def test_dest(self):
+        assert Instruction(Op.ADD, rd=7).dest() == 7
+        assert Instruction(Op.SW, rd=7).dest() is None
+        assert Instruction(Op.JAL).dest() == LINK_REG
+        assert Instruction(Op.BEQ).dest() is None
+
+    def test_latency(self):
+        assert Instruction(Op.MUL).latency == 3
+        assert Instruction(Op.ADD).latency == 1
+
+    def test_marker_has_no_regs(self):
+        assert Instruction(Op.MARKER).sources() == ()
+        assert Instruction(Op.MARKER).dest() is None
+
+
+@given(
+    op=st.sampled_from(list(Op)),
+    rd=st.integers(0, 15),
+    ra=st.integers(0, 15),
+    rb=st.integers(0, 15),
+    imm=st.integers(-(1 << 17), (1 << 17) - 1),
+    freq=st.integers(0, 15),
+)
+def test_roundtrip_property(op, rd, ra, rb, imm, freq):
+    """Any well-formed instruction survives encode→decode unchanged."""
+    fmt = Instruction(op).format
+    kwargs = {}
+    if fmt in (Format.R,):
+        kwargs = dict(rd=rd, ra=ra, rb=rb)
+    elif fmt in (Format.I, Format.MEM):
+        kwargs = dict(rd=rd, ra=ra, imm=imm)
+    elif fmt is Format.LI:
+        kwargs = dict(rd=rd, imm=imm)
+    elif fmt is Format.BRANCH:
+        kwargs = dict(ra=ra, rb=rb, imm=imm)
+    elif fmt is Format.JUMP:
+        kwargs = dict(imm=imm)
+    elif fmt is Format.JR:
+        kwargs = dict(ra=ra)
+    elif fmt is Format.BRR:
+        kwargs = dict(freq=freq, imm=imm)
+    elif fmt is Format.MARKER:
+        kwargs = dict(imm=abs(imm))
+    instr = Instruction(op, **kwargs)
+    assert roundtrip(instr) == instr

@@ -1,0 +1,169 @@
+"""Tests for the mini-JVM model, compiler and benchmarks."""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit, HardwareCounterUnit
+from repro.jvm import (
+    FIGURE12_BENCHMARKS,
+    MEASURE_BEGIN,
+    MEASURE_END,
+    Call,
+    JvmError,
+    JvmProgram,
+    Loop,
+    Marker,
+    MethodSpec,
+    Work,
+    compile_program,
+)
+from repro.sim.machine import Machine
+
+
+def simple_program(outer=4):
+    return JvmProgram({
+        "main": MethodSpec("main", [
+            Marker(MEASURE_BEGIN),
+            Loop(outer, [Call("leaf"), Call("leaf2")]),
+            Marker(MEASURE_END),
+        ]),
+        "leaf": MethodSpec("leaf", [Work(5)]),
+        "leaf2": MethodSpec("leaf2", [Work(3), Loop(2, [Work(2)])]),
+    })
+
+
+def run(compiled, unit=None, max_steps=3_000_000):
+    machine = Machine(compiled.program, brr_unit=unit)
+    machine.run(max_steps=max_steps)
+    return machine
+
+
+class TestModel:
+    def test_missing_entry(self):
+        with pytest.raises(JvmError):
+            JvmProgram({"f": MethodSpec("f")}, entry="main")
+
+    def test_unknown_callee(self):
+        with pytest.raises(JvmError):
+            JvmProgram({"main": MethodSpec("main", [Call("ghost")])})
+
+    def test_recursion_rejected(self):
+        with pytest.raises(JvmError):
+            JvmProgram({
+                "main": MethodSpec("main", [Call("a")]),
+                "a": MethodSpec("a", [Call("main")]),
+            })
+
+    def test_deep_loops_rejected(self):
+        with pytest.raises(JvmError):
+            JvmProgram({"main": MethodSpec("main", [
+                Loop(2, [Loop(2, [Loop(2, [Work(1)])])]),
+            ])})
+
+    def test_bad_loop_count(self):
+        with pytest.raises(JvmError):
+            Loop(0, [])
+
+    def test_negative_work(self):
+        with pytest.raises(JvmError):
+            Work(-1)
+
+    def test_static_invocations(self):
+        program = simple_program(outer=4)
+        counts = program.static_invocations()
+        assert counts == {"main": 1, "leaf": 4, "leaf2": 4}
+
+    def test_method_ids_stable(self):
+        ids = simple_program().method_ids()
+        assert ids == {"main": 0, "leaf": 1, "leaf2": 2}
+
+
+class TestCompiler:
+    def test_full_instrumentation_profile_exact(self):
+        compiled = compile_program(simple_program(6), variant="full")
+        machine = run(compiled)
+        assert compiled.read_profile(machine) == {
+            "main": 1, "leaf": 6, "leaf2": 6,
+        }
+
+    def test_baseline_counts_nothing(self):
+        compiled = compile_program(simple_program(), variant="none")
+        machine = run(compiled)
+        assert all(v == 0 for v in compiled.read_profile(machine).values())
+
+    def test_markers_fire_once(self):
+        compiled = compile_program(simple_program(), variant="none")
+        machine = run(compiled)
+        assert machine.marker_counts[MEASURE_BEGIN] == 1
+        assert machine.marker_counts[MEASURE_END] == 1
+
+    @pytest.mark.parametrize("kind", ["cbs", "brr"])
+    @pytest.mark.parametrize("variant", ["no-dup", "full-dup"])
+    def test_sampled_variants_run_to_completion(self, kind, variant):
+        compiled = compile_program(simple_program(8), variant=variant,
+                                   kind=kind, interval=4)
+        unit = HardwareCounterUnit() if kind == "brr" else None
+        machine = run(compiled, unit=unit)
+        assert machine.halted
+
+    def test_cbs_samples_at_interval(self):
+        # 8 outer iterations x 2 leaf calls + main = 17 region entries
+        # in no-dup; interval 4 -> 4 samples.
+        compiled = compile_program(simple_program(8), variant="no-dup",
+                                   kind="cbs", interval=4)
+        machine = run(compiled)
+        total = sum(compiled.read_profile(machine).values())
+        assert total == 4
+
+    def test_brr_lfsr_profile_proportions(self):
+        program = simple_program(128)
+        compiled = compile_program(program, variant="no-dup", kind="brr",
+                                   interval=4)
+        machine = run(compiled, unit=BranchOnRandomUnit())
+        profile = compiled.read_profile(machine)
+        # leaf and leaf2 are invoked equally; samples should be close.
+        assert profile["leaf"] + profile["leaf2"] > 20
+        ratio = profile["leaf"] / max(1, profile["leaf2"])
+        assert 0.4 < ratio < 2.6
+
+    def test_sampled_needs_kind(self):
+        with pytest.raises(JvmError):
+            compile_program(simple_program(), variant="no-dup")
+
+    def test_work_registers_preserved_across_calls(self):
+        """Loop counters survive callee clobbering (the saved-register
+        ABI): the loop runs exactly `outer` times."""
+        compiled = compile_program(simple_program(9), variant="full")
+        machine = run(compiled)
+        assert compiled.read_profile(machine)["leaf"] == 9
+
+
+class TestBenchmarks:
+    @pytest.mark.parametrize("name", sorted(FIGURE12_BENCHMARKS))
+    def test_profile_matches_static_counts(self, name):
+        jvm = FIGURE12_BENCHMARKS[name](0.3)
+        compiled = compile_program(jvm, variant="full")
+        machine = run(compiled, max_steps=8_000_000)
+        assert compiled.read_profile(machine) == jvm.static_invocations()
+
+    def test_jython_has_alternating_leaves(self):
+        jvm = FIGURE12_BENCHMARKS["jython"](0.3)
+        assert "jython_opA" in jvm.methods
+        assert "jython_opB" in jvm.methods
+
+    def test_code_footprint_exceeds_l1i(self):
+        """The working-set property the Figure 12 model relies on."""
+        for name in ("bloat", "luindex"):
+            jvm = FIGURE12_BENCHMARKS[name](1.0)
+            compiled = compile_program(jvm, variant="none")
+            assert compiled.program.size_bytes > 20 << 10
+
+    def test_scale_changes_outer_iterations(self):
+        small = FIGURE12_BENCHMARKS["fop"](0.3).static_invocations()
+        large = FIGURE12_BENCHMARKS["fop"](3.0).static_invocations()
+        assert sum(large.values()) > sum(small.values())
+
+    def test_variant_label(self):
+        compiled = compile_program(simple_program(), variant="full-dup",
+                                   kind="brr")
+        assert compiled.variant == "brr+full-dup"
+        assert compiled.interval == 1024

@@ -1,0 +1,122 @@
+"""JVM compiler with the register-resident cbs counter."""
+
+import pytest
+
+from repro.jvm import (
+    Call,
+    JvmProgram,
+    Loop,
+    Marker,
+    MethodSpec,
+    Work,
+    compile_program,
+)
+from repro.sim.machine import Machine
+from repro.timing.runner import overhead_percent, time_window
+
+
+def program(outer=16):
+    """Loop body with a period-3 check pattern (head, leaf, leaf2).
+
+    A single-callee loop gives the checks a period-2 pattern, and a
+    power-of-two counter interval then resonates with it — every
+    sample lands on the header check and the method payloads never
+    run.  That is footnote 7's pathology showing up in our own test
+    rig; three checks per iteration keep the counter rotating.
+    """
+    return JvmProgram({
+        "main": MethodSpec("main", [
+            Marker(1),
+            Loop(outer, [Call("leaf"), Call("leaf2")]),
+            Marker(2),
+        ]),
+        "leaf": MethodSpec("leaf", [Work(20)]),
+        "leaf2": MethodSpec("leaf2", [Work(14)]),
+    })
+
+
+class TestRegisterCounterJvm:
+    @pytest.mark.parametrize("variant", ["no-dup", "full-dup"])
+    def test_functional_profile(self, variant):
+        compiled = compile_program(program(16), variant=variant,
+                                   kind="cbs", interval=4,
+                                   counter_in_register=True)
+        machine = Machine(compiled.program)
+        machine.run(max_steps=1_000_000)
+        total = sum(compiled.read_profile(machine).values())
+        assert total > 0
+
+    def test_no_counter_memory_traffic(self):
+        """The register variant must not emit counter loads/stores —
+        visible as identical load/store counts to the baseline (the
+        instrumentation payload never runs at interval 1024 here)."""
+        base = time_window(
+            compile_program(program(40), variant="none").program,
+            begin=(1, 1), end=(2, 1))
+        reg = time_window(
+            compile_program(program(40), variant="full-dup", kind="cbs",
+                            interval=1024,
+                            counter_in_register=True).program,
+            begin=(1, 1), end=(2, 1))
+        mem = time_window(
+            compile_program(program(40), variant="full-dup", kind="cbs",
+                            interval=1024).program,
+            begin=(1, 1), end=(2, 1))
+        assert reg.stats.loads == base.stats.loads
+        assert reg.stats.stores == base.stats.stores
+        assert mem.stats.loads > base.stats.loads
+
+    def test_register_variant_cheaper(self):
+        base = time_window(
+            compile_program(program(60), variant="none").program,
+            begin=(1, 1), end=(2, 1))
+        results = {}
+        for reg in (False, True):
+            timed = time_window(
+                compile_program(program(60), variant="full-dup",
+                                kind="cbs", interval=1024,
+                                counter_in_register=reg).program,
+                begin=(1, 1), end=(2, 1))
+            results[reg] = timed.cycles
+        assert results[True] <= results[False]
+
+
+class TestFullDupResonance:
+    """Footnote 7 at the ISA level, discovered by our own test rig: a
+    single-callee loop gives Full-Duplication's checks a period-2
+    pattern (header, callee-entry), so a power-of-two counter samples
+    only the header region and the method payload never runs.  brr's
+    pseudo-randomness samples both."""
+
+    def resonant_program(self, outer=64):
+        return JvmProgram({
+            "main": MethodSpec("main", [
+                Marker(1),
+                Loop(outer, [Call("leaf")]),
+                Marker(2),
+            ]),
+            "leaf": MethodSpec("leaf", [Work(20)]),
+        })
+
+    def test_cbs_resonates(self):
+        compiled = compile_program(self.resonant_program(), variant="full-dup",
+                                   kind="cbs", interval=4)
+        machine = Machine(compiled.program)
+        machine.run(max_steps=1_000_000)
+        profile = compiled.read_profile(machine)
+        # Every sample lands on the loop-header check; the leaf-entry
+        # check is never the one that fires.
+        assert profile["leaf"] == 0
+
+    def test_brr_does_not_resonate(self):
+        from repro.core.brr import BranchOnRandomUnit
+        from repro.core.lfsr import Lfsr
+
+        compiled = compile_program(self.resonant_program(256),
+                                   variant="full-dup", kind="brr",
+                                   interval=4)
+        machine = Machine(compiled.program,
+                          brr_unit=BranchOnRandomUnit(Lfsr(20, seed=0xABC)))
+        machine.run(max_steps=2_000_000)
+        profile = compiled.read_profile(machine)
+        assert profile["leaf"] > 0

@@ -1,0 +1,155 @@
+"""Remaining edge cases across modules."""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit
+from repro.core.condition import ConditionUnit
+from repro.core.lfsr import Lfsr
+from repro.isa.asm import assemble, parse_freq, parse_register
+from repro.isa.program import Program
+from repro.sim.machine import Machine, MachineError
+from repro.sim.memory import Memory, MemoryError_
+from repro.sim.trap import BrrTrapEmulator
+
+
+class TestParseHelpers:
+    def test_parse_register_aliases(self):
+        assert parse_register("SP") == 14
+        assert parse_register("Lr") == 15
+        assert parse_register("r0") == 0
+
+    def test_parse_register_rejects(self):
+        for bad in ("r16", "x1", "r-1", "reg3"):
+            with pytest.raises(ValueError):
+                parse_register(bad)
+
+    def test_parse_freq_forms(self):
+        assert parse_freq("0") == 0
+        assert parse_freq("15") == 15
+        assert parse_freq("1/2") == 0
+        assert parse_freq("1/65536") == 15
+        assert parse_freq("50%") == 0
+        assert parse_freq("25%") == 1
+
+    def test_parse_freq_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            parse_freq("3/8")
+
+    def test_parse_freq_interval_not_power(self):
+        with pytest.raises(Exception):
+            parse_freq("1/1000")
+
+
+class TestProgramEdges:
+    def test_source_for_unknown_index(self):
+        program = assemble("nop")
+        assert program.source_for(400) is None
+
+    def test_empty_program(self):
+        program = Program([])
+        assert len(program) == 0
+        assert program.size_bytes == 0
+        assert not program.contains(0)
+
+    def test_contains_boundaries(self):
+        program = assemble("nop\nhalt", base=0x10)
+        assert program.contains(0x10)
+        assert program.contains(0x14)
+        assert not program.contains(0x18)
+        assert not program.contains(0xC)
+
+
+class TestMemoryEdges:
+    def test_write_bytes_at_end(self):
+        mem = Memory(64)
+        mem.write_bytes(60, b"abcd")
+        assert mem.read_bytes(60, 4) == b"abcd"
+
+    def test_write_bytes_overflow(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.write_bytes(62, b"abcd")
+
+    def test_word_at_last_slot(self):
+        mem = Memory(64)
+        mem.store_word(60, 7)
+        assert mem.load_word(60) == 7
+
+    def test_machine_surfaces_misaligned_load(self):
+        machine = Machine(assemble("""
+            li r1, 2
+            lw r2, 0(r1)
+            halt
+        """))
+        with pytest.raises(MemoryError_):
+            machine.run()
+
+
+class TestTrapEdges:
+    def test_handler_reads_freq_field(self):
+        seen = []
+
+        class Probe(BranchOnRandomUnit):
+            def resolve(self, field):
+                seen.append(field)
+                return False
+
+        machine = Machine(assemble("brr 11, t\nnop\nt: halt",
+                                   brr_mode="trap"))
+        BrrTrapEmulator(unit=Probe(Lfsr(20))).install(machine)
+        machine.run()
+        assert seen == [11]
+
+    def test_trap_statistics(self):
+        machine = Machine(assemble("""
+            li r1, 8
+        loop:
+            brr 1/2, hit
+        back:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        hit:
+            jmp back
+        """, brr_mode="trap"))
+        emulator = BrrTrapEmulator()
+        emulator.install(machine)
+        machine.run(max_steps=10_000)
+        assert emulator.traps == 8
+        assert 0 <= emulator.taken <= 8
+
+    def test_register_trap_handler_validates_opcode(self):
+        machine = Machine(assemble("halt"))
+        with pytest.raises(ValueError):
+            machine.register_trap_handler(64, lambda m, w, p: p + 4)
+
+
+class TestConditionUnitEdges:
+    def test_all_sixteen_selections_distinct_widths(self):
+        unit = ConditionUnit(Lfsr(20))
+        sizes = [len(unit.bit_selection(f)) for f in range(16)]
+        assert sizes == list(range(1, 17))
+
+    def test_outputs_length(self):
+        unit = ConditionUnit(Lfsr(16))
+        assert len(unit.all_outputs()) == 16
+
+    def test_field16_needs_all_bits_of_16(self):
+        unit = ConditionUnit(Lfsr(16))
+        assert unit.bit_selection(15) == tuple(range(16))
+
+
+class TestBrrUnitEdges:
+    def test_random_bits_range_and_determinism(self):
+        a = BranchOnRandomUnit(Lfsr(20, seed=5))
+        b = BranchOnRandomUnit(Lfsr(20, seed=5))
+        assert a.random_bits(24) == b.random_bits(24)
+
+    def test_zero_random_bits(self):
+        unit = BranchOnRandomUnit()
+        assert unit.random_bits(0) == 0
+
+    def test_restore_rejects_zero(self):
+        unit = BranchOnRandomUnit()
+        with pytest.raises(Exception):
+            unit.restore_context(0)

@@ -1,0 +1,164 @@
+"""Systematic opcode semantics matrix.
+
+One parametrised case per (opcode, operand set) against hand-computed
+results — the exhaustive complement to the scenario tests in
+``test_sim_machine.py``.
+"""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+
+MASK = 0xFFFFFFFF
+
+ALU_CASES = [
+    # (source fragment, reg, expected)
+    ("li r1, 7\nli r2, 5\nadd r3, r1, r2", 3, 12),
+    ("li r1, 7\nli r2, 5\nsub r3, r1, r2", 3, 2),
+    ("li r1, 5\nli r2, 7\nsub r3, r1, r2", 3, (5 - 7) & MASK),
+    ("li r1, 12\nli r2, 10\nand r3, r1, r2", 3, 8),
+    ("li r1, 12\nli r2, 10\nor r3, r1, r2", 3, 14),
+    ("li r1, 12\nli r2, 10\nxor r3, r1, r2", 3, 6),
+    ("li r1, 3\nli r2, 4\nshl r3, r1, r2", 3, 48),
+    ("li r1, 48\nli r2, 4\nshr r3, r1, r2", 3, 3),
+    ("li r1, 7\nli r2, 6\nmul r3, r1, r2", 3, 42),
+    ("li r1, -3\nli r2, 2\nslt r3, r1, r2", 3, 1),
+    ("li r1, 2\nli r2, -3\nslt r3, r1, r2", 3, 0),
+    ("li r1, 3\nli r2, 3\nslt r3, r1, r2", 3, 0),
+    # shift amounts use low 5 bits
+    ("li r1, 1\nli r2, 33\nshl r3, r1, r2", 3, 2),
+    # immediates
+    ("li r1, 7\naddi r3, r1, -9", 3, (7 - 9) & MASK),
+    ("li r1, 0xF0\nandi r3, r1, 0x3C", 3, 0x30),
+    ("li r1, 0xF0\nori r3, r1, 0x0F", 3, 0xFF),
+    ("li r1, 0xFF\nxori r3, r1, 0x0F", 3, 0xF0),
+    ("li r1, 3\nshli r3, r1, 2", 3, 12),
+    ("li r1, 12\nshri r3, r1, 2", 3, 3),
+    ("li r1, -5\nslti r3, r1, -4", 3, 1),
+    ("li r1, -4\nslti r3, r1, -5", 3, 0),
+    ("li r3, -1", 3, MASK),
+    ("li r3, 2097151", 3, 2097151),  # max 22-bit positive
+]
+
+
+@pytest.mark.parametrize("source,reg,expected", ALU_CASES,
+                         ids=[c[0].splitlines()[-1] for c in ALU_CASES])
+def test_alu_semantics(source, reg, expected):
+    machine = Machine(assemble(source + "\nhalt"))
+    machine.run(max_steps=100)
+    assert machine.regs[reg] == expected
+
+
+BRANCH_CASES = [
+    ("beq", 5, 5, True),
+    ("beq", 5, 6, False),
+    ("bne", 5, 6, True),
+    ("bne", 5, 5, False),
+    ("blt", -1, 1, True),
+    ("blt", 1, -1, False),
+    ("blt", 3, 3, False),
+    ("bge", 1, -1, True),
+    ("bge", 3, 3, True),
+    ("bge", -1, 1, False),
+]
+
+
+@pytest.mark.parametrize("op,a,b,taken", BRANCH_CASES,
+                         ids=[f"{c[0]}({c[1]},{c[2]})" for c in BRANCH_CASES])
+def test_branch_semantics(op, a, b, taken):
+    source = f"""
+        li r1, {a}
+        li r2, {b}
+        {op} r1, r2, yes
+        li r3, 100
+        halt
+    yes:
+        li r3, 200
+        halt
+    """
+    machine = Machine(assemble(source))
+    machine.run(max_steps=100)
+    assert machine.regs[3] == (200 if taken else 100)
+
+
+MEMORY_CASES = [
+    # (store op, load op, value, expected loaded)
+    ("sw", "lw", 0xDEADBEEF, 0xDEADBEEF),
+    ("sb", "lb", 0xDEADBEEF, 0xEF),
+    ("sw", "lb", 0x11223344, 0x44),  # little endian low byte
+]
+
+
+@pytest.mark.parametrize("store,load,value,expected", MEMORY_CASES)
+def test_memory_semantics(store, load, value, expected):
+    source = f"""
+        li r1, 0x600
+        li r2, {value & 0x3FFFFF}
+        shli r2, r2, 10
+        ori r2, r2, {value & 0x3FF}
+    """
+    # Build the exact 32-bit value: (value >> 10) << 10 | low bits.
+    source = f"""
+        li r1, 0x600
+        li r2, {(value >> 16) & 0xFFFF}
+        shli r2, r2, 16
+        ori r2, r2, {value & 0xFFFF}
+        {store} r2, 4(r1)
+        {load} r3, 4(r1)
+        halt
+    """
+    machine = Machine(assemble(source))
+    machine.run(max_steps=100)
+    assert machine.regs[3] == expected
+
+
+class TestControlTransfers:
+    def test_jmp_forward_and_back(self):
+        machine = Machine(assemble("""
+            jmp fwd
+        back:
+            li r1, 3
+            halt
+        fwd:
+            li r1, 2
+            jmp back
+        """))
+        machine.run(max_steps=100)
+        assert machine.regs[1] == 3
+
+    def test_jal_links_next_pc(self):
+        machine = Machine(assemble("""
+            jal f
+            halt
+        f:
+            mov r1, lr
+            ret
+        """))
+        machine.run(max_steps=100)
+        assert machine.regs[1] == 4  # address after the jal
+
+    def test_nested_calls_with_stack(self):
+        machine = Machine(assemble("""
+            li sp, 0x1000
+            jal outer
+            halt
+        outer:
+            addi sp, sp, -4
+            sw lr, 0(sp)
+            jal inner
+            lw lr, 0(sp)
+            addi sp, sp, 4
+            addi r1, r1, 10
+            ret
+        inner:
+            addi r1, r1, 1
+            ret
+        """))
+        machine.run(max_steps=100)
+        assert machine.regs[1] == 11
+
+    def test_instret_counts_all(self):
+        machine = Machine(assemble("nop\nnop\nhalt"))
+        machine.run()
+        assert machine.instret == 3

@@ -1,0 +1,98 @@
+"""Tests for profiles and the overlap-accuracy metric."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.profiles import Profile, overlap_accuracy
+
+
+class TestProfile:
+    def test_from_events(self):
+        profile = Profile.from_events(["a", "b", "a", "c", "a"])
+        assert profile.count("a") == 3
+        assert profile.total == 5
+        assert len(profile) == 3
+
+    def test_from_array(self):
+        profile = Profile.from_array([0, 5, 2, 0, 1])
+        assert profile.count(1) == 5
+        assert 0 not in profile
+        assert profile.total == 8
+
+    def test_add(self):
+        profile = Profile()
+        profile.add("m", 10)
+        profile.add("m")
+        assert profile.count("m") == 11
+
+    def test_negative_add_rejected(self):
+        with pytest.raises(ValueError):
+            Profile().add("m", -1)
+
+    def test_negative_init_rejected(self):
+        with pytest.raises(ValueError):
+            Profile({"m": -2})
+
+    def test_fractions(self):
+        profile = Profile({"a": 3, "b": 1})
+        assert profile.fraction("a") == 0.75
+        assert profile.fractions() == {"a": 0.75, "b": 0.25}
+
+    def test_empty_fraction(self):
+        assert Profile().fraction("a") == 0.0
+        assert Profile().fractions() == {}
+
+    def test_top(self):
+        profile = Profile({"a": 6, "b": 3, "c": 1})
+        assert profile.top(2) == [("a", 0.6), ("b", 0.3)]
+
+    def test_zero_counts_dropped(self):
+        profile = Profile({"a": 0, "b": 2})
+        assert "a" not in profile
+
+
+class TestOverlapAccuracy:
+    def test_identical_profiles_100(self):
+        profile = Profile({"a": 10, "b": 30})
+        assert overlap_accuracy(profile, profile) == pytest.approx(100.0)
+
+    def test_scaled_profile_100(self):
+        """Uniform 1-in-N sampling of a stationary mix is perfect."""
+        full = Profile({"a": 100, "b": 300})
+        sampled = Profile({"a": 1, "b": 3})
+        assert overlap_accuracy(full, sampled) == pytest.approx(100.0)
+
+    def test_paper_worked_example(self):
+        """Section 4.1: a method that is 50% of the full profile but 60%
+        of the sampled one contributes 50 points."""
+        full = Profile({"m1": 50, "m2": 50})
+        sampled = Profile({"m1": 60, "m2": 40})
+        assert overlap_accuracy(full, sampled) == pytest.approx(90.0)
+
+    def test_disjoint_profiles_zero(self):
+        assert overlap_accuracy(Profile({"a": 5}), Profile({"b": 5})) == 0.0
+
+    def test_missing_method_penalised(self):
+        full = Profile({"a": 50, "b": 50})
+        sampled = Profile({"a": 50})
+        assert overlap_accuracy(full, sampled) == pytest.approx(50.0)
+
+    def test_empty_sampled_is_zero(self):
+        assert overlap_accuracy(Profile({"a": 1}), Profile()) == 0.0
+
+    def test_empty_full_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_accuracy(Profile(), Profile({"a": 1}))
+
+
+@given(st.dictionaries(st.integers(0, 20), st.integers(1, 100),
+                       min_size=1, max_size=10),
+       st.dictionaries(st.integers(0, 20), st.integers(1, 100),
+                       min_size=1, max_size=10))
+def test_overlap_properties(full_counts, sampled_counts):
+    """Overlap is within [0, 100] and symmetric."""
+    full = Profile(full_counts)
+    sampled = Profile(sampled_counts)
+    acc = overlap_accuracy(full, sampled)
+    assert 0.0 <= acc <= 100.0 + 1e-9
+    assert acc == pytest.approx(overlap_accuracy(sampled, full))

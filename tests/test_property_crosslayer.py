@@ -1,0 +1,194 @@
+"""Cross-layer property tests.
+
+Hypothesis generates random (well-formed) programs and checks that
+independent layers of the system agree: assembler vs. disassembler,
+the functional machine vs. a direct Python evaluation of the same
+operations, and event-level samplers vs. the ISA-level framework.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brr import HardwareCounterUnit
+from repro.isa.asm import assemble
+from repro.isa.disasm import disassemble
+from repro.isa.instructions import Op
+from repro.sim.machine import Machine
+
+# ----------------------------------------------------------------------
+# Random straight-line ALU programs vs. a Python reference evaluator
+# ----------------------------------------------------------------------
+
+_ALU_OPS = ("add", "sub", "and", "or", "xor", "mul")
+_IMM_OPS = ("addi", "andi", "ori", "xori")
+
+_alu_instr = st.tuples(
+    st.sampled_from(_ALU_OPS),
+    st.integers(1, 9),  # rd
+    st.integers(1, 9),  # ra
+    st.integers(1, 9),  # rb
+)
+_imm_instr = st.tuples(
+    st.sampled_from(_IMM_OPS),
+    st.integers(1, 9),
+    st.integers(1, 9),
+    st.integers(-1000, 1000),
+)
+
+MASK = 0xFFFFFFFF
+
+
+def _reference(instrs, init):
+    regs = dict(init)
+    for instr in instrs:
+        if len(instr) == 4 and instr[0] in _ALU_OPS:
+            op, rd, ra, rb = instr
+            a, b = regs[ra], regs[rb]
+            regs[rd] = {
+                "add": (a + b) & MASK,
+                "sub": (a - b) & MASK,
+                "and": a & b,
+                "or": a | b,
+                "xor": a ^ b,
+                "mul": (a * b) & MASK,
+            }[op]
+        else:
+            op, rd, ra, imm = instr
+            a = regs[ra]
+            value = imm & MASK
+            regs[rd] = {
+                "addi": (a + imm) & MASK,
+                "andi": a & value,
+                "ori": a | value,
+                "xori": a ^ value,
+            }[op]
+    return regs
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    instrs=st.lists(st.one_of(_alu_instr, _imm_instr), min_size=1,
+                    max_size=25),
+    seeds=st.lists(st.integers(0, 0xFFFF), min_size=9, max_size=9),
+)
+def test_machine_matches_reference_semantics(instrs, seeds):
+    init = {reg: seeds[reg - 1] for reg in range(1, 10)}
+    lines = [f"li r{reg}, {value}" for reg, value in init.items()]
+    for instr in instrs:
+        if instr[0] in _ALU_OPS:
+            op, rd, ra, rb = instr
+            lines.append(f"{op} r{rd}, r{ra}, r{rb}")
+        else:
+            op, rd, ra, imm = instr
+            lines.append(f"{op} r{rd}, r{ra}, {imm}")
+    lines.append("halt")
+    machine = Machine(assemble("\n".join(lines)))
+    machine.run(max_steps=10_000)
+    expected = _reference(instrs, init)
+    for reg in range(1, 10):
+        assert machine.regs[reg] == expected[reg], f"r{reg}"
+
+
+# ----------------------------------------------------------------------
+# Assembler <-> disassembler agreement on generated programs
+# ----------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(
+    body=st.lists(
+        st.sampled_from([
+            "addi r1, r1, 1",
+            "sub r2, r1, r3",
+            "lw r4, 8(r5)",
+            "sb r4, -3(r5)",
+            "nop",
+            "marker 3",
+            "mul r6, r6, r1",
+            "slti r7, r1, 50",
+        ]),
+        min_size=1, max_size=20,
+    ),
+)
+def test_disassembly_reassembles_bit_identically(body):
+    source = "\n".join(["start:"] + body + ["beq r1, r2, start", "halt"])
+    program = assemble(source)
+    listing = disassemble(program)
+    lines = []
+    for line in listing.splitlines():
+        if line.endswith(":"):
+            lines.append(line)
+        else:
+            lines.append(line.split(":", 1)[1])
+    reassembled = assemble("\n".join(lines))
+    assert reassembled.words == program.words
+
+
+# ----------------------------------------------------------------------
+# Event-level samplers vs. the ISA-level framework
+# ----------------------------------------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(
+    interval_log=st.integers(1, 5),
+    iterations=st.integers(10, 120),
+)
+def test_isa_brr_framework_matches_event_sampler(interval_log, iterations):
+    """Running a brr-sampled loop on the machine with a deterministic
+    unit collects exactly the samples the event-level model predicts."""
+    from repro.sampling import HardwareCounterSampler
+
+    interval = 1 << interval_log
+    source = f"""
+        li r1, {iterations}
+        li r2, 0
+    loop:
+        brr 1/{interval}, hit
+    back:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    hit:
+        addi r2, r2, 1
+        brra back
+    """
+    machine = Machine(assemble(source), brr_unit=HardwareCounterUnit())
+    machine.run(max_steps=200_000)
+
+    sampler = HardwareCounterSampler(interval)
+    expected = sum(sampler.should_sample() for __ in range(iterations))
+    assert machine.regs[2] == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(iterations=st.integers(16, 200))
+def test_trap_and_native_always_agree(iterations):
+    """Property form of the Section 4.1 equivalence: trap emulation and
+    native execution make identical decisions for any loop length."""
+    from repro.core.brr import BranchOnRandomUnit
+    from repro.core.lfsr import Lfsr
+    from repro.sim.trap import BrrTrapEmulator
+
+    source = f"""
+        li r1, {iterations}
+        li r2, 0
+    loop:
+        brr 1/4, hit
+    back:
+        addi r1, r1, -1
+        bne r1, r0, loop
+        halt
+    hit:
+        addi r2, r2, 1
+        jmp back
+    """
+    seed = iterations * 2654435761 % 0xFFFFF or 1
+    native = Machine(assemble(source),
+                     brr_unit=BranchOnRandomUnit(Lfsr(20, seed=seed)))
+    native.run(max_steps=400_000)
+
+    trap_machine = Machine(assemble(source, brr_mode="trap"))
+    BrrTrapEmulator(
+        unit=BranchOnRandomUnit(Lfsr(20, seed=seed))).install(trap_machine)
+    trap_machine.run(max_steps=400_000)
+
+    assert native.regs[2] == trap_machine.regs[2]

@@ -1,0 +1,83 @@
+"""Property tests: position streams are chunk-size invariant.
+
+The accuracy harness streams workloads in chunks; correctness demands
+that a sampler's decisions not depend on where the chunk boundaries
+fall. Hypothesis drives both stream classes through arbitrary chunk
+partitions and compares against the one-shot answer.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.sampling.positions import (
+    BrrPositionStream,
+    CounterPositionStream,
+    brr_positions,
+    periodic_positions,
+)
+
+
+def collect_chunked(stream, chunks):
+    """Global positions gathered across a chunk partition."""
+    positions = []
+    offset = 0
+    for size in chunks:
+        local = stream.take(size)
+        positions.extend((local + offset).tolist())
+        offset += size
+    return positions
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    interval=st.integers(1, 64),
+    chunks=st.lists(st.integers(0, 300), min_size=1, max_size=12),
+)
+def test_counter_stream_chunk_invariant(interval, chunks):
+    total = sum(chunks)
+    expected = periodic_positions(total, interval).tolist()
+    chunked = collect_chunked(CounterPositionStream(interval), chunks)
+    assert chunked == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    field=st.integers(0, 5),
+    seed=st.integers(1, 0xFFFF),
+    chunks=st.lists(st.integers(0, 400), min_size=1, max_size=8),
+)
+def test_brr_stream_chunk_invariant(field, seed, chunks):
+    total = sum(chunks)
+    expected = brr_positions(total, field, width=16, seed=seed).tolist()
+    stream = BrrPositionStream(field, width=16, seed=seed)
+    assert collect_chunked(stream, chunks) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    interval=st.integers(1, 32),
+    n=st.integers(0, 500),
+)
+def test_counter_positions_count(interval, n):
+    """Exactly floor((n - first - 1)/interval) + 1 samples (or 0)."""
+    positions = periodic_positions(n, interval)
+    first = interval - 1
+    expected = 0 if n <= first else (n - first - 1) // interval + 1
+    assert positions.size == expected
+    if positions.size:
+        assert positions[0] == first
+        assert np.all(np.diff(positions) == interval)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    field=st.integers(0, 4),
+    seed=st.integers(1, 0xFFFF),
+)
+def test_brr_positions_within_bounds(field, seed):
+    n = 2000
+    positions = brr_positions(n, field, width=16, seed=seed)
+    if positions.size:
+        assert positions.min() >= 0
+        assert positions.max() < n
+        assert np.all(np.diff(positions) > 0)

@@ -1,0 +1,124 @@
+"""Property tests: timing structures vs. executable reference models."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.timing.caches import Cache
+from repro.timing.predictors import Gshare, ReturnAddressStack, TwoBitTable
+
+# ----------------------------------------------------------------------
+# Cache vs. a dict-based LRU reference
+# ----------------------------------------------------------------------
+
+
+class ReferenceLru:
+    """Straightforward per-set LRU model."""
+
+    def __init__(self, sets, ways, line):
+        self.sets = sets
+        self.ways = ways
+        self.line = line
+        self.state = {index: OrderedDict() for index in range(sets)}
+
+    def access(self, addr):
+        line = addr // self.line
+        entry = self.state[line % self.sets]
+        hit = line in entry
+        if hit:
+            entry.move_to_end(line)
+        else:
+            entry[line] = True
+            if len(entry) > self.ways:
+                entry.popitem(last=False)
+        return hit
+
+
+@settings(max_examples=60, deadline=None)
+@given(addresses=st.lists(st.integers(0, 4095), min_size=1, max_size=300))
+def test_cache_matches_reference_lru(addresses):
+    cache = Cache("t", size=512, assoc=2, line_bytes=32, latency=1,
+                  miss_latency=10)
+    reference = ReferenceLru(sets=8, ways=2, line=32)
+    for addr in addresses:
+        hit = cache.access(addr) == 1
+        assert hit == reference.access(addr)
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+def test_cache_hit_plus_miss_equals_accesses(addresses):
+    cache = Cache("t", size=1024, assoc=4, line_bytes=64, latency=1,
+                  miss_latency=50)
+    for addr in addresses:
+        cache.access(addr)
+    assert cache.hits + cache.misses == len(addresses)
+    assert 0.0 <= cache.hit_rate <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(addresses=st.lists(st.integers(0, 255), min_size=1, max_size=100))
+def test_repeated_access_always_hits(addresses):
+    """Second touch of any line within a working set smaller than one
+    set's capacity always hits."""
+    cache = Cache("t", size=16384, assoc=4, line_bytes=64, latency=1,
+                  miss_latency=10)
+    for addr in addresses:
+        cache.access(addr)
+    hits_before = cache.hits
+    for addr in addresses:
+        assert cache.access(addr) == 1
+    assert cache.hits == hits_before + len(addresses)
+
+
+# ----------------------------------------------------------------------
+# Predictor reference models
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=200))
+def test_two_bit_counter_reference(outcomes):
+    table = TwoBitTable(4)
+    counter = 1
+    for taken in outcomes:
+        assert table.predict(0) == (counter >= 2)
+        table.update(0, taken)
+        counter = min(3, counter + 1) if taken else max(0, counter - 1)
+        assert table.table[0] == counter
+
+
+@settings(max_examples=30, deadline=None)
+@given(outcomes=st.lists(st.booleans(), min_size=1, max_size=120),
+       pc=st.integers(0, 0xFFFF))
+def test_gshare_history_reference(outcomes, pc):
+    predictor = Gshare(6)
+    history = 0
+    for taken in outcomes:
+        assert predictor.history == history
+        predictor.update(pc * 4, taken)
+        history = ((history << 1) | int(taken)) & 0b111111
+    assert predictor.history == history
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=st.lists(
+    st.one_of(st.tuples(st.just("push"), st.integers(0, 1000)),
+              st.tuples(st.just("pop"), st.just(0))),
+    min_size=1, max_size=60,
+))
+def test_ras_matches_bounded_stack(ops):
+    """The RAS behaves as a stack whose bottom falls off at capacity."""
+    depth = 4
+    ras = ReturnAddressStack(depth)
+    model = []
+    for kind, value in ops:
+        if kind == "push":
+            ras.push(value)
+            model.append(value)
+            if len(model) > depth:
+                model.pop(0)
+        else:
+            expected = model.pop() if model else None
+            assert ras.pop() == expected

@@ -1,0 +1,143 @@
+"""Property test: transform-invariance of program semantics.
+
+Hypothesis generates random structured programs (nested loops,
+diamonds, instrumented blocks); every Arnold-Ryder variant of each
+program must compute the identical architectural result.  This is the
+strongest form of the paper's "retaining the desired functionality"
+claim, checked over the whole transform space rather than hand-picked
+examples.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.brr import HardwareCounterUnit
+from repro.instrument.arnold_ryder import SamplingSpec, apply_framework
+from repro.instrument.cfg import Block, Cfg, Terminator
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+
+# A structured program is a tree of constructs; each leaf contributes
+# distinct arithmetic so any control-flow corruption changes r3.
+construct = st.deferred(lambda: st.one_of(
+    st.tuples(st.just("work"), st.integers(1, 4)),
+    st.tuples(st.just("site"), st.integers(1, 4)),
+    st.tuples(st.just("diamond"), construct_list),
+    st.tuples(st.just("loop"), st.integers(2, 4), construct_list),
+))
+construct_list = st.lists(construct, min_size=1, max_size=3)
+
+
+class _Builder:
+    """Lower a construct tree to a Cfg with instrumented blocks."""
+
+    def __init__(self):
+        self.cfg = Cfg("p", entry="b0")
+        self.counter = 0
+        self.site_counter = 0
+        self.loop_depth = 0
+
+    def fresh(self):
+        self.counter += 1
+        return f"b{self.counter}"
+
+    def build(self, tree):
+        entry = Block("b0", body=["li r3, 1"])
+        self.cfg.add(entry)
+        last = self.emit(entry, tree)
+        exit_name = self.fresh()
+        last.term = Terminator("fall", target=exit_name)
+        self.cfg.add(Block(exit_name, term=Terminator("halt")))
+        self.cfg.validate()
+        return self.cfg
+
+    def emit(self, current, constructs):
+        for item in constructs:
+            kind = item[0]
+            if kind == "work":
+                current.body.extend(
+                    [f"addi r3, r3, {item[1]}", "xori r3, r3, 3"])
+            elif kind == "site":
+                # Split so the site anchors a block top.
+                name = self.fresh()
+                block = Block(name, body=[f"addi r3, r3, {item[1] * 5}"])
+                block.site_id = self.site_counter
+                block.site_lines = ["addi r9, r9, 1"]
+                self.site_counter += 1
+                current.term = Terminator("fall", target=name)
+                self.cfg.add(block)
+                current = block
+            elif kind == "diamond":
+                left, join = self.fresh(), self.fresh()
+                right = self.fresh()
+                current.body.append("andi r2, r3, 1")
+                current.term = Terminator("cond", op="beq", ra="r2",
+                                          rb="r0", taken=left, target=right)
+                right_block = self.cfg.add(Block(
+                    right, body=["addi r3, r3, 7"],
+                    term=Terminator("jump", target=join)))
+                left_block = self.cfg.add(Block(
+                    left, body=["addi r3, r3, 11"]))
+                inner_last = self.emit(left_block, item[1])
+                inner_last.term = Terminator("fall", target=join)
+                current = self.cfg.add(Block(join))
+            elif kind == "loop":
+                if self.loop_depth >= 2:
+                    # Register budget: flatten deeper loops to work.
+                    current.body.extend(["addi r3, r3, 2"] * item[1])
+                    continue
+                reg = "r5" if self.loop_depth == 0 else "r6"
+                head, latch, after = self.fresh(), self.fresh(), self.fresh()
+                current.body.append(f"li {reg}, {item[1]}")
+                current.term = Terminator("fall", target=head)
+                head_block = self.cfg.add(Block(head))
+                self.loop_depth += 1
+                body_last = self.emit(head_block, item[2])
+                self.loop_depth -= 1
+                body_last.term = Terminator("fall", target=latch)
+                self.cfg.add(Block(
+                    latch, body=[f"addi {reg}, {reg}, -1"],
+                    term=Terminator("cond", op="bne", ra=reg, rb="r0",
+                                    taken=head, target=after)))
+                current = self.cfg.add(Block(after))
+        return current
+
+
+VARIANTS = [
+    ("none", None, None),
+    ("full", None, None),
+    ("no-dup", "cbs", False),
+    ("no-dup", "brr", False),
+    ("full-dup", "cbs", False),
+    ("full-dup", "brr", False),
+    ("no-dup", "cbs", True),
+    ("full-dup", "cbs", True),
+]
+
+
+def run_variant(cfg, variant, kind, register_counter, interval):
+    spec = None
+    if kind is not None:
+        spec = SamplingSpec(kind=kind, interval=interval,
+                            counter_in_register=bool(register_counter))
+    out = apply_framework(cfg, variant, spec=spec)
+    preamble = spec.init_lines() if spec else []
+    source = "\n".join(
+        preamble + [f"jmp {out.label(out.entry)}"] + out.lower())
+    unit = HardwareCounterUnit() if kind == "brr" else None
+    machine = Machine(assemble(source), brr_unit=unit)
+    machine.run(max_steps=300_000)
+    return machine.regs[3]
+
+
+@settings(max_examples=30, deadline=None)
+@given(tree=construct_list, interval_log=st.integers(1, 4))
+def test_all_variants_compute_identical_results(tree, interval_log):
+    interval = 1 << interval_log
+    reference = None
+    for variant, kind, register_counter in VARIANTS:
+        cfg = _Builder().build(tree)  # fresh CFG per variant
+        result = run_variant(cfg, variant, kind, register_counter, interval)
+        if reference is None:
+            reference = result
+        else:
+            assert result == reference, (variant, kind, register_counter)

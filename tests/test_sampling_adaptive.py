@@ -1,0 +1,140 @@
+"""Tests for convergent profiling and online performance auditing."""
+
+import random
+
+import pytest
+
+from repro.core.brr import HardwareCounterUnit
+from repro.sampling import ConvergentProfiler, VersionAuditor
+
+
+class TestConvergentProfiler:
+    def test_starts_at_initial_interval(self):
+        profiler = ConvergentProfiler(initial_interval=16)
+        assert profiler.current_interval("site") == 16
+
+    def test_rate_escalates_as_profile_converges(self):
+        profiler = ConvergentProfiler(
+            initial_interval=2, max_interval=64, samples_per_level=8,
+            unit=HardwareCounterUnit(),
+        )
+        rng = random.Random(1)
+        for _ in range(5000):
+            if profiler.encounter("site"):
+                profiler.record("site", rng.gauss(10.0, 0.5))
+            if profiler.current_interval("site") == 64:
+                break
+        assert profiler.current_interval("site") == 64
+
+    def test_converged_flag_set(self):
+        profiler = ConvergentProfiler(
+            initial_interval=2, max_interval=2, samples_per_level=4,
+            unit=HardwareCounterUnit(),
+        )
+        for _ in range(40):
+            if profiler.encounter("s"):
+                profiler.record("s", 5.0)
+        assert profiler.sites["s"].converged
+
+    def test_drift_triggers_recharacterization(self):
+        profiler = ConvergentProfiler(
+            initial_interval=2, max_interval=4, samples_per_level=8,
+            drift_sigma=4.0, unit=HardwareCounterUnit(),
+        )
+        rng = random.Random(2)
+        # Converge on a behaviour around 10.
+        for _ in range(400):
+            if profiler.encounter("s"):
+                profiler.record("s", rng.gauss(10.0, 0.2))
+        assert profiler.sites["s"].converged
+        before = profiler.sites["s"].recharacterizations
+        # Behaviour shifts to 20: low-frequency samples disagree.
+        for _ in range(400):
+            if profiler.encounter("s"):
+                profiler.record("s", rng.gauss(20.0, 0.2))
+        state = profiler.sites["s"]
+        assert state.recharacterizations > before
+        # And the rate went back up (interval back down).
+        assert profiler.current_interval("s") <= 4
+
+    def test_sites_independent(self):
+        profiler = ConvergentProfiler(
+            initial_interval=2, max_interval=8, samples_per_level=4,
+            unit=HardwareCounterUnit(),
+        )
+        for _ in range(200):
+            if profiler.encounter("hot"):
+                profiler.record("hot", 1.0)
+        assert profiler.current_interval("hot") > profiler.current_interval("cold")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConvergentProfiler(initial_interval=64, max_interval=16)
+        with pytest.raises(ValueError):
+            ConvergentProfiler(samples_per_level=1)
+
+    def test_counters(self):
+        profiler = ConvergentProfiler(initial_interval=2,
+                                      unit=HardwareCounterUnit())
+        for _ in range(10):
+            profiler.encounter("s")
+        assert profiler.encounters == 10
+        assert profiler.samples == 5
+
+
+class TestVersionAuditor:
+    def cost_model(self, version):
+        return {"fast": 1.0, "slow": 3.0, "medium": 2.0}[version]
+
+    def run(self, auditor, invocations=4000, noise=0.0, seed=0):
+        rng = random.Random(seed)
+        total_cost = 0.0
+        for _ in range(invocations):
+            version, audited = auditor.choose()
+            cost = self.cost_model(version) + rng.gauss(0, noise)
+            total_cost += cost
+            if audited:
+                auditor.report(version, cost)
+        return total_cost
+
+    def test_finds_fastest_version(self):
+        auditor = VersionAuditor(["slow", "medium", "fast"], audit_interval=16)
+        self.run(auditor)
+        assert auditor.incumbent == "fast"
+        assert auditor.ranking()[0][0] == "fast"
+
+    def test_noise_tolerated(self):
+        auditor = VersionAuditor(["slow", "fast"], audit_interval=16)
+        self.run(auditor, noise=0.3, seed=3)
+        assert auditor.incumbent == "fast"
+
+    def test_audit_rate_low(self):
+        auditor = VersionAuditor(["slow", "fast"], audit_interval=64)
+        self.run(auditor, invocations=8000)
+        assert auditor.audits < 8000 * (1 / 64) * 1.6
+
+    def test_mostly_runs_incumbent(self):
+        """The dispatch overhead claim: after convergence nearly every
+        invocation runs the best version."""
+        auditor = VersionAuditor(["slow", "fast"], audit_interval=64,
+                                 min_audits=4)
+        total = self.run(auditor, invocations=10_000)
+        # Perfect dispatch would cost 10000; pure-slow would cost 30000.
+        assert total < 12_000
+
+    def test_unknown_version_rejected(self):
+        auditor = VersionAuditor(["a", "b"])
+        with pytest.raises(KeyError):
+            auditor.report("c", 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VersionAuditor(["only"])
+        with pytest.raises(ValueError):
+            VersionAuditor(["dup", "dup"])
+
+    def test_deterministic_unit(self):
+        auditor = VersionAuditor(["a", "b"], audit_interval=4,
+                                 unit=HardwareCounterUnit())
+        audited = [auditor.choose()[1] for _ in range(8)]
+        assert audited == [False, False, False, True] * 2

@@ -1,0 +1,131 @@
+"""Tests for vectorised sample-position generation (fast path)."""
+
+import numpy as np
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit
+from repro.core.lfsr import Lfsr
+from repro.sampling import (
+    BrrSampler,
+    SoftwareCounterSampler,
+    brr_decision_array,
+    brr_positions,
+    overlap_from_counts,
+    periodic_positions,
+    profile_counts,
+)
+
+
+class TestPeriodicPositions:
+    def test_default_first(self):
+        positions = periodic_positions(20, 4)
+        assert positions.tolist() == [3, 7, 11, 15, 19]
+
+    def test_explicit_first(self):
+        assert periodic_positions(10, 4, first=0).tolist() == [0, 4, 8]
+
+    def test_matches_event_sampler(self):
+        n, interval = 500, 16
+        sampler = SoftwareCounterSampler(interval)
+        expected = [i for i in range(n) if sampler.should_sample()]
+        assert periodic_positions(n, interval).tolist() == expected
+
+    def test_empty(self):
+        assert periodic_positions(0, 4).size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            periodic_positions(-1, 4)
+        with pytest.raises(ValueError):
+            periodic_positions(10, 0)
+        with pytest.raises(ValueError):
+            periodic_positions(10, 4, first=-1)
+
+
+class TestBrrDecisions:
+    def test_matches_unit_resolutions(self):
+        """The masked fast loop must be bit-identical to the hardware
+        model resolving the same field from the same seed."""
+        n, field, seed = 2000, 3, 0xBEEF
+        unit = BranchOnRandomUnit(Lfsr(16, seed=seed), policy="spaced")
+        expected = [unit.resolve(field) for _ in range(n)]
+        fast = brr_decision_array(n, field, width=16, seed=seed)
+        assert fast.tolist() == expected
+
+    def test_matches_unit_contiguous_policy(self):
+        n, field, seed = 1000, 5, 77
+        unit = BranchOnRandomUnit(Lfsr(20, seed=seed), policy="contiguous")
+        expected = [unit.resolve(field) for _ in range(n)]
+        fast = brr_decision_array(n, field, width=20, seed=seed,
+                                  policy="contiguous")
+        assert fast.tolist() == expected
+
+    def test_positions_are_indices_of_taken(self):
+        decisions = brr_decision_array(500, 2, seed=3)
+        positions = brr_positions(500, 2, seed=3)
+        assert positions.tolist() == np.flatnonzero(decisions).tolist()
+
+    def test_frequency_convergence(self):
+        positions = brr_positions(1 << 16, 4)  # 1/32
+        rate = positions.size / (1 << 16)
+        assert abs(rate - 1 / 32) < 0.004
+
+    def test_custom_taps(self):
+        positions = brr_positions(10_000, 3, width=32,
+                                  taps=(32, 31, 30, 10), seed=0x1234)
+        assert 0 < positions.size < 10_000
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            brr_decision_array(-1, 0)
+
+    def test_sampler_equivalence(self):
+        sampler = BrrSampler(field=2, unit=BranchOnRandomUnit(Lfsr(16, seed=9)))
+        expected = [i for i in range(300) if sampler.should_sample()]
+        assert brr_positions(300, 2, width=16, seed=9).tolist() == expected
+
+
+class TestProfileCounts:
+    def test_full_profile(self):
+        events = np.array([0, 1, 1, 2, 2, 2])
+        assert profile_counts(events, None).tolist() == [1, 2, 3]
+
+    def test_sampled_profile(self):
+        events = np.array([0, 1, 1, 2, 2, 2])
+        counts = profile_counts(events, np.array([0, 3, 5]))
+        assert counts.tolist() == [1, 0, 2]
+
+    def test_num_keys_padding(self):
+        events = np.array([0, 1])
+        assert profile_counts(events, None, num_keys=5).tolist() == [1, 1, 0, 0, 0]
+
+    def test_empty_events(self):
+        counts = profile_counts(np.array([], dtype=np.int64), None)
+        assert counts.size == 0
+
+
+class TestOverlapFromCounts:
+    def test_matches_object_version(self):
+        from repro.profiles import Profile, overlap_accuracy
+
+        full = np.array([50, 50, 0])
+        sampled = np.array([60, 40, 0])
+        fast = overlap_from_counts(full, sampled)
+        slow = overlap_accuracy(Profile.from_array(full),
+                                Profile.from_array(sampled))
+        assert fast == pytest.approx(slow)
+
+    def test_length_mismatch_padded(self):
+        assert overlap_from_counts(np.array([10]), np.array([5, 5])) == \
+            pytest.approx(50.0)
+
+    def test_empty_sampled(self):
+        assert overlap_from_counts(np.array([1, 2]), np.array([0, 0])) == 0.0
+
+    def test_empty_full_rejected(self):
+        with pytest.raises(ValueError):
+            overlap_from_counts(np.array([0]), np.array([1]))
+
+    def test_perfect_sampling(self):
+        full = np.array([100, 300, 600])
+        assert overlap_from_counts(full, full // 100) == pytest.approx(100.0)

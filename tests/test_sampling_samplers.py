@@ -1,0 +1,116 @@
+"""Tests for the event-level sampling frameworks."""
+
+import pytest
+
+from repro.core.brr import HardwareCounterUnit
+from repro.profiles import Profile, overlap_accuracy
+from repro.sampling import (
+    BrrSampler,
+    FullSampler,
+    HardwareCounterSampler,
+    SoftwareCounterSampler,
+    collect_profile,
+)
+
+
+class TestSoftwareCounter:
+    def test_samples_every_interval(self):
+        sampler = SoftwareCounterSampler(4)
+        outcomes = [sampler.should_sample() for _ in range(12)]
+        assert outcomes == [False, False, False, True] * 3
+
+    def test_interval_one_samples_everything(self):
+        sampler = SoftwareCounterSampler(1)
+        assert all(sampler.should_sample() for _ in range(5))
+
+    def test_phase(self):
+        sampler = SoftwareCounterSampler(4, phase=0)
+        outcomes = [sampler.should_sample() for _ in range(8)]
+        assert outcomes == [True, False, False, False] * 2
+
+    def test_counters_tracked(self):
+        sampler = SoftwareCounterSampler(8)
+        for _ in range(64):
+            sampler.should_sample()
+        assert sampler.encounters == 64
+        assert sampler.samples == 8
+
+    def test_rate(self):
+        assert SoftwareCounterSampler(1024).expected_rate == 1 / 1024
+
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            SoftwareCounterSampler(0)
+
+    def test_bad_phase(self):
+        with pytest.raises(ValueError):
+            SoftwareCounterSampler(4, phase=-1)
+
+    def test_resonance_with_periodic_stream(self):
+        """Footnote 7's pathology: with a loop body of two alternating
+        methods and an even interval, only one method is ever sampled."""
+        events = ["A", "B"] * 4096
+        profile = collect_profile(events, SoftwareCounterSampler(1024))
+        assert len(profile) == 1  # only one of A/B observed
+
+
+class TestHardwareCounter:
+    def test_deterministic_interval(self):
+        sampler = HardwareCounterSampler(4)
+        outcomes = [sampler.should_sample() for _ in range(8)]
+        assert outcomes == [False, False, False, True] * 2
+
+    def test_matches_software_counter_positions(self):
+        sw = SoftwareCounterSampler(16)
+        hw = HardwareCounterSampler(16)
+        assert [sw.should_sample() for _ in range(64)] == \
+               [hw.should_sample() for _ in range(64)]
+
+    def test_phase_shift(self):
+        sampler = HardwareCounterSampler(4, phase=3)
+        assert sampler.should_sample() is True
+
+
+class TestBrrSampler:
+    def test_interval_or_field_required(self):
+        with pytest.raises(ValueError):
+            BrrSampler()
+        with pytest.raises(ValueError):
+            BrrSampler(interval=16, field=3)
+
+    def test_interval_maps_to_field(self):
+        assert BrrSampler(interval=1024).field == 9
+        assert BrrSampler(field=9).expected_rate == 1 / 1024
+
+    def test_rate_converges(self):
+        sampler = BrrSampler(interval=8)
+        n = 8192
+        samples = sum(sampler.should_sample() for _ in range(n))
+        assert abs(samples / n - 1 / 8) < 0.02
+
+    def test_deterministic_unit_injectable(self):
+        sampler = BrrSampler(interval=4, unit=HardwareCounterUnit())
+        outcomes = [sampler.should_sample() for _ in range(8)]
+        assert outcomes == [False, False, False, True] * 2
+
+    def test_avoids_resonance(self):
+        """The paper's key accuracy result: pseudo-random sampling sees
+        both methods of a periodic stream."""
+        events = ["A", "B"] * 8192
+        profile = collect_profile(events, BrrSampler(interval=64))
+        assert len(profile) == 2
+        accuracy = overlap_accuracy(Profile.from_events(events), profile)
+        assert accuracy > 85.0
+
+
+class TestFullSampler:
+    def test_samples_all(self):
+        events = list(range(100))
+        profile = collect_profile(events, FullSampler())
+        assert profile.total == 100
+        assert FullSampler().expected_rate == 1.0
+
+    def test_full_profile_accuracy_100(self):
+        events = [i % 7 for i in range(700)]
+        full = collect_profile(events, FullSampler())
+        assert overlap_accuracy(full, full) == pytest.approx(100.0)

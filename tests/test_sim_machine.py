@@ -1,0 +1,423 @@
+"""Tests for the functional simulator."""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit, HardwareCounterUnit
+from repro.isa.asm import assemble
+from repro.isa.instructions import Op
+from repro.sim.machine import Halted, Machine, MachineError
+from repro.sim.memory import Memory, MemoryError_
+from repro.sim.trap import BrrTrapEmulator
+
+
+def run_program(source, **kwargs):
+    machine = Machine(assemble(source), **kwargs)
+    machine.run()
+    return machine
+
+
+class TestMemory:
+    def test_word_roundtrip(self):
+        mem = Memory(1024)
+        mem.store_word(8, 0xDEADBEEF)
+        assert mem.load_word(8) == 0xDEADBEEF
+
+    def test_little_endian(self):
+        mem = Memory(1024)
+        mem.store_word(0, 0x11223344)
+        assert [mem.load_byte(i) for i in range(4)] == [0x44, 0x33, 0x22, 0x11]
+
+    def test_byte_masking(self):
+        mem = Memory(64)
+        mem.store_byte(0, 0x1FF)
+        assert mem.load_byte(0) == 0xFF
+
+    def test_bounds_checked(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.load_word(64)
+        with pytest.raises(MemoryError_):
+            mem.store_byte(-1, 0)
+
+    def test_misaligned_word_rejected(self):
+        mem = Memory(64)
+        with pytest.raises(MemoryError_):
+            mem.load_word(2)
+
+    def test_bulk_bytes(self):
+        mem = Memory(64)
+        mem.write_bytes(4, b"hello")
+        assert mem.read_bytes(4, 5) == b"hello"
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            Memory(0)
+        with pytest.raises(ValueError):
+            Memory(10)
+
+    def test_program_too_large(self):
+        mem = Memory(8)
+        with pytest.raises(MemoryError_):
+            mem.load_program(assemble("nop\nnop\nhalt"))
+
+
+class TestArithmetic:
+    def test_countdown_loop(self):
+        machine = run_program(
+            """
+            li   r1, 5
+            li   r2, 0
+            loop:
+            add  r2, r2, r1
+            addi r1, r1, -1
+            bne  r1, r0, loop
+            halt
+            """
+        )
+        assert machine.regs[2] == 15
+
+    def test_alu_ops(self):
+        machine = run_program(
+            """
+            li  r1, 12
+            li  r2, 10
+            add r3, r1, r2
+            sub r4, r1, r2
+            and r5, r1, r2
+            or  r6, r1, r2
+            xor r7, r1, r2
+            mul r8, r1, r2
+            halt
+            """
+        )
+        assert machine.regs[3:9] == [22, 2, 8, 14, 6, 120]
+
+    def test_shifts(self):
+        machine = run_program(
+            """
+            li   r1, 3
+            shli r2, r1, 4
+            shri r3, r2, 2
+            li   r4, 2
+            shl  r5, r1, r4
+            shr  r6, r5, r4
+            halt
+            """
+        )
+        assert machine.regs[2] == 48
+        assert machine.regs[3] == 12
+        assert machine.regs[5] == 12
+        assert machine.regs[6] == 3
+
+    def test_wraparound(self):
+        machine = run_program(
+            """
+            li   r1, -1
+            addi r1, r1, 2
+            halt
+            """
+        )
+        assert machine.regs[1] == 1
+
+    def test_negative_representation(self):
+        machine = run_program("li r1, -2\nhalt")
+        assert machine.regs[1] == 0xFFFFFFFE
+
+    def test_signed_comparison(self):
+        machine = run_program(
+            """
+            li   r1, -5
+            li   r2, 3
+            slt  r3, r1, r2
+            slt  r4, r2, r1
+            slti r5, r1, 0
+            halt
+            """
+        )
+        assert machine.regs[3] == 1
+        assert machine.regs[4] == 0
+        assert machine.regs[5] == 1
+
+    def test_blt_signed(self):
+        machine = run_program(
+            """
+            li   r1, -1
+            li   r2, 1
+            blt  r1, r2, good
+            li   r3, 0
+            halt
+            good:
+            li   r3, 7
+            halt
+            """
+        )
+        assert machine.regs[3] == 7
+
+
+class TestMemoryOps:
+    def test_load_store_word(self):
+        machine = run_program(
+            """
+            li  r1, 0x200
+            li  r2, 1234
+            sw  r2, 0(r1)
+            lw  r3, 0(r1)
+            halt
+            """
+        )
+        assert machine.regs[3] == 1234
+
+    def test_load_store_byte(self):
+        machine = run_program(
+            """
+            li  r1, 0x300
+            li  r2, 0x1AB
+            sb  r2, 5(r1)
+            lb  r3, 5(r1)
+            halt
+            """
+        )
+        assert machine.regs[3] == 0xAB
+
+
+class TestControlFlow:
+    def test_call_return(self):
+        machine = run_program(
+            """
+            li  r1, 1
+            jal f
+            addi r1, r1, 100
+            halt
+            f:
+            addi r1, r1, 10
+            ret
+            """
+        )
+        assert machine.regs[1] == 111
+
+    def test_indirect_jump(self):
+        machine = run_program(
+            """
+            li  r1, dest
+            jr  r1
+            li  r2, 1
+            halt
+            dest:
+            li  r2, 42
+            halt
+            """
+        )
+        assert machine.regs[2] == 42
+
+    def test_brra_always_taken(self):
+        machine = run_program(
+            """
+            brra t
+            li r1, 1
+            halt
+            t: li r1, 9
+            halt
+            """
+        )
+        assert machine.regs[1] == 9
+
+    def test_markers_counted(self):
+        machine = run_program(
+            """
+            li r1, 3
+            loop:
+            marker 5
+            addi r1, r1, -1
+            bne r1, r0, loop
+            marker 6
+            halt
+            """
+        )
+        assert machine.marker_counts == {5: 3, 6: 1}
+
+    def test_marker_callbacks(self):
+        seen = []
+        machine = Machine(assemble("marker 1\nmarker 1\nhalt"))
+        machine.on_marker(lambda m, mid, count: seen.append((mid, count)))
+        machine.run()
+        assert seen == [(1, 1), (1, 2)]
+
+    def test_run_until_marker(self):
+        machine = Machine(assemble(
+            """
+            li r1, 10
+            loop:
+            marker 2
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            """
+        ))
+        machine.run_until_marker(2, count=4)
+        assert machine.marker_counts[2] == 4
+        assert not machine.halted
+
+    def test_run_until_marker_timeout(self):
+        machine = Machine(assemble("marker 1\nhalt"))
+        with pytest.raises(MachineError):
+            machine.run_until_marker(1, count=5)
+
+
+class TestBrrExecution:
+    def test_brr_without_unit_fails(self):
+        machine = Machine(assemble("brr 0, t\nt: halt"))
+        with pytest.raises(MachineError):
+            machine.run()
+
+    def test_brr_hw_counter_every_other(self):
+        source = """
+            li r1, 8
+            li r2, 0
+            loop:
+            brr 0, hit
+            back:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            hit:
+            addi r2, r2, 1
+            jmp back
+        """
+        machine = Machine(assemble(source), brr_unit=HardwareCounterUnit())
+        machine.run()
+        assert machine.regs[2] == 4  # every 2nd of 8 iterations
+
+    def test_brr_lfsr_statistics(self):
+        source = """
+            li r1, 1024
+            li r2, 0
+            loop:
+            brr 1/8, hit
+            back:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            hit:
+            addi r2, r2, 1
+            jmp back
+        """
+        machine = Machine(assemble(source), brr_unit=BranchOnRandomUnit())
+        machine.run(max_steps=100_000)
+        assert 64 <= machine.regs[2] <= 192  # ~128 expected
+
+    def test_halt_then_step_raises(self):
+        machine = Machine(assemble("halt"))
+        machine.run()
+        with pytest.raises(Halted):
+            machine.step()
+
+    def test_run_limit(self):
+        machine = Machine(assemble("spin: jmp spin"))
+        with pytest.raises(MachineError):
+            machine.run(max_steps=100)
+
+
+class TestTrapEmulation:
+    def test_trap_brr_matches_native(self):
+        """The SIGILL-emulated program takes exactly the same branches
+        as the native one when both read the same LFSR sequence."""
+        source = """
+            li r1, 256
+            li r2, 0
+            loop:
+            brr 1/4, hit
+            back:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+            hit:
+            addi r2, r2, 1
+            jmp back
+        """
+        native = Machine(assemble(source),
+                         brr_unit=BranchOnRandomUnit())
+        native.run(max_steps=100_000)
+
+        trap_machine = Machine(assemble(source, brr_mode="trap"))
+        emulator = BrrTrapEmulator()
+        emulator.install(trap_machine)
+        trap_machine.run(max_steps=100_000)
+
+        assert trap_machine.regs[2] == native.regs[2]
+        assert emulator.traps == 256
+
+    def test_trap_backward_branch(self):
+        source = """
+            jmp start
+            target:
+            li r2, 77
+            halt
+            start:
+            li r1, 1
+            brr 0, target
+            brr 0, target
+            halt
+        """
+        machine = Machine(assemble(source, brr_mode="trap"))
+        emulator = BrrTrapEmulator(unit=HardwareCounterUnit(phase=1))
+        emulator.install(machine)
+        machine.run()
+        assert machine.regs[2] == 77
+
+    def test_unhandled_trap_raises(self):
+        machine = Machine(assemble("brr 0, t\nt: halt", brr_mode="trap"))
+        with pytest.raises(MachineError):
+            machine.run()
+
+    def test_trap_record_counts_instret(self):
+        machine = Machine(assemble("brr 0, t\nt: halt", brr_mode="trap"))
+        BrrTrapEmulator(unit=HardwareCounterUnit(phase=1)).install(machine)
+        machine.run()
+        # trap + halt = 2 retired instructions.
+        assert machine.instret == 2
+
+
+class TestTracing:
+    def test_trace_records(self):
+        machine = Machine(assemble(
+            """
+            li  r1, 0x200
+            lw  r2, 0(r1)
+            beq r2, r0, skip
+            nop
+            skip: halt
+            """
+        ))
+        records = list(machine.run_trace())
+        assert [r.instr.op for r in records] == [
+            Op.LI, Op.LW, Op.BEQ, Op.HALT,
+        ]
+        assert records[1].mem_addr == 0x200
+        assert records[2].taken is True
+        assert records[2].next_pc == machine.program.address_of("skip")
+
+    def test_trace_not_taken_branch(self):
+        machine = Machine(assemble(
+            """
+            li  r1, 1
+            beq r1, r0, skip
+            nop
+            skip: halt
+            """
+        ))
+        records = list(machine.run_trace())
+        assert records[1].taken is False
+        assert records[1].next_pc == records[1].pc + 4
+
+    def test_entry_symbol(self):
+        machine = Machine(assemble(
+            """
+            li r1, 1
+            halt
+            main:
+            li r1, 2
+            halt
+            """
+        ), entry="main")
+        machine.run()
+        assert machine.regs[1] == 2

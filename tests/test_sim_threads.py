@@ -1,0 +1,129 @@
+"""Tests for per-thread LFSR context switching (Section 3.4)."""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit
+from repro.core.lfsr import Lfsr
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+from repro.sim.threads import ContextScheduler
+
+# Two independent threads, each counting its own brr samples into a
+# distinct memory word, each halting when its loop ends.
+TWO_THREADS = """
+threadA:
+    li r1, 400
+    li r2, 0
+    li r3, 0x4000
+aloop:
+    brr 1/8, ahit
+aback:
+    addi r1, r1, -1
+    bne r1, r0, aloop
+    sw r2, 0(r3)
+    halt
+ahit:
+    addi r2, r2, 1
+    brra aback
+
+threadB:
+    li r1, 400
+    li r2, 0
+    li r3, 0x4004
+bloop:
+    brr 1/8, bhit
+bback:
+    addi r1, r1, -1
+    bne r1, r0, bloop
+    sw r2, 0(r3)
+    halt
+bhit:
+    addi r2, r2, 1
+    brra bback
+"""
+
+
+def solo_samples(entry, seed):
+    """Thread run in isolation with its own LFSR: the reference."""
+    machine = Machine(assemble(TWO_THREADS),
+                      brr_unit=BranchOnRandomUnit(Lfsr(20, seed=seed)),
+                      entry=entry)
+    machine.run(max_steps=100_000)
+    addr = 0x4000 if entry == "threadA" else 0x4004
+    return machine.memory.load_word(addr)
+
+
+def scheduled_samples(quantum, switch_lfsr=True):
+    machine = Machine(assemble(TWO_THREADS),
+                      brr_unit=BranchOnRandomUnit(Lfsr(20)))
+    scheduler = ContextScheduler(machine, switch_lfsr=switch_lfsr)
+    scheduler.add_thread("A", "threadA", lfsr_seed=0x11111)
+    scheduler.add_thread("B", "threadB", lfsr_seed=0x22222)
+    scheduler.run(quantum=quantum)
+    return (machine.memory.load_word(0x4000),
+            machine.memory.load_word(0x4004),
+            scheduler)
+
+
+class TestContextScheduler:
+    def test_both_threads_complete(self):
+        a, b, scheduler = scheduled_samples(quantum=64)
+        assert a > 0 and b > 0
+        assert all(t.finished for t in scheduler.threads)
+        assert scheduler.switches > 2
+
+    def test_lfsr_save_restore_gives_solo_sequences(self):
+        """With the LFSR in the context, each thread's sample count is
+        exactly what it gets running alone with its seed — regardless
+        of interleaving."""
+        expected_a = solo_samples("threadA", 0x11111)
+        expected_b = solo_samples("threadB", 0x22222)
+        for quantum in (13, 64, 500):
+            a, b, __ = scheduled_samples(quantum=quantum)
+            assert a == expected_a, f"quantum {quantum}"
+            assert b == expected_b, f"quantum {quantum}"
+
+    def test_without_lfsr_switch_threads_interfere(self):
+        """Hardware without software-visible LFSR state cannot give
+        per-thread determinism: counts shift with the quantum."""
+        results = {q: scheduled_samples(q, switch_lfsr=False)[:2]
+                   for q in (13, 64)}
+        assert results[13] != results[64]
+
+    def test_quantum_boundary_mid_instruction_safe(self):
+        """Switching at any quantum preserves totals (sample counts are
+        per-thread state, never lost across switches)."""
+        a1, b1, __ = scheduled_samples(quantum=1)
+        a2, b2, __ = scheduled_samples(quantum=999)
+        assert (a1, b1) == (a2, b2)
+
+    def test_steps_accounted(self):
+        __, __, scheduler = scheduled_samples(quantum=50)
+        for thread in scheduler.threads:
+            assert thread.steps > 400  # loop body > iterations
+
+    def test_rejects_non_lfsr_unit(self):
+        from repro.core.brr import HardwareCounterUnit
+
+        machine = Machine(assemble(TWO_THREADS),
+                          brr_unit=HardwareCounterUnit())
+        with pytest.raises(TypeError):
+            ContextScheduler(machine)
+
+    def test_runs_without_brr_unit(self):
+        source = """
+        t1: li r1, 5
+        l1: addi r1, r1, -1
+            bne r1, r0, l1
+            halt
+        t2: li r2, 5
+        l2: addi r2, r2, -1
+            bne r2, r0, l2
+            halt
+        """
+        machine = Machine(assemble(source))
+        scheduler = ContextScheduler(machine)
+        scheduler.add_thread("x", "t1")
+        scheduler.add_thread("y", "t2")
+        scheduler.run(quantum=3)
+        assert all(t.finished for t in scheduler.threads)

@@ -1,0 +1,108 @@
+"""Tests for the cache hierarchy."""
+
+import pytest
+
+from repro.timing.caches import Cache, Hierarchy
+from repro.timing.config import TimingConfig
+
+
+class TestCache:
+    def make(self, **kwargs):
+        defaults = dict(name="t", size=1024, assoc=2, line_bytes=64,
+                        latency=1, miss_latency=100)
+        defaults.update(kwargs)
+        return Cache(**defaults)
+
+    def test_cold_miss_then_hit(self):
+        cache = self.make()
+        assert cache.access(0) == 101
+        assert cache.access(0) == 1
+        assert cache.access(63) == 1  # same line
+        assert cache.access(64) == 101  # next line
+
+    def test_lru_eviction(self):
+        cache = self.make()  # 8 sets, 2 ways
+        set_stride = 8 * 64
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)  # evicts line 0
+        assert not cache.contains(0)
+        assert cache.contains(set_stride)
+
+    def test_lru_refresh(self):
+        cache = self.make()
+        set_stride = 8 * 64
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(0)  # refresh
+        cache.access(2 * set_stride)  # evicts set_stride, not 0
+        assert cache.contains(0)
+        assert not cache.contains(set_stride)
+
+    def test_stats(self):
+        cache = self.make()
+        cache.access(0)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hits == 2 and cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_empty_hit_rate(self):
+        assert self.make().hit_rate == 1.0
+
+    def test_two_level_latency(self):
+        l2 = self.make(name="l2", size=4096, latency=8, miss_latency=140)
+        l1 = self.make(name="l1", latency=1, next_level=l2, miss_latency=0)
+        # Cold: L1 miss -> L2 miss -> memory.
+        assert l1.access(0) == 1 + 8 + 140
+        # L1 hit.
+        assert l1.access(0) == 1
+        # Evict from L1 only; refill hits L2.
+        set_stride = 8 * 64
+        l1.access(set_stride)
+        l1.access(2 * set_stride)
+        assert l1.access(0) == 1 + 8
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("x", size=1000, assoc=2, line_bytes=64, latency=1)
+
+    def test_non_pow2_sets_rejected(self):
+        with pytest.raises(ValueError):
+            Cache("x", size=3 * 128, assoc=1, line_bytes=64, latency=1)
+
+
+class TestHierarchy:
+    def test_paper_geometry(self):
+        h = Hierarchy(TimingConfig())
+        assert h.l1i.num_sets == 128   # 32KB / (4 * 64)
+        assert h.l1d.num_sets == 128
+        assert h.l2.num_sets == 2048   # 1MB / (8 * 64)
+
+    def test_fetch_and_data_separate_l1(self):
+        h = Hierarchy(TimingConfig())
+        h.fetch(0)
+        assert h.l1i.misses == 1 and h.l1d.misses == 0
+        h.data(0)
+        assert h.l1d.misses == 1
+
+    def test_shared_l2(self):
+        h = Hierarchy(TimingConfig())
+        h.fetch(0)        # L2 miss, fills L2
+        latency = h.data(0)   # L1D miss, L2 hit
+        assert latency == 1 + 8
+        assert h.l2.hits == 1
+
+    def test_latencies_match_config(self):
+        h = Hierarchy(TimingConfig())
+        assert h.fetch(0) == 1 + 8 + 140
+        assert h.fetch(0) == 1
+
+    def test_stats_keys(self):
+        h = Hierarchy(TimingConfig())
+        h.fetch(0)
+        stats = h.stats()
+        assert set(stats) == {
+            "l1i_hit_rate", "l1d_hit_rate", "l2_hit_rate",
+            "l1i_misses", "l1d_misses", "l2_misses",
+        }

@@ -1,0 +1,168 @@
+"""Tests for the timing-first co-simulation (Section 5.1 methodology)."""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit, HardwareCounterUnit
+from repro.core.lfsr import Lfsr
+from repro.isa.asm import assemble
+from repro.timing.cosim import CoSimulator, CosimDivergence, ReplayUnit
+
+BRR_LOOP = """
+    li r1, 200
+    li r2, 0
+loop:
+    brr 1/8, hit
+back:
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+hit:
+    addi r2, r2, 1
+    brra back
+"""
+
+
+class TestReplayUnit:
+    def test_fifo_order(self):
+        unit = ReplayUnit()
+        unit.push(True)
+        unit.push(False)
+        assert unit.resolve(0) is True
+        assert unit.resolve(5) is False
+
+    def test_underflow_raises(self):
+        with pytest.raises(CosimDivergence):
+            ReplayUnit().resolve(0)
+
+    def test_len(self):
+        unit = ReplayUnit()
+        unit.push(True)
+        assert len(unit) == 1
+
+
+class TestCoSimulation:
+    def test_plain_program_verifies(self):
+        program = assemble("""
+            li r1, 50
+        loop:
+            addi r2, r2, 3
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        cosim = CoSimulator(program)
+        stats = cosim.run()
+        assert cosim.verified == stats.instructions
+        assert cosim.golden.regs == cosim.leading.regs
+
+    def test_brr_outcomes_forwarded(self):
+        """The golden model takes exactly the leader's brr decisions
+        without owning an LFSR."""
+        program = assemble(BRR_LOOP)
+        cosim = CoSimulator(program,
+                            brr_unit=BranchOnRandomUnit(Lfsr(20, seed=77)))
+        cosim.run()
+        assert cosim.leading.regs[2] == cosim.golden.regs[2]
+        assert cosim.leading.regs[2] > 0
+        assert len(cosim.channel) == 0  # every outcome consumed
+
+    def test_deterministic_unit(self):
+        program = assemble(BRR_LOOP)
+        cosim = CoSimulator(program, brr_unit=HardwareCounterUnit())
+        cosim.run()
+        assert cosim.leading.regs[2] == 200 // 8
+
+    def test_memory_setup_applied_to_both(self):
+        program = assemble("""
+            li r1, 0x400
+            lw r2, 0(r1)
+            halt
+        """)
+        cosim = CoSimulator(program)
+        cosim.setup(lambda m: m.memory.store_word(0x400, 99))
+        cosim.run()
+        assert cosim.leading.regs[2] == 99
+        assert cosim.golden.regs[2] == 99
+
+    def test_divergence_detected(self):
+        """Corrupting the golden machine's state trips verification."""
+        program = assemble("""
+            li r1, 10
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        cosim = CoSimulator(program)
+        cosim.step()
+        cosim.golden.regs[1] = 999  # fault injection
+        with pytest.raises(CosimDivergence) as info:
+            cosim.run()
+        assert info.value.field in ("r1", "pc", "next_pc")
+
+    def test_control_flow_divergence_detected(self):
+        program = assemble(BRR_LOOP)
+        cosim = CoSimulator(program, brr_unit=HardwareCounterUnit())
+        # Poison the channel: an extra outcome desynchronises the
+        # golden machine's branch decisions.
+        cosim.channel.push(True)
+        with pytest.raises(CosimDivergence):
+            cosim.run()
+
+    def test_timing_stats_accumulate(self):
+        program = assemble(BRR_LOOP)
+        cosim = CoSimulator(program, brr_unit=HardwareCounterUnit())
+        stats = cosim.run()
+        assert stats.instructions == cosim.verified
+        assert stats.brr_resolved > 0
+        assert stats.cycles > 0
+
+    def test_unhalted_raises(self):
+        cosim = CoSimulator(assemble("spin: jmp spin"))
+        with pytest.raises(RuntimeError):
+            cosim.run(max_steps=100)
+
+
+class TestBrrPatching:
+    """Convergent profiling's code-patching step at the ISA level."""
+
+    def test_patch_changes_rate(self):
+        from repro.sim.machine import Machine
+
+        program = assemble(BRR_LOOP)
+        machine = Machine(program, brr_unit=HardwareCounterUnit())
+        brr_addr = program.address_of("loop")
+        # Patch 1/8 -> 1/2 before running.
+        machine.patch_brr_frequency(brr_addr, 0)
+        machine.run(max_steps=100_000)
+        assert machine.regs[2] == 200 // 2
+
+    def test_patch_mid_run_invalidates_decode_cache(self):
+        from repro.sim.machine import Machine
+
+        program = assemble(BRR_LOOP)
+        machine = Machine(program, brr_unit=HardwareCounterUnit())
+        brr_addr = program.address_of("loop")
+        # Run half the loop at 1/8, then "converge" down to 1/2.
+        for __ in range(100 * 4):
+            machine.step()
+        before = machine.regs[2]
+        machine.patch_brr_frequency(brr_addr, 0)
+        machine.run(max_steps=100_000)
+        assert machine.regs[2] > before + 30  # rate jumped
+
+    def test_patch_validates_opcode(self):
+        from repro.sim.machine import Machine, MachineError
+
+        program = assemble("nop\nhalt")
+        machine = Machine(program)
+        with pytest.raises(MachineError):
+            machine.patch_brr_frequency(0, 3)
+
+    def test_patch_validates_field(self):
+        from repro.sim.machine import Machine
+
+        program = assemble(BRR_LOOP)
+        machine = Machine(program)
+        with pytest.raises(ValueError):
+            machine.patch_brr_frequency(program.address_of("loop"), 16)

@@ -1,0 +1,356 @@
+"""Tests for the out-of-order pipeline timing model.
+
+These check the mechanisms the paper's Section 2/3 analysis relies on:
+fetch bandwidth, dependence-limited execution, cache-miss stalls, the
+back-end (11-cycle) vs. front-end (decode-resolve) misprediction
+penalties, ROB occupancy stalls, and — crucially — that branch-on-random
+never touches the prediction structures.
+"""
+
+import pytest
+
+from repro.core.brr import BranchOnRandomUnit, HardwareCounterUnit
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+from repro.timing.config import NAIVE_BRR_CONFIG, TimingConfig
+from repro.timing.pipeline import TimingSimulator, TimingStats
+from repro.timing.runner import (
+    cycles_per_site,
+    overhead_percent,
+    time_program,
+    time_window,
+)
+
+
+def time_source(source, brr_unit=None, config=None, **kwargs):
+    return time_program(assemble(source), brr_unit=brr_unit, config=config,
+                        **kwargs)
+
+
+def straightline(n, body="addi r1, r1, 1"):
+    return "\n".join([body] * n) + "\nhalt"
+
+
+def hot_loop(iterations, body_lines):
+    """A counted loop; the I-cache is warm after the first iteration."""
+    body = "\n".join(body_lines)
+    return f"""
+        li r9, {iterations}
+    loop:
+        {body}
+        addi r9, r9, -1
+        bne r9, r0, loop
+        halt
+    """
+
+
+class TestBandwidth:
+    def test_independent_alu_bounded_by_fetch(self):
+        """Independent single-cycle ops: throughput near fetch width (3,
+        less the taken-branch fetch break each iteration)."""
+        body = [f"li r{1 + (i % 8)}, {i}" for i in range(12)]
+        result = time_source(hot_loop(300, body))
+        assert 2.0 <= result.stats.ipc <= 3.05
+
+    def test_dependent_chain_one_per_cycle(self):
+        body = ["addi r1, r1, 1"] * 12
+        result = time_source(hot_loop(300, body))
+        # Every body instruction depends on the previous one: IPC ~ 1.
+        assert 0.8 <= result.stats.ipc <= 1.35
+
+    def test_mul_latency_slows_chain(self):
+        fast = time_source(hot_loop(200, ["addi r1, r1, 1"] * 12))
+        slow = time_source("li r2, 3" + hot_loop(200, ["mul r1, r1, r2"] * 12))
+        # mul latency 3 vs 1: the dependent chain should be ~3x slower.
+        ratio = slow.cycles / fast.cycles
+        assert 2.2 <= ratio <= 3.6
+
+    def test_stats_subtraction(self):
+        a = TimingStats(instructions=10, cycles=100)
+        b = TimingStats(instructions=4, cycles=60)
+        d = a - b
+        assert d.instructions == 6 and d.cycles == 40
+
+
+class TestMemory:
+    def test_cache_miss_stalls(self):
+        """Striding through cold lines costs real memory latency
+        relative to the same loop over one hot line.  (Independent
+        misses may overlap — the model has no MSHR limit — but at least
+        one full memory round trip must show.)"""
+        def strider(stride):
+            return f"""
+                li r1, 0x10000
+                li r3, 0
+                li r4, {stride}
+            loop:
+                lw r2, 0(r1)
+                add r1, r1, r4
+                addi r3, r3, 1
+                slti r5, r3, 64
+                bne r5, r0, loop
+                halt
+            """
+        cold = time_source(strider(64), memory_size=1 << 20)
+        hot = time_source(strider(0), memory_size=1 << 20)
+        assert cold.stats.dcache_misses >= 64
+        assert hot.stats.dcache_misses <= 2
+        assert cold.cycles >= hot.cycles + 140
+
+    def test_hot_loads_fast(self):
+        source = """
+            li r1, 0x10000
+            li r3, 0
+        loop:
+            lw r2, 0(r1)
+            addi r3, r3, 1
+            slti r5, r3, 200
+            bne r5, r0, loop
+            halt
+        """
+        result = time_source(source)
+        # One cold miss; everything else hits L1.
+        assert result.stats.dcache_misses <= 2
+        assert result.cycles < 200 * 6
+
+
+class TestBranches:
+    def test_predictable_loop_cheap(self):
+        source = """
+            li r1, 500
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """
+        result = time_source(source)
+        # Backward branch taken 499/500: bimodal learns it instantly.
+        assert result.stats.cond_branches == 500
+        assert result.stats.cond_mispredicts <= 20
+
+    def test_random_branch_expensive(self):
+        """Data-dependent pseudo-random branches mispredict often and
+        each costs at least the 11-cycle back-end penalty."""
+        # xorshift-ish generator, branch on low bit.
+        source = """
+            li r1, 0x1234
+            li r2, 400
+            li r6, 0
+        loop:
+            shli r3, r1, 3
+            xor  r1, r1, r3
+            shri r3, r1, 5
+            xor  r1, r1, r3
+            andi r4, r1, 1
+            beq  r4, r0, skip
+            addi r6, r6, 1
+        skip:
+            addi r2, r2, -1
+            bne  r2, r0, loop
+            halt
+        """
+        result = time_source(source)
+        mis = result.stats.cond_mispredicts
+        assert mis > 50
+        # Each mispredict costs >= ~11 cycles of refetch.
+        assert result.cycles > mis * 8
+
+    def test_backend_penalty_at_least_11(self):
+        cfg = TimingConfig()
+        base = time_source(straightline(100))
+        one_miss = time_source(
+            """
+            li r1, 1
+            beq r1, r1, t   ; predicted not-taken (cold), actually taken
+        t:
+            """ + straightline(100)
+        )
+        assert one_miss.cycles - base.cycles >= cfg.backend_penalty - 2
+
+    def test_call_return_with_ras(self):
+        source = """
+            li r2, 100
+        loop:
+            jal f
+            addi r2, r2, -1
+            bne r2, r0, loop
+            halt
+        f:  addi r3, r3, 1
+            ret
+        """
+        result = time_source(source)
+        # RAS predicts all the returns: no back-end redirects from jr.
+        assert result.stats.backend_redirects <= result.stats.cond_mispredicts + 2
+
+
+class TestBrrTiming:
+    def brr_loop(self, n, freq_spec):
+        return f"""
+            li r1, {n}
+        loop:
+            brr {freq_spec}, hit
+        back:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        hit:
+            brra back
+        """
+
+    def test_brr_not_taken_nearly_free(self):
+        """A never-taken brr should cost about one fetch slot."""
+        n = 600
+        base = time_source(f"""
+            li r1, {n}
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        # freq field 15 ~ never taken at these counts with hw counter.
+        result = time_source(self.brr_loop(n, "15"),
+                             brr_unit=HardwareCounterUnit())
+        extra_per_iter = (result.cycles - base.cycles) / n
+        assert extra_per_iter < 0.8
+
+    def test_brr_taken_frontend_penalty(self):
+        """Every-other-taken brr pays ~0.5 * frontend flush per site."""
+        n = 512
+        unit = HardwareCounterUnit()
+        result = time_source(self.brr_loop(n, "0"), brr_unit=unit)
+        base = time_source(f"""
+            li r1, {n}
+        loop:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        per_site = cycles_per_site(base.cycles, result.cycles, n)
+        # Paper: ~3.19 cycles/site at 50% on their machine; ours should
+        # land in the same few-cycle regime, far below the back-end cost.
+        assert 1.5 <= per_site <= 6.0
+        assert result.stats.frontend_redirects == n // 2 + n // 2  # brr + brra
+
+    def test_brr_cheaper_than_backend_branch(self):
+        """The decode-time resolution must beat back-end resolution for
+        the same taken pattern (the core of the paper's claim)."""
+        n = 512
+        fast = time_source(self.brr_loop(n, "0"),
+                           brr_unit=HardwareCounterUnit())
+        slow = time_source(self.brr_loop(n, "0"),
+                           brr_unit=HardwareCounterUnit(),
+                           config=NAIVE_BRR_CONFIG.with_overrides(
+                               brr_uses_predictor=False))
+        assert fast.cycles < slow.cycles
+
+    def test_brr_does_not_touch_predictor(self):
+        n = 256
+        program = assemble(self.brr_loop(n, "0"))
+        machine = Machine(program, brr_unit=HardwareCounterUnit())
+        sim = TimingSimulator()
+        while not machine.halted:
+            sim.step(machine.step())
+        # Only the loop's bne trains the tournament predictor.
+        assert sim.predictor.predictions == sim.stats.cond_branches
+        assert sim.stats.brr_resolved == n + n // 2  # brr + brra paths
+        # Neither the brr nor the brra address ever enters the BTB.
+        brr_pc = program.address_of("loop")
+        brra_pc = program.address_of("hit")
+        assert brr_pc not in sim.btb.tags
+        assert brra_pc not in sim.btb.tags
+
+    def test_naive_brr_pollutes_predictor(self):
+        n = 256
+        program = assemble(self.brr_loop(n, "0"))
+        machine = Machine(program, brr_unit=HardwareCounterUnit())
+        sim = TimingSimulator(NAIVE_BRR_CONFIG)
+        while not machine.halted:
+            sim.step(machine.step())
+        # The ablated design inserts brr/brra into the BTB like any
+        # other branch (overhead source 6 returns).
+        assert program.address_of("hit") in sim.btb.tags
+
+    def test_brr_trace_requires_decoded_instr(self):
+        sim = TimingSimulator()
+        from repro.sim.trace import TraceRecord
+        with pytest.raises(ValueError):
+            sim.step(TraceRecord(0, None, 8))
+
+
+class TestRobAndWindow:
+    def test_rob_limits_overlap(self):
+        """With a tiny ROB the second cold-miss load cannot dispatch
+        until the first commits, serialising the memory latencies; the
+        80-entry ROB overlaps them."""
+        filler = "\n".join(["addi r3, r3, 1"] * 30)
+        source = f"""
+            li r1, 0x80000
+            li r4, 0x90000
+            li r9, 8
+        loop:
+            lw r2, 0(r1)
+            {filler}
+            lw r5, 0(r4)
+            {filler}
+            addi r1, r1, 64
+            addi r4, r4, 64
+            addi r9, r9, -1
+            bne r9, r0, loop
+            halt
+        """
+        big = time_source(source, config=TimingConfig())
+        small = time_source(source,
+                            config=TimingConfig().with_overrides(rob_entries=8))
+        assert small.cycles >= big.cycles + 100
+        assert small.stats.rob_stall_cycles > 0
+
+    def test_time_window_markers(self):
+        source = """
+            li r1, 50
+        warm:
+            addi r1, r1, -1
+            bne r1, r0, warm
+            marker 1
+            li r1, 100
+        measured:
+            addi r1, r1, -1
+            bne r1, r0, measured
+            marker 2
+            halt
+        """
+        program = assemble(source)
+        window = time_window(program, begin=(1, 1), end=(2, 1))
+        # The window covers ~201 instructions (loop + marker).
+        assert 195 <= window.instructions <= 210
+        assert window.cycles < time_program(program).cycles
+
+    def test_time_window_fast_forward(self):
+        source = """
+            marker 9
+            li r1, 10
+        l1: addi r1, r1, -1
+            bne r1, r0, l1
+            marker 1
+            li r1, 10
+        l2: addi r1, r1, -1
+            bne r1, r0, l2
+            marker 2
+            halt
+        """
+        program = assemble(source)
+        window = time_window(program, begin=(1, 1), end=(2, 1),
+                             fast_forward=(9, 1))
+        assert 18 <= window.instructions <= 25
+
+    def test_overhead_percent(self):
+        assert overhead_percent(100, 105) == pytest.approx(5.0)
+        with pytest.raises(ValueError):
+            overhead_percent(0, 5)
+
+    def test_cycles_per_site_validation(self):
+        with pytest.raises(ValueError):
+            cycles_per_site(10, 20, 0)
+
+    def test_unhalted_program_raises(self):
+        with pytest.raises(RuntimeError):
+            time_source("spin: jmp spin", max_steps=1000)

@@ -1,0 +1,143 @@
+"""Edge-case tests for the pipeline model's resource knobs."""
+
+import pytest
+
+from repro.core.brr import HardwareCounterUnit
+from repro.isa.asm import assemble
+from repro.timing.config import TimingConfig
+from repro.timing.pipeline import TimingSimulator
+from repro.timing.runner import time_program
+from repro.sim.machine import Machine
+
+
+def timed(source, **kwargs):
+    return time_program(assemble(source), **kwargs)
+
+
+def wide_loop(n=300, body=12):
+    lines = "\n".join(f"li r{1 + (i % 7)}, {i}" for i in range(body))
+    return f"""
+        li r9, {n}
+    loop:
+        {lines}
+        addi r9, r9, -1
+        bne r9, r0, loop
+        halt
+    """
+
+
+class TestDecodeWidth:
+    def test_narrow_decode_binds(self):
+        config = TimingConfig().with_overrides(fetch_width=6, decode_width=2)
+        narrow = timed(wide_loop(), config=config)
+        wide = timed(wide_loop(),
+                     config=TimingConfig().with_overrides(fetch_width=6))
+        assert narrow.cycles > wide.cycles * 1.4
+        # IPC cannot exceed the decode width.
+        assert narrow.stats.ipc <= 2.02
+
+
+class TestPhysRegs:
+    def test_tiny_preg_pool_serialises_behind_miss(self):
+        """With few rename registers, a long-latency load blocks all
+        later dest-writing instructions from dispatching."""
+        source = """
+            li r1, 0x80000
+            li r4, 0x90000
+            li r9, 4
+        loop:
+            lw r2, 0(r1)
+        """ + "\n".join(["addi r3, r3, 1"] * 30) + """
+            lw r5, 0(r4)
+        """ + "\n".join(["addi r6, r6, 1"] * 30) + """
+            addi r1, r1, 64
+            addi r4, r4, 64
+            addi r9, r9, -1
+            bne r9, r0, loop
+            halt
+        """
+        base = timed(source)
+        tight = timed(source,
+                      config=TimingConfig().with_overrides(phys_regs=24))
+        assert tight.cycles > base.cycles
+
+    def test_preg_budget_floor(self):
+        sim = TimingSimulator(TimingConfig().with_overrides(phys_regs=4))
+        assert sim._preg_budget == 1  # never zero or negative
+
+
+class TestFrontendDepth:
+    def test_deeper_frontend_raises_brr_taken_cost(self):
+        """The taken-brr penalty scales with where decode sits in the
+        pipeline — the paper's 'short misprediction penalty' argument
+        in reverse."""
+        source = """
+            li r9, 400
+        loop:
+            brr 0, hit
+        hit:
+            addi r9, r9, -1
+            bne r9, r0, loop
+            halt
+        """
+        shallow = timed(source, brr_unit=HardwareCounterUnit())
+        deep = timed(source, brr_unit=HardwareCounterUnit(),
+                     config=TimingConfig().with_overrides(frontend_depth=10))
+        assert deep.cycles > shallow.cycles + 200  # ~6 extra per taken
+
+    def test_backend_penalty_knob(self):
+        source = """
+            li r1, 0x1234
+            li r9, 300
+        loop:
+            shli r2, r1, 3
+            xor  r1, r1, r2
+            shri r2, r1, 5
+            xor  r1, r1, r2
+            andi r3, r1, 1
+            beq  r3, r0, skip
+            addi r4, r4, 1
+        skip:
+            addi r9, r9, -1
+            bne r9, r0, loop
+            halt
+        """
+        cheap = timed(source,
+                      config=TimingConfig().with_overrides(backend_penalty=5))
+        costly = timed(source,
+                       config=TimingConfig().with_overrides(backend_penalty=25))
+        assert costly.cycles > cheap.cycles
+        assert costly.stats.cond_mispredicts == cheap.stats.cond_mispredicts
+
+
+class TestSnapshotDelta:
+    def test_snapshot_isolation(self):
+        source = wide_loop(n=50)
+        machine = Machine(assemble(source))
+        sim = TimingSimulator()
+        for __ in range(100):
+            sim.step(machine.step())
+        snap = sim.snapshot()
+        while not machine.halted:
+            sim.step(machine.step())
+        delta = sim.stats - snap
+        assert delta.instructions == sim.stats.instructions - 100
+        assert delta.cycles > 0
+        # The snapshot itself is unaffected by later stepping.
+        assert snap.instructions == 100
+
+
+class TestMarkersAndNops:
+    def test_markers_flow_through_pipeline(self):
+        result = timed("""
+            marker 1
+            nop
+            marker 2
+            halt
+        """)
+        assert result.instructions == 4
+
+    def test_halt_commits(self):
+        result = timed("halt")
+        assert result.instructions == 1
+        assert result.cycles >= 1

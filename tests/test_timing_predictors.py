@@ -1,0 +1,179 @@
+"""Tests for branch predictors, BTB and RAS."""
+
+import pytest
+
+from repro.timing.predictors import (
+    Bimodal,
+    Btb,
+    Gshare,
+    ReturnAddressStack,
+    Tournament,
+    TwoBitTable,
+)
+
+
+class TestTwoBitTable:
+    def test_initial_weakly_not_taken(self):
+        table = TwoBitTable(16)
+        assert not table.predict(0)
+
+    def test_saturates_up(self):
+        table = TwoBitTable(16)
+        for _ in range(10):
+            table.update(3, True)
+        assert table.table[3] == 3
+        assert table.predict(3)
+
+    def test_saturates_down(self):
+        table = TwoBitTable(16)
+        for _ in range(10):
+            table.update(3, False)
+        assert table.table[3] == 0
+
+    def test_hysteresis(self):
+        table = TwoBitTable(16)
+        table.update(0, True)
+        table.update(0, True)  # counter 3
+        table.update(0, False)  # counter 2: still predicts taken
+        assert table.predict(0)
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            TwoBitTable(10)
+
+    def test_index_wraps(self):
+        table = TwoBitTable(16)
+        table.update(16, True)
+        table.update(16, True)
+        assert table.predict(0)
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        predictor = Bimodal(1024)
+        for _ in range(4):
+            predictor.update(0x100, True)
+        assert predictor.predict(0x100)
+        assert not predictor.predict(0x104)
+
+    def test_aliasing(self):
+        """Two PCs 4KB apart in a 1K-entry table share a counter —
+        the destructive interference of overhead source 6."""
+        predictor = Bimodal(1024)
+        for _ in range(4):
+            predictor.update(0x0, True)
+        assert predictor.predict(1024 * 4)  # aliases to index 0
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        """gshare captures history-correlated patterns bimodal cannot."""
+        predictor = Gshare(8)
+        outcome = True
+        correct = 0
+        for trial in range(400):
+            prediction = predictor.predict(0x40)
+            if trial >= 200:
+                correct += prediction == outcome
+            predictor.update(0x40, outcome)
+            outcome = not outcome
+        assert correct == 200  # perfect once trained
+
+    def test_history_shifts(self):
+        predictor = Gshare(4)
+        predictor.update(0, True)
+        predictor.update(0, False)
+        predictor.update(0, True)
+        assert predictor.history == 0b101
+
+    def test_history_bounded(self):
+        predictor = Gshare(4)
+        for _ in range(100):
+            predictor.update(0, True)
+        assert predictor.history == 0b1111
+
+    def test_bad_history_len(self):
+        with pytest.raises(ValueError):
+            Gshare(0)
+
+
+class TestTournament:
+    def test_chooser_moves_to_gshare_for_patterns(self):
+        predictor = Tournament(8, 1 << 10, 1 << 6)
+        outcome = True
+        for _ in range(600):
+            predictor.update(0x80, outcome)
+            outcome = not outcome
+        # After training, the tournament should track the alternation.
+        hits = 0
+        for _ in range(20):
+            if predictor.predict(0x80) == outcome:
+                hits += 1
+            predictor.update(0x80, outcome)
+            outcome = not outcome
+        assert hits >= 18
+
+    def test_biased_branch_high_accuracy(self):
+        predictor = Tournament(8, 1 << 10, 1 << 6)
+        for _ in range(50):
+            predictor.update(0x10, True)
+        assert predictor.predict(0x10)
+
+    def test_accuracy_accounting(self):
+        predictor = Tournament()
+        predictor.record(True)
+        predictor.record(False)
+        assert predictor.predictions == 2
+        assert predictor.mispredictions == 1
+        assert predictor.accuracy == 0.5
+
+    def test_accuracy_empty(self):
+        assert Tournament().accuracy == 1.0
+
+
+class TestBtb:
+    def test_miss_then_hit(self):
+        btb = Btb(64)
+        assert btb.lookup(0x100) is None
+        btb.insert(0x100, 0x200)
+        assert btb.lookup(0x100) == 0x200
+        assert btb.hits == 1 and btb.misses == 1
+
+    def test_conflict_eviction(self):
+        btb = Btb(64)
+        btb.insert(0x100, 0x200)
+        btb.insert(0x100 + 64 * 4, 0x300)  # same index, different tag
+        assert btb.lookup(0x100) is None
+
+    def test_non_pow2_rejected(self):
+        with pytest.raises(ValueError):
+            Btb(100)
+
+
+class TestRas:
+    def test_push_pop(self):
+        ras = ReturnAddressStack(8)
+        ras.push(0x10)
+        ras.push(0x20)
+        assert ras.pop() == 0x20
+        assert ras.pop() == 0x10
+        assert ras.pop() is None
+
+    def test_overflow_wraps(self):
+        ras = ReturnAddressStack(2)
+        ras.push(1)
+        ras.push(2)
+        ras.push(3)  # overwrites 1
+        assert ras.pop() == 3
+        assert ras.pop() == 2
+        assert ras.pop() is None
+
+    def test_depth_one(self):
+        ras = ReturnAddressStack(1)
+        ras.push(5)
+        assert ras.pop() == 5
+        assert ras.pop() is None
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            ReturnAddressStack(0)

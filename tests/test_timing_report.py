@@ -1,0 +1,97 @@
+"""Tests for the timing report formatters and profile utilities."""
+
+import pytest
+
+from repro.core.brr import HardwareCounterUnit
+from repro.isa.asm import assemble
+from repro.profiles import Profile, overlap_accuracy
+from repro.timing.pipeline import TimingStats
+from repro.timing.report import compare, format_stats
+from repro.timing.runner import time_program
+
+
+class TestFormatStats:
+    def test_plain_stats(self):
+        stats = TimingStats(instructions=100, cycles=50, cond_branches=10,
+                            cond_mispredicts=1, loads=5, stores=3)
+        text = format_stats(stats, title="window")
+        assert "window" in text
+        assert "IPC" in text and "2.000" in text
+        assert "accuracy 90.00%" in text
+        assert "branch-on-random" not in text  # none resolved
+
+    def test_brr_line_appears(self):
+        stats = TimingStats(instructions=10, cycles=10, brr_resolved=4,
+                            brr_taken=1)
+        assert "branch-on-random" in format_stats(stats)
+
+    def test_packet_splits_reported(self):
+        stats = TimingStats(instructions=10, cycles=10, brr_resolved=4,
+                            brr_packet_splits=2)
+        assert "packet splits" in format_stats(stats)
+
+    def test_rob_stalls_reported(self):
+        stats = TimingStats(instructions=10, cycles=10, rob_stall_cycles=7)
+        assert "ROB stall" in format_stats(stats)
+
+    def test_real_run(self):
+        program = assemble("""
+            li r1, 50
+        loop:
+            brr 1/4, hit
+        back:
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        hit:
+            brra back
+        """)
+        result = time_program(program, brr_unit=HardwareCounterUnit())
+        text = format_stats(result.stats)
+        assert "branch-on-random" in text
+
+
+class TestCompare:
+    def test_overhead_table(self):
+        base = TimingStats(instructions=100, cycles=1000)
+        inst = TimingStats(instructions=120, cycles=1100)
+        text = compare(base, [("instrumented", inst)])
+        assert "10.00%" in text
+        assert "baseline" in text
+        assert "instrumented" in text
+
+    def test_zero_base_rejected(self):
+        with pytest.raises(ValueError):
+            compare(TimingStats(), [])
+
+
+class TestProfileUtilities:
+    def test_merged(self):
+        a = Profile({"x": 2, "y": 1})
+        b = Profile({"y": 3, "z": 1})
+        merged = a.merged(b)
+        assert merged.count("y") == 4
+        assert merged.total == 7
+        # Originals untouched.
+        assert a.count("y") == 1
+
+    def test_merged_accuracy_improves_with_more_samples(self):
+        full = Profile({"a": 800, "b": 150, "c": 50})
+        run1 = Profile({"a": 7, "b": 3})
+        run2 = Profile({"a": 9, "b": 1, "c": 1})
+        merged = run1.merged(run2)
+        assert merged.total == run1.total + run2.total
+        assert overlap_accuracy(full, merged) > 0
+
+    def test_dict_roundtrip(self):
+        profile = Profile({"m": 5, "n": 2})
+        clone = Profile.from_dict(profile.to_dict())
+        assert clone.count("m") == 5
+        assert clone.total == profile.total
+
+    def test_json_roundtrip(self):
+        import json
+
+        profile = Profile({"m": 5})
+        text = json.dumps(profile.to_dict())
+        assert Profile.from_dict(json.loads(text)).count("m") == 5

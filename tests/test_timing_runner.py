@@ -1,0 +1,134 @@
+"""Tests for the timing runner glue (windows, prewarm, setup)."""
+
+import pytest
+
+from repro.isa.asm import assemble
+from repro.timing.runner import (
+    cycles_per_site,
+    overhead_percent,
+    time_program,
+    time_window,
+)
+
+LOOP = """
+    li r1, 100
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+class TestPrewarm:
+    def test_prewarm_removes_compulsory_code_misses(self):
+        """With the code image preinstalled in L2, cold I-cache misses
+        fill from L2 instead of memory."""
+        program = assemble(LOOP)
+        warm = time_program(program, prewarm_code=True)
+        cold = time_program(program, prewarm_code=False)
+        assert warm.cycles < cold.cycles
+        # Same instruction stream either way.
+        assert warm.instructions == cold.instructions
+
+    def test_prewarm_applies_to_windows(self):
+        source = """
+            marker 1
+        """ + LOOP.replace("halt", "marker 2\n halt")
+        program = assemble(source)
+        warm = time_window(program, begin=(1, 1), end=(2, 1))
+        cold = time_window(program, begin=(1, 1), end=(2, 1),
+                           prewarm_code=False)
+        assert warm.cycles <= cold.cycles
+
+
+class TestSetup:
+    def test_setup_runs_before_execution(self):
+        program = assemble("""
+            li r1, 0x800
+            lw r2, 0(r1)
+            halt
+        """)
+        result = time_program(
+            program, setup=lambda m: m.memory.store_word(0x800, 7))
+        assert result.stats.loads == 1
+
+    def test_window_setup(self):
+        program = assemble("""
+            marker 1
+            li r1, 0x800
+            lw r2, 0(r1)
+            marker 2
+            halt
+        """)
+        window = time_window(program, begin=(1, 1), end=(2, 1),
+                             setup=lambda m: m.memory.store_word(0x800, 7))
+        assert window.stats.loads == 1
+
+
+class TestWindows:
+    def test_window_excludes_outside_work(self):
+        source = """
+            li r3, 2000
+        pre:
+            addi r3, r3, -1
+            bne r3, r0, pre
+            marker 1
+            li r1, 10
+        win:
+            addi r1, r1, -1
+            bne r1, r0, win
+            marker 2
+            li r3, 2000
+        post:
+            addi r3, r3, -1
+            bne r3, r0, post
+            halt
+        """
+        program = assemble(source)
+        window = time_window(program, begin=(1, 1), end=(2, 1))
+        whole = time_program(program)
+        assert window.instructions < whole.instructions / 10
+        assert window.cycles < whole.cycles / 10
+
+    def test_marker_counts(self):
+        source = """
+            li r1, 5
+        loop:
+            marker 3
+            addi r1, r1, -1
+            bne r1, r0, loop
+            marker 4
+            halt
+        """
+        program = assemble(source)
+        # Start measuring at the 3rd firing of marker 3.
+        window = time_window(program, begin=(3, 3), end=(4, 1))
+        full = time_window(program, begin=(3, 1), end=(4, 1))
+        assert window.instructions < full.instructions
+
+    def test_missing_marker_raises(self):
+        program = assemble("marker 1\nhalt")
+        with pytest.raises(RuntimeError):
+            time_window(program, begin=(1, 1), end=(2, 1), max_steps=1000)
+
+    def test_total_steps_accounting(self):
+        program = assemble("""
+            marker 1
+            nop
+            marker 2
+            halt
+        """)
+        window = time_window(program, begin=(1, 1), end=(2, 1))
+        assert window.total_steps == 3  # markers + nop (halt not stepped)
+        assert window.instructions == 2  # nop + marker 2
+
+
+class TestMetrics:
+    def test_overhead_percent_negative_allowed(self):
+        # Instrumented faster than baseline is reported as negative,
+        # not an error (it happens at noise level).
+        assert overhead_percent(100, 99) == pytest.approx(-1.0)
+
+    def test_cycles_per_site(self):
+        assert cycles_per_site(1000, 1500, 100) == pytest.approx(5.0)
