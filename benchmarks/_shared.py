@@ -12,6 +12,19 @@ overrides:
 ``REPRO_MICRO_CHARS``
     Characters processed by the Section 5.3 microbenchmark (default
     4000; the paper used 500000).
+
+Experiment execution goes through :mod:`repro.engine`, so the engine's
+environment knobs apply here too (see ``docs/engine.md``):
+
+``REPRO_JOBS``
+    Worker processes for simulation windows (default 1 = serial).
+``REPRO_CACHE_DIR`` / ``REPRO_CACHE``
+    Window-result cache location (default ``~/.cache/repro``);
+    ``REPRO_CACHE=0`` disables memoisation for honest cold timings.
+``REPRO_BENCH_LOG``
+    When set, every simulation window appends one JSONL record (wall
+    time, cycles, instructions, cache hit/miss, worker pid) to this
+    path — the machine-readable bench trajectory.
 """
 
 from __future__ import annotations
@@ -36,11 +49,22 @@ MICRO_CHARS = int(os.environ.get("REPRO_MICRO_CHARS", "4000"))
 
 
 @lru_cache(maxsize=1)
+def _engine():
+    """The benchmark run's engine, configured once from the env."""
+    from repro.engine import ExperimentEngine, RunRecorder, set_engine
+
+    log = os.environ.get("REPRO_BENCH_LOG")
+    engine = ExperimentEngine(recorder=RunRecorder(log) if log else None)
+    set_engine(engine)
+    return engine
+
+
+@lru_cache(maxsize=1)
 def shared_sweep():
     """The Figure 13/14/2 microbenchmark sweep, computed once."""
     from repro.experiments import microbench_sweep
 
-    return microbench_sweep(n_chars=MICRO_CHARS)
+    return microbench_sweep(n_chars=MICRO_CHARS, engine=_engine())
 
 
 @lru_cache(maxsize=4)
@@ -48,7 +72,7 @@ def accuracy_rows(interval: int):
     """Figure 9/10 accuracy tables, computed once per interval."""
     from repro.experiments import accuracy_figure
 
-    return accuracy_figure(interval, scale=ACCURACY_SCALE)
+    return accuracy_figure(interval, scale=ACCURACY_SCALE, engine=_engine())
 
 
 def run_once(benchmark, fn):

@@ -12,39 +12,55 @@ Usage::
     python -m repro cost
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
     python -m repro all      # everything (several minutes)
+
+Execution goes through the shared :mod:`repro.engine` (see
+``docs/engine.md``): ``--jobs N`` / ``REPRO_JOBS`` fans simulation
+windows out across worker processes, results are memoised under
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), ``--json`` switches
+stdout to a machine-readable document per command, and ``--out DIR``
+additionally writes ``<command>.txt`` (plus ``BENCH_<command>.json``
+and the per-window ``BENCH_windows.jsonl`` trajectory in ``--json``
+mode).  ``scorecard`` exits non-zero when any headline claim fails.
 """
 
 from __future__ import annotations
 
 import argparse
-import contextlib
-import io
+import dataclasses
+import json
+import os
 import pathlib
 import sys
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
+
+from .engine import ExperimentEngine, ResultCache, RunRecorder, set_engine
+
+#: (data, text) produced by one command.
+CommandResult = Tuple[Any, str]
 
 
-def _figure9(args) -> None:
+def _figure9(args) -> CommandResult:
     from .experiments import figure9, format_accuracy_rows
 
     rows = figure9(scale=args.scale)
-    print(format_accuracy_rows(
-        rows, f"Figure 9: accuracy at 2^10 (scale {args.scale})"))
+    return rows, format_accuracy_rows(
+        rows, f"Figure 9: accuracy at 2^10 (scale {args.scale})")
 
 
-def _figure10(args) -> None:
+def _figure10(args) -> CommandResult:
     from .experiments import figure10, format_accuracy_rows
 
     rows = figure10(scale=args.scale)
-    print(format_accuracy_rows(
-        rows, f"Figure 10: accuracy at 2^13 (scale {args.scale})"))
+    return rows, format_accuracy_rows(
+        rows, f"Figure 10: accuracy at 2^13 (scale {args.scale})")
 
 
-def _figure12(args) -> None:
+def _figure12(args) -> CommandResult:
     from .experiments import figure12, format_fig12_rows
 
-    print(format_fig12_rows(figure12(scale=args.jvm_scale)))
+    rows = figure12(scale=args.jvm_scale)
+    return [dataclasses.asdict(row) for row in rows], format_fig12_rows(rows)
 
 
 def _sweep(args):
@@ -53,27 +69,31 @@ def _sweep(args):
     return microbench_sweep(n_chars=args.chars)
 
 
-def _figure13(args) -> None:
+def _figure13(args) -> CommandResult:
     from .experiments import format_figure13
 
-    print(format_figure13(_sweep(args)))
+    sweep = _sweep(args)
+    return sweep.to_dict(), format_figure13(sweep)
 
 
-def _figure14(args) -> None:
+def _figure14(args) -> CommandResult:
     from .experiments import format_figure14
 
-    print(format_figure14(_sweep(args)))
+    sweep = _sweep(args)
+    return sweep.to_dict(), format_figure14(sweep)
 
 
-def _figure2(args) -> None:
+def _figure2(args) -> CommandResult:
     from .analysis import decompose, format_decomposition
 
     sweep = _sweep(args)
-    for kind in ("cbs", "brr"):
-        print(format_decomposition(decompose(sweep, kind, "full-dup")))
+    decompositions = [decompose(sweep, kind, "full-dup")
+                      for kind in ("cbs", "brr")]
+    text = "\n".join(format_decomposition(d) for d in decompositions)
+    return [dataclasses.asdict(d) for d in decompositions], text
 
 
-def _sensitivity(args) -> None:
+def _sensitivity(args) -> CommandResult:
     from .experiments import (
         bit_policy_sensitivity,
         format_sensitivity_result,
@@ -81,23 +101,37 @@ def _sensitivity(args) -> None:
         taps_sensitivity,
     )
 
-    print(format_sensitivity_result(taps_sensitivity(scale=args.scale)))
-    print(format_sensitivity_result(bit_policy_sensitivity(scale=args.scale)))
+    taps = taps_sensitivity(scale=args.scale)
+    bits = bit_policy_sensitivity(scale=args.scale)
     noise = seed_noise_baseline(scale=args.scale)
-    print(f"seed-variation baseline: mean={noise['mean']:.2f}% "
-          f"std={noise['std']:.3f}%")
+    text = "\n".join([
+        format_sensitivity_result(taps),
+        format_sensitivity_result(bits),
+        f"seed-variation baseline: mean={noise['mean']:.2f}% "
+        f"std={noise['std']:.3f}%",
+    ])
+    return {"taps": taps.to_dict(), "bit_policy": bits.to_dict(),
+            "seed_noise": noise}, text
 
 
-def _cost(args) -> None:
-    from .experiments import format_cost_table
+def _cost(args) -> CommandResult:
+    from .experiments import cost_rows, format_cost_table
 
-    print(format_cost_table())
+    return ([dataclasses.asdict(row) for row in cost_rows()],
+            format_cost_table())
 
 
-def _scorecard(args) -> None:
-    from .experiments import format_scorecard, run_scorecard
+def _scorecard(args) -> CommandResult:
+    from .experiments import format_scorecard, run_scorecard, scorecard_failed
 
-    print(format_scorecard(run_scorecard(quick=args.scale <= 0.02)))
+    results = run_scorecard(quick=args.scale <= 0.02)
+    data = {
+        "claims": [result.to_dict() for result in results],
+        "passed": sum(r.passed for r in results),
+        "total": len(results),
+        "failed": scorecard_failed(results),
+    }
+    return data, format_scorecard(results)
 
 
 COMMANDS = {
@@ -130,7 +164,43 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--out", type=str, default=None,
                         help="directory to also write each figure's table "
                              "into (<out>/<command>.txt)")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="simulation-window worker processes "
+                             "(default: REPRO_JOBS, else 1 = serial)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit a machine-readable JSON document per "
+                             "command instead of the text tables")
+    parser.add_argument("--log-jsonl", type=str, default=None,
+                        help="append one JSONL record per simulation "
+                             "window to this file")
+    parser.add_argument("--cache-dir", type=str, default=None,
+                        help="window-result cache directory "
+                             "(default: REPRO_CACHE_DIR or ~/.cache/repro)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the window-result cache")
     return parser
+
+
+def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
+    """Configure the process-wide engine from flags and environment."""
+    jobs = args.jobs
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        jobs = int(env) if env else (os.cpu_count() or 1)
+    log_path: Optional[pathlib.Path] = None
+    if args.log_jsonl:
+        log_path = pathlib.Path(args.log_jsonl)
+    elif args.json and out_dir is not None:
+        log_path = out_dir / "BENCH_windows.jsonl"
+    cache = ResultCache(
+        root=pathlib.Path(args.cache_dir) if args.cache_dir else None,
+        enabled=not args.no_cache
+        and os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no"),
+    )
+    engine = ExperimentEngine(jobs=jobs, cache=cache,
+                              recorder=RunRecorder(log_path))
+    set_engine(engine)
+    return engine
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -139,20 +209,40 @@ def main(argv: Optional[List[str]] = None) -> int:
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
+    engine = _build_engine(args, out_dir)
+
+    exit_code = 0
     for name in commands:
         started = time.time()
-        if out_dir is not None:
-            buffer = io.StringIO()
-            with contextlib.redirect_stdout(buffer):
-                COMMANDS[name](args)
-            text = buffer.getvalue()
-            (out_dir / f"{name}.txt").write_text(text)
-            sys.stdout.write(text)
+        windows_before = len(engine.recorder.records)
+        data, text = COMMANDS[name](args)
+        elapsed = time.time() - started
+
+        if name == "scorecard" and isinstance(data, dict) and data["failed"]:
+            exit_code = 1
+
+        if args.json:
+            document: Dict[str, Any] = {
+                "command": name,
+                "elapsed_s": round(elapsed, 3),
+                "data": data,
+                "engine": dict(
+                    engine.summary(),
+                    command_windows=(
+                        len(engine.recorder.records) - windows_before),
+                    jobs=engine.jobs,
+                ),
+            }
+            rendered = json.dumps(document, indent=2, sort_keys=True)
+            print(rendered)
+            if out_dir is not None:
+                (out_dir / f"BENCH_{name}.json").write_text(rendered + "\n")
         else:
-            COMMANDS[name](args)
-        print(f"[{name} finished in {time.time() - started:.1f}s]\n",
-              file=sys.stderr)
-    return 0
+            print(text)
+            if out_dir is not None:
+                (out_dir / f"{name}.txt").write_text(text + "\n")
+        print(f"[{name} finished in {elapsed:.1f}s]\n", file=sys.stderr)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover - module smoke-tested via main()

@@ -1,0 +1,33 @@
+"""Shared experiment-execution subsystem (see ``docs/engine.md``).
+
+Every figure reproduction decomposes into independent, deterministic
+simulation windows.  This package turns that observation into
+infrastructure: declarative :class:`WindowSpec`s, a content-addressed
+on-disk :class:`ResultCache`, a process-pool executor with a serial
+deterministic fallback, and structured JSONL run artifacts.
+"""
+
+from .artifacts import RunRecorder, WindowRecord
+from .cache import ResultCache, default_cache_dir
+from .core import (
+    ExperimentEngine,
+    default_jobs,
+    get_engine,
+    run_windows,
+    set_engine,
+)
+from .spec import SCHEMA_VERSION, WindowSpec
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WindowSpec",
+    "ResultCache",
+    "default_cache_dir",
+    "RunRecorder",
+    "WindowRecord",
+    "ExperimentEngine",
+    "default_jobs",
+    "get_engine",
+    "run_windows",
+    "set_engine",
+]

@@ -1,0 +1,72 @@
+"""Structured run artifacts: the machine-readable bench trajectory.
+
+Every window the engine executes (or serves from cache) produces one
+:class:`WindowRecord` — spec identity, wall time, cycles/instructions
+where the window carries timing stats, cache hit/miss and the worker
+that ran it.  A :class:`RunRecorder` accumulates the records, keeps
+aggregate counters for ``--json`` summaries and optionally appends
+each record as one JSONL line to a log file (``BENCH_*.jsonl``), which
+is what CI uploads as the run artifact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class WindowRecord:
+    """One executed (or cache-served) window."""
+
+    key: str
+    kind: str
+    label: str
+    cache: str            # "hit" | "miss"
+    wall_s: float
+    worker: Optional[int]  # pid of the executing worker; None for hits
+    cycles: Optional[int]
+    instructions: Optional[int]
+    ts: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+class RunRecorder:
+    """Collects window records; optionally streams them as JSONL."""
+
+    def __init__(self, log_path: Optional[pathlib.Path] = None) -> None:
+        self.log_path = pathlib.Path(log_path) if log_path else None
+        self.records: List[WindowRecord] = []
+        self._started = time.time()
+        if self.log_path is not None:
+            self.log_path.parent.mkdir(parents=True, exist_ok=True)
+
+    def record(self, record: WindowRecord) -> None:
+        self.records.append(record)
+        if self.log_path is not None:
+            with open(self.log_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record.to_dict(), sort_keys=True))
+                handle.write("\n")
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate view of the run so far, for ``--json`` output."""
+        hits = sum(1 for r in self.records if r.cache == "hit")
+        misses = len(self.records) - hits
+        return {
+            "windows": len(self.records),
+            "cache_hits": hits,
+            "cache_misses": misses,
+            "window_wall_s": round(sum(r.wall_s for r in self.records), 4),
+            "elapsed_s": round(time.time() - self._started, 4),
+            "simulated_cycles": sum(r.cycles or 0 for r in self.records),
+            "simulated_instructions": sum(
+                r.instructions or 0 for r in self.records),
+            "workers": sorted({r.worker for r in self.records
+                               if r.worker is not None}),
+        }

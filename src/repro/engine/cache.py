@@ -1,0 +1,92 @@
+"""Content-addressed on-disk cache of window results.
+
+Results live under ``<root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json``
+where ``key`` is the spec's canonical digest (which already folds in
+:data:`~repro.engine.spec.SCHEMA_VERSION`, seeds and every simulation
+parameter — see ``docs/engine.md``).  Entries are written atomically
+(temp file + ``os.replace``) so concurrent workers and concurrent
+processes can share one cache directory safely; a corrupt or
+unreadable entry is treated as a miss and discarded.
+
+The root defaults to ``~/.cache/repro`` and is overridden by
+``REPRO_CACHE_DIR``; ``REPRO_CACHE=0`` disables caching entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Optional
+
+from .spec import SCHEMA_VERSION, WindowSpec
+
+
+def default_cache_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+def cache_enabled_by_env() -> bool:
+    return os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
+
+
+class ResultCache:
+    """Content-addressed store mapping spec digests to result payloads."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 enabled: bool = True) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+
+    def get(self, spec: WindowSpec) -> Optional[Dict[str, Any]]:
+        """The cached payload for ``spec``, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        path = self._path(spec.cache_key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                entry = json.load(handle)
+            payload = entry["result"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError):
+            # Corrupt entry: drop it and recompute.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, spec: WindowSpec, payload: Dict[str, Any]) -> None:
+        """Store ``payload`` for ``spec`` (atomic, last-writer-wins)."""
+        if not self.enabled:
+            return
+        path = self._path(spec.cache_key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"spec": spec.to_dict(), "result": payload}
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", encoding="utf-8", dir=path.parent,
+            prefix=".tmp-", suffix=".json", delete=False,
+        )
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except OSError:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass

@@ -1,0 +1,159 @@
+"""The :class:`ExperimentEngine`: cached, parallel window execution.
+
+Experiments declare their work as a list of
+:class:`~repro.engine.spec.WindowSpec`s and reduce the returned
+payloads; the engine owns everything in between:
+
+* **cache** — each spec's digest is looked up in the content-addressed
+  :class:`~repro.engine.cache.ResultCache` before any simulation runs;
+* **fan-out** — cache misses execute on a ``ProcessPoolExecutor``
+  (``jobs`` workers, ``REPRO_JOBS`` by default) or, with ``jobs=1``,
+  serially in spec order in the calling process — the deterministic
+  fallback that reproduces the seed code's execution order exactly;
+* **observability** — every window (hit or miss) is logged to the
+  engine's :class:`~repro.engine.artifacts.RunRecorder`.
+
+Windows are pure functions of their specs, so hit-vs-miss and
+serial-vs-parallel cannot change results, only wall time; the
+determinism tests in ``tests/test_engine.py`` pin that property.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .artifacts import RunRecorder, WindowRecord
+from .cache import ResultCache, cache_enabled_by_env
+from .spec import WindowSpec
+
+
+def default_jobs() -> int:
+    """``REPRO_JOBS`` (default 1: the deterministic serial backend)."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def _execute(spec: WindowSpec) -> Dict[str, Any]:
+    from .windows import run_window
+
+    return run_window(spec.kind, spec.params_dict())
+
+
+def _pool_execute(item: Tuple[int, Dict[str, Any]]):
+    """Top-level worker entry (must be picklable)."""
+    index, spec_dict = item
+    spec = WindowSpec.from_dict(spec_dict)
+    started = time.perf_counter()
+    payload = _execute(spec)
+    return index, payload, time.perf_counter() - started, os.getpid()
+
+
+class ExperimentEngine:
+    """Shared execution backend for every experiment in the repo."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        recorder: Optional[RunRecorder] = None,
+    ) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if cache is None:
+            cache = ResultCache(enabled=cache_enabled_by_env())
+        self.cache = cache
+        self.recorder = recorder or RunRecorder()
+
+    # ------------------------------------------------------------------
+
+    def run(self, specs: Sequence[WindowSpec]) -> List[Dict[str, Any]]:
+        """Execute every spec; payloads are returned in spec order."""
+        results: List[Optional[Dict[str, Any]]] = [None] * len(specs)
+        misses: List[int] = []
+        for index, spec in enumerate(specs):
+            cached = self.cache.get(spec)
+            if cached is not None:
+                results[index] = cached
+                self._record(spec, cached, cache="hit", wall_s=0.0,
+                             worker=None)
+            else:
+                misses.append(index)
+
+        if misses:
+            if self.jobs > 1 and len(misses) > 1:
+                self._run_pool(specs, misses, results)
+            else:
+                for index in misses:
+                    spec = specs[index]
+                    started = time.perf_counter()
+                    payload = _execute(spec)
+                    wall = time.perf_counter() - started
+                    results[index] = payload
+                    self.cache.put(spec, payload)
+                    self._record(spec, payload, cache="miss", wall_s=wall,
+                                 worker=os.getpid())
+        return results  # type: ignore[return-value]
+
+    def _run_pool(self, specs: Sequence[WindowSpec], misses: List[int],
+                  results: List[Optional[Dict[str, Any]]]) -> None:
+        items = [(index, specs[index].to_dict()) for index in misses]
+        workers = min(self.jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            for index, payload, wall, worker in pool.map(
+                    _pool_execute, items, chunksize=1):
+                results[index] = payload
+                self.cache.put(specs[index], payload)
+                self._record(specs[index], payload, cache="miss",
+                             wall_s=wall, worker=worker)
+
+    # ------------------------------------------------------------------
+
+    def _record(self, spec: WindowSpec, payload: Dict[str, Any],
+                cache: str, wall_s: float, worker: Optional[int]) -> None:
+        self.recorder.record(WindowRecord(
+            key=spec.cache_key,
+            kind=spec.kind,
+            label=spec.label(),
+            cache=cache,
+            wall_s=round(wall_s, 6),
+            worker=worker,
+            cycles=payload.get("cycles"),
+            instructions=payload.get("instructions"),
+            ts=time.time(),
+        ))
+
+    def summary(self) -> Dict[str, Any]:
+        return self.recorder.summary()
+
+
+# ----------------------------------------------------------------------
+# Module-level default engine: experiments use it unless handed one
+# explicitly; the CLI configures it from flags/environment.
+
+_default_engine: Optional[ExperimentEngine] = None
+
+
+def get_engine() -> ExperimentEngine:
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = ExperimentEngine()
+    return _default_engine
+
+
+def set_engine(engine: Optional[ExperimentEngine]) -> None:
+    global _default_engine
+    _default_engine = engine
+
+
+def run_windows(specs: Sequence[WindowSpec],
+                engine: Optional[ExperimentEngine] = None
+                ) -> List[Dict[str, Any]]:
+    """Run specs on ``engine`` (or the process-wide default)."""
+    return (engine or get_engine()).run(specs)

@@ -1,0 +1,110 @@
+"""Declarative simulation-window specifications.
+
+A :class:`WindowSpec` is the engine's unit of work: a hashable,
+JSON-serialisable description of one independent simulation window —
+which workload/program to build, which sampling variant to apply,
+which :class:`~repro.timing.config.TimingConfig` to time it under and
+which seeds pin every source of randomness (workload RNG, LFSR
+initialisation).  Because a window is a *pure function* of its spec,
+the spec's canonical JSON digest doubles as the key of the on-disk
+result cache and as the identity under which run artifacts are logged.
+
+The digest folds in :data:`SCHEMA_VERSION`; bump it whenever the
+meaning of any parameter, the payload layout, or the simulated
+semantics change, so stale cache entries invalidate wholesale.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+#: Version tag folded into every cache key.  Bump on any change to
+#: window semantics or payload layout.
+SCHEMA_VERSION = 1
+
+
+def _canonical(value: Any) -> Any:
+    """Normalise a parameter value to a hashable canonical form."""
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, Mapping):
+        return tuple(sorted((str(k), _canonical(v)) for k, v in value.items()))
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    raise TypeError(
+        f"WindowSpec parameters must be JSON-able scalars/sequences/"
+        f"mappings, got {type(value).__name__}: {value!r}"
+    )
+
+
+def _jsonable(value: Any) -> Any:
+    """Expand the canonical form back into plain JSON types."""
+    if isinstance(value, tuple):
+        if value and all(
+            isinstance(item, tuple) and len(item) == 2
+            and isinstance(item[0], str) for item in value
+        ):
+            return {k: _jsonable(v) for k, v in value}
+        return [_jsonable(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """One independent, deterministic simulation window."""
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, kind: str, /, **params: Any) -> "WindowSpec":
+        """Build a spec with canonically ordered parameters.
+
+        ``kind`` is positional-only so that a *parameter* named "kind"
+        (the cbs/brr framework selector) can coexist with it.
+        """
+        return cls(
+            kind=kind,
+            params=tuple(sorted(
+                (name, _canonical(value)) for name, value in params.items()
+            )),
+        )
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def params_dict(self) -> Dict[str, Any]:
+        """Parameters as plain JSON types (tuples become lists)."""
+        return {name: _jsonable(value) for name, value in self.params}
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": self.params_dict()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WindowSpec":
+        return cls.make(data["kind"], **dict(data["params"]))
+
+    @property
+    def cache_key(self) -> str:
+        """Content digest of (schema, kind, params) — the cache key."""
+        blob = json.dumps(
+            {"schema": SCHEMA_VERSION,
+             "kind": self.kind,
+             "params": self.params_dict()},
+            sort_keys=True, separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        """Short human-readable identity for logs."""
+        interesting = ("benchmark", "variant", "kind", "scheme", "schemes",
+                       "interval", "seed", "n_chars", "scale")
+        bits = [f"{k}={self.param(k)}" for k in interesting
+                if self.param(k) is not None]
+        return f"{self.kind}({', '.join(bits)})"

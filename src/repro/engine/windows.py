@@ -1,0 +1,159 @@
+"""Window runners: the pure compute behind each :class:`WindowSpec`.
+
+Each runner maps a spec's parameter dict to a JSON-able result payload
+and must be a *pure function* of those parameters — every source of
+randomness (workload RNG seed, LFSR initialisation) is an explicit
+parameter, which is what makes results cacheable and safe to fan out
+across processes.  Runners put ``cycles``/``instructions`` at the
+payload's top level when they have them so the engine can log them in
+the run artifact without knowing each payload's shape.
+
+Imports of workload/experiment modules happen inside the runners so
+this module stays importable from pool workers without dragging the
+whole package (or creating import cycles with ``repro.experiments``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+Runner = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+REGISTRY: Dict[str, Runner] = {}
+
+
+def window_kind(name: str) -> Callable[[Runner], Runner]:
+    """Register a runner under a spec ``kind``."""
+    def register(fn: Runner) -> Runner:
+        REGISTRY[name] = fn
+        return fn
+    return register
+
+
+def run_window(kind: str, params: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one window to its registered runner."""
+    try:
+        runner = REGISTRY[kind]
+    except KeyError:
+        raise ValueError(f"unknown window kind {kind!r}") from None
+    return runner(params)
+
+
+def _tuple_or_none(value):
+    return None if value is None else tuple(value)
+
+
+def _config_from(params: Dict[str, Any]):
+    from ..timing.config import TimingConfig
+
+    config = params.get("config")
+    return None if config is None else TimingConfig.from_dict(config)
+
+
+@window_kind("accuracy")
+def _accuracy_window(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One (benchmark, schemes, interval, seed) profiling-accuracy cell.
+
+    The benchmark's full shape parameters ride in the spec (not just a
+    name) so the cache key covers the workload generator's inputs.
+    """
+    from ..experiments.accuracy import run_accuracy
+    from ..workloads.dacapo import DacapoSpec
+
+    spec = DacapoSpec(**params["benchmark"])
+    results = run_accuracy(
+        spec,
+        interval=params["interval"],
+        schemes=tuple(params["schemes"]),
+        scale=params["scale"],
+        seed=params["seed"],
+        lfsr_width=params.get("lfsr_width", 16),
+        taps=_tuple_or_none(params.get("taps")),
+        policy=params.get("policy", "spaced"),
+    )
+    events = next(iter(results.values())).events if results else 0
+    return {
+        "schemes": {
+            scheme: {"accuracy": r.accuracy, "samples": r.samples}
+            for scheme, r in results.items()
+        },
+        "events": events,
+        "instructions": events,
+        "cycles": None,
+    }
+
+
+@window_kind("microbench")
+def _microbench_window(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One timed window of the Section 5.3 checksum microbenchmark."""
+    from ..core.brr import BranchOnRandomUnit
+    from ..timing.runner import time_window
+    from ..workloads.microbench import (
+        END_MARKER,
+        WARM_MARKER,
+        build_microbench,
+    )
+
+    bench = build_microbench(
+        params["n_chars"],
+        variant=params["variant"],
+        kind=params.get("kind") or "cbs",
+        interval=params.get("interval") or 1024,
+        include_payload=params.get("include_payload", True),
+        seed=params["seed"],
+    )
+    unit = None
+    if bench.variant.startswith("brr"):
+        from ..core.lfsr import Lfsr
+
+        seed = (0xACE1 + params.get("lfsr_seed", 0) * 7919) & 0xFFFFF or 1
+        unit = BranchOnRandomUnit(Lfsr(20, seed=seed))
+    result = time_window(
+        bench.program,
+        begin=(WARM_MARKER, 1),
+        end=(END_MARKER, 1),
+        setup=bench.load_text,
+        brr_unit=unit,
+        config=_config_from(params),
+    )
+    return {
+        "result": result.to_dict(),
+        "sites": bench.measured_sites,
+        "program_words": len(bench.program.words),
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }
+
+
+@window_kind("jvm")
+def _jvm_window(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One timed window of a Figure 12 mini-JVM benchmark variant."""
+    from ..core.brr import BranchOnRandomUnit
+    from ..jvm.benchmarks import FIGURE12_BENCHMARKS, MEASURE_BEGIN, MEASURE_END
+    from ..jvm.compiler import compile_program
+    from ..timing.runner import time_window
+
+    jvm = FIGURE12_BENCHMARKS[params["benchmark"]](params["scale"])
+    variant = params["variant"]
+    if variant == "none":
+        compiled = compile_program(jvm, variant="none")
+        unit = None
+    else:
+        compiled = compile_program(
+            jvm, variant="full-dup", kind=variant,
+            interval=params["interval"],
+        )
+        unit = BranchOnRandomUnit() if variant == "brr" else None
+    result = time_window(
+        compiled.program,
+        begin=(MEASURE_BEGIN, 1),
+        end=(MEASURE_END, 1),
+        config=_config_from(params),
+        brr_unit=unit,
+    )
+    return {
+        "result": result.to_dict(),
+        "program_words": len(compiled.program.words),
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }

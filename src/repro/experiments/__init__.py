@@ -3,13 +3,20 @@
 from .accuracy import (
     AccuracyResult,
     accuracy_figure,
+    accuracy_window_spec,
     figure9,
     figure10,
     format_rows as format_accuracy_rows,
     run_accuracy,
 )
 from .cost_table import cost_rows, format_cost_table
-from .fig12 import Fig12Row, figure12, format_rows as format_fig12_rows, run_benchmark
+from .fig12 import (
+    Fig12Row,
+    figure12,
+    format_rows as format_fig12_rows,
+    jvm_window_spec,
+    run_benchmark,
+)
 from .fig13 import (
     COMBOS,
     INTERVALS,
@@ -18,9 +25,15 @@ from .fig13 import (
     format_figure13,
     format_figure14,
     microbench_sweep,
+    microbench_window_spec,
     sampling_payoff_interval,
 )
-from .scorecard import ClaimResult, format_scorecard, run_scorecard
+from .scorecard import (
+    ClaimResult,
+    format_scorecard,
+    run_scorecard,
+    scorecard_failed,
+)
 from .sensitivity import (
     SensitivityResult,
     bit_policy_sensitivity,
@@ -34,8 +47,12 @@ __all__ = [
     "ClaimResult",
     "format_scorecard",
     "run_scorecard",
+    "scorecard_failed",
     "AccuracyResult",
     "accuracy_figure",
+    "accuracy_window_spec",
+    "jvm_window_spec",
+    "microbench_window_spec",
     "figure9",
     "figure10",
     "format_accuracy_rows",

@@ -10,13 +10,15 @@ and both experiments use a sampling period of 1024."
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from ..core.brr import BranchOnRandomUnit
-from ..jvm.benchmarks import FIGURE12_BENCHMARKS, MEASURE_BEGIN, MEASURE_END
-from ..jvm.compiler import compile_program
+from ..engine import ExperimentEngine, WindowSpec, run_windows
+from ..jvm.benchmarks import FIGURE12_BENCHMARKS
 from ..timing.config import TimingConfig
-from ..timing.runner import overhead_percent, time_window
+from ..timing.runner import overhead_percent
+
+#: One timed window per (benchmark, framework) variant.
+VARIANTS = ("none", "cbs", "brr")
 
 
 @dataclass
@@ -30,48 +32,70 @@ class Fig12Row:
     window_instructions: int
 
 
+def jvm_window_spec(
+    name: str,
+    variant: str,
+    scale: float,
+    interval: int = 1024,
+    config: Optional[TimingConfig] = None,
+) -> WindowSpec:
+    """Declarative form of one Figure 12 timing window."""
+    return WindowSpec.make(
+        "jvm",
+        benchmark=name,
+        variant=variant,
+        scale=scale,
+        interval=interval if variant != "none" else None,
+        config=None if config is None else config.to_dict(),
+    )
+
+
+def _reduce_row(name: str, base, cbs, brr) -> Fig12Row:
+    return Fig12Row(
+        benchmark=name,
+        base_cycles=base["cycles"],
+        cbs_overhead=overhead_percent(base["cycles"], cbs["cycles"]),
+        brr_overhead=overhead_percent(base["cycles"], brr["cycles"]),
+        window_instructions=base["instructions"],
+    )
+
+
 def run_benchmark(
     name: str,
     scale: float = 3.0,
     interval: int = 1024,
     config: Optional[TimingConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Fig12Row:
     """Overhead of cbs and brr Full-Duplication sampling vs. baseline."""
-    jvm = FIGURE12_BENCHMARKS[name](scale)
-    window = ((MEASURE_BEGIN, 1), (MEASURE_END, 1))
-
-    base = time_window(
-        compile_program(jvm, variant="none").program,
-        begin=window[0], end=window[1], config=config,
-    )
-    cbs = time_window(
-        compile_program(jvm, variant="full-dup", kind="cbs",
-                        interval=interval).program,
-        begin=window[0], end=window[1], config=config,
-    )
-    brr = time_window(
-        compile_program(jvm, variant="full-dup", kind="brr",
-                        interval=interval).program,
-        begin=window[0], end=window[1], config=config,
-        brr_unit=BranchOnRandomUnit(),
-    )
-    return Fig12Row(
-        benchmark=name,
-        base_cycles=base.cycles,
-        cbs_overhead=overhead_percent(base.cycles, cbs.cycles),
-        brr_overhead=overhead_percent(base.cycles, brr.cycles),
-        window_instructions=base.instructions,
-    )
+    specs = [jvm_window_spec(name, variant, scale, interval, config)
+             for variant in VARIANTS]
+    base, cbs, brr = run_windows(specs, engine=engine)
+    return _reduce_row(name, base, cbs, brr)
 
 
 def figure12(
     scale: float = 3.0,
     interval: int = 1024,
     config: Optional[TimingConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+    benchmarks: Optional[Sequence[str]] = None,
 ) -> List[Fig12Row]:
-    """All five benchmarks plus the average row."""
-    rows = [run_benchmark(name, scale=scale, interval=interval, config=config)
-            for name in FIGURE12_BENCHMARKS]
+    """All five benchmarks plus the average row.
+
+    All 15 (benchmark, variant) windows fan out through the engine in
+    one batch, so a 4-worker run overlaps the five benchmarks instead
+    of timing them back to back.
+    """
+    names = list(benchmarks) if benchmarks is not None \
+        else list(FIGURE12_BENCHMARKS)
+    specs = [jvm_window_spec(name, variant, scale, interval, config)
+             for name in names for variant in VARIANTS]
+    payloads = run_windows(specs, engine=engine)
+    rows = [
+        _reduce_row(name, *payloads[3 * i:3 * i + 3])
+        for i, name in enumerate(names)
+    ]
     rows.append(Fig12Row(
         benchmark="average",
         base_cycles=sum(r.base_cycles for r in rows),

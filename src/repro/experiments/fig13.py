@@ -19,9 +19,10 @@ rates).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.brr import BranchOnRandomUnit
+from ..engine import ExperimentEngine, WindowSpec, run_windows
 from ..timing.config import TimingConfig
 from ..timing.runner import WindowResult, cycles_per_site, overhead_percent, time_window
 from ..workloads.microbench import (
@@ -80,6 +81,12 @@ class MicrobenchSweep:
             key=lambda p: p.interval,
         )
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-scalar form for ``--json`` output."""
+        from dataclasses import asdict
+
+        return asdict(self)
+
 
 def _run(bench: Microbench, config: Optional[TimingConfig],
          lfsr_seed: int = 0) -> WindowResult:
@@ -99,22 +106,75 @@ def _run(bench: Microbench, config: Optional[TimingConfig],
     )
 
 
+def microbench_window_spec(
+    n_chars: int,
+    variant: str,
+    seed: int,
+    kind: Optional[str] = None,
+    interval: Optional[int] = None,
+    include_payload: bool = True,
+    lfsr_seed: int = 0,
+    config: Optional[TimingConfig] = None,
+) -> WindowSpec:
+    """Declarative form of one microbenchmark timing window.
+
+    The un-sampled variants (``none``/``full``) canonicalise the
+    sampling parameters away so their cache entries are shared by
+    every sweep that reuses the same baseline.
+    """
+    sampled = variant in ("no-dup", "full-dup")
+    return WindowSpec.make(
+        "microbench",
+        n_chars=n_chars,
+        variant=variant,
+        seed=seed,
+        kind=kind if sampled else None,
+        interval=interval if sampled else None,
+        include_payload=include_payload if sampled else None,
+        lfsr_seed=lfsr_seed if sampled else 0,
+        config=None if config is None else config.to_dict(),
+    )
+
+
 def microbench_sweep(
     n_chars: int = 4000,
     intervals: Sequence[int] = INTERVALS,
     seed: int = 1,
     config: Optional[TimingConfig] = None,
     include_payload_variants: bool = True,
+    engine: Optional[ExperimentEngine] = None,
 ) -> MicrobenchSweep:
-    """Run the whole Figure 13/14 sweep at one scale."""
-    base_bench = build_microbench(n_chars, variant="none", seed=seed)
-    base = _run(base_bench, config)
-    sites = base_bench.measured_sites
+    """Run the whole Figure 13/14 sweep at one scale.
 
-    full_bench = build_microbench(n_chars, variant="full", seed=seed)
-    full = _run(full_bench, config)
+    Every point — the baseline, the full-instrumentation reference and
+    each (kind, duplication, payload, interval) combination — is an
+    independent engine window; the sweep object is a pure reduction of
+    the returned payloads.
+    """
+    payload_options = (True, False) if include_payload_variants else (False,)
+    specs = [
+        microbench_window_spec(n_chars, "none", seed, config=config),
+        microbench_window_spec(n_chars, "full", seed, config=config),
+    ]
+    combos: List[Tuple[str, str, bool, int]] = [
+        (kind, duplication, with_payload, interval)
+        for kind, duplication in COMBOS
+        for with_payload in payload_options
+        for interval in intervals
+    ]
+    specs.extend(
+        microbench_window_spec(
+            n_chars, duplication, seed, kind=kind, interval=interval,
+            include_payload=with_payload, lfsr_seed=interval, config=config,
+        )
+        for kind, duplication, with_payload, interval in combos
+    )
+    payloads = run_windows(specs, engine=engine)
 
-    hierarchy_stats_base = base.stats
+    base = WindowResult.from_dict(payloads[0]["result"])
+    sites = payloads[0]["sites"]
+    full = WindowResult.from_dict(payloads[1]["result"])
+
     sweep = MicrobenchSweep(
         n_chars=n_chars,
         sites=sites,
@@ -128,27 +188,18 @@ def microbench_sweep(
         full_instr_cycles_per_site=cycles_per_site(base.cycles, full.cycles,
                                                    sites),
     )
-
-    payload_options = (True, False) if include_payload_variants else (False,)
-    for kind, duplication in COMBOS:
-        for with_payload in payload_options:
-            for interval in intervals:
-                bench = build_microbench(
-                    n_chars, variant=duplication, kind=kind,
-                    interval=interval, include_payload=with_payload,
-                    seed=seed,
-                )
-                result = _run(bench, config, lfsr_seed=interval)
-                sweep.points.append(SweepPoint(
-                    kind=kind,
-                    duplication=duplication,
-                    interval=interval,
-                    with_payload=with_payload,
-                    cycles=result.cycles,
-                    overhead=overhead_percent(base.cycles, result.cycles),
-                    cycles_per_site=cycles_per_site(base.cycles,
-                                                    result.cycles, sites),
-                ))
+    for (kind, duplication, with_payload, interval), payload in zip(
+            combos, payloads[2:]):
+        cycles = payload["cycles"]
+        sweep.points.append(SweepPoint(
+            kind=kind,
+            duplication=duplication,
+            interval=interval,
+            with_payload=with_payload,
+            cycles=cycles,
+            overhead=overhead_percent(base.cycles, cycles),
+            cycles_per_site=cycles_per_site(base.cycles, cycles, sites),
+        ))
     return sweep
 
 

@@ -20,13 +20,14 @@ using a one-way ANOVA across configuration groups.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from scipy import stats as scipy_stats
 
 from ..core.taps import PAPER_SENSITIVITY_TAPS_32
+from ..engine import ExperimentEngine, run_windows
 from ..workloads.dacapo import spec_by_name
-from .accuracy import run_accuracy
+from .accuracy import accuracy_window_spec
 
 
 @dataclass
@@ -47,6 +48,15 @@ class SensitivityResult:
         return {name: sum(vals) / len(vals)
                 for name, vals in self.groups.items()}
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "groups": self.groups,
+            "f_statistic": self.f_statistic,
+            "p_value": self.p_value,
+            "significant": self.significant,
+        }
+
 
 def _anova(groups: Dict[str, List[float]]) -> Tuple[float, float]:
     samples = [vals for vals in groups.values() if len(vals) > 1]
@@ -56,23 +66,38 @@ def _anova(groups: Dict[str, List[float]]) -> Tuple[float, float]:
     return float(f_stat), float(p_value)
 
 
+def _grouped_accuracies(
+    labelled_specs: Sequence[Tuple[str, "object"]],
+    engine: Optional[ExperimentEngine],
+) -> Dict[str, List[float]]:
+    """Fan every (group, seed) cell out through the engine at once."""
+    payloads = run_windows([spec for _label, spec in labelled_specs],
+                           engine=engine)
+    groups: Dict[str, List[float]] = {}
+    for (label, _spec), payload in zip(labelled_specs, payloads):
+        groups.setdefault(label, []).append(
+            payload["schemes"]["random"]["accuracy"])
+    return groups
+
+
 def taps_sensitivity(
     benchmark: str = "bloat",
     interval: int = 1 << 10,
     seeds: Sequence[int] = (0, 1, 2, 3),
     scale: float = 0.02,
     taps_sets: Sequence[Tuple[int, ...]] = PAPER_SENSITIVITY_TAPS_32,
+    engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
     """Profile accuracy across the four 32-bit tap configurations."""
     spec = spec_by_name(benchmark)
-    groups: Dict[str, List[float]] = {}
-    for taps in taps_sets:
-        label = ",".join(str(t) for t in taps)
-        groups[label] = [
-            run_accuracy(spec, interval, schemes=("random",), scale=scale,
-                         seed=seed, lfsr_width=32, taps=taps)["random"].accuracy
-            for seed in seeds
-        ]
+    labelled = [
+        (",".join(str(t) for t in taps),
+         accuracy_window_spec(spec, interval, ("random",), scale, seed,
+                              lfsr_width=32, taps=taps))
+        for taps in taps_sets
+        for seed in seeds
+    ]
+    groups = _grouped_accuracies(labelled, engine)
     f_stat, p_value = _anova(groups)
     return SensitivityResult(
         label=f"taps sensitivity ({benchmark}, 1/{interval})",
@@ -86,18 +111,18 @@ def bit_policy_sensitivity(
     seeds: Sequence[int] = (0, 1, 2, 3),
     scale: float = 0.02,
     lfsr_width: int = 20,
+    engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
     """Contiguous vs. spaced AND-input selection."""
     spec = spec_by_name(benchmark)
-    groups = {
-        policy: [
-            run_accuracy(spec, interval, schemes=("random",), scale=scale,
-                         seed=seed, lfsr_width=lfsr_width,
-                         policy=policy)["random"].accuracy
-            for seed in seeds
-        ]
+    labelled = [
+        (policy,
+         accuracy_window_spec(spec, interval, ("random",), scale, seed,
+                              lfsr_width=lfsr_width, policy=policy))
         for policy in ("contiguous", "spaced")
-    }
+        for seed in seeds
+    ]
+    groups = _grouped_accuracies(labelled, engine)
     f_stat, p_value = _anova(groups)
     return SensitivityResult(
         label=f"AND-input sensitivity ({benchmark}, 1/{interval})",
@@ -111,6 +136,7 @@ def width_sensitivity(
     seeds: Sequence[int] = (0, 1, 2, 3),
     scale: float = 0.02,
     widths: Sequence[int] = (16, 20, 24, 32),
+    engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
     """Profile accuracy across LFSR register widths.
 
@@ -120,14 +146,14 @@ def width_sensitivity(
     can be selected purely for AND-input spacing and hardware budget.
     """
     spec = spec_by_name(benchmark)
-    groups = {
-        f"{width}-bit": [
-            run_accuracy(spec, interval, schemes=("random",), scale=scale,
-                         seed=seed, lfsr_width=width)["random"].accuracy
-            for seed in seeds
-        ]
+    labelled = [
+        (f"{width}-bit",
+         accuracy_window_spec(spec, interval, ("random",), scale, seed,
+                              lfsr_width=width))
         for width in widths
-    }
+        for seed in seeds
+    ]
+    groups = _grouped_accuracies(labelled, engine)
     f_stat, p_value = _anova(groups)
     return SensitivityResult(
         label=f"LFSR-width sensitivity ({benchmark}, 1/{interval})",
@@ -140,14 +166,15 @@ def seed_noise_baseline(
     interval: int = 1 << 10,
     seeds: Sequence[int] = tuple(range(8)),
     scale: float = 0.02,
+    engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, float]:
     """The seed-variation distribution everything is compared against."""
     spec = spec_by_name(benchmark)
-    accuracies = [
-        run_accuracy(spec, interval, schemes=("random",), scale=scale,
-                     seed=seed)["random"].accuracy
+    payloads = run_windows([
+        accuracy_window_spec(spec, interval, ("random",), scale, seed)
         for seed in seeds
-    ]
+    ], engine=engine)
+    accuracies = [p["schemes"]["random"]["accuracy"] for p in payloads]
     mean = sum(accuracies) / len(accuracies)
     variance = sum((a - mean) ** 2 for a in accuracies) / (len(accuracies) - 1)
     return {

@@ -56,6 +56,12 @@ MarkerCallback = Callable[["Machine", int, int], None]
 class Machine:
     """Architectural state plus an interpreter loop."""
 
+    #: Default decode-cache capacity.  Far above any program in the
+    #: repo (the biggest JVM images are a few thousand words), so
+    #: eviction never fires in practice, but long runs over patched or
+    #: generated code can no longer grow the cache without bound.
+    DECODE_CACHE_LIMIT = 1 << 16
+
     def __init__(
         self,
         program: Program,
@@ -63,6 +69,7 @@ class Machine:
         memory_size: int = 1 << 20,
         brr_unit: Optional[RandomSource] = None,
         entry: Optional[str] = None,
+        decode_cache_limit: Optional[int] = None,
     ) -> None:
         self.program = program
         self.memory = memory if memory is not None else Memory(memory_size)
@@ -77,6 +84,9 @@ class Machine:
         self.marker_callbacks: List[MarkerCallback] = []
         self.trap_handlers: Dict[int, TrapHandler] = {}
         self._decode_cache: Dict[int, Instruction] = {}
+        self._decode_cache_limit = max(
+            1, self.DECODE_CACHE_LIMIT if decode_cache_limit is None
+            else decode_cache_limit)
 
     # ------------------------------------------------------------------
 
@@ -93,6 +103,11 @@ class Machine:
         cached = self._decode_cache.get(pc)
         if cached is None:
             cached = decode(self.memory.load_word(pc), pc=pc)
+            if len(self._decode_cache) >= self._decode_cache_limit:
+                # FIFO eviction (dicts preserve insertion order): O(1)
+                # and good enough for code, whose working set is tiny
+                # next to the limit.
+                self._decode_cache.pop(next(iter(self._decode_cache)))
             self._decode_cache[pc] = cached
         return cached
 

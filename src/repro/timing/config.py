@@ -16,7 +16,8 @@ pipeline."
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Any, Dict, Mapping
 
 
 @dataclass(frozen=True)
@@ -76,6 +77,21 @@ class TimingConfig:
     def with_overrides(self, **kwargs) -> "TimingConfig":
         """A copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-scalar form, safe to JSON-encode or cross processes."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimingConfig":
+        """Inverse of :meth:`to_dict`; rejects unknown field names."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown TimingConfig fields: {sorted(unknown)}"
+            )
+        return cls(**data)
 
 
 #: The exact Section 5.1 machine.

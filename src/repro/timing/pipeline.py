@@ -41,14 +41,27 @@ from .predictors import Btb, ReturnAddressStack, Tournament
 
 
 class _Bandwidth:
-    """Allocates slots of ``width`` per cycle, earliest-first."""
+    """Allocates slots of ``width`` per cycle, earliest-first.
 
-    __slots__ = ("width", "_counts", "_prune_at")
+    ``_counts`` maps cycle -> slots used.  Allocation requests are
+    monotonically non-decreasing (pipeline stages only move forward),
+    so entries more than :data:`PRUNE_WINDOW` cycles behind the newest
+    allocation can never be consulted again and are dropped once the
+    map exceeds :data:`PRUNE_THRESHOLD` entries — keeping memory
+    bounded over arbitrarily long simulation windows (the regression
+    test in ``tests/test_memory_bounds.py`` pins this).
+    """
+
+    #: Map size that triggers a prune pass.
+    PRUNE_THRESHOLD = 16384
+    #: Cycles of history preserved behind the newest allocation.
+    PRUNE_WINDOW = 4096
+
+    __slots__ = ("width", "_counts")
 
     def __init__(self, width: int) -> None:
         self.width = width
         self._counts: Dict[int, int] = {}
-        self._prune_at = 16384
 
     def allocate(self, ready: int) -> int:
         counts = self._counts
@@ -56,8 +69,8 @@ class _Bandwidth:
         while counts.get(cycle, 0) >= self.width:
             cycle += 1
         counts[cycle] = counts.get(cycle, 0) + 1
-        if len(counts) > self._prune_at:
-            cutoff = cycle - 4096
+        if len(counts) > self.PRUNE_THRESHOLD:
+            cutoff = cycle - self.PRUNE_WINDOW
             stale = [key for key in counts if key < cutoff]
             for key in stale:
                 del counts[key]
@@ -103,6 +116,19 @@ class TimingStats:
 
     def copy(self) -> "TimingStats":
         return TimingStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def to_dict(self) -> Dict[str, int]:
+        """Plain-scalar form, safe to JSON-encode or cross processes."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "TimingStats":
+        """Inverse of :meth:`to_dict`; rejects unknown counter names."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown TimingStats fields: {sorted(unknown)}")
+        return cls(**data)
 
 
 class TimingSimulator:

@@ -50,6 +50,16 @@ class WindowResult:
     def instructions(self) -> int:
         return self.stats.instructions
 
+    def to_dict(self) -> dict:
+        """Plain-scalar form for the result cache / process boundary."""
+        return {"stats": self.stats.to_dict(),
+                "total_steps": self.total_steps}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WindowResult":
+        return cls(stats=TimingStats.from_dict(data["stats"]),
+                   total_steps=data["total_steps"])
+
 
 def time_program(
     program: Program,

@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.experiments.scorecard import ClaimResult, scorecard_failed
 
 
 class TestParser:
@@ -21,6 +24,18 @@ class TestParser:
         assert args.scale == 0.05
         assert args.jvm_scale == 3.0
         assert args.chars == 4000
+        assert args.jobs is None
+        assert args.json is False
+        assert args.log_jsonl is None
+
+    def test_engine_flags(self):
+        args = build_parser().parse_args(
+            ["scorecard", "--jobs", "4", "--json",
+             "--log-jsonl", "w.jsonl", "--no-cache"])
+        assert args.jobs == 4
+        assert args.json is True
+        assert args.log_jsonl == "w.jsonl"
+        assert args.no_cache is True
 
 
 class TestCommands:
@@ -46,3 +61,94 @@ class TestCommands:
         assert main(["figure2", "--chars", "600"]) == 0
         out = capsys.readouterr().out
         assert "fixed (framework) cost floor" in out
+
+    def test_out_dir_writes_tables(self, capsys, tmp_path):
+        assert main(["cost", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert (tmp_path / "cost.txt").read_text() == out
+
+
+class TestJsonMode:
+    def test_cost_json_document(self, capsys):
+        assert main(["cost", "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["command"] == "cost"
+        assert any(row["decode_width"] == 4 for row in document["data"])
+        assert {"windows", "cache_hits", "cache_misses",
+                "jobs"} <= set(document["engine"])
+
+    def test_figure9_json_reports_windows(self, capsys, tmp_path):
+        assert main(["figure9", "--scale", "0.002", "--json",
+                     "--out", str(tmp_path),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        document = json.loads(capsys.readouterr().out)
+        rows = document["data"]
+        assert rows[-1]["benchmark"] == "average"
+        assert document["engine"]["command_windows"] > 0
+        # --json --out also writes the BENCH_* trajectory artifacts.
+        bench = json.loads((tmp_path / "BENCH_figure9.json").read_text())
+        assert bench["data"] == rows
+        lines = (tmp_path / "BENCH_windows.jsonl").read_text().splitlines()
+        assert len(lines) == document["engine"]["command_windows"]
+        assert all(json.loads(line)["kind"] == "accuracy" for line in lines)
+
+    def test_warm_cache_rerun_hits(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["figure9", "--scale", "0.002", "--json",
+                     "--cache-dir", cache]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(["figure9", "--scale", "0.002", "--json",
+                     "--cache-dir", cache]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["data"] == cold["data"]
+        assert warm["engine"]["cache_hits"] == warm["engine"]["windows"]
+
+
+class TestScorecardExitCode:
+    """Satellite: CI can gate on `python -m repro scorecard`."""
+
+    def test_scorecard_failed_predicate(self):
+        ok = ClaimResult("a", True, "fine", 0.1)
+        bad = ClaimResult("b", False, "broken", 0.1)
+        assert not scorecard_failed([ok])
+        assert scorecard_failed([ok, bad])
+
+    def test_failing_claim_sets_exit_code(self, capsys, monkeypatch):
+        import repro.experiments as experiments
+
+        monkeypatch.setattr(
+            experiments, "run_scorecard",
+            lambda quick=True: [ClaimResult(
+                "deliberately broken config", False, "boom", 0.0)])
+        assert main(["scorecard"]) == 1
+        assert "[FAIL] deliberately broken config" in capsys.readouterr().out
+
+    def test_passing_scorecard_exits_zero(self, capsys, monkeypatch):
+        import repro.experiments as experiments
+
+        monkeypatch.setattr(
+            experiments, "run_scorecard",
+            lambda quick=True: [ClaimResult("fine", True, "ok", 0.0)])
+        assert main(["scorecard"]) == 0
+
+    def test_deliberately_broken_config_fails_claim(self, monkeypatch):
+        """A deliberately broken hardware-cost model produces a FAIL
+        verdict (not a crash), which the CLI turns into exit code 1."""
+        from repro.experiments import scorecard as sc
+
+        monkeypatch.setattr("repro.core.cost.claims_hold", lambda: False)
+        results = sc.run_scorecard(checks=[
+            ("hardware budget", sc._check_hardware_cost)])
+        assert len(results) == 1 and not results[0].passed
+        assert sc.scorecard_failed(results)
+
+    def test_crashing_check_counts_as_failure(self):
+        from repro.experiments import scorecard as sc
+
+        def explode():
+            raise RuntimeError("broken config")
+
+        results = sc.run_scorecard(checks=[("kaboom", explode)])
+        assert not results[0].passed
+        assert "broken config" in results[0].detail
+

@@ -1,0 +1,70 @@
+"""Regression tests: simulator memory stays bounded on long runs.
+
+Two structures used to grow with simulated time rather than with
+program size: the functional simulator's decode cache and the timing
+pipeline's per-cycle bandwidth maps.  Both now carry explicit bounds;
+these tests pin them over a window of >16384 cycles.
+"""
+
+from repro.isa.asm import assemble
+from repro.sim.machine import Machine
+from repro.timing.pipeline import TimingSimulator, _Bandwidth
+
+#: A tight loop long enough to retire far more than 16384 cycles.
+LONG_LOOP = """
+    li r1, 20000
+    li r2, 0
+loop:
+    addi r2, r2, 1
+    addi r1, r1, -1
+    bne r1, r0, loop
+    halt
+"""
+
+
+def _run_long_window():
+    machine = Machine(assemble(LONG_LOOP))
+    simulator = TimingSimulator()
+    while not machine.halted:
+        simulator.step(machine.step())
+    return machine, simulator
+
+
+class TestLongWindowBounds:
+    def test_structures_bounded_over_long_window(self):
+        machine, simulator = _run_long_window()
+        assert simulator.stats.cycles > 16384  # the window is long enough
+        assert len(machine._decode_cache) <= Machine.DECODE_CACHE_LIMIT
+        # The decode cache tracks program size, not simulated time.
+        assert len(machine._decode_cache) <= len(machine.program.words)
+        for bandwidth in (simulator._decode_bw, simulator._issue_bw,
+                          simulator._commit_bw):
+            assert len(bandwidth._counts) <= (
+                _Bandwidth.PRUNE_THRESHOLD + _Bandwidth.PRUNE_WINDOW)
+
+    def test_bandwidth_prunes_stale_cycles(self):
+        bandwidth = _Bandwidth(width=1)
+        for cycle in range(_Bandwidth.PRUNE_THRESHOLD + 100):
+            bandwidth.allocate(cycle)
+        assert len(bandwidth._counts) <= (
+            _Bandwidth.PRUNE_THRESHOLD + _Bandwidth.PRUNE_WINDOW)
+        # Entries far behind the newest allocation are gone.
+        assert 0 not in bandwidth._counts
+
+
+class TestDecodeCacheEviction:
+    def test_decode_cache_respects_limit(self):
+        machine = Machine(assemble(LONG_LOOP), decode_cache_limit=3)
+        machine.run(max_steps=200_000)
+        assert len(machine._decode_cache) <= 3
+        # Correctness is unaffected by eviction: the loop still
+        # counted all 20000 iterations.
+        assert machine.regs[2] == 20000
+
+    def test_eviction_matches_unbounded_execution(self):
+        bounded = Machine(assemble(LONG_LOOP), decode_cache_limit=2)
+        unbounded = Machine(assemble(LONG_LOOP))
+        bounded.run(max_steps=200_000)
+        unbounded.run(max_steps=200_000)
+        assert bounded.regs == unbounded.regs
+        assert bounded.instret == unbounded.instret
