@@ -12,15 +12,20 @@ Usage::
     python -m repro cost
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
     python -m repro all      # everything (several minutes)
+    python -m repro cache [stats|prune|clear]
 
 Execution goes through the shared :mod:`repro.engine` (see
 ``docs/engine.md``): ``--jobs N`` / ``REPRO_JOBS`` fans simulation
 windows out across worker processes, results are memoised under
-``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), ``--json`` switches
-stdout to a machine-readable document per command, and ``--out DIR``
-additionally writes ``<command>.txt`` (plus ``BENCH_<command>.json``
-and the per-window ``BENCH_windows.jsonl`` trajectory in ``--json``
-mode).  ``scorecard`` exits non-zero when any headline claim fails.
+``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), timed windows
+record/replay functional traces through the store described in
+``docs/trace_format.md`` (``REPRO_TRACE=0`` disables), ``--json``
+switches stdout to a machine-readable document per command, and
+``--out DIR`` additionally writes ``<command>.txt`` (plus
+``BENCH_<command>.json`` and the per-window ``BENCH_windows.jsonl``
+trajectory in ``--json`` mode).  ``scorecard`` exits non-zero when any
+headline claim fails; ``cache`` inspects or maintains both on-disk
+stores.
 """
 
 from __future__ import annotations
@@ -97,21 +102,25 @@ def _sensitivity(args) -> CommandResult:
     from .experiments import (
         bit_policy_sensitivity,
         format_sensitivity_result,
+        format_timing_sweep,
         seed_noise_baseline,
         taps_sensitivity,
+        timing_config_sweep,
     )
 
     taps = taps_sensitivity(scale=args.scale)
     bits = bit_policy_sensitivity(scale=args.scale)
     noise = seed_noise_baseline(scale=args.scale)
+    timing = timing_config_sweep(n_chars=args.chars)
     text = "\n".join([
         format_sensitivity_result(taps),
         format_sensitivity_result(bits),
         f"seed-variation baseline: mean={noise['mean']:.2f}% "
         f"std={noise['std']:.3f}%",
+        format_timing_sweep(timing),
     ])
     return {"taps": taps.to_dict(), "bit_policy": bits.to_dict(),
-            "seed_noise": noise}, text
+            "seed_noise": noise, "timing": timing.to_dict()}, text
 
 
 def _cost(args) -> CommandResult:
@@ -146,14 +155,49 @@ COMMANDS = {
     "scorecard": _scorecard,
 }
 
+#: ``repro cache`` actions; the command lives outside COMMANDS so that
+#: ``repro all`` regenerates figures without touching the stores.
+CACHE_ACTIONS = ("stats", "prune", "clear")
+
+
+def _cache_command(args, engine: ExperimentEngine) -> CommandResult:
+    """Inspect or maintain the result cache and the trace store."""
+    action = args.action or "stats"
+    data: Dict[str, Any] = {"action": action}
+    if action == "prune":
+        data["removed"] = {"results": engine.cache.prune(),
+                           "traces": engine.trace_store.prune()}
+    elif action == "clear":
+        data["removed"] = {"results": engine.cache.clear(),
+                           "traces": engine.trace_store.clear()}
+    data["results"] = engine.cache.stats()
+    data["traces"] = engine.trace_store.stats()
+    lines = []
+    if "removed" in data:
+        lines.append(
+            f"{action}: removed {data['removed']['results']} result "
+            f"entries, {data['removed']['traces']} trace files")
+    for title, stats in (("result cache", data["results"]),
+                         ("trace store", data["traces"])):
+        lines.append(
+            f"{title:<12} {stats['entries']:>6} entries  "
+            f"{stats['bytes']:>12} bytes  v{stats['version']}  "
+            f"[{stats['root']}]")
+    return data, "\n".join(lines)
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the Branch-on-Random (CGO 2008) evaluation.",
     )
-    parser.add_argument("command", choices=list(COMMANDS) + ["all"],
-                        help="which figure/table to regenerate")
+    parser.add_argument("command", choices=list(COMMANDS) + ["all", "cache"],
+                        help="which figure/table to regenerate, or `cache` "
+                             "to inspect/maintain the on-disk stores")
+    parser.add_argument("action", nargs="?", choices=CACHE_ACTIONS,
+                        default=None,
+                        help="for `cache`: stats (default), prune stale "
+                             "versions, or clear everything")
     parser.add_argument("--scale", type=float, default=0.05,
                         help="fraction of the paper's invocation counts "
                              "for accuracy experiments (default 0.05)")
@@ -204,12 +248,25 @@ def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
-    commands = list(COMMANDS) if args.command == "all" else [args.command]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.action is not None and args.command != "cache":
+        parser.error(f"'{args.action}' is only valid after the "
+                     f"`cache` command")
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     engine = _build_engine(args, out_dir)
+
+    if args.command == "cache":
+        data, text = _cache_command(args, engine)
+        if args.json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+        else:
+            print(text)
+        return 0
+
+    commands = list(COMMANDS) if args.command == "all" else [args.command]
 
     exit_code = 0
     for name in commands:

@@ -3,7 +3,9 @@
 Every figure reproduction decomposes into independent, deterministic
 simulation windows.  This package turns that observation into
 infrastructure: declarative :class:`WindowSpec`s, a content-addressed
-on-disk :class:`ResultCache`, a process-pool executor with a serial
+on-disk :class:`ResultCache`, a record-once / replay-many
+:class:`TraceStore` keyed by each window's functional projection
+(``docs/trace_format.md``), a process-pool executor with a serial
 deterministic fallback, and structured JSONL run artifacts.
 """
 
@@ -17,6 +19,15 @@ from .core import (
     set_engine,
 )
 from .spec import SCHEMA_VERSION, WindowSpec
+from .tracestore import (
+    TIMING_ONLY_PARAMS,
+    TRACE_STORE_VERSION,
+    TraceStore,
+    active_store,
+    default_trace_dir,
+    functional_key,
+    trace_enabled_by_env,
+)
 
 __all__ = [
     "SCHEMA_VERSION",
@@ -30,4 +41,11 @@ __all__ = [
     "get_engine",
     "run_windows",
     "set_engine",
+    "TIMING_ONLY_PARAMS",
+    "TRACE_STORE_VERSION",
+    "TraceStore",
+    "active_store",
+    "default_trace_dir",
+    "functional_key",
+    "trace_enabled_by_env",
 ]

@@ -32,6 +32,16 @@ class WindowRecord:
     cycles: Optional[int]
     instructions: Optional[int]
     ts: float
+    #: Trace-store usage for timed windows: "hit" (replayed a stored
+    #: functional stream), "miss" (recorded it), "off" (lock-step
+    #: fallback), or None (untimed window or result-cache hit).
+    trace: Optional[str] = None
+    #: Encoded size of the window's functional trace, where one exists.
+    trace_bytes: Optional[int] = None
+    #: Functional ``Machine.step()`` calls this window actually paid —
+    #: 0 on a trace hit, the full stream length on a miss or lock-step
+    #: run.  The record/replay speedup criterion is audited from this.
+    functional_steps: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -69,4 +79,9 @@ class RunRecorder:
                 r.instructions or 0 for r in self.records),
             "workers": sorted({r.worker for r in self.records
                                if r.worker is not None}),
+            "trace_hits": sum(1 for r in self.records if r.trace == "hit"),
+            "trace_misses": sum(1 for r in self.records
+                                if r.trace == "miss"),
+            "functional_steps": sum(r.functional_steps or 0
+                                    for r in self.records),
         }

@@ -14,11 +14,12 @@ The root defaults to ``~/.cache/repro`` and is overridden by
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import pathlib
 import tempfile
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterator, Optional
 
 from .spec import SCHEMA_VERSION, WindowSpec
 
@@ -90,3 +91,59 @@ class ResultCache:
                 os.unlink(handle.name)
             except OSError:
                 pass
+
+    # ------------------------------------------------------------------
+    # Maintenance (the `repro cache` CLI).  Only the versioned payload
+    # subtrees are touched: the trace store may nest its own tree under
+    # this root (``<root>/traces`` by default) and manages it itself.
+
+    def _version_dirs(self) -> Iterator[pathlib.Path]:
+        if not self.root.is_dir():
+            return
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name.startswith("v") \
+                    and child.name[1:].isdigit():
+                yield child
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry/byte counts of the current-version cache."""
+        entries = 0
+        total = 0
+        version_dir = self.root / f"v{SCHEMA_VERSION}"
+        if version_dir.is_dir():
+            for path in version_dir.rglob("*.json"):
+                try:
+                    total += path.stat().st_size
+                    entries += 1
+                except OSError:
+                    continue
+        return {"root": str(self.root), "version": SCHEMA_VERSION,
+                "entries": entries, "bytes": total}
+
+    def prune(self) -> int:
+        """Drop stale-version subtrees and leftover temp files; returns
+        the number of files removed."""
+        import shutil
+
+        removed = 0
+        for version_dir in self._version_dirs():
+            if version_dir.name == f"v{SCHEMA_VERSION}":
+                continue
+            removed += sum(1 for p in version_dir.rglob("*") if p.is_file())
+            shutil.rmtree(version_dir, ignore_errors=True)
+        for version_dir in self._version_dirs():
+            for stray in version_dir.rglob(".tmp-*"):
+                with contextlib.suppress(OSError):
+                    stray.unlink()
+                    removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every cached payload (all versions); returns the count."""
+        import shutil
+
+        removed = 0
+        for version_dir in self._version_dirs():
+            removed += sum(1 for p in version_dir.rglob("*.json"))
+            shutil.rmtree(version_dir, ignore_errors=True)
+        return removed

@@ -6,16 +6,23 @@ payloads; the engine owns everything in between:
 
 * **cache** — each spec's digest is looked up in the content-addressed
   :class:`~repro.engine.cache.ResultCache` before any simulation runs;
+* **traces** — timed windows record/replay their functional streams
+  through the engine's :class:`~repro.engine.tracestore.TraceStore`
+  (keyed by the spec's functional projection), so all timing-config
+  variations of one window pay a single functional execution;
 * **fan-out** — cache misses execute on a ``ProcessPoolExecutor``
   (``jobs`` workers, ``REPRO_JOBS`` by default) or, with ``jobs=1``,
   serially in spec order in the calling process — the deterministic
   fallback that reproduces the seed code's execution order exactly;
 * **observability** — every window (hit or miss) is logged to the
-  engine's :class:`~repro.engine.artifacts.RunRecorder`.
+  engine's :class:`~repro.engine.artifacts.RunRecorder`, including its
+  trace-store usage and functional step count.
 
-Windows are pure functions of their specs, so hit-vs-miss and
-serial-vs-parallel cannot change results, only wall time; the
-determinism tests in ``tests/test_engine.py`` pin that property.
+Windows are pure functions of their specs, so hit-vs-miss,
+record-vs-replay and serial-vs-parallel cannot change results, only
+wall time; the determinism tests in ``tests/test_engine.py`` and the
+golden replay tests in ``tests/test_trace_replay.py`` pin that
+property.
 """
 
 from __future__ import annotations
@@ -28,6 +35,13 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from .artifacts import RunRecorder, WindowRecord
 from .cache import ResultCache, cache_enabled_by_env
 from .spec import WindowSpec
+from .tracestore import (
+    TraceStore,
+    active_store,
+    consume_trace_info,
+    default_trace_dir,
+    trace_enabled_by_env,
+)
 
 
 def default_jobs() -> int:
@@ -47,13 +61,16 @@ def _execute(spec: WindowSpec) -> Dict[str, Any]:
     return run_window(spec.kind, spec.params_dict())
 
 
-def _pool_execute(item: Tuple[int, Dict[str, Any]]):
+def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple[str, bool]]):
     """Top-level worker entry (must be picklable)."""
-    index, spec_dict = item
+    index, spec_dict, (trace_root, trace_enabled) = item
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
-    payload = _execute(spec)
-    return index, payload, time.perf_counter() - started, os.getpid()
+    with active_store(TraceStore(trace_root, enabled=trace_enabled)):
+        payload = _execute(spec)
+        trace_info = consume_trace_info()
+    return (index, payload, time.perf_counter() - started, os.getpid(),
+            trace_info)
 
 
 class ExperimentEngine:
@@ -64,11 +81,16 @@ class ExperimentEngine:
         jobs: Optional[int] = None,
         cache: Optional[ResultCache] = None,
         recorder: Optional[RunRecorder] = None,
+        trace_store: Optional[TraceStore] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is None:
             cache = ResultCache(enabled=cache_enabled_by_env())
         self.cache = cache
+        if trace_store is None:
+            trace_store = TraceStore(default_trace_dir(cache.root),
+                                     enabled=trace_enabled_by_env())
+        self.trace_store = trace_store
         self.recorder = recorder or RunRecorder()
 
     # ------------------------------------------------------------------
@@ -90,33 +112,41 @@ class ExperimentEngine:
             if self.jobs > 1 and len(misses) > 1:
                 self._run_pool(specs, misses, results)
             else:
-                for index in misses:
-                    spec = specs[index]
-                    started = time.perf_counter()
-                    payload = _execute(spec)
-                    wall = time.perf_counter() - started
-                    results[index] = payload
-                    self.cache.put(spec, payload)
-                    self._record(spec, payload, cache="miss", wall_s=wall,
-                                 worker=os.getpid())
+                with active_store(self.trace_store):
+                    for index in misses:
+                        spec = specs[index]
+                        started = time.perf_counter()
+                        payload = _execute(spec)
+                        wall = time.perf_counter() - started
+                        trace_info = consume_trace_info()
+                        results[index] = payload
+                        self.cache.put(spec, payload)
+                        self._record(spec, payload, cache="miss",
+                                     wall_s=wall, worker=os.getpid(),
+                                     trace_info=trace_info)
         return results  # type: ignore[return-value]
 
     def _run_pool(self, specs: Sequence[WindowSpec], misses: List[int],
                   results: List[Optional[Dict[str, Any]]]) -> None:
-        items = [(index, specs[index].to_dict()) for index in misses]
+        store_conf = (str(self.trace_store.root), self.trace_store.enabled)
+        items = [(index, specs[index].to_dict(), store_conf)
+                 for index in misses]
         workers = min(self.jobs, len(items))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, payload, wall, worker in pool.map(
+            for index, payload, wall, worker, trace_info in pool.map(
                     _pool_execute, items, chunksize=1):
                 results[index] = payload
                 self.cache.put(specs[index], payload)
                 self._record(specs[index], payload, cache="miss",
-                             wall_s=wall, worker=worker)
+                             wall_s=wall, worker=worker,
+                             trace_info=trace_info)
 
     # ------------------------------------------------------------------
 
     def _record(self, spec: WindowSpec, payload: Dict[str, Any],
-                cache: str, wall_s: float, worker: Optional[int]) -> None:
+                cache: str, wall_s: float, worker: Optional[int],
+                trace_info: Optional[Dict[str, Any]] = None) -> None:
+        trace_info = trace_info or {}
         self.recorder.record(WindowRecord(
             key=spec.cache_key,
             kind=spec.kind,
@@ -127,6 +157,9 @@ class ExperimentEngine:
             cycles=payload.get("cycles"),
             instructions=payload.get("instructions"),
             ts=time.time(),
+            trace=trace_info.get("trace"),
+            trace_bytes=trace_info.get("trace_bytes"),
+            functional_steps=trace_info.get("functional_steps"),
         ))
 
     def summary(self) -> Dict[str, Any]:

@@ -1,0 +1,235 @@
+"""Content-addressed on-disk store of recorded execution traces.
+
+The result cache (:mod:`repro.engine.cache`) memoises whole window
+*payloads* under the full spec digest — program, seeds, markers **and**
+:class:`~repro.timing.config.TimingConfig`.  The trace store sits one
+level below it and is keyed by the **functional projection** of a
+spec: the same digest with every timing-only parameter removed.  All
+timing-config variations of one window therefore share a single
+recorded functional trace — a sensitivity sweep over N configurations
+pays one functional execution plus N cheap replays instead of N
+lock-stepped executions (the record-once / replay-many architecture of
+``docs/trace_format.md``).
+
+Layout mirrors the result cache: entries live under
+``<root>/v<TRACE_STORE_VERSION>/<key[:2]>/<key>.trace``, written
+atomically (temp file + ``os.replace``) so concurrent pool workers can
+share one store; corrupt or wrong-version entries are treated as
+misses and discarded.  The root defaults to ``<result cache
+root>/traces`` (override with ``REPRO_TRACE_DIR``); ``REPRO_TRACE=0``
+disables the store, falling every window back to the lock-step
+reference path.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+from typing import Any, Dict, Iterator, Optional
+
+from ..sim.trace_io import RecordedTrace, TraceFormatError
+from .cache import default_cache_dir
+
+#: Folded into every trace key and the on-disk layout.  Bump whenever
+#: the functional semantics of window execution or the trace encoding
+#: change, so stale recorded streams invalidate wholesale.
+TRACE_STORE_VERSION = 1
+
+#: Spec parameters that cannot change the functional instruction
+#: stream — only how it is timed — and are therefore excluded from the
+#: functional projection.
+TIMING_ONLY_PARAMS = frozenset({"config"})
+
+
+def trace_enabled_by_env() -> bool:
+    return os.environ.get("REPRO_TRACE", "1") not in ("0", "false", "no")
+
+
+def default_trace_dir(cache_root: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """``REPRO_TRACE_DIR``, else ``traces/`` beside the result cache."""
+    env = os.environ.get("REPRO_TRACE_DIR")
+    if env:
+        return pathlib.Path(env)
+    root = cache_root if cache_root is not None else default_cache_dir()
+    return pathlib.Path(root) / "traces"
+
+
+def functional_key(kind: str, params: Dict[str, Any]) -> str:
+    """Digest of a window's functional projection.
+
+    ``params`` is the spec's plain-JSON parameter dict; every
+    :data:`TIMING_ONLY_PARAMS` entry is dropped before hashing, which
+    is exactly what lets windows that differ only in ``TimingConfig``
+    share one recorded trace.
+    """
+    functional = {name: value for name, value in params.items()
+                  if name not in TIMING_ONLY_PARAMS}
+    blob = json.dumps(
+        {"trace_schema": TRACE_STORE_VERSION, "kind": kind,
+         "params": functional},
+        sort_keys=True, separators=(",", ":"),
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class TraceStore:
+    """Content-addressed store mapping functional keys to trace files."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 enabled: bool = True) -> None:
+        self.root = pathlib.Path(root) if root else default_trace_dir()
+        self.enabled = enabled
+        self.hits = 0
+        self.misses = 0
+        self.bytes_written = 0
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.root / f"v{TRACE_STORE_VERSION}" / key[:2] / f"{key}.trace"
+
+    def load(self, key: str) -> Optional[RecordedTrace]:
+        """The recorded trace for ``key``, or ``None`` on a miss."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            trace = RecordedTrace.open(path)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, TraceFormatError):
+            # Corrupt or wrong-version entry: drop it and re-record.
+            with contextlib.suppress(OSError):
+                path.unlink()
+            self.misses += 1
+            return None
+        self.hits += 1
+        return trace
+
+    def record(self, key: str, recorder) -> RecordedTrace:
+        """Record a trace into the store (atomic, last-writer-wins).
+
+        ``recorder(path)`` must write a complete trace file at the
+        given path — typically a closure over
+        :func:`repro.timing.runner.record_window`.  With the store
+        disabled, the recording happens in memory and nothing is
+        persisted.
+        """
+        if not self.enabled:
+            return recorder(None)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=path.parent, prefix=".tmp-", suffix=".trace", delete=False)
+        handle.close()
+        try:
+            trace = recorder(handle.name)
+            os.replace(handle.name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(handle.name)
+            raise
+        self.bytes_written += trace.nbytes
+        return trace
+
+    # ------------------------------------------------------------------
+    # Maintenance (the `repro cache` CLI).
+
+    def _entries(self) -> Iterator[pathlib.Path]:
+        version_dir = self.root / f"v{TRACE_STORE_VERSION}"
+        if version_dir.is_dir():
+            yield from version_dir.rglob("*.trace")
+
+    def stats(self) -> Dict[str, Any]:
+        """Entry/byte counts of the current-version store."""
+        entries = 0
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+                entries += 1
+            except OSError:
+                continue
+        return {"root": str(self.root), "version": TRACE_STORE_VERSION,
+                "entries": entries, "bytes": total}
+
+    def prune(self) -> int:
+        """Drop stale-version subtrees and leftover temp files; returns
+        the number of files removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return 0
+        import shutil
+
+        for child in self.root.iterdir():
+            if child.is_dir() and child.name.startswith("v") \
+                    and child.name != f"v{TRACE_STORE_VERSION}":
+                removed += sum(1 for p in child.rglob("*") if p.is_file())
+                shutil.rmtree(child, ignore_errors=True)
+        for stray in self.root.rglob(".tmp-*"):
+            with contextlib.suppress(OSError):
+                stray.unlink()
+                removed += 1
+        return removed
+
+    def clear(self) -> int:
+        """Delete every stored trace (all versions); returns the count."""
+        import shutil
+
+        removed = sum(1 for p in self.root.rglob("*.trace")) \
+            if self.root.is_dir() else 0
+        shutil.rmtree(self.root, ignore_errors=True)
+        return removed
+
+
+# ----------------------------------------------------------------------
+# The active store.  Window runners execute deep inside the engine —
+# possibly in a pool worker process — so the store travels as module
+# state rather than threading through every runner signature.  The
+# engine installs its store around serial execution; pool workers
+# install a reconstructed one from the shipped (root, enabled) pair.
+
+_active_store: Optional[TraceStore] = None
+
+#: Out-of-band per-window telemetry: the most recent timed window's
+#: trace usage, consumed by the engine right after the runner returns.
+#: Deliberately *not* part of the payload, so cached results stay
+#: byte-identical regardless of trace hit/miss history.
+_last_trace_info: Optional[Dict[str, Any]] = None
+
+
+def get_active_store() -> Optional[TraceStore]:
+    return _active_store
+
+
+def set_active_store(store: Optional[TraceStore]) -> Optional[TraceStore]:
+    """Install ``store`` as the active one; returns the previous."""
+    global _active_store
+    previous = _active_store
+    _active_store = store
+    return previous
+
+
+@contextlib.contextmanager
+def active_store(store: Optional[TraceStore]):
+    previous = set_active_store(store)
+    try:
+        yield store
+    finally:
+        set_active_store(previous)
+
+
+def set_last_trace_info(info: Optional[Dict[str, Any]]) -> None:
+    global _last_trace_info
+    _last_trace_info = info
+
+
+def consume_trace_info() -> Optional[Dict[str, Any]]:
+    """Take (and clear) the last timed window's trace telemetry."""
+    global _last_trace_info
+    info = _last_trace_info
+    _last_trace_info = None
+    return info

@@ -15,7 +15,7 @@ whole package (or creating import cycles with ``repro.experiments``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Tuple
 
 Runner = Callable[[Dict[str, Any]], Dict[str, Any]]
 
@@ -48,6 +48,66 @@ def _config_from(params: Dict[str, Any]):
 
     config = params.get("config")
     return None if config is None else TimingConfig.from_dict(config)
+
+
+def _timed_window(
+    kind: str,
+    params: Dict[str, Any],
+    program,
+    begin: Tuple[int, int],
+    end: Tuple[int, int],
+    setup=None,
+    brr_unit=None,
+    fast_forward: Optional[Tuple[int, int]] = None,
+):
+    """Execute one marker-delimited timing window, record-once /
+    replay-many when a trace store is active.
+
+    The store is keyed by the spec's *functional projection* (``config``
+    excluded — see :mod:`repro.engine.tracestore`), so every timing
+    configuration of the same program/seed/markers shares a single
+    recorded functional stream: the first execution records it (N
+    functional ``Machine.step()`` calls), every later one replays it
+    (zero).  Without an active store the lock-step reference path runs
+    unchanged.  Per-window trace telemetry (hit/miss, encoded bytes,
+    functional steps) is left for the engine via
+    :func:`~repro.engine.tracestore.consume_trace_info`.
+    """
+    from ..timing.runner import record_window, replay_window, time_window
+    from .tracestore import (
+        functional_key,
+        get_active_store,
+        set_last_trace_info,
+    )
+
+    store = get_active_store()
+    if store is None or not store.enabled:
+        result = time_window(program, begin=begin, end=end, setup=setup,
+                             brr_unit=brr_unit, fast_forward=fast_forward,
+                             config=_config_from(params))
+        set_last_trace_info({
+            "trace": "off",
+            "trace_bytes": None,
+            "functional_steps": result.total_steps,
+        })
+        return result
+
+    key = functional_key(kind, params)
+    trace = store.load(key)
+    if trace is None:
+        trace = store.record(key, lambda path: record_window(
+            program, end, brr_unit=brr_unit, setup=setup, path=path))
+        usage, functional_steps = "miss", len(trace)
+    else:
+        usage, functional_steps = "hit", 0
+    result = replay_window(trace, begin, end, config=_config_from(params),
+                           fast_forward=fast_forward, program=program)
+    set_last_trace_info({
+        "trace": usage,
+        "trace_bytes": trace.nbytes,
+        "functional_steps": functional_steps,
+    })
+    return result
 
 
 @window_kind("accuracy")
@@ -87,7 +147,6 @@ def _accuracy_window(params: Dict[str, Any]) -> Dict[str, Any]:
 def _microbench_window(params: Dict[str, Any]) -> Dict[str, Any]:
     """One timed window of the Section 5.3 checksum microbenchmark."""
     from ..core.brr import BranchOnRandomUnit
-    from ..timing.runner import time_window
     from ..workloads.microbench import (
         END_MARKER,
         WARM_MARKER,
@@ -108,13 +167,12 @@ def _microbench_window(params: Dict[str, Any]) -> Dict[str, Any]:
 
         seed = (0xACE1 + params.get("lfsr_seed", 0) * 7919) & 0xFFFFF or 1
         unit = BranchOnRandomUnit(Lfsr(20, seed=seed))
-    result = time_window(
-        bench.program,
+    result = _timed_window(
+        "microbench", params, bench.program,
         begin=(WARM_MARKER, 1),
         end=(END_MARKER, 1),
         setup=bench.load_text,
         brr_unit=unit,
-        config=_config_from(params),
     )
     return {
         "result": result.to_dict(),
@@ -131,7 +189,6 @@ def _jvm_window(params: Dict[str, Any]) -> Dict[str, Any]:
     from ..core.brr import BranchOnRandomUnit
     from ..jvm.benchmarks import FIGURE12_BENCHMARKS, MEASURE_BEGIN, MEASURE_END
     from ..jvm.compiler import compile_program
-    from ..timing.runner import time_window
 
     jvm = FIGURE12_BENCHMARKS[params["benchmark"]](params["scale"])
     variant = params["variant"]
@@ -144,11 +201,10 @@ def _jvm_window(params: Dict[str, Any]) -> Dict[str, Any]:
             interval=params["interval"],
         )
         unit = BranchOnRandomUnit() if variant == "brr" else None
-    result = time_window(
-        compiled.program,
+    result = _timed_window(
+        "jvm", params, compiled.program,
         begin=(MEASURE_BEGIN, 1),
         end=(MEASURE_END, 1),
-        config=_config_from(params),
         brr_unit=unit,
     )
     return {

@@ -1,7 +1,14 @@
 """Section 4.2 sensitivity analyses.
 
-Two LFSR design choices are varied and compared against the noise
-baseline of seed variation:
+Two kinds of sweep live here.  The LFSR analyses vary a hardware
+design choice and test its effect on *profile accuracy*; the timing
+sweep varies the :class:`~repro.timing.config.TimingConfig` and
+measures its effect on *cycle counts* — the canonical record-once /
+replay-many workload, since every configuration shares one functional
+instruction stream (``docs/trace_format.md``).
+
+For the LFSR analyses, two design choices are varied and compared
+against the noise baseline of seed variation:
 
 1. **Tap selection** — four 32-bit configurations, two with four taps
    at (32, 31, 30, 10) and (32, 19, 18, 13) and two with six taps at
@@ -25,9 +32,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from scipy import stats as scipy_stats
 
 from ..core.taps import PAPER_SENSITIVITY_TAPS_32
-from ..engine import ExperimentEngine, run_windows
+from ..engine import ExperimentEngine, get_engine, run_windows
+from ..timing.config import PAPER_CONFIG, TimingConfig
 from ..workloads.dacapo import spec_by_name
 from .accuracy import accuracy_window_spec
+from .fig13 import microbench_window_spec
 
 
 @dataclass
@@ -183,6 +192,139 @@ def seed_noise_baseline(
         "min": min(accuracies),
         "max": max(accuracies),
     }
+
+
+def paper_timing_ablations() -> Dict[str, TimingConfig]:
+    """The standard timing-configuration ablations, keyed by name.
+
+    Each entry perturbs one Section 5.1 machine parameter (or one
+    Section 3.3 brr design rule) off the paper configuration; none of
+    them can change the functional instruction stream, which is what
+    makes the whole family replayable from a single recorded trace.
+    """
+    return {
+        "paper": PAPER_CONFIG,
+        "naive-brr": PAPER_CONFIG.with_overrides(
+            brr_resolve_at_decode=False,
+            brr_uses_predictor=True,
+            brr_commits_at_decode=False,
+        ),
+        "shared-lfsr": PAPER_CONFIG.with_overrides(brr_shared_lfsr=True),
+        "slow-l2": PAPER_CONFIG.with_overrides(l2_latency=24),
+        "slow-memory": PAPER_CONFIG.with_overrides(memory_latency=300),
+        "narrow-fetch": PAPER_CONFIG.with_overrides(fetch_width=1),
+    }
+
+
+@dataclass
+class TimingSweepResult:
+    """Cycle counts per timing configuration plus the functional-step
+    accounting that audits record-once / replay-many."""
+
+    label: str
+    #: config name -> {"cycles", "instructions", "cpi", "total_steps"}.
+    configs: Dict[str, Dict[str, float]]
+    #: Functional ``Machine.step()`` calls actually paid by the sweep
+    #: (0 for every window replayed from a stored trace).
+    functional_steps: int
+    #: What per-config lock-step re-execution would have paid: the sum
+    #: of every window's full stream length.
+    lockstep_steps: int
+
+    @property
+    def step_reduction(self) -> float:
+        """lock-step / actual functional steps (inf on a fully warm
+        sweep, which paid zero)."""
+        if self.functional_steps == 0:
+            return float("inf")
+        return self.lockstep_steps / self.functional_steps
+
+    def to_dict(self) -> Dict[str, object]:
+        reduction = self.step_reduction
+        return {
+            "label": self.label,
+            "configs": self.configs,
+            "functional_steps": self.functional_steps,
+            "lockstep_steps": self.lockstep_steps,
+            "step_reduction": None if reduction == float("inf")
+            else reduction,
+        }
+
+
+def timing_config_sweep(
+    n_chars: int = 600,
+    interval: int = 1 << 10,
+    seed: int = 0,
+    variant: str = "full-dup",
+    kind: str = "brr",
+    configs: Optional[Dict[str, TimingConfig]] = None,
+    engine: Optional[ExperimentEngine] = None,
+) -> TimingSweepResult:
+    """Sweep one microbenchmark window across timing configurations.
+
+    All windows share one functional projection — they differ only in
+    ``config`` — so with the engine's trace store enabled the sweep
+    records the instruction stream once and replays it per
+    configuration: N configurations cost one functional execution
+    instead of N (and zero when the trace is already warm).  The
+    returned accounting is taken from the engine's run records, the
+    same numbers written to the JSONL artifact.
+    """
+    configs = configs if configs is not None else paper_timing_ablations()
+    engine = engine or get_engine()
+    specs = [
+        microbench_window_spec(n_chars, variant, seed=seed, kind=kind,
+                               interval=interval, config=config)
+        for config in configs.values()
+    ]
+    first_new_record = len(engine.recorder.records)
+    payloads = run_windows(specs, engine=engine)
+
+    table: Dict[str, Dict[str, float]] = {}
+    lockstep_steps = 0
+    for name, payload in zip(configs, payloads):
+        result = payload["result"]
+        cycles = result["stats"]["cycles"]
+        instructions = result["stats"]["instructions"]
+        table[name] = {
+            "cycles": cycles,
+            "instructions": instructions,
+            "cpi": cycles / instructions if instructions else 0.0,
+            "total_steps": result["total_steps"],
+        }
+        lockstep_steps += result["total_steps"]
+    functional_steps = sum(
+        record.functional_steps or 0
+        for record in engine.recorder.records[first_new_record:]
+    )
+    return TimingSweepResult(
+        label=(f"timing-config sweep (microbench {variant}/{kind}, "
+               f"{n_chars} chars, 1/{interval})"),
+        configs=table,
+        functional_steps=functional_steps,
+        lockstep_steps=lockstep_steps,
+    )
+
+
+def format_timing_sweep(result: TimingSweepResult) -> str:
+    lines = [result.label]
+    baseline = result.configs.get("paper", {}).get("cycles")
+    for name, row in result.configs.items():
+        delta = ""
+        if baseline and name != "paper":
+            delta = f"  ({(row['cycles'] / baseline - 1) * 100:+6.2f}%)"
+        lines.append(
+            f"  {name:<14} {int(row['cycles']):>10} cycles  "
+            f"cpi {row['cpi']:5.3f}{delta}"
+        )
+    reduction = result.step_reduction
+    shown = "warm trace (0 paid)" if reduction == float("inf") \
+        else f"{reduction:.1f}x fewer than lock-step"
+    lines.append(
+        f"  functional steps: {result.functional_steps} "
+        f"(lock-step would pay {result.lockstep_steps}) -> {shown}"
+    )
+    return "\n".join(lines)
 
 
 def format_result(result: SensitivityResult) -> str:

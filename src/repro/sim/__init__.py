@@ -1,19 +1,37 @@
-"""Functional simulation: memory, the architectural machine, traces,
-and the SIGILL-style branch-on-random trap emulation."""
+"""Functional simulation: memory, the architectural machine, traces
+(including the binary record/replay encoding), and the SIGILL-style
+branch-on-random trap emulation."""
 
-from .machine import Halted, Machine, MachineError
+from .machine import Halted, Machine, MachineCheckpoint, MachineError
 from .memory import Memory, MemoryError_
 from .trace import TraceRecord
+from .trace_io import (
+    TRACE_VERSION,
+    RecordedTrace,
+    TraceFormatError,
+    TraceWriter,
+    read_trace,
+    trace_from_records,
+    write_trace,
+)
 from .threads import ContextScheduler, ThreadContext
 from .trap import BrrTrapEmulator
 
 __all__ = [
     "Halted",
     "Machine",
+    "MachineCheckpoint",
     "MachineError",
     "Memory",
     "MemoryError_",
     "TraceRecord",
+    "TRACE_VERSION",
+    "RecordedTrace",
+    "TraceFormatError",
+    "TraceWriter",
+    "read_trace",
+    "trace_from_records",
+    "write_trace",
     "ContextScheduler",
     "ThreadContext",
     "BrrTrapEmulator",

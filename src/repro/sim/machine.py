@@ -15,6 +15,7 @@ experiment harness uses to delimit warm-up and measurement windows.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional
 
 from ..core.brr import RandomSource
@@ -51,6 +52,29 @@ TrapHandler = Callable[["Machine", int, int], int]
 
 #: Signature of a marker callback.
 MarkerCallback = Callable[["Machine", int, int], None]
+
+
+@dataclass
+class MachineCheckpoint:
+    """A resumable snapshot of one machine's architectural state.
+
+    Covers everything the ISA architects — registers, PC, memory
+    image, halt flag, retired-instruction and marker counters — plus,
+    when the attached branch-on-random unit supports the Section 3.4
+    scan-chain context interface (``save_context``/``restore_context``),
+    the LFSR contents, so a resumed machine takes exactly the branches
+    the original would have.  Callbacks and trap handlers are *not*
+    state; they stay with whatever machine the checkpoint is restored
+    into.
+    """
+
+    regs: List[int] = field(default_factory=list)
+    pc: int = 0
+    halted: bool = False
+    instret: int = 0
+    marker_counts: Dict[int, int] = field(default_factory=dict)
+    memory_bytes: bytes = b""
+    brr_context: Optional[int] = None
 
 
 class Machine:
@@ -286,3 +310,53 @@ class Machine:
             f"marker {marker_id} did not reach count {count} within "
             f"{max_steps} steps"
         )
+
+    # ------------------------------------------------------------------
+
+    def checkpoint(self) -> MachineCheckpoint:
+        """Snapshot the architectural state for later :meth:`restore`.
+
+        The warm-up amortisation primitive of the record/replay
+        subsystem (``docs/trace_format.md``): run the expensive
+        fast-forward prefix once, checkpoint, and start every
+        subsequent functional recording from the snapshot instead of
+        from program entry.
+        """
+        save = getattr(self.brr_unit, "save_context", None)
+        return MachineCheckpoint(
+            regs=list(self.regs),
+            pc=self.pc,
+            halted=self.halted,
+            instret=self.instret,
+            marker_counts=dict(self.marker_counts),
+            memory_bytes=self.memory.read_bytes(0, self.memory.size),
+            brr_context=save() if callable(save) else None,
+        )
+
+    def restore(self, snapshot: MachineCheckpoint) -> None:
+        """Reset this machine to a previously captured checkpoint.
+
+        The memory images must be the same size (checkpoints are not a
+        relocation mechanism).  The decode cache is dropped because the
+        snapshot may contain differently patched code.
+        """
+        if len(snapshot.memory_bytes) != self.memory.size:
+            raise MachineError(
+                f"checkpoint memory is {len(snapshot.memory_bytes):#x} "
+                f"bytes, machine has {self.memory.size:#x}"
+            )
+        self.regs = list(snapshot.regs)
+        self.pc = snapshot.pc
+        self.halted = snapshot.halted
+        self.instret = snapshot.instret
+        self.marker_counts = dict(snapshot.marker_counts)
+        self.memory.write_bytes(0, snapshot.memory_bytes)
+        self._decode_cache.clear()
+        if snapshot.brr_context is not None:
+            restore_context = getattr(self.brr_unit, "restore_context", None)
+            if not callable(restore_context):
+                raise MachineError(
+                    "checkpoint carries branch-on-random context but this "
+                    "machine's unit has no restore_context()"
+                )
+            restore_context(snapshot.brr_context)

@@ -15,7 +15,10 @@ class TraceRecord:
     pc:
         Byte address of the instruction.
     instr:
-        The decoded instruction (classification and register fields).
+        The decoded instruction (classification and register fields),
+        or ``None`` for a trap-emulated instruction (the functional
+        simulator retired it through a software handler, so there is
+        no architected decoding to carry).
     next_pc:
         Byte address of the *architecturally* next instruction — the
         branch target for taken control flow.
@@ -27,7 +30,7 @@ class TraceRecord:
 
     __slots__ = ("pc", "instr", "next_pc", "taken", "mem_addr")
 
-    def __init__(self, pc: int, instr: Instruction, next_pc: int,
+    def __init__(self, pc: int, instr: Optional[Instruction], next_pc: int,
                  taken: bool = False, mem_addr: Optional[int] = None) -> None:
         self.pc = pc
         self.instr = instr
@@ -35,7 +38,36 @@ class TraceRecord:
         self.taken = taken
         self.mem_addr = mem_addr
 
+    def as_tuple(self) -> tuple:
+        """Stable, hashable value form of the record.
+
+        ``Instruction`` is flattened to its field tuple so two records
+        decoded independently (e.g. one straight from the simulator and
+        one round-tripped through the binary trace encoding) compare
+        equal field by field.
+        """
+        instr = self.instr
+        instr_key = None if instr is None else (
+            int(instr.op), instr.rd, instr.ra, instr.rb, instr.imm,
+            instr.freq,
+        )
+        return (self.pc, instr_key, self.next_pc, self.taken, self.mem_addr)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TraceRecord):
+            return NotImplemented
+        return self.as_tuple() == other.as_tuple()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return result if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return hash(self.as_tuple())
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.instr is None:
+            return f"<TraceRecord pc={self.pc:#x} trapped>"
         extra = ""
         if self.instr.is_branch:
             extra = f" taken={self.taken}"

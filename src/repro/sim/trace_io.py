@@ -1,0 +1,315 @@
+"""Compact binary encoding of :class:`TraceRecord` streams.
+
+The record-once / replay-many workflow (``docs/trace_format.md``)
+serialises one functional execution so the timing model can be run
+over it arbitrarily many times without re-stepping the functional
+simulator.  The format is built for that consumer:
+
+* **delta/flag compression** — straight-line code costs two bytes per
+  record (flags + word-dictionary index): the PC is implied by the
+  previous record's ``next_pc``, sequential ``next_pc`` is implied by
+  ``pc + 4``, and each distinct instruction word is encoded once, then
+  referenced by its first-appearance index (programs re-execute the
+  same few hundred words, so indices stay one or two bytes);
+* **versioned header** — decoding refuses traces written by an
+  incompatible encoder, so a stale on-disk trace store entry can never
+  silently corrupt a replay;
+* **marker index footer** — every ``marker`` firing is indexed by
+  ``(marker id, cumulative count) -> step``, so fast-forward, window
+  begin and window end points resolve without touching a single record.
+
+Streams are written through :class:`TraceWriter` (incremental, so the
+recording machine never materialises the trace in memory) and read
+back through :class:`RecordedTrace`, whose :meth:`~RecordedTrace.records`
+iterator decodes lazily.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+import struct
+from typing import BinaryIO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..isa.instructions import Instruction, Op, decode, encode
+from .trace import TraceRecord
+
+#: File magic, also used as the footer terminator.
+TRACE_MAGIC = b"BRTR"
+
+#: Bump whenever the record encoding or index layout changes; readers
+#: reject any other version.
+TRACE_VERSION = 1
+
+#: Header: magic + u8 version + 3 reserved bytes.
+_HEADER = struct.Struct("<4sB3x")
+
+#: Footer: u64 little-endian index offset + magic.
+_FOOTER = struct.Struct("<Q4s")
+
+# Per-record flag bits.
+_F_TAKEN = 1 << 0       # control transfer happened
+_F_MEM = 1 << 1         # mem_addr follows
+_F_SEQ_PC = 1 << 2      # pc == previous record's next_pc (elided)
+_F_SEQ_NEXT = 1 << 3    # next_pc == pc + 4 (elided)
+_F_INSTR = 1 << 4       # encoded instruction word follows (0 = trapped)
+
+
+class TraceFormatError(ValueError):
+    """Raised for malformed, truncated or wrong-version trace data."""
+
+
+def _write_uvarint(out: BinaryIO, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise TraceFormatError(f"cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.write(bytes((byte | 0x80,)))
+        else:
+            out.write(bytes((byte,)))
+            return
+
+
+def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
+    """Decode one LEB128 varint from ``data`` at ``pos``."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise TraceFormatError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+
+
+class TraceWriter:
+    """Incrementally encode records to a binary stream.
+
+    ``append`` each retired instruction in program order, then call
+    :meth:`finish` exactly once to emit the marker index and footer.
+    The writer tracks marker firings itself, so the caller needs no
+    side channel to build the index.
+    """
+
+    def __init__(self, stream: BinaryIO) -> None:
+        self._stream = stream
+        self._prev_next_pc: Optional[int] = None
+        #: instruction word -> dictionary index, in first-appearance
+        #: order.  A word's first record carries the full word; every
+        #: later one carries only the (small) index.
+        self._word_ids: Dict[int, int] = {}
+        self.n_records = 0
+        #: marker id -> list of step indices; entry ``k-1`` is the step
+        #: at which the marker's cumulative count reached ``k``.
+        self.markers: Dict[int, List[int]] = {}
+        self._finished = False
+        stream.write(_HEADER.pack(TRACE_MAGIC, TRACE_VERSION))
+
+    def append(self, record: TraceRecord) -> None:
+        if self._finished:
+            raise TraceFormatError("writer already finished")
+        out = self._stream
+        flags = 0
+        if record.taken:
+            flags |= _F_TAKEN
+        if record.mem_addr is not None:
+            flags |= _F_MEM
+        if record.pc == self._prev_next_pc:
+            flags |= _F_SEQ_PC
+        if record.next_pc == record.pc + 4:
+            flags |= _F_SEQ_NEXT
+        instr = record.instr
+        if instr is not None:
+            flags |= _F_INSTR
+        out.write(bytes((flags,)))
+        if not flags & _F_SEQ_PC:
+            _write_uvarint(out, record.pc)
+        if instr is not None:
+            word = encode(instr)
+            word_id = self._word_ids.get(word)
+            if word_id is None:
+                word_id = len(self._word_ids)
+                self._word_ids[word] = word_id
+                _write_uvarint(out, word_id)
+                _write_uvarint(out, word)
+            else:
+                _write_uvarint(out, word_id)
+        if not flags & _F_SEQ_NEXT:
+            _write_uvarint(out, record.next_pc)
+        if record.mem_addr is not None:
+            _write_uvarint(out, record.mem_addr)
+        if instr is not None and instr.op is Op.MARKER:
+            self.markers.setdefault(instr.imm, []).append(self.n_records)
+        self._prev_next_pc = record.next_pc
+        self.n_records += 1
+
+    def finish(self) -> None:
+        """Write the marker-index footer; the stream stays open."""
+        if self._finished:
+            return
+        self._finished = True
+        out = self._stream
+        index_offset = out.tell()
+        index = {
+            "n_records": self.n_records,
+            "markers": {str(mid): steps for mid, steps in self.markers.items()},
+        }
+        out.write(json.dumps(index, sort_keys=True,
+                             separators=(",", ":")).encode("utf-8"))
+        out.write(_FOOTER.pack(index_offset, TRACE_MAGIC))
+
+
+def write_trace(path: Union[str, pathlib.Path],
+                records: Iterable[TraceRecord]) -> int:
+    """Encode ``records`` into the file at ``path``; returns the count."""
+    with open(path, "wb") as stream:
+        writer = TraceWriter(stream)
+        for record in records:
+            writer.append(record)
+        writer.finish()
+    return writer.n_records
+
+
+class RecordedTrace:
+    """A decoded handle on one serialised execution trace.
+
+    Holds the raw encoded bytes plus the parsed marker index; records
+    themselves are decoded lazily by :meth:`records`, so replaying a
+    multi-million-instruction trace never materialises it as objects.
+    """
+
+    def __init__(self, data: bytes,
+                 source: Optional[pathlib.Path] = None) -> None:
+        if len(data) < _HEADER.size + _FOOTER.size:
+            raise TraceFormatError("trace too short for header and footer")
+        magic, version = _HEADER.unpack_from(data, 0)
+        if magic != TRACE_MAGIC:
+            raise TraceFormatError(f"bad trace magic {magic!r}")
+        if version != TRACE_VERSION:
+            raise TraceFormatError(
+                f"trace version {version} unsupported "
+                f"(encoder is v{TRACE_VERSION})"
+            )
+        index_offset, end_magic = _FOOTER.unpack_from(
+            data, len(data) - _FOOTER.size)
+        if end_magic != TRACE_MAGIC:
+            raise TraceFormatError("bad trace footer magic")
+        if not _HEADER.size <= index_offset <= len(data) - _FOOTER.size:
+            raise TraceFormatError("index offset out of range")
+        try:
+            index = json.loads(
+                data[index_offset:len(data) - _FOOTER.size].decode("utf-8"))
+            self.n_records = int(index["n_records"])
+            self.markers: Dict[int, List[int]] = {
+                int(mid): [int(s) for s in steps]
+                for mid, steps in index["markers"].items()
+            }
+        except (ValueError, KeyError, TypeError) as exc:
+            raise TraceFormatError(f"corrupt marker index: {exc}") from None
+        self._data = data
+        self._body_end = index_offset
+        self.source = source
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(cls, path: Union[str, pathlib.Path]) -> "RecordedTrace":
+        path = pathlib.Path(path)
+        return cls(path.read_bytes(), source=path)
+
+    @property
+    def nbytes(self) -> int:
+        """Encoded size, including header, index and footer."""
+        return len(self._data)
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    def marker_step(self, marker_id: int, count: int) -> int:
+        """Step index at which ``marker_id`` fired for the ``count``-th
+        time — the record at that index *is* the marker instruction."""
+        steps = self.markers.get(marker_id, [])
+        if count < 1 or count > len(steps):
+            raise TraceFormatError(
+                f"marker {marker_id} fired {len(steps)} time(s) in the "
+                f"trace; firing {count} was requested"
+            )
+        return steps[count - 1]
+
+    def records(self) -> Iterator[TraceRecord]:
+        """Decode the stream front to back (a fresh pass every call)."""
+        data = self._data
+        end = self._body_end
+        pos = _HEADER.size
+        prev_next_pc: Optional[int] = None
+        # Mirror of the writer's word dictionary: entry i is the i-th
+        # distinct word's decoded instruction, so each distinct word is
+        # decoded exactly once.
+        instrs: List[Instruction] = []
+        emitted = 0
+        while emitted < self.n_records:
+            if pos >= end:
+                raise TraceFormatError(
+                    f"trace body ends after {emitted} of "
+                    f"{self.n_records} records"
+                )
+            flags = data[pos]
+            pos += 1
+            if flags & _F_SEQ_PC:
+                if prev_next_pc is None:
+                    raise TraceFormatError(
+                        "first record cannot have an elided pc")
+                pc = prev_next_pc
+            else:
+                pc, pos = _read_uvarint(data, pos)
+            instr: Optional[Instruction] = None
+            if flags & _F_INSTR:
+                word_id, pos = _read_uvarint(data, pos)
+                if word_id == len(instrs):
+                    # First appearance: the full word follows.
+                    word, pos = _read_uvarint(data, pos)
+                    instrs.append(decode(word, pc=pc))
+                elif word_id > len(instrs):
+                    raise TraceFormatError(
+                        f"word id {word_id} out of range at record "
+                        f"{emitted} (dictionary holds {len(instrs)})"
+                    )
+                instr = instrs[word_id]
+            if flags & _F_SEQ_NEXT:
+                next_pc = pc + 4
+            else:
+                next_pc, pos = _read_uvarint(data, pos)
+            mem_addr: Optional[int] = None
+            if flags & _F_MEM:
+                mem_addr, pos = _read_uvarint(data, pos)
+            prev_next_pc = next_pc
+            emitted += 1
+            yield TraceRecord(pc, instr, next_pc,
+                              taken=bool(flags & _F_TAKEN),
+                              mem_addr=mem_addr)
+        if pos != end:
+            raise TraceFormatError(
+                f"{end - pos} trailing byte(s) after the last record")
+
+
+def read_trace(path: Union[str, pathlib.Path]) -> RecordedTrace:
+    """Open and validate a trace file written by :class:`TraceWriter`."""
+    return RecordedTrace.open(path)
+
+
+def trace_from_records(records: Iterable[TraceRecord]) -> RecordedTrace:
+    """Encode an in-memory record stream and hand back a trace handle —
+    the no-filesystem path used when no trace store is configured."""
+    buffer = io.BytesIO()
+    writer = TraceWriter(buffer)
+    for record in records:
+        writer.append(record)
+    writer.finish()
+    return RecordedTrace(buffer.getvalue())

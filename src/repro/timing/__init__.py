@@ -17,6 +17,8 @@ from .runner import (
     WindowResult,
     cycles_per_site,
     overhead_percent,
+    record_window,
+    replay_window,
     time_program,
     time_window,
 )
@@ -43,6 +45,8 @@ __all__ = [
     "WindowResult",
     "cycles_per_site",
     "overhead_percent",
+    "record_window",
+    "replay_window",
     "time_program",
     "time_window",
 ]

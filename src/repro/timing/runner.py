@@ -5,16 +5,31 @@ Reproduces the paper's marker-based measurement methodology (Section
 fast-forward, warm up, and delimit the measured window so that
 differently instrumented binaries are compared over the equivalent
 region of execution.
+
+Two execution strategies produce the same :class:`WindowResult`:
+
+* **lock-step** (:func:`time_program` / :func:`time_window`) — a fresh
+  functional :class:`~repro.sim.machine.Machine` feeds the timing
+  model one retired instruction at a time.  This is the golden
+  reference path;
+* **record/replay** (:func:`record_window` + :func:`replay_window`) —
+  the functional stream is serialised once
+  (:mod:`repro.sim.trace_io`) and each timing configuration replays
+  the decoded records, paying zero functional ``Machine.step()``
+  calls.  ``tests/test_trace_replay.py`` pins that the replayed stats
+  are byte-identical to the lock-stepped reference.
 """
 
 from __future__ import annotations
 
+import io
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from ..core.brr import RandomSource
 from ..isa.program import Program
-from ..sim.machine import Machine
+from ..sim.machine import Machine, MachineCheckpoint
+from ..sim.trace_io import RecordedTrace, TraceFormatError, TraceWriter
 from .config import TimingConfig
 from .pipeline import TimingSimulator, TimingStats
 
@@ -33,6 +48,38 @@ def _prewarm_code(simulator: TimingSimulator, program: Program) -> None:
     while addr < program.end:
         simulator.hierarchy.l2.access(addr)
         addr += line
+
+
+def _machine_for(
+    program: Program,
+    memory_size: int,
+    brr_unit: Optional[RandomSource],
+    setup,
+    resume_from: Optional[MachineCheckpoint] = None,
+) -> Machine:
+    """One machine, ready to execute.
+
+    The shared construction path of every timing entry point: build,
+    then either restore a warm-up checkpoint or apply the caller's
+    ``setup`` (never both — a checkpoint already contains the effects
+    of the setup that preceded it, and re-running setup could clobber
+    state the program wrote before the snapshot).
+    """
+    machine = Machine(program, memory_size=memory_size, brr_unit=brr_unit)
+    if resume_from is not None:
+        machine.restore(resume_from)
+    elif setup is not None:
+        setup(machine)
+    return machine
+
+
+def _simulator_for(config: Optional[TimingConfig], program: Program,
+                   prewarm_code: bool) -> TimingSimulator:
+    """One timing model, with the code image optionally pre-installed."""
+    simulator = TimingSimulator(config)
+    if prewarm_code:
+        _prewarm_code(simulator, program)
+    return simulator
 
 
 @dataclass
@@ -75,12 +122,8 @@ def time_program(
     ``setup(machine)``, if given, runs before execution — e.g. to load
     a data buffer into simulated memory.
     """
-    machine = Machine(program, memory_size=memory_size, brr_unit=brr_unit)
-    if setup is not None:
-        setup(machine)
-    simulator = TimingSimulator(config)
-    if prewarm_code:
-        _prewarm_code(simulator, program)
+    machine = _machine_for(program, memory_size, brr_unit, setup)
+    simulator = _simulator_for(config, program, prewarm_code)
     steps = 0
     while not machine.halted and steps < max_steps:
         simulator.step(machine.step())
@@ -101,6 +144,7 @@ def time_window(
     max_steps: int = 50_000_000,
     setup=None,
     prewarm_code: bool = True,
+    trace: Optional[RecordedTrace] = None,
 ) -> WindowResult:
     """Time a marker-delimited window of a program.
 
@@ -109,13 +153,19 @@ def time_window(
     the timing model runs but its statistics are discarded (cache and
     predictor warm-up); the returned stats cover ``begin``..``end``.
     ``setup(machine)`` runs before execution (e.g. data loading).
+
+    When a recorded ``trace`` of the same functional execution is
+    supplied, the window is replayed from it instead of lock-stepping
+    a fresh machine (see :func:`replay_window`); the result is
+    identical either way.
     """
-    machine = Machine(program, memory_size=memory_size, brr_unit=brr_unit)
-    if setup is not None:
-        setup(machine)
-    simulator = TimingSimulator(config)
-    if prewarm_code:
-        _prewarm_code(simulator, program)
+    if trace is not None:
+        return replay_window(
+            trace, begin, end, config=config, fast_forward=fast_forward,
+            program=program, prewarm_code=prewarm_code,
+        )
+    machine = _machine_for(program, memory_size, brr_unit, setup)
+    simulator = _simulator_for(config, program, prewarm_code)
     steps = 0
 
     if fast_forward is not None:
@@ -145,6 +195,108 @@ def time_window(
     baseline = simulator.snapshot()
     steps += run_to(end)
     return WindowResult(stats=simulator.stats - baseline, total_steps=steps)
+
+
+# ----------------------------------------------------------------------
+# Record once / replay many.
+
+
+def record_window(
+    program: Program,
+    end: MarkerPoint,
+    brr_unit: Optional[RandomSource] = None,
+    memory_size: int = 1 << 20,
+    max_steps: int = 50_000_000,
+    setup=None,
+    path=None,
+    resume_from: Optional[MachineCheckpoint] = None,
+) -> RecordedTrace:
+    """Functionally execute from program entry to the ``end`` marker
+    point, serialising every retired instruction.
+
+    This is the *record* phase: purely functional (no timing model
+    runs), one pass, streamed straight into the binary encoding.  The
+    returned trace carries a marker index, so any fast-forward /
+    begin / end partition of the stream — for any number of timing
+    configurations — resolves without re-execution.
+
+    ``path`` writes the encoding to a file (the trace-store path);
+    without it the trace is kept in memory.  ``resume_from`` starts
+    from a :meth:`~repro.sim.machine.Machine.checkpoint` instead of
+    entry; the trace then covers only post-checkpoint execution, and
+    replayed ``total_steps`` counts are relative to the snapshot.
+    """
+    machine = _machine_for(program, memory_size, brr_unit, setup,
+                           resume_from=resume_from)
+    marker_id, target = end
+    sink = open(path, "wb") if path is not None else io.BytesIO()
+    try:
+        writer = TraceWriter(sink)
+        steps = 0
+        while (not machine.halted
+               and machine.marker_counts.get(marker_id, 0) < target):
+            writer.append(machine.step())
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    f"marker {marker_id} not reached within {max_steps} steps"
+                )
+        if machine.marker_counts.get(marker_id, 0) < target:
+            raise RuntimeError(
+                f"program halted before marker {marker_id} fired "
+                f"{target} time(s)"
+            )
+        writer.finish()
+        if path is not None:
+            sink.close()
+            return RecordedTrace.open(path)
+        return RecordedTrace(sink.getvalue())
+    finally:
+        if path is not None and not sink.closed:
+            sink.close()
+
+
+def replay_window(
+    trace: RecordedTrace,
+    begin: MarkerPoint,
+    end: MarkerPoint,
+    config: Optional[TimingConfig] = None,
+    fast_forward: Optional[MarkerPoint] = None,
+    program: Optional[Program] = None,
+    prewarm_code: bool = True,
+) -> WindowResult:
+    """Replay a recorded functional stream through the timing model.
+
+    Exactly mirrors the lock-step :func:`time_window` schedule — skip
+    the fast-forward prefix entirely, feed warm-up records with stats
+    discarded at ``begin``, measure to ``end`` — so the resulting
+    :class:`WindowResult` is byte-identical to the reference path.
+    ``program`` is required when ``prewarm_code`` is set (the code
+    image's address range is not part of the trace).
+    """
+    i_skip = (trace.marker_step(*fast_forward) if fast_forward is not None
+              else -1)
+    i_begin = trace.marker_step(*begin)
+    i_end = trace.marker_step(*end)
+    if not i_skip <= i_begin <= i_end:
+        raise TraceFormatError(
+            f"window points out of order: fast-forward@{i_skip}, "
+            f"begin@{i_begin}, end@{i_end}"
+        )
+    if prewarm_code and program is None:
+        raise ValueError("prewarm_code requires the program image")
+    simulator = _simulator_for(config, program, prewarm_code)
+    baseline = simulator.snapshot()
+    for index, record in enumerate(trace.records()):
+        if index > i_end:
+            break
+        if index <= i_skip:
+            continue  # functional-only fast-forward: timing never ran
+        simulator.step(record)
+        if index == i_begin:
+            baseline = simulator.snapshot()
+    return WindowResult(stats=simulator.stats - baseline,
+                        total_steps=i_end + 1)
 
 
 def overhead_percent(base_cycles: int, instrumented_cycles: int) -> float:

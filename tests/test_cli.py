@@ -104,6 +104,62 @@ class TestJsonMode:
         assert warm["engine"]["cache_hits"] == warm["engine"]["windows"]
 
 
+class TestCacheCommand:
+    """Satellite: `repro cache [stats|prune|clear]` maintains both the
+    result cache and the trace store."""
+
+    def test_parser_accepts_cache_actions(self):
+        parser = build_parser()
+        assert parser.parse_args(["cache"]).action is None
+        for action in ("stats", "prune", "clear"):
+            assert parser.parse_args(["cache", action]).action == action
+        with pytest.raises(SystemExit):
+            parser.parse_args(["cache", "explode"])
+
+    def test_action_rejected_for_other_commands(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure9", "clear"])
+        assert "only valid" in capsys.readouterr().err
+
+    def test_stats_on_empty_stores(self, capsys, tmp_path):
+        assert main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "result cache" in out and "trace store" in out
+        assert str(tmp_path) in out
+
+    def test_populate_then_clear(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["figure13", "--chars", "600",
+                     "--cache-dir", cache]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "--json", "--cache-dir", cache]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["action"] == "stats"
+        assert stats["results"]["entries"] > 0
+        assert stats["traces"]["entries"] > 0
+
+        assert main(["cache", "clear", "--json", "--cache-dir", cache]) == 0
+        cleared = json.loads(capsys.readouterr().out)
+        assert cleared["removed"]["results"] == stats["results"]["entries"]
+        assert cleared["removed"]["traces"] == stats["traces"]["entries"]
+        assert cleared["results"]["entries"] == 0
+        assert cleared["traces"]["entries"] == 0
+
+    def test_prune_drops_stale_versions_only(self, capsys, tmp_path):
+        stale = tmp_path / "v0" / "aa"
+        stale.mkdir(parents=True)
+        (stale / "old.json").write_text("{}")
+        (tmp_path / "traces" / "v0").mkdir(parents=True)
+        (tmp_path / "traces" / "v0" / "old.trace").write_bytes(b"x")
+        assert main(["cache", "prune", "--json",
+                     "--cache-dir", str(tmp_path)]) == 0
+        pruned = json.loads(capsys.readouterr().out)
+        assert pruned["removed"] == {"results": 1, "traces": 1}
+        assert not (tmp_path / "v0").exists()
+        assert not (tmp_path / "traces" / "v0").exists()
+
+
 class TestScorecardExitCode:
     """Satellite: CI can gate on `python -m repro scorecard`."""
 
