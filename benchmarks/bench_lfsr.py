@@ -61,3 +61,32 @@ def test_brr_resolution_rate(benchmark):
         return taken
 
     benchmark(resolve)
+
+
+def test_lfsr_step_words_rate(benchmark):
+    """Word-batched output generation (satellite of the fastpath PR).
+
+    Produces the same 10_000*64 bits as test_lfsr_step_rate's loop
+    would over 64 runs, but through the cached M^width hop; the
+    equivalence gate below keeps the speedup honest.
+    """
+    lfsr = Lfsr(20)
+
+    def words():
+        return lfsr.step_words(10_000)
+
+    benchmark(words)
+
+
+def test_step_words_pinned_speedup():
+    """step_words must beat bit-at-a-time stepping while staying exact.
+
+    Not a pytest-benchmark fixture: this is the hard >= gate (the
+    timed comparison is in BENCH_timing.json's "lfsr" section and in
+    the fixtures above).  The factor here is deliberately conservative
+    so CI noise never flakes it.
+    """
+    from repro.experiments import bench_lfsr_rates
+
+    rates = bench_lfsr_rates(bits=1 << 16)
+    assert rates["speedup"] is not None and rates["speedup"] >= 1.3, rates

@@ -13,6 +13,7 @@ Usage::
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
     python -m repro all      # everything (several minutes)
     python -m repro cache [stats|prune|clear]
+    python -m repro bench    # fastpath-vs-golden replay benchmark
 
 Execution goes through the shared :mod:`repro.engine` (see
 ``docs/engine.md``): ``--jobs N`` / ``REPRO_JOBS`` fans simulation
@@ -160,6 +161,24 @@ COMMANDS = {
 CACHE_ACTIONS = ("stats", "prune", "clear")
 
 
+def _bench_command(args, out_dir: Optional[pathlib.Path]) -> Tuple[Any, str, int]:
+    """``repro bench``: fastpath-vs-golden replay benchmark.
+
+    Runs the 19 scorecard windows through both replay implementations
+    (cold: record in memory, bypass both stores), asserts the stats
+    are byte-identical, and emits the machine-readable perf trajectory
+    as ``BENCH_timing.json`` when ``--out`` is given.  Exits non-zero
+    on any divergence — this is the CI perf-smoke gate.
+    """
+    from .experiments import bench_timing, format_bench
+
+    data = bench_timing()
+    if out_dir is not None:
+        (out_dir / "BENCH_timing.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data, format_bench(data), 0 if data["aggregate"]["identical"] else 1
+
+
 def _cache_command(args, engine: ExperimentEngine) -> CommandResult:
     """Inspect or maintain the result cache and the trace store."""
     action = args.action or "stats"
@@ -191,9 +210,13 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="Reproduce the Branch-on-Random (CGO 2008) evaluation.",
     )
-    parser.add_argument("command", choices=list(COMMANDS) + ["all", "cache"],
-                        help="which figure/table to regenerate, or `cache` "
-                             "to inspect/maintain the on-disk stores")
+    parser.add_argument("command",
+                        choices=list(COMMANDS) + ["all", "cache", "bench"],
+                        help="which figure/table to regenerate, `cache` to "
+                             "inspect/maintain the on-disk stores, or "
+                             "`bench` to run the fastpath-vs-golden timing "
+                             "benchmark (writes BENCH_timing.json under "
+                             "--out)")
     parser.add_argument("action", nargs="?", choices=CACHE_ACTIONS,
                         default=None,
                         help="for `cache`: stats (default), prune stale "
@@ -265,6 +288,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(text)
         return 0
+
+    if args.command == "bench":
+        started = time.time()
+        data, text, code = _bench_command(args, out_dir)
+        if args.json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+        else:
+            print(text)
+        print(f"[bench finished in {time.time() - started:.1f}s]\n",
+              file=sys.stderr)
+        return code
 
     commands = list(COMMANDS) if args.command == "all" else [args.command]
 

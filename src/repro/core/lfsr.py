@@ -23,13 +23,27 @@ implementation* machinery:
 from __future__ import annotations
 
 from collections import deque
-from typing import Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .taps import default_taps, taps_are_maximal, taps_to_polynomial
 
 
 class LfsrError(Exception):
     """Raised for invalid LFSR construction or operation."""
+
+
+try:
+    _popcount = int.bit_count  # Python >= 3.10
+except AttributeError:  # pragma: no cover - Python 3.9
+    def _popcount(value: int) -> int:
+        return bin(value).count("1")
+
+
+#: Cached ``M^width`` advance matrices keyed by ``(width, taps)`` —
+#: the "emit one register's worth of output bits, hop the state"
+#: operator behind :meth:`Lfsr.step_words`.  Tap sets are tiny and
+#: few, so the cache is unbounded.
+_ADVANCE_CACHE: Dict[Tuple[int, Tuple[int, ...]], List[int]] = {}
 
 
 class Lfsr:
@@ -145,9 +159,86 @@ class Lfsr:
         return out
 
     def step_many(self, count: int) -> None:
-        """Advance ``count`` updates (no per-step output)."""
-        for _ in range(count):
+        """Advance ``count`` updates (no per-step output).
+
+        Large advances hop the register through a GF(2) matrix power
+        instead of clocking bit-at-a-time; the final state, update
+        counter and shift-back history are identical to ``count``
+        individual :meth:`step` calls (only the last ``history_bits``
+        outputs can ever be recovered, so only those are replayed).
+        """
+        if count <= 0:
+            return
+        tail = min(count, self._history.maxlen or 0)
+        skip = count - tail
+        if skip < 4 * self.width:
+            # Not worth building matrix powers; clock it.
+            for _ in range(count):
+                self.step()
+            return
+        power = self._mat_pow(skip)
+        self._state = self._mat_vec(power, self._state)
+        self.updates += skip
+        for _ in range(tail):
             self.step()
+
+    def step_words(self, words: int) -> List[int]:
+        """Generate ``words`` 64-bit words of the output bit-stream.
+
+        Bit ``i`` of word ``k`` is the outcome of update ``64*k + i``
+        (i.e. the stream reads LSB-first); the register advances
+        ``64 * words`` updates.  Exploits the Fibonacci structure: the
+        next ``width`` output bits *are* the current register contents
+        (low bit first), so the stream is read one register at a time
+        and the state hops through the cached ``M^width`` matrix
+        instead of clocking per bit.  State, shift-back history and
+        the update counter end exactly as ``64 * words`` individual
+        :meth:`step` calls would leave them.
+        """
+        if words < 0:
+            raise LfsrError("step_words count must be non-negative")
+        total = words * 64
+        if total == 0:
+            return []
+        width = self.width
+        advance = self._advance_matrix()
+        mat_vec = self._mat_vec
+        state = self._state
+        out: List[int] = []
+        acc = 0
+        filled = 0
+        produced = 0
+        while produced + width <= total:
+            acc |= state << filled
+            filled += width
+            produced += width
+            state = mat_vec(advance, state)
+            while filled >= 64:
+                out.append(acc & 0xFFFFFFFFFFFFFFFF)
+                acc >>= 64
+                filled -= 64
+        rest = total - produced
+        if rest:
+            acc |= (state & ((1 << rest) - 1)) << filled
+            filled += rest
+            tap_bits = self._tap_bits
+            for _ in range(rest):
+                fb = 0
+                for b in tap_bits:
+                    fb ^= (state >> b) & 1
+                state = (state >> 1) | (fb << (width - 1))
+            while filled >= 64:
+                out.append(acc & 0xFFFFFFFFFFFFFFFF)
+                acc >>= 64
+                filled -= 64
+        self._state = state
+        history = self._history
+        if history.maxlen:
+            keep = min(total, history.maxlen)
+            for p in range(total - keep, total):
+                history.append((out[p >> 6] >> (p & 63)) & 1)
+        self.updates += total
+        return out
 
     def shift_back(self, count: int = 1) -> None:
         """Undo ``count`` speculative updates (Section 3.4).
@@ -232,7 +323,7 @@ class Lfsr:
     def _mat_vec(rows: List[int], vector: int) -> int:
         out = 0
         for i, row in enumerate(rows):
-            out |= ((row & vector).bit_count() & 1) << i
+            out |= (_popcount(row & vector) & 1) << i
         return out
 
     @staticmethod
@@ -249,6 +340,28 @@ class Lfsr:
             out.append(acc)
         return out
 
+    def _mat_pow(self, exponent: int) -> Optional[List[int]]:
+        """``M^exponent`` by repeated squaring (``None`` = identity)."""
+        power = None  # identity, represented lazily
+        base = self._transition_matrix()
+        remaining = exponent
+        while remaining:
+            if remaining & 1:
+                power = base if power is None else self._mat_mul(base, power)
+            remaining >>= 1
+            if remaining:
+                base = self._mat_mul(base, base)
+        return power
+
+    def _advance_matrix(self) -> List[int]:
+        """``M^width``, cached per ``(width, taps)`` across instances."""
+        key = (self.width, self.taps)
+        matrix = _ADVANCE_CACHE.get(key)
+        if matrix is None:
+            matrix = self._mat_pow(self.width)
+            _ADVANCE_CACHE[key] = matrix
+        return matrix
+
     def jump(self, count: int) -> None:
         """Advance ``count`` updates in O(width^2 log count) time.
 
@@ -259,16 +372,7 @@ class Lfsr:
         """
         if count < 0:
             raise LfsrError("jump count must be non-negative")
-        matrix = self._transition_matrix()
-        power = None  # identity, represented lazily
-        base = matrix
-        remaining = count
-        while remaining:
-            if remaining & 1:
-                power = base if power is None else self._mat_mul(base, power)
-            remaining >>= 1
-            if remaining:
-                base = self._mat_mul(base, base)
+        power = self._mat_pow(count)
         if power is not None:
             self._state = self._mat_vec(power, self._state)
         self.updates += count

@@ -42,6 +42,12 @@ class WindowRecord:
     #: 0 on a trace hit, the full stream length on a miss or lock-step
     #: run.  The record/replay speedup criterion is audited from this.
     functional_steps: Optional[int] = None
+    #: Which timing implementation ran the window: "fast" (batched
+    #: columnar kernel), "golden" (per-record replay loop), "lockstep"
+    #: (no trace store), or None (untimed window or result-cache hit).
+    timing_path: Optional[str] = None
+    #: Replay throughput in trace records per second (replays only).
+    replay_records_per_s: Optional[float] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -84,4 +90,8 @@ class RunRecorder:
                                 if r.trace == "miss"),
             "functional_steps": sum(r.functional_steps or 0
                                     for r in self.records),
+            "fastpath_windows": sum(1 for r in self.records
+                                    if r.timing_path == "fast"),
+            "goldenpath_windows": sum(1 for r in self.records
+                                      if r.timing_path == "golden"),
         }

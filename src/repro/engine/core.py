@@ -32,6 +32,7 @@ import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..timing.fastpath import fastpath_enabled, fastpath_override
 from .artifacts import RunRecorder, WindowRecord
 from .cache import ResultCache, cache_enabled_by_env
 from .spec import WindowSpec
@@ -61,12 +62,13 @@ def _execute(spec: WindowSpec) -> Dict[str, Any]:
     return run_window(spec.kind, spec.params_dict())
 
 
-def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple[str, bool]]):
+def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple[str, bool, bool]]):
     """Top-level worker entry (must be picklable)."""
-    index, spec_dict, (trace_root, trace_enabled) = item
+    index, spec_dict, (trace_root, trace_enabled, fast) = item
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
-    with active_store(TraceStore(trace_root, enabled=trace_enabled)):
+    with fastpath_override(fast), \
+            active_store(TraceStore(trace_root, enabled=trace_enabled)):
         payload = _execute(spec)
         trace_info = consume_trace_info()
     return (index, payload, time.perf_counter() - started, os.getpid(),
@@ -82,6 +84,7 @@ class ExperimentEngine:
         cache: Optional[ResultCache] = None,
         recorder: Optional[RunRecorder] = None,
         trace_store: Optional[TraceStore] = None,
+        fast: Optional[bool] = None,
     ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         if cache is None:
@@ -92,6 +95,9 @@ class ExperimentEngine:
                                      enabled=trace_enabled_by_env())
         self.trace_store = trace_store
         self.recorder = recorder or RunRecorder()
+        # Resolved once so pool workers follow the parent's REPRO_FAST
+        # setting instead of re-reading their own environment.
+        self.fast = fastpath_enabled() if fast is None else bool(fast)
 
     # ------------------------------------------------------------------
 
@@ -112,7 +118,8 @@ class ExperimentEngine:
             if self.jobs > 1 and len(misses) > 1:
                 self._run_pool(specs, misses, results)
             else:
-                with active_store(self.trace_store):
+                with fastpath_override(self.fast), \
+                        active_store(self.trace_store):
                     for index in misses:
                         spec = specs[index]
                         started = time.perf_counter()
@@ -128,7 +135,8 @@ class ExperimentEngine:
 
     def _run_pool(self, specs: Sequence[WindowSpec], misses: List[int],
                   results: List[Optional[Dict[str, Any]]]) -> None:
-        store_conf = (str(self.trace_store.root), self.trace_store.enabled)
+        store_conf = (str(self.trace_store.root), self.trace_store.enabled,
+                      self.fast)
         items = [(index, specs[index].to_dict(), store_conf)
                  for index in misses]
         workers = min(self.jobs, len(items))
@@ -160,6 +168,8 @@ class ExperimentEngine:
             trace=trace_info.get("trace"),
             trace_bytes=trace_info.get("trace_bytes"),
             functional_steps=trace_info.get("functional_steps"),
+            timing_path=trace_info.get("timing_path"),
+            replay_records_per_s=trace_info.get("replay_records_per_s"),
         ))
 
     def summary(self) -> Dict[str, Any]:

@@ -79,6 +79,14 @@ def functional_key(kind: str, params: Dict[str, Any]) -> str:
 class TraceStore:
     """Content-addressed store mapping functional keys to trace files."""
 
+    #: In-memory :class:`RecordedTrace` handles kept alive per store.
+    #: A config sweep replays the same key once per configuration;
+    #: returning the *same* handle lets the one-time columnar decode
+    #: (:meth:`~repro.sim.trace_io.RecordedTrace.columns`) amortise
+    #: across all of them.  FIFO-bounded: traces hold their encoded
+    #: bytes plus decoded columns in memory.
+    HANDLE_CACHE_SIZE = 4
+
     def __init__(self, root: Optional[pathlib.Path] = None,
                  enabled: bool = True) -> None:
         self.root = pathlib.Path(root) if root else default_trace_dir()
@@ -86,14 +94,25 @@ class TraceStore:
         self.hits = 0
         self.misses = 0
         self.bytes_written = 0
+        self._handles: Dict[str, RecordedTrace] = {}
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"v{TRACE_STORE_VERSION}" / key[:2] / f"{key}.trace"
+
+    def _remember(self, key: str, trace: RecordedTrace) -> None:
+        self._handles.pop(key, None)
+        self._handles[key] = trace
+        while len(self._handles) > self.HANDLE_CACHE_SIZE:
+            del self._handles[next(iter(self._handles))]
 
     def load(self, key: str) -> Optional[RecordedTrace]:
         """The recorded trace for ``key``, or ``None`` on a miss."""
         if not self.enabled:
             return None
+        cached = self._handles.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
         path = self._path(key)
         try:
             trace = RecordedTrace.open(path)
@@ -107,6 +126,7 @@ class TraceStore:
             self.misses += 1
             return None
         self.hits += 1
+        self._remember(key, trace)
         return trace
 
     def record(self, key: str, recorder) -> RecordedTrace:
@@ -133,6 +153,7 @@ class TraceStore:
                 os.unlink(handle.name)
             raise
         self.bytes_written += trace.nbytes
+        self._remember(key, trace)
         return trace
 
     # ------------------------------------------------------------------
@@ -182,6 +203,7 @@ class TraceStore:
         removed = sum(1 for p in self.root.rglob("*.trace")) \
             if self.root.is_dir() else 0
         shutil.rmtree(self.root, ignore_errors=True)
+        self._handles.clear()
         return removed
 
 

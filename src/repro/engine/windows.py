@@ -73,7 +73,12 @@ def _timed_window(
     functional steps) is left for the engine via
     :func:`~repro.engine.tracestore.consume_trace_info`.
     """
-    from ..timing.runner import record_window, replay_window, time_window
+    from ..timing.runner import (
+        consume_replay_info,
+        record_window,
+        replay_window,
+        time_window,
+    )
     from .tracestore import (
         functional_key,
         get_active_store,
@@ -89,6 +94,8 @@ def _timed_window(
             "trace": "off",
             "trace_bytes": None,
             "functional_steps": result.total_steps,
+            "timing_path": "lockstep",
+            "replay_records_per_s": None,
         })
         return result
 
@@ -102,10 +109,13 @@ def _timed_window(
         usage, functional_steps = "hit", 0
     result = replay_window(trace, begin, end, config=_config_from(params),
                            fast_forward=fast_forward, program=program)
+    replay_info = consume_replay_info() or {}
     set_last_trace_info({
         "trace": usage,
         "trace_bytes": trace.nbytes,
         "functional_steps": functional_steps,
+        "timing_path": replay_info.get("timing_path"),
+        "replay_records_per_s": replay_info.get("replay_records_per_s"),
     })
     return result
 
@@ -143,9 +153,11 @@ def _accuracy_window(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-@window_kind("microbench")
-def _microbench_window(params: Dict[str, Any]) -> Dict[str, Any]:
-    """One timed window of the Section 5.3 checksum microbenchmark."""
+def microbench_materials(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the runnable pieces of a microbench window — program,
+    marker points, setup, brr unit — without timing it.  Shared by the
+    runner below and by harnesses (``repro bench``) that need to drive
+    the timing layer directly."""
     from ..core.brr import BranchOnRandomUnit
     from ..workloads.microbench import (
         END_MARKER,
@@ -167,25 +179,43 @@ def _microbench_window(params: Dict[str, Any]) -> Dict[str, Any]:
 
         seed = (0xACE1 + params.get("lfsr_seed", 0) * 7919) & 0xFFFFF or 1
         unit = BranchOnRandomUnit(Lfsr(20, seed=seed))
+    return {
+        "program": bench.program,
+        "begin": (WARM_MARKER, 1),
+        "end": (END_MARKER, 1),
+        "setup": bench.load_text,
+        "brr_unit": unit,
+        "fast_forward": None,
+        "extra": {
+            "sites": bench.measured_sites,
+            "program_words": len(bench.program.words),
+        },
+    }
+
+
+@window_kind("microbench")
+def _microbench_window(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One timed window of the Section 5.3 checksum microbenchmark."""
+    materials = microbench_materials(params)
     result = _timed_window(
-        "microbench", params, bench.program,
-        begin=(WARM_MARKER, 1),
-        end=(END_MARKER, 1),
-        setup=bench.load_text,
-        brr_unit=unit,
+        "microbench", params, materials["program"],
+        begin=materials["begin"],
+        end=materials["end"],
+        setup=materials["setup"],
+        brr_unit=materials["brr_unit"],
     )
     return {
         "result": result.to_dict(),
-        "sites": bench.measured_sites,
-        "program_words": len(bench.program.words),
+        "sites": materials["extra"]["sites"],
+        "program_words": materials["extra"]["program_words"],
         "cycles": result.cycles,
         "instructions": result.instructions,
     }
 
 
-@window_kind("jvm")
-def _jvm_window(params: Dict[str, Any]) -> Dict[str, Any]:
-    """One timed window of a Figure 12 mini-JVM benchmark variant."""
+def jvm_materials(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the runnable pieces of a Figure-12 JVM window without
+    timing it (see :func:`microbench_materials`)."""
     from ..core.brr import BranchOnRandomUnit
     from ..jvm.benchmarks import FIGURE12_BENCHMARKS, MEASURE_BEGIN, MEASURE_END
     from ..jvm.compiler import compile_program
@@ -201,15 +231,38 @@ def _jvm_window(params: Dict[str, Any]) -> Dict[str, Any]:
             interval=params["interval"],
         )
         unit = BranchOnRandomUnit() if variant == "brr" else None
+    return {
+        "program": compiled.program,
+        "begin": (MEASURE_BEGIN, 1),
+        "end": (MEASURE_END, 1),
+        "setup": None,
+        "brr_unit": unit,
+        "fast_forward": None,
+        "extra": {"program_words": len(compiled.program.words)},
+    }
+
+
+#: Materials builders by spec kind, for harnesses that drive the
+#: timing layer directly (``repro bench``).
+MATERIALS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
+    "microbench": microbench_materials,
+    "jvm": jvm_materials,
+}
+
+
+@window_kind("jvm")
+def _jvm_window(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One timed window of a Figure 12 mini-JVM benchmark variant."""
+    materials = jvm_materials(params)
     result = _timed_window(
-        "jvm", params, compiled.program,
-        begin=(MEASURE_BEGIN, 1),
-        end=(MEASURE_END, 1),
-        brr_unit=unit,
+        "jvm", params, materials["program"],
+        begin=materials["begin"],
+        end=materials["end"],
+        brr_unit=materials["brr_unit"],
     )
     return {
         "result": result.to_dict(),
-        "program_words": len(compiled.program.words),
+        "program_words": materials["extra"]["program_words"],
         "cycles": result.cycles,
         "instructions": result.instructions,
     }

@@ -1,0 +1,200 @@
+"""The ``repro bench`` harness: fastpath-vs-golden timing benchmark.
+
+Runs every window the scorecard grades — the 15 Figure-12 cells (5
+mini-JVM benchmarks x none/cbs/brr at full scale) and the 4 Figure-13
+framework combinations — through *both* replay implementations:
+
+* the per-record golden loop (``replay_window(..., fast=False)``), and
+* the batched columnar kernel (:mod:`repro.timing.fastpath`).
+
+Each window is recorded once (in memory; the result cache and trace
+store are bypassed so the timings are honest cold numbers), replayed
+twice, checked for byte-identical :class:`~repro.timing.pipeline.
+TimingStats`, and timed.  The fast-path timing includes the one-time
+columnar decode — the cold-cache cost a first replay actually pays.
+
+The emitted document (``BENCH_timing.json`` under ``--out``) is the
+machine-readable perf trajectory: per-window records/sec and speedup,
+per-figure wall-clock, an aggregate speedup (the PR's >= 2x acceptance
+criterion on the Figure-12 set), and the batched-LFSR rates.
+``repro bench`` exits non-zero if any window's stats diverge.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..engine.spec import WindowSpec
+from ..engine.windows import MATERIALS
+
+
+def scorecard_bench_specs() -> List[WindowSpec]:
+    """The 19 scorecard windows (15 Figure-12 cells + 4 Figure-13
+    combos), exactly as the golden equivalence tests pin them."""
+    from ..jvm.benchmarks import FIGURE12_BENCHMARKS
+    from .fig12 import jvm_window_spec
+    from .fig13 import COMBOS, microbench_window_spec
+
+    return [
+        jvm_window_spec(name, variant, scale=1.0)
+        for name in FIGURE12_BENCHMARKS
+        for variant in ("none", "cbs", "brr")
+    ] + [
+        microbench_window_spec(600, duplication, seed=0, kind=kind,
+                               interval=1024)
+        for kind, duplication in COMBOS
+    ]
+
+
+def _bench_window(spec: WindowSpec) -> Dict[str, Any]:
+    """Record one window, replay it on both paths, compare and time."""
+    from ..timing.runner import record_window, replay_window
+
+    params = spec.params_dict()
+    materials = MATERIALS[spec.kind](params)
+    config = params.get("config")
+    if config is not None:
+        from ..timing.config import TimingConfig
+
+        config = TimingConfig.from_dict(config)
+    trace = record_window(
+        materials["program"], materials["end"],
+        brr_unit=materials["brr_unit"], setup=materials["setup"],
+    )
+
+    started = time.perf_counter()
+    golden = replay_window(
+        trace, materials["begin"], materials["end"], config=config,
+        fast_forward=materials["fast_forward"],
+        program=materials["program"], fast=False,
+    )
+    golden_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    fast = replay_window(
+        trace, materials["begin"], materials["end"], config=config,
+        fast_forward=materials["fast_forward"],
+        program=materials["program"], fast=True,
+    )
+    fast_s = time.perf_counter() - started
+
+    identical = (fast.stats == golden.stats
+                 and fast.total_steps == golden.total_steps)
+    records = len(trace)
+    return {
+        "label": spec.label(),
+        "kind": spec.kind,
+        "figure": "figure12" if spec.kind == "jvm" else "figure13",
+        "records": records,
+        "golden_s": round(golden_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(golden_s / fast_s, 3) if fast_s > 0 else None,
+        "golden_records_per_s": round(records / golden_s) if golden_s > 0
+        else None,
+        "fast_records_per_s": round(records / fast_s) if fast_s > 0
+        else None,
+        "identical": identical,
+        "cycles": golden.stats.cycles,
+        "instructions": golden.stats.instructions,
+    }
+
+
+def _aggregate(rows: List[Dict[str, Any]]) -> Dict[str, Any]:
+    golden_s = sum(row["golden_s"] for row in rows)
+    fast_s = sum(row["fast_s"] for row in rows)
+    records = sum(row["records"] for row in rows)
+    return {
+        "windows": len(rows),
+        "records": records,
+        "golden_s": round(golden_s, 6),
+        "fast_s": round(fast_s, 6),
+        "speedup": round(golden_s / fast_s, 3) if fast_s > 0 else None,
+        "golden_records_per_s": round(records / golden_s) if golden_s > 0
+        else None,
+        "fast_records_per_s": round(records / fast_s) if fast_s > 0
+        else None,
+        "identical": all(row["identical"] for row in rows),
+    }
+
+
+def bench_lfsr_rates(bits: int = 1 << 16) -> Dict[str, Any]:
+    """Bit-at-a-time vs. word-batched LFSR generation (satellite of
+    the same PR; ``benchmarks/bench_lfsr.py`` pins the speedup)."""
+    from ..core.lfsr import Lfsr
+
+    words = bits // 64
+    bits = words * 64
+    stepper = Lfsr(20, seed=0xACE1)
+    started = time.perf_counter()
+    for _ in range(bits):
+        stepper.step()
+    step_s = time.perf_counter() - started
+
+    batched = Lfsr(20, seed=0xACE1)
+    started = time.perf_counter()
+    batched.step_words(words)
+    words_s = time.perf_counter() - started
+    assert batched.state == stepper.state, "batched LFSR diverged"
+
+    return {
+        "bits": bits,
+        "step_s": round(step_s, 6),
+        "step_words_s": round(words_s, 6),
+        "step_bits_per_s": round(bits / step_s) if step_s > 0 else None,
+        "step_words_bits_per_s": round(bits / words_s) if words_s > 0
+        else None,
+        "speedup": round(step_s / words_s, 3) if words_s > 0 else None,
+    }
+
+
+def bench_timing(specs: Optional[List[WindowSpec]] = None) -> Dict[str, Any]:
+    """Run the full fastpath-vs-golden benchmark document."""
+    rows = [_bench_window(spec)
+            for spec in (specs if specs is not None
+                         else scorecard_bench_specs())]
+    figures = {}
+    for figure in ("figure12", "figure13"):
+        subset = [row for row in rows if row["figure"] == figure]
+        if subset:
+            figures[figure] = _aggregate(subset)
+    return {
+        "windows": rows,
+        "figures": figures,
+        "aggregate": _aggregate(rows),
+        "lfsr": bench_lfsr_rates(),
+    }
+
+
+def format_bench(data: Dict[str, Any]) -> str:
+    """Human-readable table of a :func:`bench_timing` document."""
+    lines = [
+        "repro bench: fastpath vs golden replay (cold, per window)",
+        f"{'window':<28} {'records':>9} {'golden_s':>9} {'fast_s':>8} "
+        f"{'speedup':>8} {'fast rec/s':>11}  ok",
+    ]
+    for row in data["windows"]:
+        lines.append(
+            f"{row['label']:<28} {row['records']:>9} "
+            f"{row['golden_s']:>9.3f} {row['fast_s']:>8.3f} "
+            f"{row['speedup']:>7.2f}x {row['fast_records_per_s']:>11,}  "
+            f"{'yes' if row['identical'] else 'NO'}"
+        )
+    for name, agg in list(data["figures"].items()) + \
+            [("aggregate", data["aggregate"])]:
+        lines.append(
+            f"{name:<28} {agg['records']:>9} {agg['golden_s']:>9.3f} "
+            f"{agg['fast_s']:>8.3f} {agg['speedup']:>7.2f}x "
+            f"{agg['fast_records_per_s']:>11,}  "
+            f"{'yes' if agg['identical'] else 'NO'}"
+        )
+    lfsr = data["lfsr"]
+    lines.append(
+        f"lfsr step_words ({lfsr['bits']} bits): "
+        f"{lfsr['step_bits_per_s']:,} -> {lfsr['step_words_bits_per_s']:,} "
+        f"bits/s ({lfsr['speedup']:.2f}x)"
+    )
+    status = "all windows byte-identical" \
+        if data["aggregate"]["identical"] else "DIVERGENCE DETECTED"
+    lines.append(status)
+    return "\n".join(lines)

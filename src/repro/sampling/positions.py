@@ -20,7 +20,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..core.condition import ConditionUnit
-from ..core.lfsr import Lfsr
+from ..core.lfsr import Lfsr, _popcount
 
 
 def periodic_positions(n: int, interval: int, first: Optional[int] = None) -> np.ndarray:
@@ -74,7 +74,7 @@ def brr_decision_array(
     out = np.empty(n, dtype=bool)
     for index in range(n):
         out[index] = (state & select_mask) == select_mask
-        feedback = (state & tap_mask).bit_count() & 1
+        feedback = _popcount(state & tap_mask) & 1
         state = (state >> 1) | (feedback << top)
     return out
 
@@ -151,7 +151,7 @@ class BrrPositionStream:
         out = np.empty(n, dtype=bool)
         for index in range(n):
             out[index] = (state & select_mask) == select_mask
-            feedback = (state & tap_mask).bit_count() & 1
+            feedback = _popcount(state & tap_mask) & 1
             state = (state >> 1) | (feedback << top)
         self._state = state
         return np.flatnonzero(out).astype(np.int64)

@@ -30,6 +30,7 @@ import io
 import json
 import pathlib
 import struct
+from array import array
 from typing import BinaryIO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from ..isa.instructions import Instruction, Op, decode, encode
@@ -177,6 +178,46 @@ def write_trace(path: Union[str, pathlib.Path],
     return writer.n_records
 
 
+class TraceColumns:
+    """Struct-of-arrays view of a decoded trace.
+
+    The per-record object stream of :meth:`RecordedTrace.records` is
+    the right shape for the lock-step golden path, but the batched
+    fast-path timing kernel (:mod:`repro.timing.fastpath`) wants flat,
+    index-addressable columns it can walk with plain integer loads.
+    One :class:`TraceColumns` holds the whole trace decoded once:
+
+    ``pc`` / ``next_pc``
+        preallocated ``array('q')`` byte addresses;
+    ``word_id``
+        index into :attr:`instrs` (the word dictionary, one decoded
+        :class:`~repro.isa.instructions.Instruction` per distinct
+        word), or ``-1`` for a trap-emulated record;
+    ``taken``
+        ``bytearray`` of 0/1 transfer outcomes;
+    ``mem_addr``
+        ``array('q')`` effective addresses, ``-1`` where the record
+        carries none.
+    """
+
+    __slots__ = ("n_records", "pc", "word_id", "next_pc", "taken",
+                 "mem_addr", "instrs", "has_trapped")
+
+    def __init__(self, n_records: int) -> None:
+        self.n_records = n_records
+        zeros = bytes(8 * n_records)
+        self.pc = array("q", zeros)
+        self.word_id = array("q", zeros)
+        self.next_pc = array("q", zeros)
+        self.taken = bytearray(n_records)
+        self.mem_addr = array("q", zeros)
+        self.instrs: List[Instruction] = []
+        self.has_trapped = False
+
+    def __len__(self) -> int:
+        return self.n_records
+
+
 class RecordedTrace:
     """A decoded handle on one serialised execution trace.
 
@@ -216,6 +257,7 @@ class RecordedTrace:
         self._data = data
         self._body_end = index_offset
         self.source = source
+        self._columns: Optional[TraceColumns] = None
 
     # ------------------------------------------------------------------
 
@@ -297,6 +339,127 @@ class RecordedTrace:
         if pos != end:
             raise TraceFormatError(
                 f"{end - pos} trailing byte(s) after the last record")
+
+    def columns(self, chunk_records: int = 1 << 15) -> TraceColumns:
+        """Decode the whole stream into struct-of-arrays columns.
+
+        One pass over the encoded body fills the preallocated buffers
+        of a :class:`TraceColumns` without ever materialising a
+        :class:`~repro.sim.trace.TraceRecord`; the result is memoised
+        on the handle, so replaying one trace under many timing
+        configurations decodes it exactly once.  ``chunk_records``
+        bounds how many records are decoded between loop-invariant
+        rebinds (the inner loop is restarted per chunk so a replay of
+        a multi-million-record trace keeps its working set hot).
+        """
+        if self._columns is not None:
+            return self._columns
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be positive")
+        n_records = self.n_records
+        cols = TraceColumns(n_records)
+        pcs, word_ids = cols.pc, cols.word_id
+        next_pcs, takens, mem_addrs = cols.next_pc, cols.taken, cols.mem_addr
+        instrs = cols.instrs
+        data = self._data
+        end = self._body_end
+        pos = _HEADER.size
+        prev_next_pc = -1
+        n_words = 0
+        emitted = 0
+        try:
+            while emitted < n_records:
+                stop = min(emitted + chunk_records, n_records)
+                while emitted < stop:
+                    if pos >= end:
+                        raise TraceFormatError(
+                            f"trace body ends after {emitted} of "
+                            f"{n_records} records"
+                        )
+                    flags = data[pos]
+                    pos += 1
+                    if flags & _F_SEQ_PC:
+                        if prev_next_pc < 0:
+                            raise TraceFormatError(
+                                "first record cannot have an elided pc")
+                        pc = prev_next_pc
+                    else:
+                        byte = data[pos]
+                        pos += 1
+                        if byte < 0x80:
+                            pc = byte
+                        else:
+                            pc = byte & 0x7F
+                            shift = 7
+                            while True:
+                                byte = data[pos]
+                                pos += 1
+                                pc |= (byte & 0x7F) << shift
+                                if byte < 0x80:
+                                    break
+                                shift += 7
+                    if flags & _F_INSTR:
+                        byte = data[pos]
+                        pos += 1
+                        if byte < 0x80:
+                            word_id = byte
+                        else:
+                            word_id = byte & 0x7F
+                            shift = 7
+                            while True:
+                                byte = data[pos]
+                                pos += 1
+                                word_id |= (byte & 0x7F) << shift
+                                if byte < 0x80:
+                                    break
+                                shift += 7
+                        if word_id == n_words:
+                            word, pos = _read_uvarint(data, pos)
+                            instrs.append(decode(word, pc=pc))
+                            n_words += 1
+                        elif word_id > n_words:
+                            raise TraceFormatError(
+                                f"word id {word_id} out of range at record "
+                                f"{emitted} (dictionary holds {n_words})"
+                            )
+                        word_ids[emitted] = word_id
+                    else:
+                        word_ids[emitted] = -1
+                        cols.has_trapped = True
+                    if flags & _F_SEQ_NEXT:
+                        next_pc = pc + 4
+                    else:
+                        byte = data[pos]
+                        pos += 1
+                        if byte < 0x80:
+                            next_pc = byte
+                        else:
+                            next_pc = byte & 0x7F
+                            shift = 7
+                            while True:
+                                byte = data[pos]
+                                pos += 1
+                                next_pc |= (byte & 0x7F) << shift
+                                if byte < 0x80:
+                                    break
+                                shift += 7
+                    if flags & _F_MEM:
+                        mem, pos = _read_uvarint(data, pos)
+                        mem_addrs[emitted] = mem
+                    else:
+                        mem_addrs[emitted] = -1
+                    pcs[emitted] = pc
+                    next_pcs[emitted] = next_pc
+                    takens[emitted] = flags & _F_TAKEN
+                    prev_next_pc = next_pc
+                    emitted += 1
+        except IndexError:
+            raise TraceFormatError("truncated varint") from None
+        if pos != end:
+            raise TraceFormatError(
+                f"{end - pos} trailing byte(s) after the last record")
+        self._columns = cols
+        return cols
 
 
 def read_trace(path: Union[str, pathlib.Path]) -> RecordedTrace:

@@ -3,6 +3,12 @@
 from .caches import Cache, Hierarchy
 from .config import NAIVE_BRR_CONFIG, PAPER_CONFIG, TimingConfig
 from .cosim import CoSimulator, CosimDivergence, ReplayUnit
+from .fastpath import (
+    FastPathUnsupported,
+    fastpath_enabled,
+    fastpath_override,
+    run_fastpath,
+)
 from .pipeline import TimingSimulator, TimingStats
 from .report import compare, format_stats
 from .predictors import (
@@ -29,6 +35,10 @@ __all__ = [
     "CoSimulator",
     "CosimDivergence",
     "ReplayUnit",
+    "FastPathUnsupported",
+    "fastpath_enabled",
+    "fastpath_override",
+    "run_fastpath",
     "compare",
     "format_stats",
     "NAIVE_BRR_CONFIG",

@@ -30,7 +30,8 @@ train and pollute the shared predictor and its global history (6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields
+from collections import deque
+from dataclasses import dataclass, fields
 from typing import Dict, Iterable, List, Optional
 
 from ..isa.instructions import Op
@@ -110,29 +111,43 @@ class TimingStats:
 
     def __sub__(self, other: "TimingStats") -> "TimingStats":
         return TimingStats(**{
-            f.name: getattr(self, f.name) - getattr(other, f.name)
-            for f in fields(self)
+            name: getattr(self, name) - getattr(other, name)
+            for name in _STATS_FIELD_NAMES
         })
 
     def copy(self) -> "TimingStats":
-        return TimingStats(**{f.name: getattr(self, f.name) for f in fields(self)})
+        return TimingStats(
+            **{name: getattr(self, name) for name in _STATS_FIELD_NAMES}
+        )
 
     def to_dict(self) -> Dict[str, int]:
         """Plain-scalar form, safe to JSON-encode or cross processes."""
-        return {f.name: getattr(self, f.name) for f in fields(self)}
+        return {name: getattr(self, name) for name in _STATS_FIELD_NAMES}
 
     @classmethod
     def from_dict(cls, data: Dict[str, int]) -> "TimingStats":
         """Inverse of :meth:`to_dict`; rejects unknown counter names."""
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
+        unknown = set(data) - set(_STATS_FIELD_NAMES)
         if unknown:
             raise ValueError(f"unknown TimingStats fields: {sorted(unknown)}")
         return cls(**data)
 
 
+#: Counter names, resolved once — per-call ``dataclasses.fields()``
+#: introspection was a measurable cost on the snapshot-heavy paths.
+_STATS_FIELD_NAMES = tuple(f.name for f in fields(TimingStats))
+
+
 class TimingSimulator:
     """Dependence/bandwidth timing model over a retired-instruction trace."""
+
+    __slots__ = (
+        "config", "hierarchy", "predictor", "btb", "ras", "stats",
+        "_fetch_cycle", "_fetch_slots", "_last_line", "_last_decode",
+        "_decode_bw", "_issue_bw", "_commit_bw", "_last_commit",
+        "_final_commit", "_reg_ready", "_rob", "_pregs", "_preg_budget",
+        "_next_brr_slot",
+    )
 
     def __init__(self, config: Optional[TimingConfig] = None) -> None:
         self.config = config or TimingConfig()
@@ -157,7 +172,6 @@ class TimingSimulator:
         self._reg_ready: List[int] = [0] * 16
         # Ring of commit cycles for in-flight ROB entries / dest-writing
         # instructions (physical register pool).
-        from collections import deque
         self._rob: "deque[int]" = deque()
         self._pregs: "deque[int]" = deque()
         self._preg_budget = max(1, cfg.phys_regs - 16)

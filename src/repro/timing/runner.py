@@ -23,14 +23,16 @@ Two execution strategies produce the same :class:`WindowResult`:
 from __future__ import annotations
 
 import io
+import time
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..core.brr import RandomSource
 from ..isa.program import Program
 from ..sim.machine import Machine, MachineCheckpoint
 from ..sim.trace_io import RecordedTrace, TraceFormatError, TraceWriter
 from .config import TimingConfig
+from .fastpath import FastPathUnsupported, fastpath_enabled, run_fastpath
 from .pipeline import TimingSimulator, TimingStats
 
 #: (marker id, cumulative count) pair identifying an execution point.
@@ -256,6 +258,30 @@ def record_window(
             sink.close()
 
 
+# Out-of-band channel describing the most recent replay: which timing
+# path ran ("fast" or "golden") and its throughput.  Observability
+# only — keeping it out of WindowResult keeps cached payloads (and the
+# engine's content-addressed keys) byte-identical across paths.
+_last_replay_info: Optional[Dict[str, object]] = None
+
+
+def _set_replay_info(path: str, records: int, elapsed: float) -> None:
+    global _last_replay_info
+    _last_replay_info = {
+        "timing_path": path,
+        "replay_records": records,
+        "replay_records_per_s": (records / elapsed) if elapsed > 0 else None,
+    }
+
+
+def consume_replay_info() -> Optional[Dict[str, object]]:
+    """Pop the telemetry of the most recent :func:`replay_window`."""
+    global _last_replay_info
+    info = _last_replay_info
+    _last_replay_info = None
+    return info
+
+
 def replay_window(
     trace: RecordedTrace,
     begin: MarkerPoint,
@@ -264,6 +290,7 @@ def replay_window(
     fast_forward: Optional[MarkerPoint] = None,
     program: Optional[Program] = None,
     prewarm_code: bool = True,
+    fast: Optional[bool] = None,
 ) -> WindowResult:
     """Replay a recorded functional stream through the timing model.
 
@@ -273,6 +300,12 @@ def replay_window(
     :class:`WindowResult` is byte-identical to the reference path.
     ``program`` is required when ``prewarm_code`` is set (the code
     image's address range is not part of the trace).
+
+    ``fast`` selects the execution strategy: the batched columnar
+    kernel (:mod:`repro.timing.fastpath`) or the per-record golden
+    loop.  ``None`` (default) follows the ``REPRO_FAST`` environment
+    knob.  Both produce byte-identical stats; the kernel falls back to
+    the golden loop for anything it cannot reproduce exactly.
     """
     i_skip = (trace.marker_step(*fast_forward) if fast_forward is not None
               else -1)
@@ -285,6 +318,22 @@ def replay_window(
         )
     if prewarm_code and program is None:
         raise ValueError("prewarm_code requires the program image")
+    n_replayed = i_end - i_skip
+    if fast is None:
+        fast = fastpath_enabled()
+    if fast:
+        try:
+            started = time.perf_counter()
+            stats = run_fastpath(
+                trace, i_skip, i_begin, i_end, config=config,
+                program=program, prewarm_code=prewarm_code,
+            )
+            _set_replay_info("fast", n_replayed,
+                             time.perf_counter() - started)
+            return WindowResult(stats=stats, total_steps=i_end + 1)
+        except FastPathUnsupported:
+            pass  # golden loop below reproduces (or raises) exactly
+    started = time.perf_counter()
     simulator = _simulator_for(config, program, prewarm_code)
     baseline = simulator.snapshot()
     for index, record in enumerate(trace.records()):
@@ -295,6 +344,7 @@ def replay_window(
         simulator.step(record)
         if index == i_begin:
             baseline = simulator.snapshot()
+    _set_replay_info("golden", n_replayed, time.perf_counter() - started)
     return WindowResult(stats=simulator.stats - baseline,
                         total_steps=i_end + 1)
 

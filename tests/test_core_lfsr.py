@@ -279,3 +279,66 @@ class TestJumpAhead:
             seeds.append(base.state)
             base.jump(16384)
         assert len(set(seeds)) == 4
+
+class TestBatchedStepping:
+    """``step_words``/``step_many`` vs bit-at-a-time ``step()``: state,
+    output stream, update counter and shift-back history must all be
+    exactly what individual steps would have produced."""
+
+    @pytest.mark.parametrize("width", [4, 16, 20, 24])
+    @pytest.mark.parametrize("history_bits", [0, 3, 8, 200])
+    @pytest.mark.parametrize("words", [1, 2, 5])
+    def test_step_words_matches_step(self, width, history_bits, words):
+        seed = 0xACE1 & ((1 << width) - 1) or 1
+        batched = Lfsr(width, seed=seed, history_bits=history_bits)
+        stepper = Lfsr(width, seed=seed, history_bits=history_bits)
+        out = batched.step_words(words)
+        bits = [stepper.step() for _ in range(words * 64)]
+        expected = [
+            sum(bit << i for i, bit in enumerate(bits[k * 64:(k + 1) * 64]))
+            for k in range(words)
+        ]
+        assert out == expected
+        assert batched.state == stepper.state
+        assert batched.updates == stepper.updates
+        assert list(batched._history) == list(stepper._history)
+
+    def test_step_words_zero_and_negative(self):
+        lfsr = Lfsr(16, seed=0xACE1)
+        assert lfsr.step_words(0) == []
+        assert lfsr.updates == 0
+        with pytest.raises(LfsrError):
+            lfsr.step_words(-1)
+
+    def test_step_words_then_shift_back(self):
+        lfsr = Lfsr(16, seed=0xACE1, history_bits=32)
+        reference = Lfsr(16, seed=0xACE1, history_bits=32)
+        lfsr.step_words(2)
+        reference.step_many(128)
+        lfsr.shift_back(7)
+        reference.shift_back(7)
+        assert lfsr.state == reference.state
+        assert lfsr.updates == reference.updates
+
+    @pytest.mark.parametrize("width,history_bits", [
+        (4, 0), (4, 5), (20, 0), (20, 5), (20, 64),
+    ])
+    @pytest.mark.parametrize("count", [0, 1, 79, 1000, 12345])
+    def test_step_many_matches_step(self, width, history_bits, count):
+        seed = 0xACE1 & ((1 << width) - 1) or 1
+        batched = Lfsr(width, seed=seed, history_bits=history_bits)
+        stepper = Lfsr(width, seed=seed, history_bits=history_bits)
+        batched.step_many(count)
+        for _ in range(count):
+            stepper.step()
+        assert batched.state == stepper.state
+        assert batched.updates == stepper.updates
+        assert list(batched._history) == list(stepper._history)
+
+    def test_advance_matrix_cached_across_instances(self):
+        from repro.core.lfsr import _ADVANCE_CACHE
+
+        first = Lfsr(16, seed=1)._advance_matrix()
+        second = Lfsr(16, seed=0xACE1)._advance_matrix()
+        assert first is second
+        assert _ADVANCE_CACHE[(16, default_taps(16))] is first

@@ -1,0 +1,176 @@
+"""Golden equivalence: the batched fastpath kernel vs the lock-step
+reference, on every window the scorecard grades.
+
+The fast path (:mod:`repro.timing.fastpath`) is a pure speed change —
+its contract is that every :class:`~repro.timing.pipeline.TimingStats`
+is byte-identical to the per-record golden loop.  These tests pin that
+for all 15 Figure-12 cells and 4 Figure-13 combos, pin the
+``REPRO_FAST`` opt-out knob and the engine's path/throughput
+telemetry, and check the columnar trace decoder against the record
+iterator it replaces.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import ExperimentEngine, ResultCache, RunRecorder, TraceStore
+from repro.engine.windows import MATERIALS
+from repro.experiments.bench_timing import scorecard_bench_specs
+from repro.experiments.fig13 import microbench_window_spec
+from repro.timing.config import TimingConfig
+from repro.timing.fastpath import (
+    fastpath_enabled,
+    fastpath_override,
+    set_fastpath_override,
+)
+from repro.timing.runner import (
+    consume_replay_info,
+    record_window,
+    replay_window,
+)
+
+SCORECARD = scorecard_bench_specs()
+
+
+def _record(spec):
+    materials = MATERIALS[spec.kind](spec.params_dict())
+    trace = record_window(materials["program"], materials["end"],
+                          brr_unit=materials["brr_unit"],
+                          setup=materials["setup"])
+    return materials, trace
+
+
+def _config(spec):
+    config = spec.params_dict().get("config")
+    return None if config is None else TimingConfig.from_dict(config)
+
+
+class TestScorecardEquivalence:
+    @pytest.mark.parametrize("spec", SCORECARD,
+                             ids=[spec.label() for spec in SCORECARD])
+    def test_fastpath_byte_identical(self, spec):
+        materials, trace = _record(spec)
+        golden = replay_window(trace, materials["begin"], materials["end"],
+                               config=_config(spec),
+                               fast_forward=materials["fast_forward"],
+                               program=materials["program"], fast=False)
+        assert consume_replay_info()["timing_path"] == "golden"
+        fast = replay_window(trace, materials["begin"], materials["end"],
+                             config=_config(spec),
+                             fast_forward=materials["fast_forward"],
+                             program=materials["program"], fast=True)
+        info = consume_replay_info()
+        assert info["timing_path"] == "fast"
+        assert info["replay_records_per_s"] > 0
+        assert fast.stats == golden.stats
+        assert fast.total_steps == golden.total_steps
+
+
+class TestFastpathKnob:
+    def test_env_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST", raising=False)
+        set_fastpath_override(None)
+        assert fastpath_enabled()
+
+    @pytest.mark.parametrize("value,expected", [
+        ("0", False), ("false", False), ("no", False), ("1", True),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv("REPRO_FAST", value)
+        set_fastpath_override(None)
+        assert fastpath_enabled() is expected
+
+    def test_override_wins_and_restores(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST", "1")
+        set_fastpath_override(None)
+        with fastpath_override(False):
+            assert not fastpath_enabled()
+            with fastpath_override(True):
+                assert fastpath_enabled()
+            assert not fastpath_enabled()
+        assert fastpath_enabled()
+
+    def test_replay_honours_env(self, monkeypatch):
+        spec = microbench_window_spec(300, "full-dup", seed=0, kind="brr",
+                                      interval=256)
+        materials, trace = _record(spec)
+        monkeypatch.setenv("REPRO_FAST", "0")
+        set_fastpath_override(None)
+        try:
+            replay_window(trace, materials["begin"], materials["end"],
+                          program=materials["program"])
+            assert consume_replay_info()["timing_path"] == "golden"
+        finally:
+            set_fastpath_override(None)
+
+
+class TestEngineTelemetry:
+    def _engine(self, tmp_path, name, fast):
+        return ExperimentEngine(
+            jobs=1,
+            cache=ResultCache(tmp_path / f"cache-{name}", enabled=False),
+            recorder=RunRecorder(tmp_path / f"{name}.jsonl"),
+            trace_store=TraceStore(tmp_path / f"traces-{name}", enabled=True),
+            fast=fast,
+        )
+
+    def test_jsonl_logs_path_and_throughput(self, tmp_path):
+        spec = microbench_window_spec(300, "full-dup", seed=0, kind="cbs",
+                                      interval=256)
+        fast_engine = self._engine(tmp_path, "fast", fast=True)
+        golden_engine = self._engine(tmp_path, "golden", fast=False)
+        fast_payload = fast_engine.run([spec])[0]
+        golden_payload = golden_engine.run([spec])[0]
+        assert json.dumps(fast_payload, sort_keys=True) \
+            == json.dumps(golden_payload, sort_keys=True)
+
+        fast_line = json.loads((tmp_path / "fast.jsonl").read_text())
+        golden_line = json.loads((tmp_path / "golden.jsonl").read_text())
+        assert fast_line["timing_path"] == "fast"
+        assert golden_line["timing_path"] == "golden"
+        assert fast_line["replay_records_per_s"] > 0
+        assert fast_engine.summary()["fastpath_windows"] == 1
+        assert golden_engine.summary()["goldenpath_windows"] == 1
+
+    def test_trace_handle_cache_shares_decoded_columns(self, tmp_path):
+        from repro.engine.tracestore import functional_key
+
+        spec = microbench_window_spec(300, "full-dup", seed=0, kind="brr",
+                                      interval=256)
+        engine = self._engine(tmp_path, "handles", fast=True)
+        engine.run([spec])
+        key = functional_key(spec.kind, spec.params_dict())
+        first = engine.trace_store.load(key)
+        second = engine.trace_store.load(key)
+        assert first is second  # same handle -> columns decoded once
+
+
+class TestColumnarDecoder:
+    def test_columns_match_records(self):
+        spec = microbench_window_spec(300, "full-dup", seed=0, kind="brr",
+                                      interval=256)
+        _, trace = _record(spec)
+        cols = trace.columns()
+        records = list(trace.records())
+        assert len(cols) == cols.n_records == len(records)
+        assert not cols.has_trapped
+        for i, record in enumerate(records):
+            assert cols.pc[i] == record.pc
+            assert cols.next_pc[i] == record.next_pc
+            assert cols.taken[i] == int(record.taken)
+            assert cols.instrs[cols.word_id[i]] == record.instr
+            expected_mem = -1 if record.mem_addr is None else record.mem_addr
+            assert cols.mem_addr[i] == expected_mem
+
+    def test_columns_memoised(self):
+        spec = microbench_window_spec(300, "no-dup", seed=0, kind="cbs",
+                                      interval=256)
+        _, trace = _record(spec)
+        assert trace.columns() is trace.columns()
+
+    def test_columns_rejects_garbage(self):
+        from repro.sim.trace_io import RecordedTrace, TraceFormatError
+
+        with pytest.raises(TraceFormatError):
+            RecordedTrace(b"BRTRgarbage-that-is-not-a-trace").columns()

@@ -103,6 +103,12 @@ class TestTraceStore:
         path = store._path(key)
         assert path.is_file()
         path.write_bytes(b"garbage that is long enough to not be tiny")
+        # The writing store still holds a valid in-memory handle; a
+        # fresh store (a new process) must observe the corruption.
+        payload, info = _run(spec, store)
+        assert info["trace"] == "hit"  # handle cache masks the bad file
+        assert _canonical(payload) == _canonical(reference)
+        store = TraceStore(tmp_path, enabled=True)
         payload, info = _run(spec, store)
         assert info["trace"] == "miss"  # corrupt entry dropped, re-recorded
         assert _canonical(payload) == _canonical(reference)
