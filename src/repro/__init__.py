@@ -21,13 +21,21 @@ every substrate the paper's evaluation depends on:
   Section 5.3 checksum microbenchmark;
 - :mod:`repro.profiles` — profiles and the overlap-accuracy metric;
 - :mod:`repro.experiments` — one runner per paper table/figure;
-- :mod:`repro.analysis` — statistics and overhead decomposition.
+- :mod:`repro.analysis` — statistics and overhead decomposition;
+- :mod:`repro.api` — the **stable public façade**: keyword-only
+  ``run_<figure>()`` functions plus the engine types
+  (:class:`~repro.api.ExperimentEngine`,
+  :class:`~repro.api.EngineConfig`, :class:`~repro.api.WindowSpec`),
+  re-exported here.  Script against ``repro.api`` (or these
+  re-exports); everything else may change without notice — see
+  ``docs/api.md``.
 """
 
 __version__ = "1.0.0"
 
 from . import (
     analysis,
+    api,
     core,
     experiments,
     instrument,
@@ -39,9 +47,28 @@ from . import (
     timing,
     workloads,
 )
+from .api import (
+    EngineConfig,
+    ExperimentEngine,
+    FigureResult,
+    WindowFailure,
+    WindowSpec,
+    is_failure,
+    run_cost,
+    run_figure2,
+    run_figure9,
+    run_figure10,
+    run_figure12,
+    run_figure13,
+    run_figure14,
+    run_scorecard,
+    run_sensitivity,
+    run_windows,
+)
 
 __all__ = [
     "analysis",
+    "api",
     "core",
     "experiments",
     "instrument",
@@ -53,4 +80,20 @@ __all__ = [
     "timing",
     "workloads",
     "__version__",
+    "EngineConfig",
+    "ExperimentEngine",
+    "FigureResult",
+    "WindowFailure",
+    "WindowSpec",
+    "is_failure",
+    "run_cost",
+    "run_figure2",
+    "run_figure9",
+    "run_figure10",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_scorecard",
+    "run_sensitivity",
+    "run_windows",
 ]

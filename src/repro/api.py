@@ -1,0 +1,250 @@
+"""``repro.api`` — the stable, versioned public façade.
+
+Everything a script needs to regenerate the paper's evaluation lives
+behind this module: one keyword-only ``run_<command>()`` function per
+CLI command, plus the engine types (:class:`ExperimentEngine`,
+:class:`EngineConfig`, :class:`WindowSpec`, :class:`WindowFailure`).
+The CLI handlers in :mod:`repro.cli` are thin wrappers over these
+functions, so ``python -m repro figure9`` and
+``repro.api.run_figure9()`` are provably the same code path.
+
+Stability policy (see ``docs/api.md`` for the full contract):
+
+* names exported in ``__all__`` follow deprecate-then-remove — at
+  least one minor release emitting :class:`DeprecationWarning` before
+  any breaking change;
+* every ``run_*`` function takes keyword-only arguments, so adding
+  parameters is never a breaking change;
+* each function returns a :class:`FigureResult` whose ``data`` is the
+  command's machine-readable document (what ``--json`` prints) and
+  whose ``text`` is the rendered table (what the default CLI prints);
+* anything *not* exported here (``repro.engine`` internals, the
+  experiment modules, simulator guts) may change without notice.
+
+Every function accepts ``engine=`` to supply a configured
+:class:`ExperimentEngine`; with ``None`` the process-wide default
+engine is used (configure it via :func:`set_engine` or environment
+variables — see ``docs/engine.md``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Sequence
+
+from .engine import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    RunRecorder,
+    WindowFailure,
+    WindowSpec,
+    get_engine,
+    is_failure,
+    run_windows,
+    set_engine,
+)
+
+#: Default per-command scales, shared with the CLI so the two entry
+#: points cannot drift: fraction of the paper's invocation counts for
+#: the accuracy figures, outer-loop multiplier for Figure 12, and
+#: microbenchmark characters for Figures 13/14/2.
+DEFAULT_ACCURACY_SCALE = 0.05
+DEFAULT_JVM_SCALE = 3.0
+DEFAULT_MICRO_CHARS = 4000
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """One command's output: machine-readable data + rendered table."""
+
+    data: Any
+    text: str
+
+
+@contextlib.contextmanager
+def _engine_ctx(engine: Optional[ExperimentEngine]) -> Iterator[None]:
+    """Temporarily install ``engine`` as the process default, so the
+    experiment code (which resolves the default engine internally)
+    runs every window through it."""
+    if engine is None:
+        yield
+        return
+    from .engine import core as _core
+
+    previous = _core._default_engine
+    set_engine(engine)
+    try:
+        yield
+    finally:
+        set_engine(previous)
+
+
+# ----------------------------------------------------------------------
+# One façade function per CLI command.
+
+
+def run_figure9(*, scale: float = DEFAULT_ACCURACY_SCALE,
+                seeds: Sequence[int] = (0,),
+                engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Figure 9: sampling accuracy at interval 2^10."""
+    from .experiments import figure9, format_accuracy_rows
+
+    with _engine_ctx(engine):
+        rows = figure9(scale=scale, seeds=seeds)
+    return FigureResult(rows, format_accuracy_rows(
+        rows, f"Figure 9: accuracy at 2^10 (scale {scale})"))
+
+
+def run_figure10(*, scale: float = DEFAULT_ACCURACY_SCALE,
+                 seeds: Sequence[int] = (0,),
+                 engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Figure 10: sampling accuracy at interval 2^13."""
+    from .experiments import figure10, format_accuracy_rows
+
+    with _engine_ctx(engine):
+        rows = figure10(scale=scale, seeds=seeds)
+    return FigureResult(rows, format_accuracy_rows(
+        rows, f"Figure 10: accuracy at 2^13 (scale {scale})"))
+
+
+def run_figure12(*, scale: float = DEFAULT_JVM_SCALE, interval: int = 1024,
+                 engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Figure 12: framework overhead on the JVM workloads."""
+    from .experiments import figure12, format_fig12_rows
+
+    with _engine_ctx(engine):
+        rows = figure12(scale=scale, interval=interval)
+    return FigureResult([dataclasses.asdict(row) for row in rows],
+                        format_fig12_rows(rows))
+
+
+def _microbench_sweep(scale: int, engine: Optional[ExperimentEngine]):
+    from .experiments import microbench_sweep
+
+    with _engine_ctx(engine):
+        return microbench_sweep(n_chars=int(scale))
+
+
+def run_figure13(*, scale: int = DEFAULT_MICRO_CHARS,
+                 engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Figure 13: percent overhead vs. sampling interval."""
+    from .experiments import format_figure13
+
+    sweep = _microbench_sweep(scale, engine)
+    return FigureResult(sweep.to_dict(), format_figure13(sweep))
+
+
+def run_figure14(*, scale: int = DEFAULT_MICRO_CHARS,
+                 engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Figure 14: added cycles per dynamic sampling site."""
+    from .experiments import format_figure14
+
+    sweep = _microbench_sweep(scale, engine)
+    return FigureResult(sweep.to_dict(), format_figure14(sweep))
+
+
+def run_figure2(*, scale: int = DEFAULT_MICRO_CHARS,
+                engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Figure 2-style decomposition of framework overhead."""
+    from .analysis import decompose, format_decomposition
+    from .experiments import microbench_sweep
+
+    with _engine_ctx(engine):
+        sweep = microbench_sweep(n_chars=int(scale))
+        decompositions = [decompose(sweep, kind, "full-dup")
+                          for kind in ("cbs", "brr")]
+    text = "\n".join(format_decomposition(d) for d in decompositions)
+    return FigureResult([dataclasses.asdict(d) for d in decompositions],
+                        text)
+
+
+def run_sensitivity(*, scale: float = DEFAULT_ACCURACY_SCALE,
+                    chars: int = DEFAULT_MICRO_CHARS,
+                    engine: Optional[ExperimentEngine] = None
+                    ) -> FigureResult:
+    """Tap/bit-policy/seed-noise sensitivity plus the timing sweep."""
+    from .experiments import (
+        bit_policy_sensitivity,
+        format_sensitivity_result,
+        format_timing_sweep,
+        seed_noise_baseline,
+        taps_sensitivity,
+        timing_config_sweep,
+    )
+
+    with _engine_ctx(engine):
+        taps = taps_sensitivity(scale=scale)
+        bits = bit_policy_sensitivity(scale=scale)
+        noise = seed_noise_baseline(scale=scale)
+        timing = timing_config_sweep(n_chars=chars)
+    text = "\n".join([
+        format_sensitivity_result(taps),
+        format_sensitivity_result(bits),
+        f"seed-variation baseline: mean={noise['mean']:.2f}% "
+        f"std={noise['std']:.3f}%",
+        format_timing_sweep(timing),
+    ])
+    return FigureResult(
+        {"taps": taps.to_dict(), "bit_policy": bits.to_dict(),
+         "seed_noise": noise, "timing": timing.to_dict()}, text)
+
+
+def run_cost(*, engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Section 3.3 hardware-cost table."""
+    from .experiments import cost_rows, format_cost_table
+
+    with _engine_ctx(engine):
+        return FigureResult(
+            [dataclasses.asdict(row) for row in cost_rows()],
+            format_cost_table())
+
+
+def run_scorecard(*, quick: bool = True,
+                  engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """PASS/FAIL every headline claim; ``data["failed"]`` mirrors the
+    CLI's non-zero exit condition."""
+    from .experiments import format_scorecard, scorecard_failed
+    from .experiments import run_scorecard as _run_scorecard
+
+    with _engine_ctx(engine):
+        results = _run_scorecard(quick=quick)
+    data = {
+        "claims": [result.to_dict() for result in results],
+        "passed": sum(r.passed for r in results),
+        "total": len(results),
+        "failed": scorecard_failed(results),
+    }
+    return FigureResult(data, format_scorecard(results))
+
+
+__all__ = [
+    # engine surface
+    "EngineConfig",
+    "ExperimentEngine",
+    "ResultCache",
+    "RunRecorder",
+    "WindowFailure",
+    "WindowSpec",
+    "get_engine",
+    "is_failure",
+    "run_windows",
+    "set_engine",
+    # command façade
+    "FigureResult",
+    "run_figure9",
+    "run_figure10",
+    "run_figure12",
+    "run_figure13",
+    "run_figure14",
+    "run_figure2",
+    "run_sensitivity",
+    "run_cost",
+    "run_scorecard",
+    # shared defaults
+    "DEFAULT_ACCURACY_SCALE",
+    "DEFAULT_JVM_SCALE",
+    "DEFAULT_MICRO_CHARS",
+]

@@ -4,22 +4,36 @@ Usage::
 
     python -m repro figure9 [--scale 0.05]
     python -m repro figure10 [--scale 0.05]
-    python -m repro figure12 [--jvm-scale 3]
-    python -m repro figure13 [--chars 4000]
-    python -m repro figure14 [--chars 4000]
-    python -m repro figure2  [--chars 4000]
+    python -m repro figure12 [--scale 3]
+    python -m repro figure13 [--scale 4000]
+    python -m repro figure14 [--scale 4000]
+    python -m repro figure2  [--scale 4000]
     python -m repro sensitivity [--scale 0.02]
     python -m repro cost
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
     python -m repro all      # everything (several minutes)
     python -m repro cache [stats|prune|clear]
     python -m repro bench    # fastpath-vs-golden replay benchmark
+    python -m repro resume RUN.jsonl   # finish an interrupted run
 
+``--scale`` is the one scaling knob and is interpreted per command:
+fraction of the paper's invocation counts for the accuracy figures
+(default 0.05), outer-loop multiplier for figure12 (default 3), and
+microbenchmark characters for figures 13/14/2 (default 4000).  The old
+``--jvm-scale`` and ``--chars`` flags still work as hidden deprecated
+aliases that warn on stderr.
+
+Every command handler routes through :mod:`repro.api`, so ``python -m
+repro X`` and ``repro.api.run_X()`` are the same code path.
 Execution goes through the shared :mod:`repro.engine` (see
 ``docs/engine.md``): ``--jobs N`` / ``REPRO_JOBS`` fans simulation
-windows out across worker processes, results are memoised under
-``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), timed windows
-record/replay functional traces through the store described in
+windows out across worker processes with per-window ``--timeout``,
+bounded ``--retries`` and a ``--failure-policy`` (``raise`` | ``retry``
+| ``skip``); results are memoised under ``REPRO_CACHE_DIR`` (default
+``~/.cache/repro``), and completed windows are durably cached the
+moment they finish, so ``repro resume <run.jsonl>`` replays an
+interrupted invocation and executes only the missing windows.  Timed
+windows record/replay functional traces through the store described in
 ``docs/trace_format.md`` (``REPRO_TRACE=0`` disables), ``--json``
 switches stdout to a machine-readable document per command, and
 ``--out DIR`` additionally writes ``<command>.txt`` (plus
@@ -32,116 +46,124 @@ stores.
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import os
 import pathlib
 import sys
 import time
+import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
-from .engine import ExperimentEngine, ResultCache, RunRecorder, set_engine
+from .engine import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    RunRecorder,
+    read_run_log,
+    set_engine,
+)
 
 #: (data, text) produced by one command.
 CommandResult = Tuple[Any, str]
 
+#: Per-command defaults of the unified ``--scale`` flag.
+ACCURACY_SCALE_DEFAULT = 0.05
+JVM_SCALE_DEFAULT = 3.0
+MICRO_CHARS_DEFAULT = 4000
+
+
+def _warn_deprecated(old: str, new: str) -> None:
+    message = f"{old} is deprecated; use {new}"
+    warnings.warn(message, DeprecationWarning, stacklevel=3)
+    print(f"warning: {message}", file=sys.stderr)
+
+
+def _accuracy_scale(args) -> float:
+    return ACCURACY_SCALE_DEFAULT if args.scale is None else args.scale
+
+
+def _jvm_scale(args) -> float:
+    """Figure 12's ``--scale`` (outer-loop multiplier), honouring the
+    deprecated ``--jvm-scale`` alias."""
+    if args.jvm_scale is not None:
+        _warn_deprecated("--jvm-scale", "--scale")
+        if args.scale is None:
+            return args.jvm_scale
+    return JVM_SCALE_DEFAULT if args.scale is None else args.scale
+
+
+def _micro_chars(args) -> int:
+    """Figures 13/14/2's ``--scale`` (microbenchmark characters),
+    honouring the deprecated ``--chars`` alias."""
+    if args.chars is not None:
+        _warn_deprecated("--chars", "--scale")
+        if args.scale is None:
+            return args.chars
+    return MICRO_CHARS_DEFAULT if args.scale is None else int(args.scale)
+
 
 def _figure9(args) -> CommandResult:
-    from .experiments import figure9, format_accuracy_rows
+    from . import api
 
-    rows = figure9(scale=args.scale)
-    return rows, format_accuracy_rows(
-        rows, f"Figure 9: accuracy at 2^10 (scale {args.scale})")
+    result = api.run_figure9(scale=_accuracy_scale(args))
+    return result.data, result.text
 
 
 def _figure10(args) -> CommandResult:
-    from .experiments import figure10, format_accuracy_rows
+    from . import api
 
-    rows = figure10(scale=args.scale)
-    return rows, format_accuracy_rows(
-        rows, f"Figure 10: accuracy at 2^13 (scale {args.scale})")
+    result = api.run_figure10(scale=_accuracy_scale(args))
+    return result.data, result.text
 
 
 def _figure12(args) -> CommandResult:
-    from .experiments import figure12, format_fig12_rows
+    from . import api
 
-    rows = figure12(scale=args.jvm_scale)
-    return [dataclasses.asdict(row) for row in rows], format_fig12_rows(rows)
-
-
-def _sweep(args):
-    from .experiments import microbench_sweep
-
-    return microbench_sweep(n_chars=args.chars)
+    result = api.run_figure12(scale=_jvm_scale(args))
+    return result.data, result.text
 
 
 def _figure13(args) -> CommandResult:
-    from .experiments import format_figure13
+    from . import api
 
-    sweep = _sweep(args)
-    return sweep.to_dict(), format_figure13(sweep)
+    result = api.run_figure13(scale=_micro_chars(args))
+    return result.data, result.text
 
 
 def _figure14(args) -> CommandResult:
-    from .experiments import format_figure14
+    from . import api
 
-    sweep = _sweep(args)
-    return sweep.to_dict(), format_figure14(sweep)
+    result = api.run_figure14(scale=_micro_chars(args))
+    return result.data, result.text
 
 
 def _figure2(args) -> CommandResult:
-    from .analysis import decompose, format_decomposition
+    from . import api
 
-    sweep = _sweep(args)
-    decompositions = [decompose(sweep, kind, "full-dup")
-                      for kind in ("cbs", "brr")]
-    text = "\n".join(format_decomposition(d) for d in decompositions)
-    return [dataclasses.asdict(d) for d in decompositions], text
+    result = api.run_figure2(scale=_micro_chars(args))
+    return result.data, result.text
 
 
 def _sensitivity(args) -> CommandResult:
-    from .experiments import (
-        bit_policy_sensitivity,
-        format_sensitivity_result,
-        format_timing_sweep,
-        seed_noise_baseline,
-        taps_sensitivity,
-        timing_config_sweep,
-    )
+    from . import api
 
-    taps = taps_sensitivity(scale=args.scale)
-    bits = bit_policy_sensitivity(scale=args.scale)
-    noise = seed_noise_baseline(scale=args.scale)
-    timing = timing_config_sweep(n_chars=args.chars)
-    text = "\n".join([
-        format_sensitivity_result(taps),
-        format_sensitivity_result(bits),
-        f"seed-variation baseline: mean={noise['mean']:.2f}% "
-        f"std={noise['std']:.3f}%",
-        format_timing_sweep(timing),
-    ])
-    return {"taps": taps.to_dict(), "bit_policy": bits.to_dict(),
-            "seed_noise": noise, "timing": timing.to_dict()}, text
+    result = api.run_sensitivity(scale=_accuracy_scale(args),
+                                 chars=_micro_chars(args))
+    return result.data, result.text
 
 
 def _cost(args) -> CommandResult:
-    from .experiments import cost_rows, format_cost_table
+    from . import api
 
-    return ([dataclasses.asdict(row) for row in cost_rows()],
-            format_cost_table())
+    result = api.run_cost()
+    return result.data, result.text
 
 
 def _scorecard(args) -> CommandResult:
-    from .experiments import format_scorecard, run_scorecard, scorecard_failed
+    from . import api
 
-    results = run_scorecard(quick=args.scale <= 0.02)
-    data = {
-        "claims": [result.to_dict() for result in results],
-        "passed": sum(r.passed for r in results),
-        "total": len(results),
-        "failed": scorecard_failed(results),
-    }
-    return data, format_scorecard(results)
+    result = api.run_scorecard(quick=_accuracy_scale(args) <= 0.02)
+    return result.data, result.text
 
 
 COMMANDS = {
@@ -205,35 +227,88 @@ def _cache_command(args, engine: ExperimentEngine) -> CommandResult:
     return data, "\n".join(lines)
 
 
+def _resume_command(args, parser: argparse.ArgumentParser) -> int:
+    """``repro resume RUN.jsonl``: finish an interrupted run.
+
+    The run log's ``run_meta`` line carries the original argv; the
+    command is replayed against the same durable result cache, so
+    completed windows are served as hits and only the missing ones
+    execute.  The replay appends to the same JSONL, which is how the
+    resumed hit/miss counts stay auditable in one artifact.
+    """
+    if not args.action:
+        parser.error("resume requires the run's JSONL log path")
+    log_path = pathlib.Path(args.action)
+    meta, before = read_run_log(log_path)
+    if meta is None:
+        print(f"error: {log_path} has no run_meta record "
+              f"(not a resumable run log)", file=sys.stderr)
+        return 2
+    argv = list(meta["argv"])
+    # Append (flags win last) so the replay logs into the same ledger
+    # and counts the prior run's windows as resumable.
+    argv += ["--log-jsonl", str(log_path), "--resume-from", str(log_path)]
+    code = main(argv)
+    _, after = read_run_log(log_path)
+    appended = after[len(before):]
+    hits = sum(1 for r in appended if r.get("cache") == "hit")
+    executed = sum(1 for r in appended if r.get("cache") == "miss")
+    print(f"[resume: {hits} windows already cached, {executed} executed, "
+          f"command `{meta['command']}` exit {code}]", file=sys.stderr)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the Branch-on-Random (CGO 2008) evaluation.",
     )
     parser.add_argument("command",
-                        choices=list(COMMANDS) + ["all", "cache", "bench"],
+                        choices=list(COMMANDS) + ["all", "cache", "bench",
+                                                  "resume"],
                         help="which figure/table to regenerate, `cache` to "
-                             "inspect/maintain the on-disk stores, or "
-                             "`bench` to run the fastpath-vs-golden timing "
+                             "inspect/maintain the on-disk stores, `bench` "
+                             "to run the fastpath-vs-golden timing "
                              "benchmark (writes BENCH_timing.json under "
-                             "--out)")
-    parser.add_argument("action", nargs="?", choices=CACHE_ACTIONS,
-                        default=None,
+                             "--out), or `resume` to finish an interrupted "
+                             "run from its JSONL log")
+    parser.add_argument("action", nargs="?", default=None,
                         help="for `cache`: stats (default), prune stale "
-                             "versions, or clear everything")
-    parser.add_argument("--scale", type=float, default=0.05,
-                        help="fraction of the paper's invocation counts "
-                             "for accuracy experiments (default 0.05)")
-    parser.add_argument("--jvm-scale", type=float, default=3.0,
-                        help="outer-loop multiplier for Figure 12")
-    parser.add_argument("--chars", type=int, default=4000,
-                        help="microbenchmark characters for Figures 13/14/2")
+                             "versions, or clear everything; for `resume`: "
+                             "the interrupted run's JSONL log path")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="per-command scale: fraction of the paper's "
+                             "invocation counts for accuracy figures "
+                             f"(default {ACCURACY_SCALE_DEFAULT}), outer-"
+                             "loop multiplier for figure12 (default "
+                             f"{JVM_SCALE_DEFAULT:g}), microbenchmark "
+                             "characters for figures 13/14/2 (default "
+                             f"{MICRO_CHARS_DEFAULT})")
+    # Hidden deprecated aliases of --scale (warn on stderr).
+    parser.add_argument("--jvm-scale", type=float, default=None,
+                        help=argparse.SUPPRESS)
+    parser.add_argument("--chars", type=int, default=None,
+                        help=argparse.SUPPRESS)
     parser.add_argument("--out", type=str, default=None,
                         help="directory to also write each figure's table "
                              "into (<out>/<command>.txt)")
     parser.add_argument("--jobs", type=int, default=None,
                         help="simulation-window worker processes "
-                             "(default: REPRO_JOBS, else 1 = serial)")
+                             "(default: REPRO_JOBS, else all cores)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-window timeout in seconds for pool "
+                             "execution (default: REPRO_TIMEOUT, else none)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="transient-failure retry budget per window "
+                             "(default: REPRO_RETRIES, else 3)")
+    parser.add_argument("--failure-policy", choices=("raise", "retry",
+                                                     "skip"), default=None,
+                        help="what to do when a window keeps failing "
+                             "(default: REPRO_FAILURE_POLICY, else retry)")
+    parser.add_argument("--resume-from", type=str, default=None,
+                        help="prior run JSONL whose completed windows are "
+                             "expected to be served from the cache "
+                             "(`repro resume` sets this automatically)")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON document per "
                              "command instead of the text tables")
@@ -249,11 +324,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
-    """Configure the process-wide engine from flags and environment."""
-    jobs = args.jobs
-    if jobs is None:
-        env = os.environ.get("REPRO_JOBS")
-        jobs = int(env) if env else (os.cpu_count() or 1)
+    """Configure the process-wide engine from flags and environment.
+
+    Environment resolution lives in :meth:`EngineConfig.from_env`;
+    flags override it.  The CLI (unlike the library) defaults to all
+    cores, because regenerating figures is embarrassingly parallel.
+    """
+    overrides: Dict[str, Any] = {}
+    if args.jobs is not None:
+        overrides["jobs"] = max(1, args.jobs)
+    if args.timeout is not None:
+        overrides["timeout"] = args.timeout
+    if args.retries is not None:
+        overrides["retries"] = max(0, args.retries)
+    if args.failure_policy is not None:
+        overrides["failure_policy"] = args.failure_policy
+    if args.resume_from is not None:
+        overrides["resume_from"] = args.resume_from
+    config = EngineConfig.from_env(**overrides)
+    if config.jobs is None:
+        config = config.with_overrides(jobs=os.cpu_count() or 1)
     log_path: Optional[pathlib.Path] = None
     if args.log_jsonl:
         log_path = pathlib.Path(args.log_jsonl)
@@ -264,18 +354,28 @@ def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
         enabled=not args.no_cache
         and os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no"),
     )
-    engine = ExperimentEngine(jobs=jobs, cache=cache,
+    engine = ExperimentEngine(config=config, cache=cache,
                               recorder=RunRecorder(log_path))
     set_engine(engine)
     return engine
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    raw_argv = list(argv) if argv is not None else sys.argv[1:]
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(raw_argv)
+    if args.command == "resume":
+        return _resume_command(args, parser)
     if args.action is not None and args.command != "cache":
         parser.error(f"'{args.action}' is only valid after the "
-                     f"`cache` command")
+                     f"`cache` or `resume` commands")
+    if args.command == "cache" and args.action is not None \
+            and args.action not in CACHE_ACTIONS:
+        parser.error(f"cache action must be one of {CACHE_ACTIONS}, "
+                     f"got '{args.action}'")
+    if args.command == "all" and args.scale is not None:
+        parser.error("--scale is ambiguous for `all` (its unit differs "
+                     "per command); run commands individually")
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
@@ -299,6 +399,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[bench finished in {time.time() - started:.1f}s]\n",
               file=sys.stderr)
         return code
+
+    # The resume ledger: one run_meta line per invocation, so `repro
+    # resume <log>` can replay the exact command later.
+    if engine.recorder.log_path is not None:
+        engine.recorder.write_meta({
+            "command": args.command,
+            "argv": [a for a in raw_argv
+                     if a not in ("--resume-from", args.resume_from,
+                                  "--log-jsonl", args.log_jsonl)],
+            "log_jsonl": str(engine.recorder.log_path),
+            "engine_config": engine.config.to_dict(),
+            "ts": time.time(),
+        })
 
     commands = list(COMMANDS) if args.command == "all" else [args.command]
 

@@ -5,19 +5,34 @@ simulation windows.  This package turns that observation into
 infrastructure: declarative :class:`WindowSpec`s, a content-addressed
 on-disk :class:`ResultCache`, a record-once / replay-many
 :class:`TraceStore` keyed by each window's functional projection
-(``docs/trace_format.md``), a process-pool executor with a serial
-deterministic fallback, and structured JSONL run artifacts.
+(``docs/trace_format.md``), a fault-tolerant process-pool executor
+(timeouts, bounded retry, pool rebuild, ``raise``/``retry``/``skip``
+failure policies — all in one :class:`EngineConfig`) with a serial
+deterministic fallback, structured JSONL run artifacts, and a resume
+path that re-executes only the windows an interrupted run left
+uncached.
 """
 
-from .artifacts import RunRecorder, WindowRecord
+from .artifacts import (
+    RUN_META_TYPE,
+    RunRecorder,
+    WindowRecord,
+    completed_keys,
+    read_run_log,
+)
 from .cache import ResultCache, default_cache_dir
+from .config import FAILURE_POLICIES, EngineConfig
 from .core import (
     ExperimentEngine,
+    WindowFailure,
+    WindowTimeout,
     default_jobs,
     get_engine,
+    is_failure,
     run_windows,
     set_engine,
 )
+from .faults import InjectedWorkerFault, should_inject
 from .spec import SCHEMA_VERSION, WindowSpec
 from .tracestore import (
     TIMING_ONLY_PARAMS,
@@ -34,11 +49,21 @@ __all__ = [
     "WindowSpec",
     "ResultCache",
     "default_cache_dir",
+    "RUN_META_TYPE",
     "RunRecorder",
     "WindowRecord",
+    "completed_keys",
+    "read_run_log",
+    "EngineConfig",
+    "FAILURE_POLICIES",
     "ExperimentEngine",
+    "WindowFailure",
+    "WindowTimeout",
+    "InjectedWorkerFault",
+    "should_inject",
     "default_jobs",
     "get_engine",
+    "is_failure",
     "run_windows",
     "set_engine",
     "TIMING_ONLY_PARAMS",

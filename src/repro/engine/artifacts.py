@@ -2,11 +2,18 @@
 
 Every window the engine executes (or serves from cache) produces one
 :class:`WindowRecord` — spec identity, wall time, cycles/instructions
-where the window carries timing stats, cache hit/miss and the worker
-that ran it.  A :class:`RunRecorder` accumulates the records, keeps
-aggregate counters for ``--json`` summaries and optionally appends
-each record as one JSONL line to a log file (``BENCH_*.jsonl``), which
-is what CI uploads as the run artifact.
+where the window carries timing stats, cache hit/miss/failed, attempt
+count and the worker that ran it.  A :class:`RunRecorder` accumulates
+the records, keeps aggregate counters for ``--json`` summaries and
+optionally appends each record as one JSONL line to a log file
+(``BENCH_*.jsonl``), which is what CI uploads as the run artifact.
+
+The log doubles as the engine's resume ledger: the CLI writes one
+``run_meta`` line (command, argv, resolved engine config) at the top
+of each run, and :func:`read_run_log` / :func:`completed_keys` parse
+the file back — tolerating a torn final line from an interrupted run —
+so ``repro resume <run.jsonl>`` can replay the original invocation and
+execute only the windows without durably cached results.
 """
 
 from __future__ import annotations
@@ -16,7 +23,10 @@ import json
 import pathlib
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+#: ``record_type`` of the run-level metadata line in a JSONL log.
+RUN_META_TYPE = "run_meta"
 
 
 @dataclass
@@ -48,6 +58,11 @@ class WindowRecord:
     timing_path: Optional[str] = None
     #: Replay throughput in trace records per second (replays only).
     replay_records_per_s: Optional[float] = None
+    #: Execution attempts this window took (1 = first try; ``None`` on
+    #: cache hits, which execute nothing).
+    attempts: Optional[int] = None
+    #: Last error, for ``cache == "failed"`` placeholder records.
+    error: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -59,25 +74,40 @@ class RunRecorder:
     def __init__(self, log_path: Optional[pathlib.Path] = None) -> None:
         self.log_path = pathlib.Path(log_path) if log_path else None
         self.records: List[WindowRecord] = []
+        self.meta: Optional[Dict[str, Any]] = None
         self._started = time.time()
         if self.log_path is not None:
             self.log_path.parent.mkdir(parents=True, exist_ok=True)
 
+    def _append_line(self, payload: Dict[str, Any]) -> None:
+        if self.log_path is None:
+            return
+        with open(self.log_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(payload, sort_keys=True))
+            handle.write("\n")
+
+    def write_meta(self, meta: Dict[str, Any]) -> None:
+        """Log the run-level metadata (command, argv, engine config)
+        that ``repro resume`` replays an interrupted run from."""
+        self.meta = dict(meta)
+        self._append_line(dict(meta, record_type=RUN_META_TYPE))
+
     def record(self, record: WindowRecord) -> None:
         self.records.append(record)
-        if self.log_path is not None:
-            with open(self.log_path, "a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record.to_dict(), sort_keys=True))
-                handle.write("\n")
+        self._append_line(record.to_dict())
 
     def summary(self) -> Dict[str, Any]:
         """Aggregate view of the run so far, for ``--json`` output."""
         hits = sum(1 for r in self.records if r.cache == "hit")
-        misses = len(self.records) - hits
+        failures = sum(1 for r in self.records if r.cache == "failed")
+        misses = len(self.records) - hits - failures
         return {
             "windows": len(self.records),
             "cache_hits": hits,
             "cache_misses": misses,
+            "failures": failures,
+            "retries": sum(max(0, (r.attempts or 1) - 1)
+                           for r in self.records),
             "window_wall_s": round(sum(r.wall_s for r in self.records), 4),
             "elapsed_s": round(time.time() - self._started, 4),
             "simulated_cycles": sum(r.cycles or 0 for r in self.records),
@@ -95,3 +125,47 @@ class RunRecorder:
             "goldenpath_windows": sum(1 for r in self.records
                                       if r.timing_path == "golden"),
         }
+
+
+# ----------------------------------------------------------------------
+# Reading a run log back: the resume path.
+
+
+def read_run_log(path) -> Tuple[Optional[Dict[str, Any]],
+                                List[Dict[str, Any]]]:
+    """Parse a run JSONL into ``(meta, window_records)``.
+
+    Interrupted runs may end in a torn, half-written line; it is
+    skipped rather than treated as corruption, because the whole point
+    of the log is surviving interruption.  Returns ``(None, [])`` for
+    a missing or unreadable file.
+    """
+    meta: Optional[Dict[str, Any]] = None
+    records: List[Dict[str, Any]] = []
+    try:
+        text = pathlib.Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return None, []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError:
+            continue  # torn tail line from an interrupted run
+        if not isinstance(obj, dict):
+            continue
+        if obj.get("record_type") == RUN_META_TYPE:
+            if meta is None:
+                meta = obj
+        else:
+            records.append(obj)
+    return meta, records
+
+
+def completed_keys(records: List[Dict[str, Any]]) -> Set[str]:
+    """Spec digests the logged run finished (hit or executed miss) —
+    the windows a resume can expect to find in the durable cache."""
+    return {record["key"] for record in records
+            if "key" in record and record.get("cache") in ("hit", "miss")}

@@ -71,10 +71,16 @@ class ResultCache:
         self.hits += 1
         return payload
 
-    def put(self, spec: WindowSpec, payload: Dict[str, Any]) -> None:
-        """Store ``payload`` for ``spec`` (atomic, last-writer-wins)."""
+    def put(self, spec: WindowSpec, payload: Dict[str, Any]) -> bool:
+        """Store ``payload`` for ``spec`` (atomic, last-writer-wins).
+
+        The entry is flushed and fsynced *before* the rename, so a
+        window that completed before a crash or SIGKILL is durably
+        cached — the invariant ``repro resume`` relies on to execute
+        only the missing windows.  Returns True when the entry landed.
+        """
         if not self.enabled:
-            return
+            return False
         path = self._path(spec.cache_key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"spec": spec.to_dict(), "result": payload}
@@ -85,12 +91,16 @@ class ResultCache:
         try:
             with handle:
                 json.dump(entry, handle, sort_keys=True)
+                handle.flush()
+                os.fsync(handle.fileno())
             os.replace(handle.name, path)
+            return True
         except OSError:
             try:
                 os.unlink(handle.name)
             except OSError:
                 pass
+            return False
 
     # ------------------------------------------------------------------
     # Maintenance (the `repro cache` CLI).  Only the versioned payload

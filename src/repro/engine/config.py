@@ -1,0 +1,149 @@
+"""Engine configuration: one dataclass, one place to read the environment.
+
+:class:`EngineConfig` consolidates every scalar knob of the
+:class:`~repro.engine.core.ExperimentEngine` — worker count, replay
+fast-path, per-window timeout, retry budget and backoff, failure
+policy, fault-injection rate, and the resume source.  It is frozen,
+JSON round-trippable (``to_dict``/``from_dict``), and every
+``REPRO_*`` environment variable the engine honours is resolved in
+exactly one function, :meth:`EngineConfig.from_env`:
+
+==========================  ===========================================
+``REPRO_JOBS``              worker processes per window batch
+``REPRO_FAST``              batched replay kernel on/off
+``REPRO_TIMEOUT``           per-window timeout in seconds (pool only)
+``REPRO_RETRIES``           retry budget per window (default 3)
+``REPRO_BACKOFF``           base backoff seconds (default 0.05)
+``REPRO_FAILURE_POLICY``    ``raise`` | ``retry`` | ``skip``
+``REPRO_FAULT_RATE``        deterministic fault-injection probability
+==========================  ===========================================
+
+Live collaborators (the result cache, trace store and run recorder)
+stay constructor injection on the engine itself — they are objects,
+not configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional
+
+#: Allowed values of :attr:`EngineConfig.failure_policy`.
+FAILURE_POLICIES = ("raise", "retry", "skip")
+
+
+def _env_float(name: str) -> Optional[float]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _env_int(name: str) -> Optional[int]:
+    raw = os.environ.get(name)
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Every scalar knob of the experiment engine, in one place."""
+
+    #: Worker processes per window batch; ``None`` means the library
+    #: default (1 = the deterministic serial backend).
+    jobs: Optional[int] = None
+    #: Batched replay kernel on/off; ``None`` resolves ``REPRO_FAST``
+    #: at engine construction.
+    fast: Optional[bool] = None
+    #: Per-window wall-clock timeout in seconds for pool execution
+    #: (``None`` = no timeout).  A window that exceeds it is treated as
+    #: a transient failure: the worker is abandoned, the pool rebuilt,
+    #: and the window retried/skipped per :attr:`failure_policy`.
+    timeout: Optional[float] = None
+    #: Transient-failure retry budget per window (crash, timeout,
+    #: pickling error, injected fault).
+    retries: int = 3
+    #: Base backoff in seconds; attempt *n* waits ``backoff * 2**n``.
+    backoff: float = 0.05
+    #: What to do when a window keeps failing: ``raise`` (fail fast, no
+    #: retries), ``retry`` (retry then raise), ``skip`` (retry then
+    #: return a typed :class:`~repro.engine.core.WindowFailure`).
+    failure_policy: str = "retry"
+    #: Deterministic fault-injection probability in [0, 1) — see
+    #: :mod:`repro.engine.faults`.  0 disables injection.
+    fault_rate: float = 0.0
+    #: Path to a prior run's JSONL log; completed windows recorded
+    #: there are expected to be served from the durable result cache.
+    resume_from: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.failure_policy not in FAILURE_POLICIES:
+            raise ValueError(
+                f"failure_policy must be one of {FAILURE_POLICIES}, "
+                f"got {self.failure_policy!r}")
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {self.backoff}")
+        if self.timeout is not None and self.timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {self.timeout}")
+        if not 0.0 <= self.fault_rate < 1.0:
+            raise ValueError(
+                f"fault_rate must be in [0, 1), got {self.fault_rate}")
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_env(cls, **overrides: Any) -> "EngineConfig":
+        """Resolve every ``REPRO_*`` engine knob; ``overrides`` win."""
+        values: Dict[str, Any] = {}
+        jobs = _env_int("REPRO_JOBS")
+        if jobs is not None:
+            values["jobs"] = max(1, jobs)
+        fast = os.environ.get("REPRO_FAST")
+        if fast is not None:
+            values["fast"] = fast not in ("0", "false", "no")
+        timeout = _env_float("REPRO_TIMEOUT")
+        if timeout is not None and timeout > 0:
+            values["timeout"] = timeout
+        retries = _env_int("REPRO_RETRIES")
+        if retries is not None:
+            values["retries"] = max(0, retries)
+        backoff = _env_float("REPRO_BACKOFF")
+        if backoff is not None:
+            values["backoff"] = max(0.0, backoff)
+        policy = os.environ.get("REPRO_FAILURE_POLICY")
+        if policy in FAILURE_POLICIES:
+            values["failure_policy"] = policy
+        rate = _env_float("REPRO_FAULT_RATE")
+        if rate is not None:
+            values["fault_rate"] = min(max(rate, 0.0), 0.999999)
+        values.update(overrides)
+        return cls(**values)
+
+    def with_overrides(self, **overrides: Any) -> "EngineConfig":
+        """A copy with the given fields replaced."""
+        return dataclasses.replace(self, **overrides)
+
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineConfig":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown EngineConfig fields: {sorted(unknown)}")
+        return cls(**dict(data))

@@ -1,4 +1,5 @@
-"""The :class:`ExperimentEngine`: cached, parallel window execution.
+"""The :class:`ExperimentEngine`: cached, parallel, fault-tolerant
+window execution.
 
 Experiments declare their work as a list of
 :class:`~repro.engine.spec.WindowSpec`s and reduce the returned
@@ -6,35 +7,60 @@ payloads; the engine owns everything in between:
 
 * **cache** — each spec's digest is looked up in the content-addressed
   :class:`~repro.engine.cache.ResultCache` before any simulation runs;
+  completed windows are durably cached the moment they finish, which
+  is what makes interrupted runs resumable (``repro resume``);
 * **traces** — timed windows record/replay their functional streams
   through the engine's :class:`~repro.engine.tracestore.TraceStore`
   (keyed by the spec's functional projection), so all timing-config
   variations of one window pay a single functional execution;
 * **fan-out** — cache misses execute on a ``ProcessPoolExecutor``
-  (``jobs`` workers, ``REPRO_JOBS`` by default) or, with ``jobs=1``,
+  (``jobs`` workers) via ``submit`` + ``wait``, or, with ``jobs=1``,
   serially in spec order in the calling process — the deterministic
   fallback that reproduces the seed code's execution order exactly;
-* **observability** — every window (hit or miss) is logged to the
-  engine's :class:`~repro.engine.artifacts.RunRecorder`, including its
-  trace-store usage and functional step count.
+* **fault tolerance** — a crashed worker (``BrokenProcessPool``), a
+  pickling error, or a window that exceeds the per-window
+  :attr:`~repro.engine.config.EngineConfig.timeout` is retried with
+  exponential backoff on a rebuilt pool; when the budget runs out the
+  :attr:`~repro.engine.config.EngineConfig.failure_policy` decides
+  between raising and returning a typed :class:`WindowFailure`
+  placeholder so reducers can degrade gracefully;
+* **observability** — every window (hit, miss, or failure) is logged
+  to the engine's :class:`~repro.engine.artifacts.RunRecorder`,
+  including its attempt count and trace-store usage.
 
 Windows are pure functions of their specs, so hit-vs-miss,
-record-vs-replay and serial-vs-parallel cannot change results, only
-wall time; the determinism tests in ``tests/test_engine.py`` and the
-golden replay tests in ``tests/test_trace_replay.py`` pin that
-property.
+record-vs-replay, serial-vs-parallel and fault-vs-clean execution
+cannot change results, only wall time; ``tests/test_engine.py`` and
+``tests/test_engine_faults.py`` pin that property.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import pickle
 import time
-from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import warnings
+from collections import deque
+from concurrent import futures
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..timing.fastpath import fastpath_enabled, fastpath_override
-from .artifacts import RunRecorder, WindowRecord
+from .artifacts import RunRecorder, WindowRecord, completed_keys, read_run_log
 from .cache import ResultCache, cache_enabled_by_env
+from .config import EngineConfig
+from .faults import InjectedWorkerFault, fault_mode_from_env, maybe_inject
 from .spec import WindowSpec
 from .tracestore import (
     TraceStore,
@@ -56,17 +82,69 @@ def default_jobs() -> int:
     return 1
 
 
+class WindowTimeout(TimeoutError):
+    """A pool window exceeded the configured per-window timeout."""
+
+
+#: Failure classes worth retrying: the window itself is presumed fine,
+#: the *execution* was the casualty (crashed/hung worker, transport
+#: error, injected fault).  Anything else is a programming error and
+#: propagates (or is skipped) without burning retries.
+_TRANSIENT_ERRORS = (
+    InjectedWorkerFault,
+    BrokenExecutor,          # includes BrokenProcessPool
+    futures.TimeoutError,
+    TimeoutError,            # includes WindowTimeout
+    pickle.PicklingError,
+    EOFError,
+)
+
+
+@dataclass(frozen=True)
+class WindowFailure:
+    """Typed placeholder for a window abandoned under ``skip`` policy.
+
+    Reducers receive it in place of the payload dict; they can test
+    :func:`is_failure` (or duck-type via :meth:`get`, which answers
+    ``None`` for every payload field) and degrade gracefully instead
+    of aborting the whole figure.
+    """
+
+    key: str
+    kind: str
+    label: str
+    error: str
+    attempts: int
+    failed: bool = True
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Dict-compatible accessor: a failure carries no payload."""
+        return self.to_dict().get(name, default)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+
+def is_failure(payload: Any) -> bool:
+    """True when an engine result is a :class:`WindowFailure`."""
+    return isinstance(payload, WindowFailure)
+
+
 def _execute(spec: WindowSpec) -> Dict[str, Any]:
     from .windows import run_window
 
     return run_window(spec.kind, spec.params_dict())
 
 
-def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple[str, bool, bool]]):
+def _pool_execute(item: Tuple[int, Dict[str, Any],
+                              Tuple[str, bool, bool, float, str], int]):
     """Top-level worker entry (must be picklable)."""
-    index, spec_dict, (trace_root, trace_enabled, fast) = item
+    index, spec_dict, conf, attempt = item
+    trace_root, trace_enabled, fast, fault_rate, fault_mode = conf
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
+    maybe_inject(spec.cache_key, attempt, fault_rate, fault_mode,
+                 in_worker=True)
     with fastpath_override(fast), \
             active_store(TraceStore(trace_root, enabled=trace_enabled)):
         payload = _execute(spec)
@@ -76,7 +154,14 @@ def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple[str, bool, bool]]):
 
 
 class ExperimentEngine:
-    """Shared execution backend for every experiment in the repo."""
+    """Shared execution backend for every experiment in the repo.
+
+    Configuration is one :class:`~repro.engine.config.EngineConfig`;
+    the live collaborators (cache, recorder, trace store) and the
+    ``executor_factory`` seam stay constructor injection.  The legacy
+    scalar kwargs (``jobs=``, ``fast=``) still work but emit a
+    :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
@@ -85,8 +170,29 @@ class ExperimentEngine:
         recorder: Optional[RunRecorder] = None,
         trace_store: Optional[TraceStore] = None,
         fast: Optional[bool] = None,
+        *,
+        config: Optional[EngineConfig] = None,
+        resume_from: Optional[str] = None,
+        executor_factory: Optional[Callable[[int], Any]] = None,
     ) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        if config is None:
+            config = EngineConfig.from_env()
+        legacy = {}
+        if jobs is not None:
+            legacy["jobs"] = max(1, int(jobs))
+        if fast is not None:
+            legacy["fast"] = bool(fast)
+        if legacy:
+            warnings.warn(
+                "ExperimentEngine(jobs=..., fast=...) is deprecated; pass "
+                "config=EngineConfig(jobs=..., fast=...) instead",
+                DeprecationWarning, stacklevel=2)
+            config = config.with_overrides(**legacy)
+        if resume_from is not None:
+            config = config.with_overrides(resume_from=str(resume_from))
+        self.config = config
+        self.jobs = (max(1, config.jobs) if config.jobs is not None
+                     else default_jobs())
         if cache is None:
             cache = ResultCache(enabled=cache_enabled_by_env())
         self.cache = cache
@@ -95,9 +201,24 @@ class ExperimentEngine:
                                      enabled=trace_enabled_by_env())
         self.trace_store = trace_store
         self.recorder = recorder or RunRecorder()
-        # Resolved once so pool workers follow the parent's REPRO_FAST
-        # setting instead of re-reading their own environment.
-        self.fast = fastpath_enabled() if fast is None else bool(fast)
+        # Resolved once so pool workers follow the parent's REPRO_FAST /
+        # REPRO_FAULT_MODE settings instead of re-reading their own
+        # environment.
+        self.fast = fastpath_enabled() if config.fast is None \
+            else bool(config.fast)
+        self._fault_mode = fault_mode_from_env()
+        self._executor_factory = executor_factory
+        #: Keys completed by the run being resumed (empty otherwise).
+        self.resume_keys: FrozenSet[str] = self._load_resume_keys()
+        #: Windows of *this* run served from cache thanks to the
+        #: resumed run having completed them.
+        self.resumed = 0
+
+    def _load_resume_keys(self) -> FrozenSet[str]:
+        if not self.config.resume_from:
+            return frozenset()
+        _meta, records = read_run_log(self.config.resume_from)
+        return frozenset(completed_keys(records))
 
     # ------------------------------------------------------------------
 
@@ -109,6 +230,8 @@ class ExperimentEngine:
             cached = self.cache.get(spec)
             if cached is not None:
                 results[index] = cached
+                if spec.cache_key in self.resume_keys:
+                    self.resumed += 1
                 self._record(spec, cached, cache="hit", wall_s=0.0,
                              worker=None)
             else:
@@ -118,42 +241,194 @@ class ExperimentEngine:
             if self.jobs > 1 and len(misses) > 1:
                 self._run_pool(specs, misses, results)
             else:
-                with fastpath_override(self.fast), \
-                        active_store(self.trace_store):
-                    for index in misses:
-                        spec = specs[index]
-                        started = time.perf_counter()
-                        payload = _execute(spec)
-                        wall = time.perf_counter() - started
-                        trace_info = consume_trace_info()
-                        results[index] = payload
-                        self.cache.put(spec, payload)
-                        self._record(spec, payload, cache="miss",
-                                     wall_s=wall, worker=os.getpid(),
-                                     trace_info=trace_info)
+                self._run_serial(specs, misses, results)
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Serial backend: in-process, spec order, with the same retry /
+    # failure-policy semantics as the pool (timeouts excepted — a
+    # window cannot be pre-empted from inside its own process).
+
+    def _run_serial(self, specs: Sequence[WindowSpec], misses: List[int],
+                    results: List[Optional[Dict[str, Any]]]) -> None:
+        with fastpath_override(self.fast), \
+                active_store(self.trace_store):
+            for index in misses:
+                spec = specs[index]
+                attempt = 0
+                while True:
+                    started = time.perf_counter()
+                    try:
+                        maybe_inject(spec.cache_key, attempt,
+                                     self.config.fault_rate,
+                                     self._fault_mode, in_worker=False)
+                        payload = _execute(spec)
+                    except Exception as exc:
+                        consume_trace_info()  # drop partial telemetry
+                        if self._on_failure(spec, attempt, exc) == "retry":
+                            attempt += 1
+                            continue
+                        results[index] = self._skip(spec, attempt, exc)
+                        break
+                    wall = time.perf_counter() - started
+                    trace_info = consume_trace_info()
+                    results[index] = payload
+                    self.cache.put(spec, payload)
+                    self._record(spec, payload, cache="miss",
+                                 wall_s=wall, worker=os.getpid(),
+                                 trace_info=trace_info,
+                                 attempts=attempt + 1)
+                    break
+
+    # ------------------------------------------------------------------
+    # Pool backend: submit + wait with per-window deadlines.  A broken
+    # pool (crashed worker) or an expired deadline (hung worker)
+    # requeues the in-flight windows and rebuilds the executor; every
+    # completed window is cached immediately, so an interrupt at any
+    # point loses at most the windows still in flight.
 
     def _run_pool(self, specs: Sequence[WindowSpec], misses: List[int],
                   results: List[Optional[Dict[str, Any]]]) -> None:
-        store_conf = (str(self.trace_store.root), self.trace_store.enabled,
-                      self.fast)
-        items = [(index, specs[index].to_dict(), store_conf)
-                 for index in misses]
-        workers = min(self.jobs, len(items))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for index, payload, wall, worker, trace_info in pool.map(
-                    _pool_execute, items, chunksize=1):
-                results[index] = payload
-                self.cache.put(specs[index], payload)
-                self._record(specs[index], payload, cache="miss",
-                             wall_s=wall, worker=worker,
-                             trace_info=trace_info)
+        cfg = self.config
+        worker_conf = (str(self.trace_store.root), self.trace_store.enabled,
+                       self.fast, cfg.fault_rate, self._fault_mode)
+        workers = min(self.jobs, len(misses))
+        queue = deque((index, 0) for index in misses)
+        inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
+        pool = self._new_pool(workers)
+        try:
+            while queue or inflight:
+                rebuild = False
+                while queue and len(inflight) < workers:
+                    index, attempt = queue.popleft()
+                    item = (index, specs[index].to_dict(), worker_conf,
+                            attempt)
+                    try:
+                        future = pool.submit(_pool_execute, item)
+                    except BrokenExecutor:
+                        queue.appendleft((index, attempt))
+                        rebuild = True
+                        break
+                    deadline = (None if cfg.timeout is None
+                                else time.monotonic() + cfg.timeout)
+                    inflight[future] = (index, attempt, deadline)
+
+                if inflight and not rebuild:
+                    wait_s = None
+                    deadlines = [d for (_, _, d) in inflight.values()
+                                 if d is not None]
+                    if deadlines:
+                        wait_s = max(0.0,
+                                     min(deadlines) - time.monotonic())
+                    done, _ = futures.wait(
+                        list(inflight), timeout=wait_s,
+                        return_when=futures.FIRST_COMPLETED)
+                    for future in done:
+                        index, attempt, _ = inflight.pop(future)
+                        try:
+                            (_, payload, wall,
+                             worker, trace_info) = future.result()
+                        except Exception as exc:
+                            if isinstance(exc, BrokenExecutor):
+                                rebuild = True
+                            self._pool_failure(specs[index], index, attempt,
+                                               exc, queue, results)
+                        else:
+                            results[index] = payload
+                            self.cache.put(specs[index], payload)
+                            self._record(specs[index], payload, cache="miss",
+                                         wall_s=wall, worker=worker,
+                                         trace_info=trace_info,
+                                         attempts=attempt + 1)
+                    if cfg.timeout is not None:
+                        now = time.monotonic()
+                        expired = [f for f, (_, _, d) in inflight.items()
+                                   if d is not None and d <= now]
+                        for future in expired:
+                            index, attempt, _ = inflight.pop(future)
+                            future.cancel()
+                            # A hung worker cannot be pre-empted through
+                            # the executor; abandon the whole pool.
+                            rebuild = True
+                            self._pool_failure(
+                                specs[index], index, attempt,
+                                WindowTimeout(
+                                    f"window {specs[index].short_key} "
+                                    f"exceeded {cfg.timeout}s "
+                                    f"(attempt {attempt + 1})"),
+                                queue, results)
+
+                if rebuild:
+                    for future, (index, attempt, _) in inflight.items():
+                        future.cancel()
+                        queue.append((index, attempt))
+                    inflight.clear()
+                    self._teardown_pool(pool)
+                    if queue:
+                        pool = self._new_pool(min(workers, len(queue)))
+        finally:
+            self._teardown_pool(pool)
+
+    def _new_pool(self, workers: int):
+        if self._executor_factory is not None:
+            return self._executor_factory(workers)
+        return ProcessPoolExecutor(max_workers=max(1, workers))
+
+    @staticmethod
+    def _teardown_pool(pool) -> None:
+        """Shut a pool down without waiting on (possibly hung) workers."""
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except TypeError:  # an injected executor without the kwarg
+            pool.shutdown(wait=False)
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            if process.is_alive():
+                process.terminate()
+
+    # ------------------------------------------------------------------
+    # Failure policy.
+
+    def _on_failure(self, spec: WindowSpec, attempt: int,
+                    exc: BaseException) -> str:
+        """Decide what a failed attempt becomes: ``"retry"``,
+        ``"skip"``, or a raised exception (fail the run)."""
+        cfg = self.config
+        transient = isinstance(exc, _TRANSIENT_ERRORS)
+        if cfg.failure_policy != "raise" and transient \
+                and attempt < cfg.retries:
+            delay = cfg.backoff * (2 ** attempt)
+            if delay > 0:
+                time.sleep(delay)
+            return "retry"
+        if cfg.failure_policy == "skip":
+            return "skip"
+        raise exc
+
+    def _pool_failure(self, spec: WindowSpec, index: int, attempt: int,
+                      exc: BaseException, queue: deque,
+                      results: List[Optional[Dict[str, Any]]]) -> None:
+        if self._on_failure(spec, attempt, exc) == "retry":
+            queue.append((index, attempt + 1))
+        else:
+            results[index] = self._skip(spec, attempt, exc)
+
+    def _skip(self, spec: WindowSpec, attempt: int,
+              exc: BaseException) -> WindowFailure:
+        failure = WindowFailure(key=spec.cache_key, kind=spec.kind,
+                                label=spec.label(), error=repr(exc),
+                                attempts=attempt + 1)
+        self._record(spec, failure, cache="failed", wall_s=0.0, worker=None,
+                     attempts=attempt + 1, error=failure.error)
+        return failure
 
     # ------------------------------------------------------------------
 
-    def _record(self, spec: WindowSpec, payload: Dict[str, Any],
+    def _record(self, spec: WindowSpec, payload: Any,
                 cache: str, wall_s: float, worker: Optional[int],
-                trace_info: Optional[Dict[str, Any]] = None) -> None:
+                trace_info: Optional[Dict[str, Any]] = None,
+                attempts: Optional[int] = None,
+                error: Optional[str] = None) -> None:
         trace_info = trace_info or {}
         self.recorder.record(WindowRecord(
             key=spec.cache_key,
@@ -170,10 +445,12 @@ class ExperimentEngine:
             functional_steps=trace_info.get("functional_steps"),
             timing_path=trace_info.get("timing_path"),
             replay_records_per_s=trace_info.get("replay_records_per_s"),
+            attempts=attempts,
+            error=error,
         ))
 
     def summary(self) -> Dict[str, Any]:
-        return self.recorder.summary()
+        return dict(self.recorder.summary(), resumed=self.resumed)
 
 
 # ----------------------------------------------------------------------

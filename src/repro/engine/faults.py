@@ -1,0 +1,84 @@
+"""Deterministic fault injection: the engine's crash-test dummy.
+
+The fault-tolerance machinery in :mod:`repro.engine.core` (retry with
+backoff, pool rebuild, skip placeholders) is only trustworthy if it is
+exercised, so the engine ships an injection seam that tests and the CI
+smoke job drive:
+
+* ``REPRO_FAULT_RATE=p`` makes a fraction *p* of window attempts fail.
+  The decision is a pure function of ``(window key, attempt)`` — a
+  sha256 hash mapped to [0, 1) and compared against *p* — so a given
+  run configuration always faults the *same* windows on the *same*
+  attempts, in serial and pool mode alike.  A retried attempt hashes
+  differently, which is what lets ``failure_policy="retry"`` converge
+  to byte-identical figure tables.
+* ``REPRO_FAULT_MODE`` picks the failure shape:
+
+  - ``exc`` (default) — raise :class:`InjectedWorkerFault` inside the
+    attempt (a clean in-worker exception);
+  - ``kill`` — ``os._exit(13)`` the pool worker, producing the
+    ``BrokenProcessPool`` path (only honoured inside pool workers;
+    serial attempts degrade to ``exc``);
+  - ``hang`` — sleep ``REPRO_FAULT_HANG_S`` seconds (default 3600)
+    then raise, exercising the ``REPRO_TIMEOUT`` path.
+
+Injection happens at the very start of an attempt, before any
+simulation or trace recording, so a faulted attempt has no side
+effects beyond a possibly leftover temp file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+
+FAULT_MODES = ("exc", "kill", "hang")
+
+
+class InjectedWorkerFault(RuntimeError):
+    """A deliberately injected, transient window failure."""
+
+
+def fault_rate_from_env() -> float:
+    raw = os.environ.get("REPRO_FAULT_RATE")
+    if not raw:
+        return 0.0
+    try:
+        return min(max(float(raw), 0.0), 0.999999)
+    except ValueError:
+        return 0.0
+
+
+def fault_mode_from_env() -> str:
+    mode = os.environ.get("REPRO_FAULT_MODE", "exc")
+    return mode if mode in FAULT_MODES else "exc"
+
+
+def fault_hang_seconds() -> float:
+    try:
+        return float(os.environ.get("REPRO_FAULT_HANG_S", "3600"))
+    except ValueError:
+        return 3600.0
+
+
+def should_inject(key: str, attempt: int, rate: float) -> bool:
+    """Deterministic per-(window, attempt) fault decision."""
+    if rate <= 0.0:
+        return False
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    fraction = int.from_bytes(digest[:8], "big") / float(1 << 64)
+    return fraction < rate
+
+
+def maybe_inject(key: str, attempt: int, rate: float,
+                 mode: str = "exc", in_worker: bool = False) -> None:
+    """Fault this attempt iff the deterministic decision says so."""
+    if not should_inject(key, attempt, rate):
+        return
+    if mode == "kill" and in_worker:
+        os._exit(13)
+    if mode == "hang":
+        time.sleep(fault_hang_seconds())
+    raise InjectedWorkerFault(
+        f"injected fault: window {key[:12]} attempt {attempt}")

@@ -101,6 +101,11 @@ class WindowSpec:
         )
         return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
+    @property
+    def short_key(self) -> str:
+        """Abbreviated digest for log lines and error messages."""
+        return self.cache_key[:12]
+
     def label(self) -> str:
         """Short human-readable identity for logs."""
         interesting = ("benchmark", "variant", "kind", "scheme", "schemes",

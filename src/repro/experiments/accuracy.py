@@ -22,7 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..core.condition import field_for_interval
-from ..engine import ExperimentEngine, WindowSpec, run_windows
+from ..engine import ExperimentEngine, WindowSpec, is_failure, run_windows
 from ..sampling.positions import (
     BrrPositionStream,
     CounterPositionStream,
@@ -165,8 +165,13 @@ def accuracy_figure(
     for spec in benchmarks:
         row: Dict[str, float] = {"benchmark": spec.name}
         for scheme in SCHEMES:
-            accs = [next(payloads)["schemes"][scheme]["accuracy"]
-                    for _seed in seeds]
+            # Skipped windows (failure_policy="skip") degrade to NaN
+            # cells; NaN then propagates into the average row.
+            accs = [
+                float("nan") if is_failure(payload)
+                else payload["schemes"][scheme]["accuracy"]
+                for payload in (next(payloads) for _seed in seeds)
+            ]
             row[scheme] = sum(accs) / len(accs)
             sums[scheme] += row[scheme]
         rows.append(row)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..engine import ExperimentEngine, WindowSpec, run_windows
+from ..engine import ExperimentEngine, WindowSpec, is_failure, run_windows
 from ..jvm.benchmarks import FIGURE12_BENCHMARKS
 from ..timing.config import TimingConfig
 from ..timing.runner import overhead_percent
@@ -51,6 +51,13 @@ def jvm_window_spec(
 
 
 def _reduce_row(name: str, base, cbs, brr) -> Fig12Row:
+    if any(is_failure(payload) for payload in (base, cbs, brr)):
+        # Skipped windows (failure_policy="skip") degrade the whole
+        # benchmark row to NaN; NaN propagates into the average row.
+        return Fig12Row(benchmark=name, base_cycles=0,
+                        cbs_overhead=float("nan"),
+                        brr_overhead=float("nan"),
+                        window_instructions=0)
     return Fig12Row(
         benchmark=name,
         base_cycles=base["cycles"],

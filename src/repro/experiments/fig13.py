@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.brr import BranchOnRandomUnit
-from ..engine import ExperimentEngine, WindowSpec, run_windows
+from ..engine import ExperimentEngine, WindowSpec, is_failure, run_windows
 from ..timing.config import TimingConfig
 from ..timing.runner import WindowResult, cycles_per_site, overhead_percent, time_window
 from ..workloads.microbench import (
@@ -171,6 +171,12 @@ def microbench_sweep(
     )
     payloads = run_windows(specs, engine=engine)
 
+    if is_failure(payloads[0]) or is_failure(payloads[1]):
+        # Every other point is normalised against the baseline, so a
+        # skipped baseline/full window leaves nothing to reduce.
+        raise RuntimeError(
+            "microbench baseline window was skipped after repeated "
+            "failures; re-run with failure_policy='retry' or 'raise'")
     base = WindowResult.from_dict(payloads[0]["result"])
     sites = payloads[0]["sites"]
     full = WindowResult.from_dict(payloads[1]["result"])
@@ -190,6 +196,14 @@ def microbench_sweep(
     )
     for (kind, duplication, with_payload, interval), payload in zip(
             combos, payloads[2:]):
+        if is_failure(payload):
+            # A skipped sweep point degrades to a NaN cell instead of
+            # aborting the whole figure (failure_policy="skip").
+            sweep.points.append(SweepPoint(
+                kind=kind, duplication=duplication, interval=interval,
+                with_payload=with_payload, cycles=-1,
+                overhead=float("nan"), cycles_per_site=float("nan")))
+            continue
         cycles = payload["cycles"]
         sweep.points.append(SweepPoint(
             kind=kind,

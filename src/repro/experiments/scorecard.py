@@ -56,13 +56,16 @@ def _check_hardware_cost() -> Tuple[bool, str]:
 
 
 def _check_accuracy_resonance(scale: float) -> Tuple[bool, str]:
-    from ..engine import run_windows
+    from ..engine import is_failure, run_windows
     from ..workloads.dacapo import spec_by_name
     from .accuracy import SCHEMES, accuracy_window_spec
 
     spec = accuracy_window_spec(spec_by_name("jython"), 1 << 10, SCHEMES,
                                 scale, seed=0)
-    result = run_windows([spec])[0]["schemes"]
+    payload = run_windows([spec])[0]
+    if is_failure(payload):
+        return False, f"window skipped after failures: {payload.error}"
+    result = payload["schemes"]
     gap = result["random"]["accuracy"] - max(result["sw"]["accuracy"],
                                              result["hw"]["accuracy"])
     return gap > 3.0, (

@@ -21,21 +21,36 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["cost"])
-        assert args.scale == 0.05
-        assert args.jvm_scale == 3.0
-        assert args.chars == 4000
+        # --scale is resolved per command; unset flags stay None so the
+        # handlers can tell "default" from "explicit".
+        assert args.scale is None
+        assert args.jvm_scale is None
+        assert args.chars is None
         assert args.jobs is None
         assert args.json is False
         assert args.log_jsonl is None
+        assert args.timeout is None
+        assert args.retries is None
+        assert args.failure_policy is None
+        assert args.resume_from is None
 
     def test_engine_flags(self):
         args = build_parser().parse_args(
             ["scorecard", "--jobs", "4", "--json",
-             "--log-jsonl", "w.jsonl", "--no-cache"])
+             "--log-jsonl", "w.jsonl", "--no-cache",
+             "--timeout", "30", "--retries", "5",
+             "--failure-policy", "skip"])
         assert args.jobs == 4
         assert args.json is True
         assert args.log_jsonl == "w.jsonl"
         assert args.no_cache is True
+        assert args.timeout == 30.0
+        assert args.retries == 5
+        assert args.failure_policy == "skip"
+
+    def test_bad_failure_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cost", "--failure-policy", "yolo"])
 
 
 class TestCommands:
@@ -52,13 +67,13 @@ class TestCommands:
         assert "jython" in out and "average" in out
 
     def test_figure13_small(self, capsys):
-        assert main(["figure13", "--chars", "600"]) == 0
+        assert main(["figure13", "--scale", "600"]) == 0
         out = capsys.readouterr().out
         assert "Figure 13" in out
         assert "brr" in out and "cbs" in out
 
     def test_figure2_small(self, capsys):
-        assert main(["figure2", "--chars", "600"]) == 0
+        assert main(["figure2", "--scale", "600"]) == 0
         out = capsys.readouterr().out
         assert "fixed (framework) cost floor" in out
 
@@ -88,9 +103,13 @@ class TestJsonMode:
         # --json --out also writes the BENCH_* trajectory artifacts.
         bench = json.loads((tmp_path / "BENCH_figure9.json").read_text())
         assert bench["data"] == rows
-        lines = (tmp_path / "BENCH_windows.jsonl").read_text().splitlines()
-        assert len(lines) == document["engine"]["command_windows"]
-        assert all(json.loads(line)["kind"] == "accuracy" for line in lines)
+        lines = [json.loads(line) for line in
+                 (tmp_path / "BENCH_windows.jsonl").read_text().splitlines()]
+        # The ledger leads with the resume metadata line.
+        assert lines[0]["record_type"] == "run_meta"
+        windows = [l for l in lines if l.get("record_type") != "run_meta"]
+        assert len(windows) == document["engine"]["command_windows"]
+        assert all(record["kind"] == "accuracy" for record in windows)
 
     def test_warm_cache_rerun_hits(self, capsys, tmp_path):
         cache = str(tmp_path / "cache")
@@ -108,13 +127,16 @@ class TestCacheCommand:
     """Satellite: `repro cache [stats|prune|clear]` maintains both the
     result cache and the trace store."""
 
-    def test_parser_accepts_cache_actions(self):
+    def test_parser_accepts_cache_actions(self, capsys):
         parser = build_parser()
         assert parser.parse_args(["cache"]).action is None
         for action in ("stats", "prune", "clear"):
             assert parser.parse_args(["cache", action]).action == action
+        # The positional is shared with `resume`, so unknown cache
+        # actions are rejected by main() rather than argparse.
         with pytest.raises(SystemExit):
-            parser.parse_args(["cache", "explode"])
+            main(["cache", "explode"])
+        assert "cache action" in capsys.readouterr().err
 
     def test_action_rejected_for_other_commands(self, capsys):
         with pytest.raises(SystemExit):
@@ -158,6 +180,117 @@ class TestCacheCommand:
         assert pruned["removed"] == {"results": 1, "traces": 1}
         assert not (tmp_path / "v0").exists()
         assert not (tmp_path / "traces" / "v0").exists()
+
+
+class TestScaleUnification:
+    """Satellite: one ``--scale`` flag across every figure command,
+    with the old spellings kept as hidden deprecated aliases."""
+
+    def test_scale_accepted_by_every_figure_command(self):
+        parser = build_parser()
+        for command in ("figure9", "figure10", "figure12", "figure13",
+                        "figure14", "figure2", "sensitivity", "scorecard"):
+            assert parser.parse_args([command, "--scale", "7"]).scale == 7.0
+
+    def test_chars_alias_warns_and_matches_scale(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["figure13", "--scale", "600",
+                     "--cache-dir", cache]) == 0
+        via_scale = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning, match="--chars"):
+            assert main(["figure13", "--chars", "600",
+                         "--cache-dir", cache]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == via_scale
+        assert "--chars is deprecated" in captured.err
+
+    def test_jvm_scale_alias_warns(self, capsys, tmp_path):
+        with pytest.warns(DeprecationWarning, match="--jvm-scale"):
+            assert main(["figure12", "--jvm-scale", "0.5",
+                         "--cache-dir", str(tmp_path / "cache")]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 12" in captured.out
+        assert "--jvm-scale is deprecated" in captured.err
+
+    def test_explicit_scale_wins_over_alias(self, capsys, tmp_path):
+        cache = str(tmp_path / "cache")
+        assert main(["figure13", "--scale", "600",
+                     "--cache-dir", cache]) == 0
+        via_scale = capsys.readouterr().out
+        with pytest.warns(DeprecationWarning):
+            assert main(["figure13", "--scale", "600", "--chars", "9999",
+                         "--cache-dir", cache]) == 0
+        assert capsys.readouterr().out == via_scale
+
+    def test_scale_rejected_for_all(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["all", "--scale", "1"])
+        assert "ambiguous" in capsys.readouterr().err
+
+
+class TestResumeCommand:
+    """Tentpole: `repro resume RUN.jsonl` finishes an interrupted run,
+    executing only the windows the first run left uncached."""
+
+    def _run_with_log(self, tmp_path):
+        cache = tmp_path / "cache"
+        log = tmp_path / "run.jsonl"
+        assert main(["figure13", "--scale", "600",
+                     "--cache-dir", str(cache),
+                     "--log-jsonl", str(log)]) == 0
+        return cache, log
+
+    def test_run_log_starts_with_meta(self, capsys, tmp_path):
+        _cache, log = self._run_with_log(tmp_path)
+        capsys.readouterr()
+        first = json.loads(log.read_text().splitlines()[0])
+        assert first["record_type"] == "run_meta"
+        assert first["command"] == "figure13"
+        assert first["argv"] == ["figure13", "--scale", "600",
+                                 "--cache-dir", str(tmp_path / "cache")]
+        assert first["engine_config"]["failure_policy"] == "retry"
+
+    def test_resume_fully_cached_run_executes_nothing(self, capsys,
+                                                      tmp_path):
+        cache, log = self._run_with_log(tmp_path)
+        capsys.readouterr()
+        assert main(["resume", str(log)]) == 0
+        captured = capsys.readouterr()
+        records = [json.loads(l) for l in log.read_text().splitlines()
+                   if json.loads(l).get("record_type") != "run_meta"]
+        total = len(records) // 2  # first run + replay
+        assert sum(1 for r in records if r["cache"] == "hit") == total
+        assert f"{total} windows already cached, 0 executed" in captured.err
+
+    def test_resume_executes_only_missing_windows(self, capsys, tmp_path):
+        import pathlib
+
+        cache, log = self._run_with_log(tmp_path)
+        capsys.readouterr()
+        records = [json.loads(l) for l in log.read_text().splitlines()]
+        keys = [r["key"] for r in records
+                if r.get("record_type") != "run_meta"]
+        # Simulate an interrupt: drop 3 windows from the durable cache.
+        dropped = 0
+        for path in pathlib.Path(cache).rglob("*.json"):
+            if any(key in path.name for key in keys[:3]):
+                path.unlink()
+                dropped += 1
+        assert dropped == 3
+        assert main(["resume", str(log)]) == 0
+        captured = capsys.readouterr()
+        assert f"{len(keys) - 3} windows already cached, 3 executed" \
+            in captured.err
+
+    def test_resume_without_meta_is_an_error(self, capsys, tmp_path):
+        log = tmp_path / "legacy.jsonl"
+        log.write_text('{"key": "abc", "cache": "miss"}\n')
+        assert main(["resume", str(log)]) == 2
+        assert "no run_meta" in capsys.readouterr().err
+
+    def test_resume_requires_a_path(self):
+        with pytest.raises(SystemExit):
+            main(["resume"])
 
 
 class TestScorecardExitCode:

@@ -13,6 +13,7 @@ import pytest
 
 from repro.engine import (
     SCHEMA_VERSION,
+    EngineConfig,
     ExperimentEngine,
     ResultCache,
     RunRecorder,
@@ -164,8 +165,10 @@ class TestEngineExecution:
         """Satellite: REPRO_JOBS=1, REPRO_JOBS=4 and a warm cache all
         produce byte-identical payloads (every RNG is in the key)."""
         specs = _tiny_specs()
-        serial = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path / "s"))
-        parallel = ExperimentEngine(jobs=4, cache=ResultCache(tmp_path / "p"))
+        serial = ExperimentEngine(config=EngineConfig(jobs=1),
+                                  cache=ResultCache(tmp_path / "s"))
+        parallel = ExperimentEngine(config=EngineConfig(jobs=4),
+                                    cache=ResultCache(tmp_path / "p"))
 
         serial_payloads = serial.run(specs)
         parallel_payloads = parallel.run(specs)
@@ -193,28 +196,41 @@ class TestEngineExecution:
                                        benchmarks=benchmarks, engine=engine),
                        sort_keys=True)
             for engine in (
-                ExperimentEngine(jobs=1, cache=ResultCache(tmp_path / "s")),
-                ExperimentEngine(jobs=4, cache=ResultCache(tmp_path / "p")),
-                ExperimentEngine(jobs=1, cache=ResultCache(tmp_path / "s")),
+                ExperimentEngine(config=EngineConfig(jobs=1),
+                                 cache=ResultCache(tmp_path / "s")),
+                ExperimentEngine(config=EngineConfig(jobs=4),
+                                 cache=ResultCache(tmp_path / "p")),
+                ExperimentEngine(config=EngineConfig(jobs=1),
+                                 cache=ResultCache(tmp_path / "s")),
             )
         ]
         assert outputs[0] == outputs[1] == outputs[2]
 
     def test_unknown_kind_raises(self, tmp_path):
-        engine = ExperimentEngine(jobs=1,
-                                  cache=ResultCache(tmp_path, enabled=False))
+        engine = ExperimentEngine(cache=ResultCache(tmp_path, enabled=False))
         with pytest.raises(ValueError):
             engine.run([WindowSpec.make("no-such-kind", x=1)])
 
     def test_empty_batch(self, tmp_path):
-        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path))
+        engine = ExperimentEngine(cache=ResultCache(tmp_path))
         assert engine.run([]) == []
+
+    def test_legacy_kwargs_warn_once_but_work(self, tmp_path):
+        """Satellite: old ``ExperimentEngine(jobs=...)`` callers keep
+        working through a one-warning deprecation shim."""
+        with pytest.warns(DeprecationWarning) as caught:
+            engine = ExperimentEngine(jobs=3, fast=False,
+                                      cache=ResultCache(tmp_path))
+        assert len(caught) == 1
+        assert engine.jobs == 3
+        assert engine.config.jobs == 3
+        assert engine.fast is False
 
 
 class TestRunArtifacts:
     def test_jsonl_records(self, tmp_path):
         log = tmp_path / "BENCH_windows.jsonl"
-        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path / "c"),
+        engine = ExperimentEngine(cache=ResultCache(tmp_path / "c"),
                                   recorder=RunRecorder(log))
         specs = _tiny_specs()[:2]
         engine.run(specs)
@@ -229,10 +245,15 @@ class TestRunArtifacts:
         assert all(r["worker"] is None for r in lines if r["cache"] == "hit")
 
     def test_summary_counts(self, tmp_path):
-        engine = ExperimentEngine(jobs=1, cache=ResultCache(tmp_path / "c"))
+        engine = ExperimentEngine(cache=ResultCache(tmp_path / "c"))
         engine.run(_tiny_specs()[2:])
         summary = engine.summary()
         assert summary["windows"] == 2
         assert summary["cache_misses"] == 2
         assert summary["simulated_cycles"] > 0
         assert summary["simulated_instructions"] > 0
+        # Fault-tolerance telemetry is always present (zero on a
+        # clean run).
+        assert summary["failures"] == 0
+        assert summary["retries"] == 0
+        assert summary["resumed"] == 0

@@ -14,7 +14,13 @@ import json
 
 import pytest
 
-from repro.engine import ExperimentEngine, ResultCache, RunRecorder, TraceStore
+from repro.engine import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    RunRecorder,
+    TraceStore,
+)
 from repro.engine.windows import MATERIALS
 from repro.experiments.bench_timing import scorecard_bench_specs
 from repro.experiments.fig13 import microbench_window_spec
@@ -108,11 +114,10 @@ class TestFastpathKnob:
 class TestEngineTelemetry:
     def _engine(self, tmp_path, name, fast):
         return ExperimentEngine(
-            jobs=1,
+            config=EngineConfig(jobs=1, fast=fast),
             cache=ResultCache(tmp_path / f"cache-{name}", enabled=False),
             recorder=RunRecorder(tmp_path / f"{name}.jsonl"),
             trace_store=TraceStore(tmp_path / f"traces-{name}", enabled=True),
-            fast=fast,
         )
 
     def test_jsonl_logs_path_and_throughput(self, tmp_path):

@@ -13,7 +13,13 @@ import json
 
 import pytest
 
-from repro.engine import ExperimentEngine, ResultCache, RunRecorder, TraceStore
+from repro.engine import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    RunRecorder,
+    TraceStore,
+)
 from repro.engine.tracestore import (
     active_store,
     consume_trace_info,
@@ -149,7 +155,7 @@ class TestSweepAccounting:
 
     def _engine(self, tmp_path, name):
         return ExperimentEngine(
-            jobs=1,
+            config=EngineConfig(jobs=1),
             cache=ResultCache(tmp_path / f"cache-{name}", enabled=False),
             recorder=RunRecorder(tmp_path / f"{name}.jsonl"),
             trace_store=TraceStore(tmp_path / "traces", enabled=True),
@@ -196,7 +202,7 @@ class TestSweepAccounting:
         from repro.experiments import timing_config_sweep
 
         engine_off = ExperimentEngine(
-            jobs=1,
+            config=EngineConfig(jobs=1),
             cache=ResultCache(tmp_path / "cache-off", enabled=False),
             trace_store=TraceStore(tmp_path / "traces-off", enabled=False),
         )
