@@ -37,15 +37,18 @@ from typing import Any, Iterator, Optional, Sequence
 from .engine import (
     EngineConfig,
     ExperimentEngine,
+    IntegrityError,
     ResultCache,
     RunRecorder,
     WindowFailure,
     WindowSpec,
+    format_doctor,
     get_engine,
     is_failure,
     run_windows,
     set_engine,
 )
+from .engine import run_doctor as _engine_run_doctor
 
 #: Default per-command scales, shared with the CLI so the two entry
 #: points cannot drift: fraction of the paper's invocation counts for
@@ -220,10 +223,26 @@ def run_scorecard(*, quick: bool = True,
     return FigureResult(data, format_scorecard(results))
 
 
+def run_doctor(*, ledgers: Sequence[str] = (), repair: bool = False,
+               engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Integrity audit of both on-disk stores plus any run ledgers
+    (the ``repro doctor`` command — see ``docs/integrity.md``).
+
+    ``data["clean"]`` is True when nothing was corrupt; with ``repair``
+    corrupt store entries are quarantined (their next use re-executes)
+    and damaged ledgers are rewritten in place.
+    """
+    target = engine or get_engine()
+    report = _engine_run_doctor(target.cache, target.trace_store,
+                                ledgers=tuple(ledgers), repair=repair)
+    return FigureResult(report, format_doctor(report))
+
+
 __all__ = [
     # engine surface
     "EngineConfig",
     "ExperimentEngine",
+    "IntegrityError",
     "ResultCache",
     "RunRecorder",
     "WindowFailure",
@@ -243,6 +262,7 @@ __all__ = [
     "run_sensitivity",
     "run_cost",
     "run_scorecard",
+    "run_doctor",
     # shared defaults
     "DEFAULT_ACCURACY_SCALE",
     "DEFAULT_JVM_SCALE",

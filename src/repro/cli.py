@@ -15,6 +15,7 @@ Usage::
     python -m repro cache [stats|prune|clear]
     python -m repro bench    # fastpath-vs-golden replay benchmark
     python -m repro resume RUN.jsonl   # finish an interrupted run
+    python -m repro doctor [RUN.jsonl] [--repair]  # integrity audit
 
 ``--scale`` is the one scaling knob and is interpreted per command:
 fraction of the paper's invocation counts for the accuracy figures
@@ -41,6 +42,14 @@ switches stdout to a machine-readable document per command, and
 trajectory in ``--json`` mode).  ``scorecard`` exits non-zero when any
 headline claim fails; ``cache`` inspects or maintains both on-disk
 stores.
+
+Both stores are checksummed end to end (``docs/integrity.md``):
+``--integrity`` (or ``REPRO_INTEGRITY``) picks what a corrupt entry
+becomes — ``repair`` (the default: quarantine and transparently
+re-execute), ``verify`` (quarantine and fail) or ``trust`` — and
+``repro doctor [RUN.jsonl]`` audits every store entry plus an optional
+run ledger, exiting non-zero on unrepaired corruption (``--repair``
+quarantines/rewrites in place).
 """
 
 from __future__ import annotations
@@ -55,11 +64,15 @@ import warnings
 from typing import Any, Dict, List, Optional, Tuple
 
 from .engine import (
+    INTEGRITY_POLICIES,
     EngineConfig,
     ExperimentEngine,
     ResultCache,
     RunRecorder,
+    format_doctor,
     read_run_log,
+    read_run_log_checked,
+    run_doctor,
     set_engine,
 )
 
@@ -220,11 +233,31 @@ def _cache_command(args, engine: ExperimentEngine) -> CommandResult:
             f"entries, {data['removed']['traces']} trace files")
     for title, stats in (("result cache", data["results"]),
                          ("trace store", data["traces"])):
+        health = stats["integrity"]
         lines.append(
             f"{title:<12} {stats['entries']:>6} entries  "
             f"{stats['bytes']:>12} bytes  v{stats['version']}  "
             f"[{stats['root']}]")
+        lines.append(
+            f"{'':<12} policy={stats['policy']}  "
+            f"quarantined={stats['quarantined']}  "
+            f"verified={health['verified']}  "
+            f"repaired={health['repaired']}")
     return data, "\n".join(lines)
+
+
+def _doctor_command(args, engine: ExperimentEngine) -> Tuple[Any, str, int]:
+    """``repro doctor [RUN.jsonl]``: audit both stores and, optionally,
+    a run ledger; non-zero exit on unrepaired corruption."""
+    ledgers: List[str] = []
+    if args.action:
+        ledgers.append(args.action)
+    elif args.log_jsonl:
+        ledgers.append(args.log_jsonl)
+    report = run_doctor(engine.cache, engine.trace_store,
+                        ledgers=tuple(ledgers), repair=args.repair)
+    code = 0 if (report["clean"] or args.repair) else 1
+    return report, format_doctor(report), code
 
 
 def _resume_command(args, parser: argparse.ArgumentParser) -> int:
@@ -239,7 +272,12 @@ def _resume_command(args, parser: argparse.ArgumentParser) -> int:
     if not args.action:
         parser.error("resume requires the run's JSONL log path")
     log_path = pathlib.Path(args.action)
-    meta, before = read_run_log(log_path)
+    meta, before, report = read_run_log_checked(log_path)
+    if report.bad:
+        print(f"warning: ignored {report.torn} torn and {report.corrupt} "
+              f"corrupt line(s) in {log_path}; their windows will "
+              f"re-execute (run `repro doctor {log_path} --repair` to "
+              f"rewrite the ledger)", file=sys.stderr)
     if meta is None:
         print(f"error: {log_path} has no run_meta record "
               f"(not a resumable run log)", file=sys.stderr)
@@ -265,17 +303,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command",
                         choices=list(COMMANDS) + ["all", "cache", "bench",
-                                                  "resume"],
+                                                  "resume", "doctor"],
                         help="which figure/table to regenerate, `cache` to "
                              "inspect/maintain the on-disk stores, `bench` "
                              "to run the fastpath-vs-golden timing "
                              "benchmark (writes BENCH_timing.json under "
-                             "--out), or `resume` to finish an interrupted "
-                             "run from its JSONL log")
+                             "--out), `resume` to finish an interrupted "
+                             "run from its JSONL log, or `doctor` to audit "
+                             "store/ledger integrity")
     parser.add_argument("action", nargs="?", default=None,
                         help="for `cache`: stats (default), prune stale "
                              "versions, or clear everything; for `resume`: "
-                             "the interrupted run's JSONL log path")
+                             "the interrupted run's JSONL log path; for "
+                             "`doctor`: an optional run ledger to audit "
+                             "alongside the stores")
     parser.add_argument("--scale", type=float, default=None,
                         help="per-command scale: fraction of the paper's "
                              "invocation counts for accuracy figures "
@@ -309,6 +350,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="prior run JSONL whose completed windows are "
                              "expected to be served from the cache "
                              "(`repro resume` sets this automatically)")
+    parser.add_argument("--integrity", choices=INTEGRITY_POLICIES,
+                        default=None,
+                        help="what a corrupt store entry becomes: verify "
+                             "(quarantine + fail), repair (quarantine + "
+                             "re-execute transparently), trust (skip "
+                             "checksums; default: REPRO_INTEGRITY, else "
+                             "repair)")
+    parser.add_argument("--repair", action="store_true",
+                        help="for `doctor`: quarantine corrupt store "
+                             "entries and rewrite damaged ledgers instead "
+                             "of only reporting them")
     parser.add_argument("--json", action="store_true",
                         help="emit a machine-readable JSON document per "
                              "command instead of the text tables")
@@ -341,6 +393,8 @@ def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
         overrides["failure_policy"] = args.failure_policy
     if args.resume_from is not None:
         overrides["resume_from"] = args.resume_from
+    if args.integrity is not None:
+        overrides["integrity"] = args.integrity
     config = EngineConfig.from_env(**overrides)
     if config.jobs is None:
         config = config.with_overrides(jobs=os.cpu_count() or 1)
@@ -353,6 +407,7 @@ def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
         root=pathlib.Path(args.cache_dir) if args.cache_dir else None,
         enabled=not args.no_cache
         and os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no"),
+        policy=config.integrity,
     )
     engine = ExperimentEngine(config=config, cache=cache,
                               recorder=RunRecorder(log_path))
@@ -366,9 +421,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(raw_argv)
     if args.command == "resume":
         return _resume_command(args, parser)
-    if args.action is not None and args.command != "cache":
+    if args.action is not None and args.command not in ("cache", "doctor"):
         parser.error(f"'{args.action}' is only valid after the "
-                     f"`cache` or `resume` commands")
+                     f"`cache`, `doctor` or `resume` commands")
     if args.command == "cache" and args.action is not None \
             and args.action not in CACHE_ACTIONS:
         parser.error(f"cache action must be one of {CACHE_ACTIONS}, "
@@ -388,6 +443,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             print(text)
         return 0
+
+    if args.command == "doctor":
+        data, text, code = _doctor_command(args, engine)
+        if args.json:
+            rendered = json.dumps(data, indent=2, sort_keys=True)
+            print(rendered)
+            if out_dir is not None:
+                (out_dir / "BENCH_doctor.json").write_text(rendered + "\n")
+        else:
+            print(text)
+            if out_dir is not None:
+                (out_dir / "doctor.txt").write_text(text + "\n")
+        return code
 
     if args.command == "bench":
         started = time.time()

@@ -11,14 +11,23 @@ failure policies — all in one :class:`EngineConfig`) with a serial
 deterministic fallback, structured JSONL run artifacts, and a resume
 path that re-executes only the windows an interrupted run left
 uncached.
+
+All of that on-disk state is checksummed end to end
+(``docs/integrity.md``): traces and cache entries verify on read and
+quarantine + self-heal under the default ``repair`` policy, ledger
+lines carry per-line CRCs, ``repro doctor`` (:func:`run_doctor`)
+audits everything, and the ``REPRO_VALIDATE`` watchdog cross-checks
+the fast timing kernel against the golden model at runtime.
 """
 
 from .artifacts import (
     RUN_META_TYPE,
+    VALIDATION_TYPE,
     RunRecorder,
     WindowRecord,
     completed_keys,
     read_run_log,
+    read_run_log_checked,
 )
 from .cache import ResultCache, default_cache_dir
 from .config import FAILURE_POLICIES, EngineConfig
@@ -32,7 +41,21 @@ from .core import (
     run_windows,
     set_engine,
 )
-from .faults import InjectedWorkerFault, should_inject
+from .faults import InjectedWorkerFault, corrupt_file, should_inject
+from .integrity import (
+    INTEGRITY_POLICIES,
+    VALIDATE_POLICIES,
+    IntegrityCounters,
+    IntegrityError,
+    LedgerReport,
+    ValidationDivergence,
+    ValidationSettings,
+    format_doctor,
+    quarantined_entries,
+    run_doctor,
+    scan_ledger,
+    validation_override,
+)
 from .spec import SCHEMA_VERSION, WindowSpec
 from .tracestore import (
     TIMING_ONLY_PARAMS,
@@ -50,12 +73,27 @@ __all__ = [
     "ResultCache",
     "default_cache_dir",
     "RUN_META_TYPE",
+    "VALIDATION_TYPE",
     "RunRecorder",
     "WindowRecord",
     "completed_keys",
     "read_run_log",
+    "read_run_log_checked",
     "EngineConfig",
     "FAILURE_POLICIES",
+    "INTEGRITY_POLICIES",
+    "VALIDATE_POLICIES",
+    "IntegrityCounters",
+    "IntegrityError",
+    "LedgerReport",
+    "ValidationDivergence",
+    "ValidationSettings",
+    "corrupt_file",
+    "format_doctor",
+    "quarantined_entries",
+    "run_doctor",
+    "scan_ledger",
+    "validation_override",
     "ExperimentEngine",
     "WindowFailure",
     "WindowTimeout",

@@ -14,6 +14,15 @@ of each run, and :func:`read_run_log` / :func:`completed_keys` parse
 the file back — tolerating a torn final line from an interrupted run —
 so ``repro resume <run.jsonl>`` can replay the original invocation and
 execute only the windows without durably cached results.
+
+Every line carries a ``crc`` field — the CRC32 of its canonical
+serialisation (``docs/integrity.md``) — so the reader distinguishes a
+*torn* line (unparseable tail of a killed run: expected, skipped with
+a note) from a *bit-rotted* one (parseable JSON whose checksum no
+longer matches: also skipped, but reported as corruption).  Either way
+a damaged line is never trusted: ``repro resume`` re-executes its
+window instead of mis-counting it as complete.  Lines without ``crc``
+(pre-integrity ledgers) stay readable.
 """
 
 from __future__ import annotations
@@ -25,8 +34,13 @@ import time
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from .integrity import LedgerReport, check_ledger_line, ledger_line_crc
+
 #: ``record_type`` of the run-level metadata line in a JSONL log.
 RUN_META_TYPE = "run_meta"
+
+#: ``record_type`` of a fast-path validation divergence line.
+VALIDATION_TYPE = "validation"
 
 
 @dataclass
@@ -63,6 +77,10 @@ class WindowRecord:
     attempts: Optional[int] = None
     #: Last error, for ``cache == "failed"`` placeholder records.
     error: Optional[str] = None
+    #: Fast-path watchdog outcome for this window: "pass" (golden
+    #: cross-check matched), "divergence" (it did not — see the typed
+    #: ``validation`` record logged alongside), or None (not sampled).
+    validation: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -74,6 +92,7 @@ class RunRecorder:
     def __init__(self, log_path: Optional[pathlib.Path] = None) -> None:
         self.log_path = pathlib.Path(log_path) if log_path else None
         self.records: List[WindowRecord] = []
+        self.validations: List[Dict[str, Any]] = []
         self.meta: Optional[Dict[str, Any]] = None
         self._started = time.time()
         if self.log_path is not None:
@@ -82,6 +101,7 @@ class RunRecorder:
     def _append_line(self, payload: Dict[str, Any]) -> None:
         if self.log_path is None:
             return
+        payload = dict(payload, crc=ledger_line_crc(payload))
         with open(self.log_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(payload, sort_keys=True))
             handle.write("\n")
@@ -95,6 +115,12 @@ class RunRecorder:
     def record(self, record: WindowRecord) -> None:
         self.records.append(record)
         self._append_line(record.to_dict())
+
+    def write_validation(self, detail: Dict[str, Any]) -> None:
+        """Log one typed fast-path divergence record (the watchdog's
+        out-of-band evidence line)."""
+        self.validations.append(dict(detail))
+        self._append_line(dict(detail, record_type=VALIDATION_TYPE))
 
     def summary(self) -> Dict[str, Any]:
         """Aggregate view of the run so far, for ``--json`` output."""
@@ -124,6 +150,10 @@ class RunRecorder:
                                     if r.timing_path == "fast"),
             "goldenpath_windows": sum(1 for r in self.records
                                       if r.timing_path == "golden"),
+            "validation_passes": sum(1 for r in self.records
+                                     if r.validation == "pass"),
+            "validation_divergences": sum(1 for r in self.records
+                                          if r.validation == "divergence"),
         }
 
 
@@ -131,36 +161,59 @@ class RunRecorder:
 # Reading a run log back: the resume path.
 
 
-def read_run_log(path) -> Tuple[Optional[Dict[str, Any]],
-                                List[Dict[str, Any]]]:
-    """Parse a run JSONL into ``(meta, window_records)``.
+def read_run_log_checked(path) -> Tuple[Optional[Dict[str, Any]],
+                                        List[Dict[str, Any]],
+                                        LedgerReport]:
+    """Parse a run JSONL into ``(meta, window_records, report)``.
 
-    Interrupted runs may end in a torn, half-written line; it is
-    skipped rather than treated as corruption, because the whole point
-    of the log is surviving interruption.  Returns ``(None, [])`` for
-    a missing or unreadable file.
+    Interrupted runs may end in a torn, half-written line, and a
+    stored ledger can bit-rot in place; both are *skipped* — never
+    trusted — and tallied in the returned
+    :class:`~repro.engine.integrity.LedgerReport`, so a resume can
+    warn about exactly what it ignored.  Returns ``(None, [],
+    empty report)`` for a missing or unreadable file.
     """
     meta: Optional[Dict[str, Any]] = None
     records: List[Dict[str, Any]] = []
+    report = LedgerReport(path=str(path))
     try:
         text = pathlib.Path(path).read_text(encoding="utf-8")
     except OSError:
-        return None, []
+        return None, [], report
     for line in text.splitlines():
         line = line.strip()
         if not line:
             continue
+        report.lines += 1
         try:
             obj = json.loads(line)
         except ValueError:
-            continue  # torn tail line from an interrupted run
-        if not isinstance(obj, dict):
+            report.torn += 1  # torn tail line from an interrupted run
             continue
-        if obj.get("record_type") == RUN_META_TYPE:
+        if not isinstance(obj, dict):
+            report.torn += 1
+            continue
+        status = check_ledger_line(obj)
+        if status == "corrupt":
+            report.corrupt += 1  # bit rot: skip, never trust
+            continue
+        report.ok += int(status == "ok")
+        report.legacy += int(status == "legacy")
+        record_type = obj.get("record_type")
+        if record_type == RUN_META_TYPE:
             if meta is None:
                 meta = obj
+        elif record_type == VALIDATION_TYPE:
+            pass  # evidence lines, not window records
         else:
             records.append(obj)
+    return meta, records, report
+
+
+def read_run_log(path) -> Tuple[Optional[Dict[str, Any]],
+                                List[Dict[str, Any]]]:
+    """:func:`read_run_log_checked` without the integrity report."""
+    meta, records, _report = read_run_log_checked(path)
     return meta, records
 
 

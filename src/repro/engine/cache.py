@@ -5,8 +5,15 @@ where ``key`` is the spec's canonical digest (which already folds in
 :data:`~repro.engine.spec.SCHEMA_VERSION`, seeds and every simulation
 parameter — see ``docs/engine.md``).  Entries are written atomically
 (temp file + ``os.replace``) so concurrent workers and concurrent
-processes can share one cache directory safely; a corrupt or
-unreadable entry is treated as a miss and discarded.
+processes can share one cache directory safely.
+
+Every entry embeds an integrity block — the payload's canonical
+sha256 and the schema version — recomputed on read
+(``docs/integrity.md``).  What a mismatch becomes is the cache's
+``policy``: ``verify`` (quarantine + raise), ``repair`` (the default:
+quarantine to ``<root>/quarantine/`` with a reason file and
+transparently recompute) or ``trust`` (skip digest verification; an
+unparseable entry is still dropped, as before the integrity layer).
 
 The root defaults to ``~/.cache/repro`` and is overridden by
 ``REPRO_CACHE_DIR``; ``REPRO_CACHE=0`` disables caching entirely.
@@ -19,8 +26,18 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Set
 
+from .integrity import (
+    IntegrityCounters,
+    IntegrityError,
+    check_policy,
+    integrity_policy_from_env,
+    payload_digest,
+    purge_quarantine,
+    quarantine_entry,
+    quarantined_entries,
+)
 from .spec import SCHEMA_VERSION, WindowSpec
 
 
@@ -39,35 +56,85 @@ class ResultCache:
     """Content-addressed store mapping spec digests to result payloads."""
 
     def __init__(self, root: Optional[pathlib.Path] = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 policy: Optional[str] = None) -> None:
         self.root = pathlib.Path(root) if root else default_cache_dir()
         self.enabled = enabled
+        self.policy = check_policy(policy if policy is not None
+                                   else integrity_policy_from_env())
         self.hits = 0
         self.misses = 0
+        self.integrity = IntegrityCounters()
+        #: Keys whose entry was quarantined and awaits recomputation —
+        #: the next successful ``put`` counts as a repair.
+        self._repair_pending: Set[str] = set()
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
 
+    def _quarantine(self, path: pathlib.Path, reason: str,
+                    key: Optional[str] = None) -> None:
+        if key is not None:
+            self._repair_pending.add(key)
+        if quarantine_entry(path, self.root, reason, key=key,
+                            store="results") is not None:
+            self.integrity.quarantined += 1
+
+    @staticmethod
+    def _check_entry(entry: Any) -> Dict[str, Any]:
+        """The entry's payload, after verifying the embedded digest;
+        raises ``ValueError`` on any mismatch."""
+        payload = entry["result"]
+        block = entry["integrity"]
+        if block.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"entry schema {block.get('schema')!r} != {SCHEMA_VERSION}")
+        digest = payload_digest(payload)
+        if block.get("digest") != digest:
+            raise ValueError(
+                f"payload digest mismatch: stored "
+                f"{str(block.get('digest'))[:12]}…, computed {digest[:12]}…")
+        return payload
+
     def get(self, spec: WindowSpec) -> Optional[Dict[str, Any]]:
-        """The cached payload for ``spec``, or ``None`` on a miss."""
+        """The cached payload for ``spec``, or ``None`` on a miss.
+
+        A corrupt entry — unparseable, or parseable with a digest that
+        no longer matches its payload — is quarantined under
+        ``verify``/``repair`` (and raises :class:`IntegrityError`
+        under ``verify``); ``trust`` skips the digest check entirely.
+        """
         if not self.enabled:
             return None
+        verify = self.policy != "trust"
         path = self._path(spec.cache_key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 entry = json.load(handle)
-            payload = entry["result"]
+            if verify:
+                payload = self._check_entry(entry)
+            else:
+                payload = entry["result"]
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError):
-            # Corrupt entry: drop it and recompute.
-            try:
-                path.unlink()
-            except OSError:
-                pass
+        except (OSError, ValueError, KeyError, TypeError) as exc:
             self.misses += 1
+            if not verify:
+                # Legacy behaviour: drop it and recompute.
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            self._quarantine(path, repr(exc), key=spec.cache_key)
+            if self.policy == "verify":
+                raise IntegrityError(
+                    f"result cache entry {spec.short_key} is corrupt "
+                    f"(quarantined): {exc}") from exc
             return None
+        if verify:
+            self.integrity.verified += 1
         self.hits += 1
         return payload
 
@@ -83,7 +150,9 @@ class ResultCache:
             return False
         path = self._path(spec.cache_key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"spec": spec.to_dict(), "result": payload}
+        entry = {"spec": spec.to_dict(), "result": payload,
+                 "integrity": {"schema": SCHEMA_VERSION,
+                               "digest": payload_digest(payload)}}
         handle = tempfile.NamedTemporaryFile(
             mode="w", encoding="utf-8", dir=path.parent,
             prefix=".tmp-", suffix=".json", delete=False,
@@ -94,6 +163,9 @@ class ResultCache:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(handle.name, path)
+            if spec.cache_key in self._repair_pending:
+                self._repair_pending.discard(spec.cache_key)
+                self.integrity.repaired += 1
             return True
         except OSError:
             try:
@@ -116,7 +188,8 @@ class ResultCache:
                 yield child
 
     def stats(self) -> Dict[str, Any]:
-        """Entry/byte counts of the current-version cache."""
+        """Entry/byte counts of the current-version cache, plus the
+        integrity layer's health counters."""
         entries = 0
         total = 0
         version_dir = self.root / f"v{SCHEMA_VERSION}"
@@ -128,11 +201,38 @@ class ResultCache:
                 except OSError:
                     continue
         return {"root": str(self.root), "version": SCHEMA_VERSION,
-                "entries": entries, "bytes": total}
+                "entries": entries, "bytes": total,
+                "policy": self.policy,
+                "quarantined": len(quarantined_entries(self.root)),
+                "integrity": self.integrity.as_dict()}
+
+    def scan(self, repair: bool = False) -> Dict[str, Any]:
+        """Verify every current-version entry (the ``repro doctor``
+        pass).  With ``repair``, corrupt entries are quarantined so
+        their next use recomputes them; without it they are only
+        reported."""
+        scanned = ok = corrupt = 0
+        version_dir = self.root / f"v{SCHEMA_VERSION}"
+        entries = (sorted(version_dir.rglob("*.json"))
+                   if version_dir.is_dir() else [])
+        for path in entries:
+            scanned += 1
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    self._check_entry(json.load(handle))
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                corrupt += 1
+                if repair:
+                    self._quarantine(path, repr(exc), key=path.stem)
+            else:
+                ok += 1
+        return {"root": str(self.root), "scanned": scanned, "ok": ok,
+                "corrupt": corrupt,
+                "quarantined": len(quarantined_entries(self.root))}
 
     def prune(self) -> int:
-        """Drop stale-version subtrees and leftover temp files; returns
-        the number of files removed."""
+        """Drop stale-version subtrees, leftover temp files and the
+        quarantine audit trail; returns the number of files removed."""
         import shutil
 
         removed = 0
@@ -146,6 +246,7 @@ class ResultCache:
                 with contextlib.suppress(OSError):
                     stray.unlink()
                     removed += 1
+        removed += purge_quarantine(self.root)
         return removed
 
     def clear(self) -> int:

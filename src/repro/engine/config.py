@@ -16,6 +16,9 @@ exactly one function, :meth:`EngineConfig.from_env`:
 ``REPRO_BACKOFF``           base backoff seconds (default 0.05)
 ``REPRO_FAILURE_POLICY``    ``raise`` | ``retry`` | ``skip``
 ``REPRO_FAULT_RATE``        deterministic fault-injection probability
+``REPRO_INTEGRITY``         store policy: ``verify`` | ``repair`` | ``trust``
+``REPRO_VALIDATE``          golden cross-check every n-th fast replay
+``REPRO_VALIDATE_POLICY``   divergence: ``warn`` | ``fallback`` | ``raise``
 ==========================  ===========================================
 
 Live collaborators (the result cache, trace store and run recorder)
@@ -29,6 +32,14 @@ import dataclasses
 import os
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
+
+from .integrity import (
+    INTEGRITY_POLICIES,
+    VALIDATE_POLICIES,
+    integrity_policy_from_env,
+    validate_every_from_env,
+    validate_policy_from_env,
+)
 
 #: Allowed values of :attr:`EngineConfig.failure_policy`.
 FAILURE_POLICIES = ("raise", "retry", "skip")
@@ -84,6 +95,16 @@ class EngineConfig:
     #: Path to a prior run's JSONL log; completed windows recorded
     #: there are expected to be served from the durable result cache.
     resume_from: Optional[str] = None
+    #: Store integrity policy (``verify`` | ``repair`` | ``trust``) —
+    #: what a corrupt trace or cache entry becomes; see
+    #: :mod:`repro.engine.integrity`.
+    integrity: str = "repair"
+    #: Cross-check every n-th fast-path replay against the golden
+    #: lock-step model (``None``/0 disables the watchdog).
+    validate_every: Optional[int] = None
+    #: What a watchdog divergence becomes: ``warn`` (keep fast stats,
+    #: log), ``fallback`` (return golden stats), ``raise`` (abort).
+    validate_policy: str = "fallback"
 
     def __post_init__(self) -> None:
         if self.failure_policy not in FAILURE_POLICIES:
@@ -99,6 +120,17 @@ class EngineConfig:
         if not 0.0 <= self.fault_rate < 1.0:
             raise ValueError(
                 f"fault_rate must be in [0, 1), got {self.fault_rate}")
+        if self.integrity not in INTEGRITY_POLICIES:
+            raise ValueError(
+                f"integrity must be one of {INTEGRITY_POLICIES}, "
+                f"got {self.integrity!r}")
+        if self.validate_every is not None and self.validate_every < 0:
+            raise ValueError(
+                f"validate_every must be >= 0, got {self.validate_every}")
+        if self.validate_policy not in VALIDATE_POLICIES:
+            raise ValueError(
+                f"validate_policy must be one of {VALIDATE_POLICIES}, "
+                f"got {self.validate_policy!r}")
 
     # ------------------------------------------------------------------
 
@@ -127,6 +159,11 @@ class EngineConfig:
         rate = _env_float("REPRO_FAULT_RATE")
         if rate is not None:
             values["fault_rate"] = min(max(rate, 0.0), 0.999999)
+        values["integrity"] = integrity_policy_from_env()
+        validate = validate_every_from_env()
+        if validate is not None:
+            values["validate_every"] = validate
+        values["validate_policy"] = validate_policy_from_env()
         values.update(overrides)
         return cls(**values)
 

@@ -61,6 +61,7 @@ from .artifacts import RunRecorder, WindowRecord, completed_keys, read_run_log
 from .cache import ResultCache, cache_enabled_by_env
 from .config import EngineConfig
 from .faults import InjectedWorkerFault, fault_mode_from_env, maybe_inject
+from .integrity import ValidationSettings, validation_override
 from .spec import WindowSpec
 from .tracestore import (
     TraceStore,
@@ -136,17 +137,20 @@ def _execute(spec: WindowSpec) -> Dict[str, Any]:
     return run_window(spec.kind, spec.params_dict())
 
 
-def _pool_execute(item: Tuple[int, Dict[str, Any],
-                              Tuple[str, bool, bool, float, str], int]):
+def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple, int]):
     """Top-level worker entry (must be picklable)."""
     index, spec_dict, conf, attempt = item
-    trace_root, trace_enabled, fast, fault_rate, fault_mode = conf
+    (trace_root, trace_enabled, fast, fault_rate, fault_mode,
+     integrity, validate_every, validate_policy) = conf
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
     maybe_inject(spec.cache_key, attempt, fault_rate, fault_mode,
                  in_worker=True)
-    with fastpath_override(fast), \
-            active_store(TraceStore(trace_root, enabled=trace_enabled)):
+    store = TraceStore(trace_root, enabled=trace_enabled, policy=integrity)
+    validation = ValidationSettings(every=validate_every,
+                                    policy=validate_policy)
+    with fastpath_override(fast), active_store(store), \
+            validation_override(validation):
         payload = _execute(spec)
         trace_info = consume_trace_info()
     return (index, payload, time.perf_counter() - started, os.getpid(),
@@ -194,12 +198,18 @@ class ExperimentEngine:
         self.jobs = (max(1, config.jobs) if config.jobs is not None
                      else default_jobs())
         if cache is None:
-            cache = ResultCache(enabled=cache_enabled_by_env())
+            cache = ResultCache(enabled=cache_enabled_by_env(),
+                                policy=config.integrity)
         self.cache = cache
         if trace_store is None:
             trace_store = TraceStore(default_trace_dir(cache.root),
-                                     enabled=trace_enabled_by_env())
+                                     enabled=trace_enabled_by_env(),
+                                     policy=config.integrity)
         self.trace_store = trace_store
+        #: Watchdog settings installed around execution (serial) or
+        #: shipped to each pool worker.
+        self._validation = ValidationSettings(every=config.validate_every,
+                                              policy=config.validate_policy)
         self.recorder = recorder or RunRecorder()
         # Resolved once so pool workers follow the parent's REPRO_FAST /
         # REPRO_FAULT_MODE settings instead of re-reading their own
@@ -252,7 +262,8 @@ class ExperimentEngine:
     def _run_serial(self, specs: Sequence[WindowSpec], misses: List[int],
                     results: List[Optional[Dict[str, Any]]]) -> None:
         with fastpath_override(self.fast), \
-                active_store(self.trace_store):
+                active_store(self.trace_store), \
+                validation_override(self._validation):
             for index in misses:
                 spec = specs[index]
                 attempt = 0
@@ -291,7 +302,8 @@ class ExperimentEngine:
                   results: List[Optional[Dict[str, Any]]]) -> None:
         cfg = self.config
         worker_conf = (str(self.trace_store.root), self.trace_store.enabled,
-                       self.fast, cfg.fault_rate, self._fault_mode)
+                       self.fast, cfg.fault_rate, self._fault_mode,
+                       cfg.integrity, cfg.validate_every, cfg.validate_policy)
         workers = min(self.jobs, len(misses))
         queue = deque((index, 0) for index in misses)
         inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
@@ -430,6 +442,15 @@ class ExperimentEngine:
                 attempts: Optional[int] = None,
                 error: Optional[str] = None) -> None:
         trace_info = trace_info or {}
+        if trace_info.get("validation") == "divergence":
+            # Typed evidence line next to the window record, so the
+            # ledger shows *which* counters the fast path got wrong.
+            self.recorder.write_validation({
+                "key": spec.cache_key,
+                "label": spec.label(),
+                "policy": trace_info.get("validation_policy"),
+                "mismatches": trace_info.get("validation_mismatches"),
+            })
         self.recorder.record(WindowRecord(
             key=spec.cache_key,
             kind=spec.kind,
@@ -447,10 +468,13 @@ class ExperimentEngine:
             replay_records_per_s=trace_info.get("replay_records_per_s"),
             attempts=attempts,
             error=error,
+            validation=trace_info.get("validation"),
         ))
 
     def summary(self) -> Dict[str, Any]:
-        return dict(self.recorder.summary(), resumed=self.resumed)
+        return dict(self.recorder.summary(), resumed=self.resumed,
+                    integrity={"results": self.cache.integrity.as_dict(),
+                               "traces": self.trace_store.integrity.as_dict()})
 
 
 # ----------------------------------------------------------------------

@@ -82,3 +82,50 @@ def maybe_inject(key: str, attempt: int, rate: float,
         time.sleep(fault_hang_seconds())
     raise InjectedWorkerFault(
         f"injected fault: window {key[:12]} attempt {attempt}")
+
+
+# ----------------------------------------------------------------------
+# On-disk corruption injection: the integrity layer's crash-test dummy.
+# Used by tests/test_integrity.py and the CI corruption-smoke job to
+# damage stores *deterministically* — the same seed always flips the
+# same bit of the same file — so detection/quarantine/self-heal
+# behaviour is reproducible.
+
+CORRUPTION_KINDS = ("flip", "truncate")
+
+
+def _corruption_offset(path, size: int, seed: int) -> int:
+    """Deterministic byte offset within ``path`` for a given seed."""
+    digest = hashlib.sha256(f"{os.path.basename(path)}:{seed}"
+                            .encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % size
+
+
+def corrupt_file(path, seed: int = 0, kind: str = "flip") -> int:
+    """Deterministically damage one file in place.
+
+    ``flip`` XORs a single bit of a seed-chosen byte; ``truncate``
+    drops the tail from a seed-chosen offset (at least one byte).
+    Returns the affected offset.  Raises ``ValueError`` on an empty
+    file or unknown kind — corrupting nothing is a test bug worth
+    failing loudly on.
+    """
+    if kind not in CORRUPTION_KINDS:
+        raise ValueError(
+            f"corruption kind must be one of {CORRUPTION_KINDS}, "
+            f"got {kind!r}")
+    size = os.path.getsize(path)
+    if size <= 0:
+        raise ValueError(f"cannot corrupt empty file: {path}")
+    offset = _corruption_offset(path, size, seed)
+    if kind == "truncate":
+        offset = min(offset, size - 1)  # drop at least one byte
+        with open(path, "r+b") as handle:
+            handle.truncate(offset)
+        return offset
+    with open(path, "r+b") as handle:
+        handle.seek(offset)
+        byte = handle.read(1)[0]
+        handle.seek(offset)
+        handle.write(bytes([byte ^ (1 << (seed % 8))]))
+    return offset

@@ -1,0 +1,415 @@
+"""End-to-end integrity layer: checksums, quarantine, validation.
+
+The engine trusts three kinds of on-disk state — recorded BRTR traces,
+cached window payloads, and JSONL run ledgers — plus one runtime
+shortcut, the batched fast-path timing kernel.  This module owns the
+policies and shared machinery that keep all four honest
+(``docs/integrity.md``):
+
+* **policies** — every store runs under one of
+  :data:`INTEGRITY_POLICIES`: ``verify`` (checksum on read, corrupt
+  entries are quarantined and raise :class:`IntegrityError`),
+  ``repair`` (the default: checksum on read, corrupt entries are
+  quarantined and transparently re-recorded / recomputed), ``trust``
+  (skip checksum verification — structural parsing still applies);
+* **quarantine** — a corrupt entry is never deleted: it is moved to
+  ``<store root>/quarantine/`` next to a machine-readable
+  ``<name>.reason.json`` describing what failed, so corruption is
+  auditable after the fact (``repro doctor`` scans it);
+* **validation watchdog** — ``REPRO_VALIDATE=n`` /
+  :attr:`~repro.engine.config.EngineConfig.validate_every` re-times
+  every *n*-th fast-path replay with the golden lock-step model and
+  compares the :class:`~repro.timing.pipeline.TimingStats` field by
+  field; :data:`VALIDATE_POLICIES` decides what a divergence becomes
+  (``warn`` — keep the fast stats and log, ``fallback`` — the default,
+  return the golden stats, ``raise`` — abort the run).
+
+Everything here is deliberately dependency-free of the stores
+themselves: :mod:`repro.engine.tracestore`, :mod:`repro.engine.cache`
+and :mod:`repro.engine.artifacts` call *into* this module.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+#: Store-level integrity policies (see module docstring).
+INTEGRITY_POLICIES = ("verify", "repair", "trust")
+
+#: What a fast-path validation divergence becomes.
+VALIDATE_POLICIES = ("warn", "fallback", "raise")
+
+#: Subdirectory of a store root that corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Suffix of the machine-readable reason file written per quarantined
+#: entry.
+REASON_SUFFIX = ".reason.json"
+
+
+class IntegrityError(RuntimeError):
+    """Corrupt on-disk state detected under the ``verify`` policy."""
+
+
+class ValidationDivergence(IntegrityError):
+    """The fast-path kernel diverged from the golden lock-step model
+    under validation policy ``raise``."""
+
+
+def integrity_policy_from_env() -> str:
+    """``REPRO_INTEGRITY`` (default ``repair``: self-healing stores)."""
+    policy = os.environ.get("REPRO_INTEGRITY", "repair")
+    return policy if policy in INTEGRITY_POLICIES else "repair"
+
+
+def check_policy(policy: str) -> str:
+    if policy not in INTEGRITY_POLICIES:
+        raise ValueError(
+            f"integrity policy must be one of {INTEGRITY_POLICIES}, "
+            f"got {policy!r}")
+    return policy
+
+
+# ----------------------------------------------------------------------
+# Payload digests (result-cache entries).
+
+
+def payload_digest(payload: Any) -> str:
+    """Canonical sha256 of a JSON-able payload — the digest embedded
+    in every result-cache entry and recomputed on read."""
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Per-store integrity counters (telemetry satellite).
+
+
+@dataclass
+class IntegrityCounters:
+    """What a store's integrity layer did this process."""
+
+    #: Entries that passed checksum verification on read.
+    verified: int = 0
+    #: Quarantined entries that were transparently re-recorded or
+    #: recomputed (the self-heal completing).
+    repaired: int = 0
+    #: Corrupt entries moved to the quarantine directory.
+    quarantined: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+# ----------------------------------------------------------------------
+# Quarantine: corrupt entries are moved aside, never deleted.
+
+
+def quarantine_root(store_root: pathlib.Path) -> pathlib.Path:
+    return pathlib.Path(store_root) / QUARANTINE_DIR
+
+
+def quarantine_entry(path: pathlib.Path, store_root: pathlib.Path,
+                     reason: str, key: Optional[str] = None,
+                     store: str = "unknown") -> Optional[pathlib.Path]:
+    """Move a corrupt entry into ``<store_root>/quarantine/`` with a
+    machine-readable reason file; returns the quarantined path (or
+    ``None`` if the entry vanished underneath us — another process may
+    have quarantined it first)."""
+    path = pathlib.Path(path)
+    qdir = quarantine_root(store_root)
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / path.name
+        os.replace(path, target)
+    except OSError:
+        return None
+    reason_doc = {
+        "entry": path.name,
+        "original_path": str(path),
+        "store": store,
+        "key": key,
+        "reason": reason,
+        "detected_ts": time.time(),
+    }
+    with contextlib.suppress(OSError):
+        (qdir / (path.name + REASON_SUFFIX)).write_text(
+            json.dumps(reason_doc, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8")
+    return target
+
+
+def quarantined_entries(store_root: pathlib.Path) -> List[pathlib.Path]:
+    """Quarantined entry files (reason files excluded) under a store."""
+    qdir = quarantine_root(store_root)
+    if not qdir.is_dir():
+        return []
+    return sorted(p for p in qdir.iterdir()
+                  if p.is_file() and not p.name.endswith(REASON_SUFFIX))
+
+
+def purge_quarantine(store_root: pathlib.Path) -> int:
+    """Delete every quarantined entry and reason file; returns the
+    number of entry files removed (``repro cache prune`` calls this —
+    quarantine is an audit trail, not an archive)."""
+    qdir = quarantine_root(store_root)
+    if not qdir.is_dir():
+        return 0
+    removed = 0
+    for path in list(qdir.iterdir()):
+        is_entry = path.is_file() and not path.name.endswith(REASON_SUFFIX)
+        with contextlib.suppress(OSError):
+            path.unlink()
+            removed += int(is_entry)
+    with contextlib.suppress(OSError):
+        qdir.rmdir()
+    return removed
+
+
+# ----------------------------------------------------------------------
+# Fast-path validation watchdog.
+
+
+@dataclass(frozen=True)
+class ValidationSettings:
+    """Resolved watchdog configuration installed around execution."""
+
+    #: Validate every n-th fast-path replay; ``None``/0 disables.
+    every: Optional[int] = None
+    #: One of :data:`VALIDATE_POLICIES`.
+    policy: str = "fallback"
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.every)
+
+
+def validate_every_from_env() -> Optional[int]:
+    raw = os.environ.get("REPRO_VALIDATE")
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        return None
+    return value if value > 0 else None
+
+
+def validate_policy_from_env() -> str:
+    policy = os.environ.get("REPRO_VALIDATE_POLICY", "fallback")
+    return policy if policy in VALIDATE_POLICIES else "fallback"
+
+
+# The active watchdog travels as module state for the same reason the
+# trace store does (repro.engine.tracestore): replay happens deep
+# inside window runners, possibly in a pool worker, and threading a
+# parameter through every signature would couple the whole timing
+# layer to the engine.  The counter is per-process: with REPRO_VALIDATE=n
+# each worker independently validates its own every n-th fast replay.
+_settings = ValidationSettings(every=None)
+_replay_counter = 0
+
+
+def get_validation_settings() -> ValidationSettings:
+    return _settings
+
+
+def set_validation_settings(
+        settings: Optional[ValidationSettings]) -> ValidationSettings:
+    """Install watchdog settings; returns the previous ones.  ``None``
+    re-resolves from the environment (the library default)."""
+    global _settings, _replay_counter
+    previous = _settings
+    if settings is None:
+        settings = ValidationSettings(every=validate_every_from_env(),
+                                      policy=validate_policy_from_env())
+    if settings.policy not in VALIDATE_POLICIES:
+        raise ValueError(
+            f"validate policy must be one of {VALIDATE_POLICIES}, "
+            f"got {settings.policy!r}")
+    _settings = settings
+    _replay_counter = 0
+    return previous
+
+
+@contextlib.contextmanager
+def validation_override(
+        settings: Optional[ValidationSettings]) -> Iterator[None]:
+    previous = set_validation_settings(settings)
+    try:
+        yield
+    finally:
+        set_validation_settings(previous)
+
+
+def take_validation_ticket() -> bool:
+    """True when the current fast-path replay should be cross-checked
+    against the golden model (every n-th one, counted per process)."""
+    global _replay_counter
+    if not _settings.enabled:
+        return False
+    _replay_counter += 1
+    return _replay_counter % _settings.every == 0  # type: ignore[operator]
+
+
+def compare_stats(fast: Any, golden: Any) -> List[Dict[str, Any]]:
+    """Field-by-field comparison of two ``TimingStats``; returns one
+    ``{"field", "fast", "golden"}`` entry per diverging counter."""
+    from ..timing.pipeline import _STATS_FIELD_NAMES
+
+    return [
+        {"field": name, "fast": getattr(fast, name),
+         "golden": getattr(golden, name)}
+        for name in _STATS_FIELD_NAMES
+        if getattr(fast, name) != getattr(golden, name)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Ledger (JSONL) line checksums.
+
+
+def ledger_line_crc(payload: Dict[str, Any]) -> int:
+    """CRC32 of a ledger record's canonical serialisation (the value
+    of the line's ``crc`` field; computed with ``crc`` absent)."""
+    import zlib
+
+    blob = json.dumps({k: v for k, v in payload.items() if k != "crc"},
+                      sort_keys=True)
+    return zlib.crc32(blob.encode("utf-8"))
+
+
+def check_ledger_line(obj: Dict[str, Any]) -> str:
+    """Classify one parsed ledger record: ``ok`` (crc matches),
+    ``legacy`` (no crc field — pre-integrity ledgers stay readable),
+    or ``corrupt`` (crc mismatch: the line was bit-rotted in place)."""
+    if "crc" not in obj:
+        return "legacy"
+    return "ok" if obj["crc"] == ledger_line_crc(obj) else "corrupt"
+
+
+@dataclass
+class LedgerReport:
+    """What reading a JSONL ledger back found, line by line."""
+
+    path: str
+    lines: int = 0
+    ok: int = 0
+    legacy: int = 0
+    #: Unparseable lines — a torn tail from a killed run, usually.
+    torn: int = 0
+    #: Parseable lines whose crc no longer matches (bit rot).
+    corrupt: int = 0
+
+    @property
+    def bad(self) -> int:
+        return self.torn + self.corrupt
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(dataclasses.asdict(self), bad=self.bad)
+
+
+# ----------------------------------------------------------------------
+# `repro doctor`: scan everything, report, optionally repair.
+
+
+def scan_ledger(path, repair: bool = False) -> LedgerReport:
+    """Verify a JSONL run ledger line by line.
+
+    With ``repair``, the file is atomically rewritten with only the
+    intact lines (dropping the torn tail and any bit-rotted line), so
+    a later ``repro resume`` never has to re-tolerate them.
+    """
+    path = pathlib.Path(path)
+    report = LedgerReport(path=str(path))
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return report
+    kept: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        report.lines += 1
+        try:
+            obj = json.loads(stripped)
+        except ValueError:
+            report.torn += 1
+            continue
+        if not isinstance(obj, dict):
+            report.torn += 1
+            continue
+        status = check_ledger_line(obj)
+        if status == "corrupt":
+            report.corrupt += 1
+            continue
+        report.ok += int(status == "ok")
+        report.legacy += int(status == "legacy")
+        kept.append(stripped)
+    if repair and report.bad:
+        import tempfile
+
+        handle = tempfile.NamedTemporaryFile(
+            mode="w", encoding="utf-8", dir=str(path.parent),
+            prefix=".tmp-", suffix=".jsonl", delete=False)
+        try:
+            with handle:
+                handle.write("\n".join(kept) + ("\n" if kept else ""))
+            os.replace(handle.name, path)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(handle.name)
+    return report
+
+
+def run_doctor(cache, trace_store, ledgers: Tuple[str, ...] = (),
+               repair: bool = False) -> Dict[str, Any]:
+    """Scan both stores and any ledgers; returns the doctor report.
+
+    ``repair`` quarantines corrupt store entries (they re-record /
+    recompute on next use) and rewrites damaged ledgers in place.
+    ``report["corrupt"]`` counts everything found; ``report["clean"]``
+    is True when nothing was wrong to begin with.
+    """
+    results = cache.scan(repair=repair)
+    traces = trace_store.scan(repair=repair)
+    ledger_reports = [scan_ledger(path, repair=repair) for path in ledgers]
+    corrupt = (results["corrupt"] + traces["corrupt"]
+               + sum(r.bad for r in ledger_reports))
+    return {
+        "results": results,
+        "traces": traces,
+        "ledgers": [r.as_dict() for r in ledger_reports],
+        "corrupt": corrupt,
+        "repaired": repair,
+        "clean": corrupt == 0,
+    }
+
+
+def format_doctor(report: Dict[str, Any]) -> str:
+    """Human-readable rendering of a :func:`run_doctor` report."""
+    lines = []
+    for title, scan in (("result cache", report["results"]),
+                        ("trace store", report["traces"])):
+        lines.append(
+            f"{title:<12} {scan['scanned']:>6} scanned  "
+            f"{scan['ok']:>6} ok  {scan['corrupt']:>4} corrupt  "
+            f"{scan['quarantined']:>4} quarantined  [{scan['root']}]")
+    for ledger in report["ledgers"]:
+        lines.append(
+            f"ledger       {ledger['lines']:>6} lines    "
+            f"{ledger['ok'] + ledger['legacy']:>6} ok  "
+            f"{ledger['bad']:>4} corrupt  [{ledger['path']}]")
+    verdict = "clean" if report["clean"] else (
+        "repaired" if report["repaired"] else "CORRUPT")
+    lines.append(f"doctor: {report['corrupt']} problem(s) found — {verdict}")
+    return "\n".join(lines)

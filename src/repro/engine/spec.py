@@ -22,8 +22,11 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Tuple
 
 #: Version tag folded into every cache key.  Bump on any change to
-#: window semantics or payload layout.
-SCHEMA_VERSION = 1
+#: window semantics or payload layout.  v2: cache entries embed an
+#: integrity block (payload digest + schema — see
+#: ``docs/integrity.md``), so pre-integrity entries invalidate
+#: wholesale instead of tripping digest verification.
+SCHEMA_VERSION = 2
 
 
 def _canonical(value: Any) -> Any:

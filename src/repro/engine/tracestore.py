@@ -14,11 +14,15 @@ lock-stepped executions (the record-once / replay-many architecture of
 Layout mirrors the result cache: entries live under
 ``<root>/v<TRACE_STORE_VERSION>/<key[:2]>/<key>.trace``, written
 atomically (temp file + ``os.replace``) so concurrent pool workers can
-share one store; corrupt or wrong-version entries are treated as
-misses and discarded.  The root defaults to ``<result cache
-root>/traces`` (override with ``REPRO_TRACE_DIR``); ``REPRO_TRACE=0``
-disables the store, falling every window back to the lock-step
-reference path.
+share one store.  Every trace carries per-section CRC32s
+(``docs/integrity.md``); what a failed verification becomes is the
+store's ``policy`` — ``verify`` (quarantine + raise), ``repair`` (the
+default: quarantine to ``<root>/quarantine/`` with a reason file and
+transparently re-record) or ``trust`` (skip checksums; structurally
+broken entries are still dropped).  The root defaults to ``<result
+cache root>/traces`` (override with ``REPRO_TRACE_DIR``);
+``REPRO_TRACE=0`` disables the store, falling every window back to the
+lock-step reference path.
 """
 
 from __future__ import annotations
@@ -29,15 +33,25 @@ import json
 import os
 import pathlib
 import tempfile
-from typing import Any, Dict, Iterator, Optional
+from typing import Any, Dict, Iterator, Optional, Set
 
 from ..sim.trace_io import RecordedTrace, TraceFormatError
 from .cache import default_cache_dir
+from .integrity import (
+    IntegrityCounters,
+    IntegrityError,
+    check_policy,
+    integrity_policy_from_env,
+    purge_quarantine,
+    quarantine_entry,
+    quarantined_entries,
+)
 
 #: Folded into every trace key and the on-disk layout.  Bump whenever
 #: the functional semantics of window execution or the trace encoding
-#: change, so stale recorded streams invalidate wholesale.
-TRACE_STORE_VERSION = 1
+#: change, so stale recorded streams invalidate wholesale.  v2: the
+#: BRTR v2 encoding added per-section checksums.
+TRACE_STORE_VERSION = 2
 
 #: Spec parameters that cannot change the functional instruction
 #: stream — only how it is timed — and are therefore excluded from the
@@ -88,13 +102,20 @@ class TraceStore:
     HANDLE_CACHE_SIZE = 4
 
     def __init__(self, root: Optional[pathlib.Path] = None,
-                 enabled: bool = True) -> None:
+                 enabled: bool = True,
+                 policy: Optional[str] = None) -> None:
         self.root = pathlib.Path(root) if root else default_trace_dir()
         self.enabled = enabled
+        self.policy = check_policy(policy if policy is not None
+                                   else integrity_policy_from_env())
         self.hits = 0
         self.misses = 0
         self.bytes_written = 0
+        self.integrity = IntegrityCounters()
         self._handles: Dict[str, RecordedTrace] = {}
+        #: Keys whose entry was quarantined and awaits re-recording —
+        #: the next successful ``record`` counts as a repair.
+        self._repair_pending: Set[str] = set()
 
     def _path(self, key: str) -> pathlib.Path:
         return self.root / f"v{TRACE_STORE_VERSION}" / key[:2] / f"{key}.trace"
@@ -105,8 +126,30 @@ class TraceStore:
         while len(self._handles) > self.HANDLE_CACHE_SIZE:
             del self._handles[next(iter(self._handles))]
 
+    def invalidate(self, key: str) -> None:
+        """Drop the open handle for ``key``, if any.  Must be called
+        whenever the underlying file is removed, quarantined or
+        replaced out-of-band, or the LRU would keep serving the stale
+        decoded trace."""
+        self._handles.pop(key, None)
+
+    def _quarantine(self, path: pathlib.Path, reason: str,
+                    key: Optional[str] = None) -> None:
+        if key is not None:
+            self.invalidate(key)
+            self._repair_pending.add(key)
+        if quarantine_entry(path, self.root, reason, key=key,
+                            store="traces") is not None:
+            self.integrity.quarantined += 1
+
     def load(self, key: str) -> Optional[RecordedTrace]:
-        """The recorded trace for ``key``, or ``None`` on a miss."""
+        """The recorded trace for ``key``, or ``None`` on a miss.
+
+        A corrupt entry is quarantined under ``verify``/``repair``
+        (and raises :class:`IntegrityError` under ``verify``); under
+        ``trust`` checksums are skipped and structurally broken
+        entries are silently dropped, as before the integrity layer.
+        """
         if not self.enabled:
             return None
         cached = self._handles.get(key)
@@ -114,17 +157,27 @@ class TraceStore:
             self.hits += 1
             return cached
         path = self._path(key)
+        verify = self.policy != "trust"
         try:
-            trace = RecordedTrace.open(path)
+            trace = RecordedTrace.open(path, verify=verify)
         except FileNotFoundError:
             self.misses += 1
             return None
-        except (OSError, TraceFormatError):
-            # Corrupt or wrong-version entry: drop it and re-record.
-            with contextlib.suppress(OSError):
-                path.unlink()
+        except (OSError, TraceFormatError) as exc:
             self.misses += 1
+            if not verify:
+                # Legacy behaviour: drop it and re-record.
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                return None
+            self._quarantine(path, repr(exc), key=key)
+            if self.policy == "verify":
+                raise IntegrityError(
+                    f"trace store entry {key[:12]} is corrupt "
+                    f"(quarantined): {exc}") from exc
             return None
+        if verify:
+            self.integrity.verified += 1
         self.hits += 1
         self._remember(key, trace)
         return trace
@@ -153,6 +206,9 @@ class TraceStore:
                 os.unlink(handle.name)
             raise
         self.bytes_written += trace.nbytes
+        if key in self._repair_pending:
+            self._repair_pending.discard(key)
+            self.integrity.repaired += 1
         self._remember(key, trace)
         return trace
 
@@ -165,7 +221,8 @@ class TraceStore:
             yield from version_dir.rglob("*.trace")
 
     def stats(self) -> Dict[str, Any]:
-        """Entry/byte counts of the current-version store."""
+        """Entry/byte counts of the current-version store, plus the
+        integrity layer's health counters."""
         entries = 0
         total = 0
         for path in self._entries():
@@ -175,12 +232,39 @@ class TraceStore:
             except OSError:
                 continue
         return {"root": str(self.root), "version": TRACE_STORE_VERSION,
-                "entries": entries, "bytes": total}
+                "entries": entries, "bytes": total,
+                "policy": self.policy,
+                "quarantined": len(quarantined_entries(self.root)),
+                "integrity": self.integrity.as_dict()}
+
+    def scan(self, repair: bool = False) -> Dict[str, Any]:
+        """Verify every stored trace (the ``repro doctor`` pass).
+
+        With ``repair``, corrupt entries are quarantined so their next
+        use re-records them; without it they are only reported.
+        """
+        scanned = ok = corrupt = 0
+        for path in sorted(self._entries()):
+            scanned += 1
+            try:
+                RecordedTrace.open(path, verify=True)
+            except (OSError, TraceFormatError) as exc:
+                corrupt += 1
+                if repair:
+                    self._quarantine(path, repr(exc), key=path.stem)
+            else:
+                ok += 1
+        return {"root": str(self.root), "scanned": scanned, "ok": ok,
+                "corrupt": corrupt,
+                "quarantined": len(quarantined_entries(self.root))}
 
     def prune(self) -> int:
-        """Drop stale-version subtrees and leftover temp files; returns
-        the number of files removed."""
+        """Drop stale-version subtrees, leftover temp files and the
+        quarantine audit trail; returns the number of files removed.
+        Open handles are invalidated: pruned files must not be served
+        from the LRU."""
         removed = 0
+        self._handles.clear()
         if not self.root.is_dir():
             return 0
         import shutil
@@ -194,6 +278,7 @@ class TraceStore:
             with contextlib.suppress(OSError):
                 stray.unlink()
                 removed += 1
+        removed += purge_quarantine(self.root)
         return removed
 
     def clear(self) -> int:

@@ -110,13 +110,18 @@ def _timed_window(
     result = replay_window(trace, begin, end, config=_config_from(params),
                            fast_forward=fast_forward, program=program)
     replay_info = consume_replay_info() or {}
-    set_last_trace_info({
+    info = {
         "trace": usage,
         "trace_bytes": trace.nbytes,
         "functional_steps": functional_steps,
         "timing_path": replay_info.get("timing_path"),
         "replay_records_per_s": replay_info.get("replay_records_per_s"),
-    })
+    }
+    for field in ("validation", "validation_policy",
+                  "validation_mismatches"):
+        if field in replay_info:
+            info[field] = replay_info[field]
+    set_last_trace_info(info)
     return result
 
 

@@ -16,7 +16,13 @@ simulator.  The format is built for that consumer:
   silently corrupt a replay;
 * **marker index footer** — every ``marker`` firing is indexed by
   ``(marker id, cumulative count) -> step``, so fast-forward, window
-  begin and window end points resolve without touching a single record.
+  begin and window end points resolve without touching a single record;
+* **per-section CRC32s** — the footer carries one checksum per
+  section (header, record payload, marker index), verified on read,
+  so a flipped byte anywhere in a stored trace is *detected* instead
+  of silently poisoning every replay of it (``docs/integrity.md``).
+  Pass ``verify=False`` to skip the check (the store's ``trust``
+  policy); structural validation always runs.
 
 Streams are written through :class:`TraceWriter` (incremental, so the
 recording machine never materialises the trace in memory) and read
@@ -30,6 +36,7 @@ import io
 import json
 import pathlib
 import struct
+import zlib
 from array import array
 from typing import BinaryIO, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -40,14 +47,16 @@ from .trace import TraceRecord
 TRACE_MAGIC = b"BRTR"
 
 #: Bump whenever the record encoding or index layout changes; readers
-#: reject any other version.
-TRACE_VERSION = 1
+#: reject any other version.  v2 added the per-section CRC32s to the
+#: footer.
+TRACE_VERSION = 2
 
 #: Header: magic + u8 version + 3 reserved bytes.
 _HEADER = struct.Struct("<4sB3x")
 
-#: Footer: u64 little-endian index offset + magic.
-_FOOTER = struct.Struct("<Q4s")
+#: Footer: CRC32 of the header, record payload and marker index, then
+#: the u64 little-endian index offset and the magic terminator.
+_FOOTER = struct.Struct("<IIIQ4s")
 
 # Per-record flag bits.
 _F_TAKEN = 1 << 0       # control transfer happened
@@ -90,6 +99,20 @@ def _read_uvarint(data: bytes, pos: int) -> Tuple[int, int]:
         shift += 7
 
 
+def _append_uvarint(out: bytearray, value: int) -> None:
+    """LEB128 unsigned varint, appended to a record buffer."""
+    if value < 0:
+        raise TraceFormatError(f"cannot encode negative value {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
 class TraceWriter:
     """Incrementally encode records to a binary stream.
 
@@ -111,12 +134,16 @@ class TraceWriter:
         #: at which the marker's cumulative count reached ``k``.
         self.markers: Dict[int, List[int]] = {}
         self._finished = False
-        stream.write(_HEADER.pack(TRACE_MAGIC, TRACE_VERSION))
+        header = _HEADER.pack(TRACE_MAGIC, TRACE_VERSION)
+        self._crc_header = zlib.crc32(header)
+        self._crc_body = 0
+        self._body_bytes = _HEADER.size
+        stream.write(header)
 
     def append(self, record: TraceRecord) -> None:
         if self._finished:
             raise TraceFormatError("writer already finished")
-        out = self._stream
+        out = bytearray()
         flags = 0
         if record.taken:
             flags |= _F_TAKEN
@@ -129,23 +156,26 @@ class TraceWriter:
         instr = record.instr
         if instr is not None:
             flags |= _F_INSTR
-        out.write(bytes((flags,)))
+        out.append(flags)
         if not flags & _F_SEQ_PC:
-            _write_uvarint(out, record.pc)
+            _append_uvarint(out, record.pc)
         if instr is not None:
             word = encode(instr)
             word_id = self._word_ids.get(word)
             if word_id is None:
                 word_id = len(self._word_ids)
                 self._word_ids[word] = word_id
-                _write_uvarint(out, word_id)
-                _write_uvarint(out, word)
+                _append_uvarint(out, word_id)
+                _append_uvarint(out, word)
             else:
-                _write_uvarint(out, word_id)
+                _append_uvarint(out, word_id)
         if not flags & _F_SEQ_NEXT:
-            _write_uvarint(out, record.next_pc)
+            _append_uvarint(out, record.next_pc)
         if record.mem_addr is not None:
-            _write_uvarint(out, record.mem_addr)
+            _append_uvarint(out, record.mem_addr)
+        self._crc_body = zlib.crc32(out, self._crc_body)
+        self._body_bytes += len(out)
+        self._stream.write(out)
         if instr is not None and instr.op is Op.MARKER:
             self.markers.setdefault(instr.imm, []).append(self.n_records)
         self._prev_next_pc = record.next_pc
@@ -157,14 +187,17 @@ class TraceWriter:
             return
         self._finished = True
         out = self._stream
-        index_offset = out.tell()
+        index_offset = self._body_bytes
         index = {
             "n_records": self.n_records,
             "markers": {str(mid): steps for mid, steps in self.markers.items()},
         }
-        out.write(json.dumps(index, sort_keys=True,
-                             separators=(",", ":")).encode("utf-8"))
-        out.write(_FOOTER.pack(index_offset, TRACE_MAGIC))
+        index_blob = json.dumps(index, sort_keys=True,
+                                separators=(",", ":")).encode("utf-8")
+        out.write(index_blob)
+        out.write(_FOOTER.pack(self._crc_header, self._crc_body,
+                               zlib.crc32(index_blob), index_offset,
+                               TRACE_MAGIC))
 
 
 def write_trace(path: Union[str, pathlib.Path],
@@ -227,7 +260,8 @@ class RecordedTrace:
     """
 
     def __init__(self, data: bytes,
-                 source: Optional[pathlib.Path] = None) -> None:
+                 source: Optional[pathlib.Path] = None,
+                 verify: bool = True) -> None:
         if len(data) < _HEADER.size + _FOOTER.size:
             raise TraceFormatError("trace too short for header and footer")
         magic, version = _HEADER.unpack_from(data, 0)
@@ -238,12 +272,25 @@ class RecordedTrace:
                 f"trace version {version} unsupported "
                 f"(encoder is v{TRACE_VERSION})"
             )
-        index_offset, end_magic = _FOOTER.unpack_from(
-            data, len(data) - _FOOTER.size)
+        (crc_header, crc_body, crc_index, index_offset,
+         end_magic) = _FOOTER.unpack_from(data, len(data) - _FOOTER.size)
         if end_magic != TRACE_MAGIC:
             raise TraceFormatError("bad trace footer magic")
         if not _HEADER.size <= index_offset <= len(data) - _FOOTER.size:
             raise TraceFormatError("index offset out of range")
+        if verify:
+            index_end = len(data) - _FOOTER.size
+            for section, blob, expected in (
+                ("header", data[:_HEADER.size], crc_header),
+                ("payload", data[_HEADER.size:index_offset], crc_body),
+                ("marker index", data[index_offset:index_end], crc_index),
+            ):
+                actual = zlib.crc32(blob)
+                if actual != expected:
+                    raise TraceFormatError(
+                        f"{section} checksum mismatch: stored "
+                        f"{expected:#010x}, computed {actual:#010x}"
+                    )
         try:
             index = json.loads(
                 data[index_offset:len(data) - _FOOTER.size].decode("utf-8"))
@@ -262,9 +309,10 @@ class RecordedTrace:
     # ------------------------------------------------------------------
 
     @classmethod
-    def open(cls, path: Union[str, pathlib.Path]) -> "RecordedTrace":
+    def open(cls, path: Union[str, pathlib.Path],
+             verify: bool = True) -> "RecordedTrace":
         path = pathlib.Path(path)
-        return cls(path.read_bytes(), source=path)
+        return cls(path.read_bytes(), source=path, verify=verify)
 
     @property
     def nbytes(self) -> int:
@@ -462,9 +510,10 @@ class RecordedTrace:
         return cols
 
 
-def read_trace(path: Union[str, pathlib.Path]) -> RecordedTrace:
+def read_trace(path: Union[str, pathlib.Path],
+               verify: bool = True) -> RecordedTrace:
     """Open and validate a trace file written by :class:`TraceWriter`."""
-    return RecordedTrace.open(path)
+    return RecordedTrace.open(path, verify=verify)
 
 
 def trace_from_records(records: Iterable[TraceRecord]) -> RecordedTrace:

@@ -100,6 +100,25 @@ def fastpath_override(value: Optional[bool]):
         set_fastpath_override(previous)
 
 
+# Test seam for the validation watchdog: when set, the tap transforms
+# the kernel's result before it is returned, simulating a buggy fast
+# path without touching the kernel itself.  Production leaves it None.
+_stats_tap = None
+
+
+@contextlib.contextmanager
+def stats_tap(tap):
+    """Install a ``TimingStats -> TimingStats`` transform on the fast
+    path's output for the duration of the block (tests only)."""
+    global _stats_tap
+    previous = _stats_tap
+    _stats_tap = tap
+    try:
+        yield
+    finally:
+        _stats_tap = previous
+
+
 # ----------------------------------------------------------------------
 # Per-static-word metadata.
 
@@ -614,7 +633,7 @@ def run_fastpath(
     if baseline is None:
         baseline = (0,) * 16
     diff = [f - b for f, b in zip(finals, baseline)]
-    return TimingStats(
+    stats = TimingStats(
         instructions=diff[0], cycles=diff[1], cond_branches=diff[2],
         cond_mispredicts=diff[3], brr_resolved=diff[4], brr_taken=diff[5],
         frontend_redirects=diff[6], backend_redirects=diff[7],
@@ -622,3 +641,6 @@ def run_fastpath(
         rob_stall_cycles=diff[10], loads=diff[11], stores=diff[12],
         icache_misses=diff[13], dcache_misses=diff[14], l2_misses=diff[15],
     )
+    if _stats_tap is not None:
+        stats = _stats_tap(stats)
+    return stats

@@ -259,19 +259,24 @@ def record_window(
 
 
 # Out-of-band channel describing the most recent replay: which timing
-# path ran ("fast" or "golden") and its throughput.  Observability
-# only — keeping it out of WindowResult keeps cached payloads (and the
-# engine's content-addressed keys) byte-identical across paths.
+# path ran ("fast" or "golden"), its throughput, and — when the
+# validation watchdog sampled it — the golden cross-check outcome.
+# Observability only — keeping it out of WindowResult keeps cached
+# payloads (and the engine's content-addressed keys) byte-identical
+# across paths.
 _last_replay_info: Optional[Dict[str, object]] = None
 
 
-def _set_replay_info(path: str, records: int, elapsed: float) -> None:
+def _set_replay_info(path: str, records: int, elapsed: float,
+                     validation: Optional[Dict[str, object]] = None) -> None:
     global _last_replay_info
     _last_replay_info = {
         "timing_path": path,
         "replay_records": records,
         "replay_records_per_s": (records / elapsed) if elapsed > 0 else None,
     }
+    if validation:
+        _last_replay_info.update(validation)
 
 
 def consume_replay_info() -> Optional[Dict[str, object]]:
@@ -328,12 +333,32 @@ def replay_window(
                 trace, i_skip, i_begin, i_end, config=config,
                 program=program, prewarm_code=prewarm_code,
             )
-            _set_replay_info("fast", n_replayed,
-                             time.perf_counter() - started)
+            elapsed = time.perf_counter() - started
+            stats, validation = _maybe_validate(
+                stats, trace, i_skip, i_begin, i_end, config,
+                program, prewarm_code)
+            _set_replay_info("fast", n_replayed, elapsed,
+                             validation=validation)
             return WindowResult(stats=stats, total_steps=i_end + 1)
         except FastPathUnsupported:
             pass  # golden loop below reproduces (or raises) exactly
     started = time.perf_counter()
+    stats = _replay_golden(trace, i_skip, i_begin, i_end, config,
+                           program, prewarm_code)
+    _set_replay_info("golden", n_replayed, time.perf_counter() - started)
+    return WindowResult(stats=stats, total_steps=i_end + 1)
+
+
+def _replay_golden(
+    trace: RecordedTrace,
+    i_skip: int,
+    i_begin: int,
+    i_end: int,
+    config: Optional[TimingConfig],
+    program: Optional[Program],
+    prewarm_code: bool,
+) -> TimingStats:
+    """The per-record reference replay loop over a resolved window."""
     simulator = _simulator_for(config, program, prewarm_code)
     baseline = simulator.snapshot()
     for index, record in enumerate(trace.records()):
@@ -344,9 +369,49 @@ def replay_window(
         simulator.step(record)
         if index == i_begin:
             baseline = simulator.snapshot()
-    _set_replay_info("golden", n_replayed, time.perf_counter() - started)
-    return WindowResult(stats=simulator.stats - baseline,
-                        total_steps=i_end + 1)
+    return simulator.stats - baseline
+
+
+def _maybe_validate(
+    stats: TimingStats,
+    trace: RecordedTrace,
+    i_skip: int,
+    i_begin: int,
+    i_end: int,
+    config: Optional[TimingConfig],
+    program: Optional[Program],
+    prewarm_code: bool,
+) -> Tuple[TimingStats, Optional[Dict[str, object]]]:
+    """Cross-check a fast-path result against the golden model when the
+    validation watchdog (``REPRO_VALIDATE``) samples this replay.
+
+    Returns the stats to report — the fast result, or the golden one
+    under the ``fallback`` policy on divergence — plus the telemetry
+    dict for :func:`_set_replay_info` (``None`` when not sampled).
+    """
+    # Imported lazily: repro.engine imports this package at module
+    # scope, so a top-level import here would be circular.
+    from ..engine import integrity
+
+    if not integrity.take_validation_ticket():
+        return stats, None
+    golden = _replay_golden(trace, i_skip, i_begin, i_end, config,
+                            program, prewarm_code)
+    mismatches = integrity.compare_stats(stats, golden)
+    if not mismatches:
+        return stats, {"validation": "pass"}
+    policy = integrity.get_validation_settings().policy
+    detail = {"validation": "divergence",
+              "validation_policy": policy,
+              "validation_mismatches": mismatches}
+    if policy == "raise":
+        raise integrity.ValidationDivergence(
+            f"fast-path replay diverged from golden model on "
+            f"{len(mismatches)} field(s): "
+            + ", ".join(m["field"] for m in mismatches))
+    if policy == "fallback":
+        return golden, detail
+    return stats, detail  # "warn": keep the fast stats, report it
 
 
 def overhead_percent(base_cycles: int, instrumented_cycles: int) -> float:
