@@ -12,10 +12,11 @@ Usage::
     python -m repro cost
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
     python -m repro all      # everything (several minutes)
-    python -m repro cache [stats|prune|clear]
+    python -m repro cache [stats|prune|clear] [--store results|traces|all]
     python -m repro bench    # fastpath-vs-golden replay benchmark
     python -m repro resume RUN.jsonl   # finish an interrupted run
     python -m repro doctor [RUN.jsonl] [--repair]  # integrity audit
+    python -m repro serve [--host H] [--port P]  # HTTP simulation service
 
 ``--scale`` is the one scaling knob and is interpreted per command:
 fraction of the paper's invocation counts for the accuracy figures
@@ -215,24 +216,31 @@ def _bench_command(args, out_dir: Optional[pathlib.Path]) -> Tuple[Any, str, int
 
 
 def _cache_command(args, engine: ExperimentEngine) -> CommandResult:
-    """Inspect or maintain the result cache and the trace store."""
+    """Inspect or maintain the result cache and/or the trace store.
+
+    ``--store`` narrows the action to one store; the default acts on
+    both, which is what the pre-selector command always did.
+    """
     action = args.action or "stats"
-    data: Dict[str, Any] = {"action": action}
-    if action == "prune":
-        data["removed"] = {"results": engine.cache.prune(),
-                           "traces": engine.trace_store.prune()}
-    elif action == "clear":
-        data["removed"] = {"results": engine.cache.clear(),
-                           "traces": engine.trace_store.clear()}
-    data["results"] = engine.cache.stats()
-    data["traces"] = engine.trace_store.stats()
+    selector = args.store or "all"
+    stores = []
+    if selector in ("results", "all"):
+        stores.append(("results", "result cache", engine.cache))
+    if selector in ("traces", "all"):
+        stores.append(("traces", "trace store", engine.trace_store))
+    data: Dict[str, Any] = {"action": action, "store": selector}
+    if action in ("prune", "clear"):
+        data["removed"] = {name: getattr(store, action)()
+                           for name, _, store in stores}
+    for name, _, store in stores:
+        data[name] = store.stats()
     lines = []
     if "removed" in data:
-        lines.append(
-            f"{action}: removed {data['removed']['results']} result "
-            f"entries, {data['removed']['traces']} trace files")
-    for title, stats in (("result cache", data["results"]),
-                         ("trace store", data["traces"])):
+        removed = ", ".join(f"{count} {name} entries" for name, count
+                            in sorted(data["removed"].items()))
+        lines.append(f"{action}: removed {removed}")
+    for name, title, _ in stores:
+        stats = data[name]
         health = stats["integrity"]
         lines.append(
             f"{title:<12} {stats['entries']:>6} entries  "
@@ -258,6 +266,33 @@ def _doctor_command(args, engine: ExperimentEngine) -> Tuple[Any, str, int]:
                         ledgers=tuple(ledgers), repair=args.repair)
     code = 0 if (report["clean"] or args.repair) else 1
     return report, format_doctor(report), code
+
+
+def _serve_command(args, engine: ExperimentEngine) -> int:
+    """``repro serve``: the multi-tenant HTTP simulation service.
+
+    Blocks until interrupted.  The engine (and therefore the tiered
+    stores and any ``--log-jsonl`` ledger) is shared by every request;
+    see ``docs/serve.md`` for the wire protocol.
+    """
+    import asyncio
+
+    from .serve import ReproServer, SimulationService
+
+    service = SimulationService(engine=engine, workers=max(1, args.workers))
+    server = ReproServer(service=service, host=args.host, port=args.port)
+
+    async def _run() -> None:
+        await server.start()
+        print(f"repro serve listening on http://{server.host}:{server.port} "
+              f"(workers={max(1, args.workers)})", file=sys.stderr, flush=True)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("[serve: interrupted]", file=sys.stderr)
+    return 0
 
 
 def _resume_command(args, parser: argparse.ArgumentParser) -> int:
@@ -303,14 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("command",
                         choices=list(COMMANDS) + ["all", "cache", "bench",
-                                                  "resume", "doctor"],
+                                                  "resume", "doctor",
+                                                  "serve"],
                         help="which figure/table to regenerate, `cache` to "
                              "inspect/maintain the on-disk stores, `bench` "
                              "to run the fastpath-vs-golden timing "
                              "benchmark (writes BENCH_timing.json under "
                              "--out), `resume` to finish an interrupted "
-                             "run from its JSONL log, or `doctor` to audit "
-                             "store/ledger integrity")
+                             "run from its JSONL log, `doctor` to audit "
+                             "store/ledger integrity, or `serve` to run "
+                             "the HTTP simulation service (docs/serve.md)")
     parser.add_argument("action", nargs="?", default=None,
                         help="for `cache`: stats (default), prune stale "
                              "versions, or clear everything; for `resume`: "
@@ -357,6 +394,20 @@ def build_parser() -> argparse.ArgumentParser:
                              "re-execute transparently), trust (skip "
                              "checksums; default: REPRO_INTEGRITY, else "
                              "repair)")
+    parser.add_argument("--store", choices=("results", "traces", "all"),
+                        default=None,
+                        help="for `cache`: which store the action applies "
+                             "to (default: all)")
+    parser.add_argument("--host", type=str, default="127.0.0.1",
+                        help="for `serve`: interface to bind "
+                             "(default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8787,
+                        help="for `serve`: TCP port; 0 picks a free one "
+                             "(default: 8787)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="for `serve`: concurrent distinct "
+                             "computations (identical concurrent requests "
+                             "always coalesce onto one; default: 1)")
     parser.add_argument("--repair", action="store_true",
                         help="for `doctor`: quarantine corrupt store "
                              "entries and rewrite damaged ledgers instead "
@@ -435,6 +486,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
     engine = _build_engine(args, out_dir)
+
+    if args.command == "serve":
+        return _serve_command(args, engine)
 
     if args.command == "cache":
         data, text = _cache_command(args, engine)

@@ -58,6 +58,7 @@ from .integrity import (
 )
 from .spec import SCHEMA_VERSION, WindowSpec
 from .tracestore import (
+    DEFAULT_TRACE_HANDLES,
     TIMING_ONLY_PARAMS,
     TRACE_STORE_VERSION,
     TraceStore,
@@ -65,6 +66,7 @@ from .tracestore import (
     default_trace_dir,
     functional_key,
     trace_enabled_by_env,
+    trace_handles_from_env,
 )
 
 __all__ = [
@@ -104,6 +106,7 @@ __all__ = [
     "is_failure",
     "run_windows",
     "set_engine",
+    "DEFAULT_TRACE_HANDLES",
     "TIMING_ONLY_PARAMS",
     "TRACE_STORE_VERSION",
     "TraceStore",
@@ -111,4 +114,5 @@ __all__ = [
     "default_trace_dir",
     "functional_key",
     "trace_enabled_by_env",
+    "trace_handles_from_env",
 ]

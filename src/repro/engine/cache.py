@@ -1,19 +1,29 @@
-"""Content-addressed on-disk cache of window results.
+"""Content-addressed cache of window results — a typed view over the
+three-tier store layer (:mod:`repro.store`).
 
-Results live under ``<root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json``
-where ``key`` is the spec's canonical digest (which already folds in
+On disk, results live under
+``<root>/v<SCHEMA_VERSION>/<key[:2]>/<key>.json`` where ``key`` is the
+spec's canonical digest (which already folds in
 :data:`~repro.engine.spec.SCHEMA_VERSION`, seeds and every simulation
-parameter — see ``docs/engine.md``).  Entries are written atomically
-(temp file + ``os.replace``) so concurrent workers and concurrent
-processes can share one cache directory safely.
+parameter — see ``docs/engine.md``); the layout is byte-for-byte what
+the pre-refactor cache wrote.  Above the disk sits an in-process LRU
+of canonical payload bytes (bounded by entries and bytes —
+``REPRO_MEM_ENTRIES`` / ``REPRO_MEM_BYTES``), filled on verified
+reads; below it an optional shared backend (``REPRO_STORE_BACKEND``)
+lets many replicas share one corpus — a local miss falls through to
+the backend, and every ``put`` publishes back.  Entries are written
+atomically (temp file + ``os.replace``), so concurrent workers and
+concurrent processes sharing one cache directory never tear each
+other.
 
 Every entry embeds an integrity block — the payload's canonical
 sha256 and the schema version — recomputed on read
 (``docs/integrity.md``).  What a mismatch becomes is the cache's
 ``policy``: ``verify`` (quarantine + raise), ``repair`` (the default:
 quarantine to ``<root>/quarantine/`` with a reason file and
-transparently recompute) or ``trust`` (skip digest verification; an
-unparseable entry is still dropped, as before the integrity layer).
+transparently recompute — or re-fetch from the shared backend) or
+``trust`` (skip digest verification; an unparseable entry is still
+dropped, as before the integrity layer).
 
 The root defaults to ``~/.cache/repro`` and is overridden by
 ``REPRO_CACHE_DIR``; ``REPRO_CACHE=0`` disables caching entirely.
@@ -21,24 +31,29 @@ The root defaults to ``~/.cache/repro`` and is overridden by
 
 from __future__ import annotations
 
-import contextlib
 import json
 import os
 import pathlib
-import tempfile
-from typing import Any, Dict, Iterator, Optional, Set
+from typing import Any, Dict, Optional, Tuple, Union
 
-from .integrity import (
-    IntegrityCounters,
-    IntegrityError,
-    check_policy,
+from ..store import (
+    Backend,
+    Codec,
+    DiskTier,
+    IntegrityError,  # noqa: F401 - historical import surface
+    MemoryTier,
+    TieredStore,
+    backend_from_env,
     integrity_policy_from_env,
+    make_backend,
+    memory_bytes_from_env,
+    memory_entries_from_env,
     payload_digest,
-    purge_quarantine,
-    quarantine_entry,
-    quarantined_entries,
 )
 from .spec import SCHEMA_VERSION, WindowSpec
+
+#: Constructor default meaning "resolve ``REPRO_STORE_BACKEND``".
+AUTO_BACKEND = "auto"
 
 
 def default_cache_dir() -> pathlib.Path:
@@ -52,36 +67,31 @@ def cache_enabled_by_env() -> bool:
     return os.environ.get("REPRO_CACHE", "1") not in ("0", "false", "no")
 
 
-class ResultCache:
-    """Content-addressed store mapping spec digests to result payloads."""
+def resolve_backend(backend: Union[Backend, str, None],
+                    namespace: str) -> Optional[Backend]:
+    """The shared-backend constructor argument, resolved: a live
+    :class:`Backend`, a spec string, :data:`AUTO_BACKEND` (read
+    ``REPRO_STORE_BACKEND``), or ``None`` (no shared tier)."""
+    if backend is None or isinstance(backend, Backend):
+        return backend
+    if backend == AUTO_BACKEND:
+        return backend_from_env(namespace)
+    return make_backend(backend, namespace)
 
-    def __init__(self, root: Optional[pathlib.Path] = None,
-                 enabled: bool = True,
-                 policy: Optional[str] = None) -> None:
-        self.root = pathlib.Path(root) if root else default_cache_dir()
-        self.enabled = enabled
-        self.policy = check_policy(policy if policy is not None
-                                   else integrity_policy_from_env())
-        self.hits = 0
-        self.misses = 0
-        self.integrity = IntegrityCounters()
-        #: Keys whose entry was quarantined and awaits recomputation —
-        #: the next successful ``put`` counts as a repair.
-        self._repair_pending: Set[str] = set()
 
-    def _path(self, key: str) -> pathlib.Path:
-        return self.root / f"v{SCHEMA_VERSION}" / key[:2] / f"{key}.json"
+class _ResultCodec(Codec):
+    """Result entries: JSON documents with an embedded integrity block.
 
-    def _quarantine(self, path: pathlib.Path, reason: str,
-                    key: Optional[str] = None) -> None:
-        if key is not None:
-            self._repair_pending.add(key)
-        if quarantine_entry(path, self.root, reason, key=key,
-                            store="results") is not None:
-            self.integrity.quarantined += 1
+    The memory tier holds the payload's canonical JSON bytes, not the
+    decoded object — ``get`` decodes fresh each time, so a reducer
+    mutating a returned payload cannot pollute later reads.
+    """
+
+    store_title = "result cache"
+    namespace = "results"
 
     @staticmethod
-    def _check_entry(entry: Any) -> Dict[str, Any]:
+    def check_entry(entry: Any) -> Dict[str, Any]:
         """The entry's payload, after verifying the embedded digest;
         raises ``ValueError`` on any mismatch."""
         payload = entry["result"]
@@ -96,47 +106,94 @@ class ResultCache:
                 f"{str(block.get('digest'))[:12]}…, computed {digest[:12]}…")
         return payload
 
+    def load(self, path: pathlib.Path,
+             verify: bool) -> Tuple[Dict[str, Any], int]:
+        with open(path, "r", encoding="utf-8") as handle:
+            entry = json.load(handle)
+        payload = (self.check_entry(entry) if verify else entry["result"])
+        try:
+            nbytes = path.stat().st_size
+        except OSError:
+            nbytes = 0
+        return payload, nbytes
+
+    def to_memory(self, value: Dict[str, Any],
+                  nbytes: int) -> Tuple[bytes, int]:
+        blob = json.dumps(value, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        return blob, len(blob)
+
+    def from_memory(self, stored: bytes) -> Dict[str, Any]:
+        return json.loads(stored.decode("utf-8"))
+
+
+class ResultCache:
+    """Content-addressed store mapping spec digests to result payloads."""
+
+    def __init__(self, root: Optional[pathlib.Path] = None,
+                 enabled: bool = True,
+                 policy: Optional[str] = None,
+                 memory_entries: Optional[int] = None,
+                 memory_bytes: Optional[int] = None,
+                 backend: Union[Backend, str, None] = AUTO_BACKEND) -> None:
+        self.root = pathlib.Path(root) if root else default_cache_dir()
+        self.enabled = enabled
+        codec = _ResultCodec()
+        self._tiers = TieredStore(
+            disk=DiskTier(self.root, SCHEMA_VERSION, ".json"),
+            codec=codec,
+            memory=MemoryTier(
+                max_entries=(memory_entries if memory_entries is not None
+                             else memory_entries_from_env()),
+                max_bytes=(memory_bytes if memory_bytes is not None
+                           else memory_bytes_from_env())),
+            backend=resolve_backend(backend, codec.namespace),
+            policy=(policy if policy is not None
+                    else integrity_policy_from_env()),
+            promote_on_put=False,
+            durable=True,
+        )
+        self.hits = 0
+        self.misses = 0
+
+    # The policy and integrity counters live on the tier stack; expose
+    # them under their historical names.
+    @property
+    def policy(self) -> str:
+        return self._tiers.policy
+
+    @property
+    def integrity(self):
+        return self._tiers.integrity
+
+    @property
+    def backend(self) -> Optional[Backend]:
+        return self._tiers.backend
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self._tiers.disk.path(key)
+
+    @staticmethod
+    def _check_entry(entry: Any) -> Dict[str, Any]:
+        return _ResultCodec.check_entry(entry)
+
     def get(self, spec: WindowSpec) -> Optional[Dict[str, Any]]:
         """The cached payload for ``spec``, or ``None`` on a miss.
 
-        A corrupt entry — unparseable, or parseable with a digest that
-        no longer matches its payload — is quarantined under
-        ``verify``/``repair`` (and raises :class:`IntegrityError`
-        under ``verify``); ``trust`` skips the digest check entirely.
+        Reads walk the tier stack: memory LRU, then the local disk
+        entry (verified per the policy — a corrupt one is quarantined
+        under ``verify``/``repair``, and raises :class:`IntegrityError`
+        under ``verify``), then the shared backend, whose fetch fills
+        the local tiers on the way up.
         """
         if not self.enabled:
             return None
-        verify = self.policy != "trust"
-        path = self._path(spec.cache_key)
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                entry = json.load(handle)
-            if verify:
-                payload = self._check_entry(entry)
-            else:
-                payload = entry["result"]
-        except FileNotFoundError:
+        found = self._tiers.get(spec.cache_key)
+        if found is None:
             self.misses += 1
             return None
-        except (OSError, ValueError, KeyError, TypeError) as exc:
-            self.misses += 1
-            if not verify:
-                # Legacy behaviour: drop it and recompute.
-                try:
-                    path.unlink()
-                except OSError:
-                    pass
-                return None
-            self._quarantine(path, repr(exc), key=spec.cache_key)
-            if self.policy == "verify":
-                raise IntegrityError(
-                    f"result cache entry {spec.short_key} is corrupt "
-                    f"(quarantined): {exc}") from exc
-            return None
-        if verify:
-            self.integrity.verified += 1
         self.hits += 1
-        return payload
+        return found[0]
 
     def put(self, spec: WindowSpec, payload: Dict[str, Any]) -> bool:
         """Store ``payload`` for ``spec`` (atomic, last-writer-wins).
@@ -144,117 +201,45 @@ class ResultCache:
         The entry is flushed and fsynced *before* the rename, so a
         window that completed before a crash or SIGKILL is durably
         cached — the invariant ``repro resume`` relies on to execute
-        only the missing windows.  Returns True when the entry landed.
+        only the missing windows.  With a shared backend configured
+        the entry is also published there (best-effort).  Returns True
+        when the entry landed.
         """
         if not self.enabled:
             return False
-        path = self._path(spec.cache_key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"spec": spec.to_dict(), "result": payload,
                  "integrity": {"schema": SCHEMA_VERSION,
                                "digest": payload_digest(payload)}}
-        handle = tempfile.NamedTemporaryFile(
-            mode="w", encoding="utf-8", dir=path.parent,
-            prefix=".tmp-", suffix=".json", delete=False,
-        )
-        try:
-            with handle:
-                json.dump(entry, handle, sort_keys=True)
-                handle.flush()
-                os.fsync(handle.fileno())
-            os.replace(handle.name, path)
-            if spec.cache_key in self._repair_pending:
-                self._repair_pending.discard(spec.cache_key)
-                self.integrity.repaired += 1
-            return True
-        except OSError:
-            try:
-                os.unlink(handle.name)
-            except OSError:
-                pass
-            return False
+        data = json.dumps(entry, sort_keys=True).encode("utf-8")
+        return self._tiers.put_bytes(spec.cache_key, data, value=payload)
 
     # ------------------------------------------------------------------
     # Maintenance (the `repro cache` CLI).  Only the versioned payload
     # subtrees are touched: the trace store may nest its own tree under
     # this root (``<root>/traces`` by default) and manages it itself.
 
-    def _version_dirs(self) -> Iterator[pathlib.Path]:
-        if not self.root.is_dir():
-            return
-        for child in self.root.iterdir():
-            if child.is_dir() and child.name.startswith("v") \
-                    and child.name[1:].isdigit():
-                yield child
-
     def stats(self) -> Dict[str, Any]:
-        """Entry/byte counts of the current-version cache, plus the
-        integrity layer's health counters."""
-        entries = 0
-        total = 0
-        version_dir = self.root / f"v{SCHEMA_VERSION}"
-        if version_dir.is_dir():
-            for path in version_dir.rglob("*.json"):
-                try:
-                    total += path.stat().st_size
-                    entries += 1
-                except OSError:
-                    continue
-        return {"root": str(self.root), "version": SCHEMA_VERSION,
-                "entries": entries, "bytes": total,
-                "policy": self.policy,
-                "quarantined": len(quarantined_entries(self.root)),
-                "integrity": self.integrity.as_dict()}
+        """Entry/byte counts of the current-version cache, the
+        integrity layer's health counters, and per-tier telemetry."""
+        return self._tiers.stats()
+
+    def tier_counters(self) -> Dict[str, Any]:
+        """Per-tier hit/miss/byte counters only (cheap — no disk walk);
+        what the engine folds into its JSONL run summaries."""
+        return self._tiers.tier_counters()
 
     def scan(self, repair: bool = False) -> Dict[str, Any]:
         """Verify every current-version entry (the ``repro doctor``
         pass).  With ``repair``, corrupt entries are quarantined so
         their next use recomputes them; without it they are only
         reported."""
-        scanned = ok = corrupt = 0
-        version_dir = self.root / f"v{SCHEMA_VERSION}"
-        entries = (sorted(version_dir.rglob("*.json"))
-                   if version_dir.is_dir() else [])
-        for path in entries:
-            scanned += 1
-            try:
-                with open(path, "r", encoding="utf-8") as handle:
-                    self._check_entry(json.load(handle))
-            except (OSError, ValueError, KeyError, TypeError) as exc:
-                corrupt += 1
-                if repair:
-                    self._quarantine(path, repr(exc), key=path.stem)
-            else:
-                ok += 1
-        return {"root": str(self.root), "scanned": scanned, "ok": ok,
-                "corrupt": corrupt,
-                "quarantined": len(quarantined_entries(self.root))}
+        return self._tiers.scan(repair=repair)
 
     def prune(self) -> int:
         """Drop stale-version subtrees, leftover temp files and the
         quarantine audit trail; returns the number of files removed."""
-        import shutil
-
-        removed = 0
-        for version_dir in self._version_dirs():
-            if version_dir.name == f"v{SCHEMA_VERSION}":
-                continue
-            removed += sum(1 for p in version_dir.rglob("*") if p.is_file())
-            shutil.rmtree(version_dir, ignore_errors=True)
-        for version_dir in self._version_dirs():
-            for stray in version_dir.rglob(".tmp-*"):
-                with contextlib.suppress(OSError):
-                    stray.unlink()
-                    removed += 1
-        removed += purge_quarantine(self.root)
-        return removed
+        return self._tiers.prune()
 
     def clear(self) -> int:
         """Delete every cached payload (all versions); returns the count."""
-        import shutil
-
-        removed = 0
-        for version_dir in self._version_dirs():
-            removed += sum(1 for p in version_dir.rglob("*.json"))
-            shutil.rmtree(version_dir, ignore_errors=True)
-        return removed
+        return self._tiers.clear()

@@ -19,6 +19,8 @@ exactly one function, :meth:`EngineConfig.from_env`:
 ``REPRO_INTEGRITY``         store policy: ``verify`` | ``repair`` | ``trust``
 ``REPRO_VALIDATE``          golden cross-check every n-th fast replay
 ``REPRO_VALIDATE_POLICY``   divergence: ``warn`` | ``fallback`` | ``raise``
+``REPRO_STORE_BACKEND``     shared store tier (``fs://<dir>``; empty = off)
+``REPRO_TRACE_HANDLES``     open trace-handle LRU bound (default 4)
 ==========================  ===========================================
 
 Live collaborators (the result cache, trace store and run recorder)
@@ -33,6 +35,7 @@ import os
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional
 
+from ..store.backend import backend_spec_from_env
 from .integrity import (
     INTEGRITY_POLICIES,
     VALIDATE_POLICIES,
@@ -105,6 +108,12 @@ class EngineConfig:
     #: What a watchdog divergence becomes: ``warn`` (keep fast stats,
     #: log), ``fallback`` (return golden stats), ``raise`` (abort).
     validate_policy: str = "fallback"
+    #: Shared store-backend spec (``fs://<dir>`` or a bare directory);
+    #: ``None`` disables the shared tier — see :mod:`repro.store.backend`.
+    store_backend: Optional[str] = None
+    #: Bound of the trace store's open-handle LRU; ``None`` means the
+    #: library default (:data:`repro.engine.tracestore.DEFAULT_TRACE_HANDLES`).
+    trace_handles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.failure_policy not in FAILURE_POLICIES:
@@ -131,6 +140,9 @@ class EngineConfig:
             raise ValueError(
                 f"validate_policy must be one of {VALIDATE_POLICIES}, "
                 f"got {self.validate_policy!r}")
+        if self.trace_handles is not None and self.trace_handles < 1:
+            raise ValueError(
+                f"trace_handles must be >= 1, got {self.trace_handles}")
 
     # ------------------------------------------------------------------
 
@@ -164,6 +176,10 @@ class EngineConfig:
         if validate is not None:
             values["validate_every"] = validate
         values["validate_policy"] = validate_policy_from_env()
+        values["store_backend"] = backend_spec_from_env()
+        handles = _env_int("REPRO_TRACE_HANDLES")
+        if handles is not None:
+            values["trace_handles"] = max(1, handles)
         values.update(overrides)
         return cls(**values)
 

@@ -141,12 +141,14 @@ def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple, int]):
     """Top-level worker entry (must be picklable)."""
     index, spec_dict, conf, attempt = item
     (trace_root, trace_enabled, fast, fault_rate, fault_mode,
-     integrity, validate_every, validate_policy) = conf
+     integrity, validate_every, validate_policy,
+     trace_handles, store_backend) = conf
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
     maybe_inject(spec.cache_key, attempt, fault_rate, fault_mode,
                  in_worker=True)
-    store = TraceStore(trace_root, enabled=trace_enabled, policy=integrity)
+    store = TraceStore(trace_root, enabled=trace_enabled, policy=integrity,
+                       handles=trace_handles, backend=store_backend)
     validation = ValidationSettings(every=validate_every,
                                     policy=validate_policy)
     with fastpath_override(fast), active_store(store), \
@@ -199,12 +201,15 @@ class ExperimentEngine:
                      else default_jobs())
         if cache is None:
             cache = ResultCache(enabled=cache_enabled_by_env(),
-                                policy=config.integrity)
+                                policy=config.integrity,
+                                backend=config.store_backend)
         self.cache = cache
         if trace_store is None:
             trace_store = TraceStore(default_trace_dir(cache.root),
                                      enabled=trace_enabled_by_env(),
-                                     policy=config.integrity)
+                                     policy=config.integrity,
+                                     handles=config.trace_handles,
+                                     backend=config.store_backend)
         self.trace_store = trace_store
         #: Watchdog settings installed around execution (serial) or
         #: shipped to each pool worker.
@@ -303,7 +308,8 @@ class ExperimentEngine:
         cfg = self.config
         worker_conf = (str(self.trace_store.root), self.trace_store.enabled,
                        self.fast, cfg.fault_rate, self._fault_mode,
-                       cfg.integrity, cfg.validate_every, cfg.validate_policy)
+                       cfg.integrity, cfg.validate_every, cfg.validate_policy,
+                       cfg.trace_handles, cfg.store_backend)
         workers = min(self.jobs, len(misses))
         queue = deque((index, 0) for index in misses)
         inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
@@ -474,7 +480,9 @@ class ExperimentEngine:
     def summary(self) -> Dict[str, Any]:
         return dict(self.recorder.summary(), resumed=self.resumed,
                     integrity={"results": self.cache.integrity.as_dict(),
-                               "traces": self.trace_store.integrity.as_dict()})
+                               "traces": self.trace_store.integrity.as_dict()},
+                    stores={"results": self.cache.tier_counters(),
+                            "traces": self.trace_store.tier_counters()})
 
 
 # ----------------------------------------------------------------------

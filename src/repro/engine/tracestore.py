@@ -1,4 +1,5 @@
-"""Content-addressed on-disk store of recorded execution traces.
+"""Content-addressed store of recorded execution traces — a typed view
+over the three-tier store layer (:mod:`repro.store`).
 
 The result cache (:mod:`repro.engine.cache`) memoises whole window
 *payloads* under the full spec digest — program, seeds, markers **and**
@@ -11,18 +12,29 @@ pays one functional execution plus N cheap replays instead of N
 lock-stepped executions (the record-once / replay-many architecture of
 ``docs/trace_format.md``).
 
-Layout mirrors the result cache: entries live under
+The disk layout mirrors the result cache, byte-for-byte what the
+pre-refactor store wrote: entries live under
 ``<root>/v<TRACE_STORE_VERSION>/<key[:2]>/<key>.trace``, written
 atomically (temp file + ``os.replace``) so concurrent pool workers can
-share one store.  Every trace carries per-section CRC32s
-(``docs/integrity.md``); what a failed verification becomes is the
-store's ``policy`` — ``verify`` (quarantine + raise), ``repair`` (the
-default: quarantine to ``<root>/quarantine/`` with a reason file and
-transparently re-record) or ``trust`` (skip checksums; structurally
-broken entries are still dropped).  The root defaults to ``<result
-cache root>/traces`` (override with ``REPRO_TRACE_DIR``);
-``REPRO_TRACE=0`` disables the store, falling every window back to the
-lock-step reference path.
+share one store.  The memory tier holds open
+:class:`~repro.sim.trace_io.RecordedTrace` handles — a config sweep
+replays the same key once per configuration, and sharing the handle
+amortises the one-time columnar decode across all of them.  The handle
+LRU is bounded by ``REPRO_TRACE_HANDLES`` (default
+:data:`DEFAULT_TRACE_HANDLES`) /
+:attr:`~repro.engine.config.EngineConfig.trace_handles`.  An optional
+shared backend (``REPRO_STORE_BACKEND``) sits underneath: a local miss
+fetches the recorded trace from the shared corpus instead of paying a
+functional re-execution.
+
+Every trace carries per-section CRC32s (``docs/integrity.md``); what a
+failed verification becomes is the store's ``policy`` — ``verify``
+(quarantine + raise), ``repair`` (the default: quarantine to
+``<root>/quarantine/`` with a reason file and transparently re-record)
+or ``trust`` (skip checksums; structurally broken entries are still
+dropped).  The root defaults to ``<result cache root>/traces``
+(override with ``REPRO_TRACE_DIR``); ``REPRO_TRACE=0`` disables the
+store, falling every window back to the lock-step reference path.
 """
 
 from __future__ import annotations
@@ -32,20 +44,20 @@ import hashlib
 import json
 import os
 import pathlib
-import tempfile
-from typing import Any, Dict, Iterator, Optional, Set
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..sim.trace_io import RecordedTrace, TraceFormatError
-from .cache import default_cache_dir
-from .integrity import (
-    IntegrityCounters,
-    IntegrityError,
-    check_policy,
+from ..store import (
+    Backend,
+    Codec,
+    DiskTier,
+    IntegrityError,  # noqa: F401 - historical import surface
+    MemoryTier,
+    TieredStore,
     integrity_policy_from_env,
-    purge_quarantine,
-    quarantine_entry,
-    quarantined_entries,
 )
+from ..store.base import env_int
+from .cache import AUTO_BACKEND, default_cache_dir, resolve_backend
 
 #: Folded into every trace key and the on-disk layout.  Bump whenever
 #: the functional semantics of window execution or the trace encoding
@@ -58,9 +70,21 @@ TRACE_STORE_VERSION = 2
 #: functional projection.
 TIMING_ONLY_PARAMS = frozenset({"config"})
 
+#: Default bound of the open-handle LRU (the store's memory tier).
+#: Traces hold their encoded bytes plus decoded columns in memory, so
+#: the default stays small; raise it via ``REPRO_TRACE_HANDLES`` or
+#: :attr:`~repro.engine.config.EngineConfig.trace_handles` when a
+#: sweep cycles through more distinct windows than this.
+DEFAULT_TRACE_HANDLES = 4
+
 
 def trace_enabled_by_env() -> bool:
     return os.environ.get("REPRO_TRACE", "1") not in ("0", "false", "no")
+
+
+def trace_handles_from_env() -> int:
+    """``REPRO_TRACE_HANDLES`` (default :data:`DEFAULT_TRACE_HANDLES`)."""
+    return max(1, env_int("REPRO_TRACE_HANDLES", DEFAULT_TRACE_HANDLES))
 
 
 def default_trace_dir(cache_root: Optional[pathlib.Path] = None) -> pathlib.Path:
@@ -90,196 +114,150 @@ def functional_key(kind: str, params: Dict[str, Any]) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
+class _TraceCodec(Codec):
+    """Trace entries: BRTR files, held in memory as open handles."""
+
+    store_title = "trace store"
+    namespace = "traces"
+
+    def load(self, path: pathlib.Path,
+             verify: bool) -> Tuple[RecordedTrace, int]:
+        try:
+            trace = RecordedTrace.open(path, verify=verify)
+        except TraceFormatError as exc:
+            # Normalise onto the tier layer's DECODE_ERRORS contract
+            # without losing the specific error.
+            raise ValueError(str(exc)) from exc
+        return trace, trace.nbytes
+
+
 class TraceStore:
     """Content-addressed store mapping functional keys to trace files."""
 
-    #: In-memory :class:`RecordedTrace` handles kept alive per store.
-    #: A config sweep replays the same key once per configuration;
-    #: returning the *same* handle lets the one-time columnar decode
-    #: (:meth:`~repro.sim.trace_io.RecordedTrace.columns`) amortise
-    #: across all of them.  FIFO-bounded: traces hold their encoded
-    #: bytes plus decoded columns in memory.
-    HANDLE_CACHE_SIZE = 4
+    #: Historical name of the default open-handle LRU bound.
+    HANDLE_CACHE_SIZE = DEFAULT_TRACE_HANDLES
 
     def __init__(self, root: Optional[pathlib.Path] = None,
                  enabled: bool = True,
-                 policy: Optional[str] = None) -> None:
+                 policy: Optional[str] = None,
+                 handles: Optional[int] = None,
+                 backend: Union[Backend, str, None] = AUTO_BACKEND) -> None:
         self.root = pathlib.Path(root) if root else default_trace_dir()
         self.enabled = enabled
-        self.policy = check_policy(policy if policy is not None
-                                   else integrity_policy_from_env())
+        codec = _TraceCodec()
+        self._tiers = TieredStore(
+            disk=DiskTier(self.root, TRACE_STORE_VERSION, ".trace"),
+            codec=codec,
+            memory=MemoryTier(
+                max_entries=(max(1, handles) if handles is not None
+                             else trace_handles_from_env()),
+                max_bytes=None),
+            backend=resolve_backend(backend, codec.namespace),
+            policy=(policy if policy is not None
+                    else integrity_policy_from_env()),
+            # record() keeps the fresh handle hot: the recording config
+            # immediately replays it, then every sibling config does.
+            promote_on_put=True,
+            durable=False,
+        )
         self.hits = 0
         self.misses = 0
         self.bytes_written = 0
-        self.integrity = IntegrityCounters()
-        self._handles: Dict[str, RecordedTrace] = {}
-        #: Keys whose entry was quarantined and awaits re-recording —
-        #: the next successful ``record`` counts as a repair.
-        self._repair_pending: Set[str] = set()
+
+    @property
+    def policy(self) -> str:
+        return self._tiers.policy
+
+    @property
+    def integrity(self):
+        return self._tiers.integrity
+
+    @property
+    def backend(self) -> Optional[Backend]:
+        return self._tiers.backend
+
+    @property
+    def handle_limit(self) -> Optional[int]:
+        """Bound of the open-handle LRU (the memory tier)."""
+        return self._tiers.memory.max_entries
 
     def _path(self, key: str) -> pathlib.Path:
-        return self.root / f"v{TRACE_STORE_VERSION}" / key[:2] / f"{key}.trace"
-
-    def _remember(self, key: str, trace: RecordedTrace) -> None:
-        self._handles.pop(key, None)
-        self._handles[key] = trace
-        while len(self._handles) > self.HANDLE_CACHE_SIZE:
-            del self._handles[next(iter(self._handles))]
+        return self._tiers.disk.path(key)
 
     def invalidate(self, key: str) -> None:
         """Drop the open handle for ``key``, if any.  Must be called
         whenever the underlying file is removed, quarantined or
         replaced out-of-band, or the LRU would keep serving the stale
         decoded trace."""
-        self._handles.pop(key, None)
-
-    def _quarantine(self, path: pathlib.Path, reason: str,
-                    key: Optional[str] = None) -> None:
-        if key is not None:
-            self.invalidate(key)
-            self._repair_pending.add(key)
-        if quarantine_entry(path, self.root, reason, key=key,
-                            store="traces") is not None:
-            self.integrity.quarantined += 1
+        self._tiers.invalidate(key)
 
     def load(self, key: str) -> Optional[RecordedTrace]:
         """The recorded trace for ``key``, or ``None`` on a miss.
 
-        A corrupt entry is quarantined under ``verify``/``repair``
-        (and raises :class:`IntegrityError` under ``verify``); under
-        ``trust`` checksums are skipped and structurally broken
-        entries are silently dropped, as before the integrity layer.
+        Reads walk the tier stack — handle LRU, local disk, shared
+        backend.  A corrupt entry is quarantined under
+        ``verify``/``repair`` (and raises :class:`IntegrityError`
+        under ``verify``); under ``trust`` checksums are skipped and
+        structurally broken entries are silently dropped, as before
+        the integrity layer.
         """
         if not self.enabled:
             return None
-        cached = self._handles.get(key)
-        if cached is not None:
-            self.hits += 1
-            return cached
-        path = self._path(key)
-        verify = self.policy != "trust"
-        try:
-            trace = RecordedTrace.open(path, verify=verify)
-        except FileNotFoundError:
+        found = self._tiers.get(key)
+        if found is None:
             self.misses += 1
             return None
-        except (OSError, TraceFormatError) as exc:
-            self.misses += 1
-            if not verify:
-                # Legacy behaviour: drop it and re-record.
-                with contextlib.suppress(OSError):
-                    path.unlink()
-                return None
-            self._quarantine(path, repr(exc), key=key)
-            if self.policy == "verify":
-                raise IntegrityError(
-                    f"trace store entry {key[:12]} is corrupt "
-                    f"(quarantined): {exc}") from exc
-            return None
-        if verify:
-            self.integrity.verified += 1
         self.hits += 1
-        self._remember(key, trace)
-        return trace
+        return found[0]
 
     def record(self, key: str, recorder) -> RecordedTrace:
         """Record a trace into the store (atomic, last-writer-wins).
 
         ``recorder(path)`` must write a complete trace file at the
         given path — typically a closure over
-        :func:`repro.timing.runner.record_window`.  With the store
-        disabled, the recording happens in memory and nothing is
-        persisted.
+        :func:`repro.timing.runner.record_window`.  With a shared
+        backend configured the recorded file is also published there.
+        With the store disabled, the recording happens in memory and
+        nothing is persisted.
         """
         if not self.enabled:
             return recorder(None)
-        path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            dir=path.parent, prefix=".tmp-", suffix=".trace", delete=False)
-        handle.close()
-        try:
-            trace = recorder(handle.name)
-            os.replace(handle.name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(handle.name)
-            raise
+        trace = self._tiers.put_with(key, recorder,
+                                     nbytes_of=lambda t: t.nbytes)
         self.bytes_written += trace.nbytes
-        if key in self._repair_pending:
-            self._repair_pending.discard(key)
-            self.integrity.repaired += 1
-        self._remember(key, trace)
         return trace
 
     # ------------------------------------------------------------------
     # Maintenance (the `repro cache` CLI).
 
-    def _entries(self) -> Iterator[pathlib.Path]:
-        version_dir = self.root / f"v{TRACE_STORE_VERSION}"
-        if version_dir.is_dir():
-            yield from version_dir.rglob("*.trace")
-
     def stats(self) -> Dict[str, Any]:
-        """Entry/byte counts of the current-version store, plus the
-        integrity layer's health counters."""
-        entries = 0
-        total = 0
-        for path in self._entries():
-            try:
-                total += path.stat().st_size
-                entries += 1
-            except OSError:
-                continue
-        return {"root": str(self.root), "version": TRACE_STORE_VERSION,
-                "entries": entries, "bytes": total,
-                "policy": self.policy,
-                "quarantined": len(quarantined_entries(self.root)),
-                "integrity": self.integrity.as_dict()}
+        """Entry/byte counts of the current-version store, the
+        integrity layer's health counters, and per-tier telemetry."""
+        return self._tiers.stats()
+
+    def tier_counters(self) -> Dict[str, Any]:
+        """Per-tier hit/miss/byte counters only (cheap — no disk walk)."""
+        return self._tiers.tier_counters()
 
     def scan(self, repair: bool = False) -> Dict[str, Any]:
         """Verify every stored trace (the ``repro doctor`` pass).
 
         With ``repair``, corrupt entries are quarantined so their next
         use re-records them; without it they are only reported.
+        Quarantining drops the corresponding open handle, so the LRU
+        cannot keep serving the removed file.
         """
-        scanned = ok = corrupt = 0
-        for path in sorted(self._entries()):
-            scanned += 1
-            try:
-                RecordedTrace.open(path, verify=True)
-            except (OSError, TraceFormatError) as exc:
-                corrupt += 1
-                if repair:
-                    self._quarantine(path, repr(exc), key=path.stem)
-            else:
-                ok += 1
-        return {"root": str(self.root), "scanned": scanned, "ok": ok,
-                "corrupt": corrupt,
-                "quarantined": len(quarantined_entries(self.root))}
+        return self._tiers.scan(repair=repair)
 
     def prune(self) -> int:
         """Drop stale-version subtrees, leftover temp files and the
         quarantine audit trail; returns the number of files removed.
         Open handles are invalidated: pruned files must not be served
         from the LRU."""
-        removed = 0
-        self._handles.clear()
         if not self.root.is_dir():
+            self._tiers.memory.clear()
             return 0
-        import shutil
-
-        for child in self.root.iterdir():
-            if child.is_dir() and child.name.startswith("v") \
-                    and child.name != f"v{TRACE_STORE_VERSION}":
-                removed += sum(1 for p in child.rglob("*") if p.is_file())
-                shutil.rmtree(child, ignore_errors=True)
-        for stray in self.root.rglob(".tmp-*"):
-            with contextlib.suppress(OSError):
-                stray.unlink()
-                removed += 1
-        removed += purge_quarantine(self.root)
-        return removed
+        return self._tiers.prune(deep_strays=True)
 
     def clear(self) -> int:
         """Delete every stored trace (all versions); returns the count."""
@@ -288,7 +266,7 @@ class TraceStore:
         removed = sum(1 for p in self.root.rglob("*.trace")) \
             if self.root.is_dir() else 0
         shutil.rmtree(self.root, ignore_errors=True)
-        self._handles.clear()
+        self._tiers.memory.clear()
         return removed
 
 

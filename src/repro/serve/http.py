@@ -1,0 +1,264 @@
+"""The wire half of ``repro serve``: a stdlib asyncio HTTP/1.1 server.
+
+Deliberately minimal — one short-lived connection per request
+(``Connection: close``), no TLS, no chunked encoding — because the
+protocol surface is four routes:
+
+========================  =============================================
+``GET /healthz``          liveness: ``{"status": "ok"}``
+``GET /statsz``           serve counters + per-tier store telemetry
+``GET /v1/figure/<cmd>``  run a figure; params in the query string
+``POST /v1/figure``       run a figure; ``{"command", "params"}`` body
+========================  =============================================
+
+Every response body is ``json.dumps(document, sort_keys=True)`` — a
+pure function of the document — so concurrent identical requests
+(which coalesce onto one computation, see
+:class:`~repro.serve.service.SimulationService`) receive byte-identical
+bytes, and a served figure diffs clean against a local ``repro.api``
+run of the same command.  Validation failures are HTTP 400 with a
+machine-readable ``{"error": ...}``; computation failures are 500.
+
+:class:`ServerThread` runs the whole loop on a daemon thread for tests
+and embedders; the CLI runs :func:`ReproServer.serve_forever` on the
+main thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import urllib.parse
+from typing import Any, Dict, Optional, Tuple
+
+from .service import RequestError, SimulationService
+
+#: Refuse request bodies beyond this (the whole API fits in a line).
+MAX_BODY_BYTES = 1 << 20
+#: Cap on the request line + headers block.
+MAX_HEADER_BYTES = 64 << 10
+
+
+def _encode_body(document: Any) -> bytes:
+    """The deterministic wire encoding of a response document."""
+    return json.dumps(document, sort_keys=True).encode("utf-8")
+
+
+def _response(status: int, body: bytes,
+              content_type: str = "application/json") -> bytes:
+    reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
+               405: "Method Not Allowed", 500: "Internal Server Error",
+               413: "Payload Too Large"}
+    head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n")
+    return head.encode("ascii") + body
+
+
+class ReproServer:
+    """One service, one listening socket, four routes."""
+
+    def __init__(self, service: Optional[SimulationService] = None,
+                 host: str = "127.0.0.1", port: int = 8787) -> None:
+        self.service = service if service is not None else SimulationService()
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; with ``port=0`` the kernel picks a
+        free port, published back via :attr:`port`."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            payload = await self._respond(reader)
+        except Exception as exc:  # the handler must never kill the loop
+            payload = _response(500, _encode_body(
+                {"error": f"internal error: {exc!r}"}))
+        try:
+            writer.write(payload)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _read_request(
+            self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, Dict[str, str], bytes]:
+        head = await reader.readuntil(b"\r\n\r\n")
+        if len(head) > MAX_HEADER_BYTES:
+            raise RequestError("header block too large")
+        lines = head.decode("latin-1").split("\r\n")
+        try:
+            method, target, _version = lines[0].split(" ", 2)
+        except ValueError:
+            raise RequestError(f"malformed request line: {lines[0]!r}")
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if sep:
+                headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length > MAX_BODY_BYTES:
+            raise _TooLarge()
+        body = await reader.readexactly(length) if length else b""
+        return method.upper(), target, headers, body
+
+    async def _respond(self, reader: asyncio.StreamReader) -> bytes:
+        try:
+            method, target, _headers, body = await self._read_request(reader)
+        except _TooLarge:
+            return _response(413, _encode_body({"error": "body too large"}))
+        except (RequestError, ValueError, asyncio.IncompleteReadError,
+                asyncio.LimitOverrunError) as exc:
+            return _response(400, _encode_body(
+                {"error": f"malformed request: {exc}"}))
+
+        parsed = urllib.parse.urlsplit(target)
+        path = parsed.path
+
+        if path == "/healthz":
+            if method != "GET":
+                return _response(405, _encode_body({"error": "GET only"}))
+            return _response(200, _encode_body({"status": "ok"}))
+
+        if path == "/statsz":
+            if method != "GET":
+                return _response(405, _encode_body({"error": "GET only"}))
+            return _response(200, _encode_body(self.service.stats()))
+
+        if path.startswith("/v1/figure"):
+            return await self._figure(method, path, parsed.query, body)
+
+        return _response(404, _encode_body({"error": f"no route {path!r}"}))
+
+    async def _figure(self, method: str, path: str, query: str,
+                      body: bytes) -> bytes:
+        if method == "GET":
+            command = path[len("/v1/figure"):].lstrip("/")
+            if not command:
+                return _response(400, _encode_body(
+                    {"error": "GET needs /v1/figure/<command>"}))
+            # Single-valued query params; seeds accept "0,1,2".
+            params: Dict[str, Any] = {
+                name: values[-1]
+                for name, values in urllib.parse.parse_qs(query).items()}
+        elif method == "POST":
+            try:
+                doc = json.loads(body.decode("utf-8")) if body else {}
+                if not isinstance(doc, dict):
+                    raise ValueError("body must be a JSON object")
+                command = doc.get("command", "")
+                params = doc.get("params") or {}
+                if not isinstance(params, dict):
+                    raise ValueError('"params" must be a JSON object')
+            except (ValueError, UnicodeDecodeError) as exc:
+                return _response(400, _encode_body(
+                    {"error": f"bad request body: {exc}"}))
+        else:
+            return _response(405, _encode_body({"error": "GET or POST"}))
+
+        try:
+            result = await self.service.submit(command, params)
+        except RequestError as exc:
+            return _response(400, _encode_body({"error": str(exc)}))
+        except Exception as exc:
+            return _response(500, _encode_body(
+                {"error": f"computation failed: {exc!r}"}))
+        return _response(200, _encode_body(result.document()))
+
+
+class _TooLarge(Exception):
+    """Request body exceeded :data:`MAX_BODY_BYTES`."""
+
+
+class ServerThread:
+    """A running server on a daemon thread (tests, embedders).
+
+    ``with ServerThread(service) as server:`` yields a bound server
+    whose :attr:`port` is live; requests can be made with plain
+    ``urllib`` from the calling thread.
+    """
+
+    def __init__(self, service: Optional[SimulationService] = None,
+                 host: str = "127.0.0.1", port: int = 0) -> None:
+        self.server = ReproServer(service=service, host=host, port=port)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    @property
+    def service(self) -> SimulationService:
+        return self.server.service
+
+    def _main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self.server.start())
+            self._started.set()
+            loop.run_forever()
+        finally:
+            self._started.set()  # unblock a waiter even on bind failure
+            with contextlib.suppress(Exception):
+                loop.run_until_complete(self.server.stop())
+            loop.close()
+
+    def start(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._loop is None or not self._thread.is_alive():
+            raise RuntimeError("server failed to start")
+        return self
+
+    def stop(self) -> None:
+        if self._loop is not None and self._thread is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop = None
+            self._thread = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -1,0 +1,277 @@
+"""The simulation service: validation, coalescing, and the work queue.
+
+This module is the protocol-independent half of ``repro serve`` — it
+knows nothing about HTTP.  :class:`SimulationService` maps validated
+``(command, params)`` requests onto the :mod:`repro.api` façade:
+
+* **whitelist** — :data:`COMMANDS` enumerates exactly the façade
+  functions the service exposes and, per command, the parameters a
+  tenant may set with their coercers.  Anything else is a
+  :class:`RequestError`, never an arbitrary call;
+* **canonical keys** — :func:`request_key` folds the command and the
+  *resolved* parameters (defaults applied, values coerced) into one
+  canonical JSON string, so ``{"scale": 2}`` and ``{"scale": 2.0}``
+  coalesce and differently-ordered dicts hash the same;
+* **coalescing** — concurrent identical requests share one in-flight
+  computation: the first takes the slot, the rest await the same
+  future and count as ``coalesced``.  Results are *not* cached here —
+  the engine's tiered result store already memoises at window
+  granularity, which is the durable, integrity-checked place for it;
+* **the queue** — an ``asyncio`` semaphore bounds how many distinct
+  computations run at once (``workers``); each runs in a thread so the
+  event loop stays responsive while the engine fans windows out to its
+  own process pool (per-request :class:`~repro.engine.spec.WindowSpec`
+  sharding happens inside the experiments, exactly as it does for the
+  CLI).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..engine import ExperimentEngine
+
+
+class RequestError(ValueError):
+    """A request the service refuses: unknown command, unknown or
+    uncoercible parameter.  Maps to HTTP 400."""
+
+
+def _as_float(value: Any) -> float:
+    return float(value)
+
+
+def _as_int(value: Any) -> int:
+    # Reject silent truncation ("4000.5" is a typo, not an int).
+    number = float(value)
+    if number != int(number):
+        raise ValueError(f"not an integer: {value!r}")
+    return int(number)
+
+
+def _as_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("1", "true", "yes", "on"):
+            return True
+        if lowered in ("0", "false", "no", "off"):
+            return False
+    raise ValueError(f"not a boolean: {value!r}")
+
+
+def _as_seed_list(value: Any) -> Tuple[int, ...]:
+    """Seeds arrive as a JSON list or a comma-separated query string."""
+    if isinstance(value, str):
+        parts = [part for part in value.split(",") if part.strip()]
+        return tuple(_as_int(part) for part in parts)
+    if isinstance(value, (list, tuple)):
+        return tuple(_as_int(item) for item in value)
+    return (_as_int(value),)
+
+
+#: command -> {param -> coercer}.  The façade functions themselves
+#: supply the defaults; the service only validates and coerces what a
+#: tenant explicitly sets.
+COMMANDS: Dict[str, Dict[str, Callable[[Any], Any]]] = {
+    "figure9": {"scale": _as_float, "seeds": _as_seed_list},
+    "figure10": {"scale": _as_float, "seeds": _as_seed_list},
+    "figure12": {"scale": _as_float, "interval": _as_int},
+    "figure13": {"scale": _as_int},
+    "figure14": {"scale": _as_int},
+    "figure2": {"scale": _as_int},
+    "sensitivity": {"scale": _as_float, "chars": _as_int},
+    "cost": {},
+    "scorecard": {"quick": _as_bool},
+}
+
+
+def validate_request(command: str,
+                     params: Optional[Dict[str, Any]]) -> Dict[str, Any]:
+    """The resolved, coerced parameter dict for ``command``; raises
+    :class:`RequestError` on anything outside the whitelist."""
+    allowed = COMMANDS.get(command)
+    if allowed is None:
+        raise RequestError(
+            f"unknown command {command!r}; known: {sorted(COMMANDS)}")
+    resolved: Dict[str, Any] = {}
+    for name, value in (params or {}).items():
+        coerce = allowed.get(name)
+        if coerce is None:
+            raise RequestError(
+                f"unknown parameter {name!r} for {command!r}; "
+                f"allowed: {sorted(allowed)}")
+        try:
+            resolved[name] = coerce(value)
+        except (TypeError, ValueError) as exc:
+            raise RequestError(
+                f"bad value for {command}.{name}: {exc}") from exc
+    return resolved
+
+
+def request_key(command: str, params: Dict[str, Any]) -> str:
+    """Canonical identity of a request — the coalescing key."""
+    def _plain(value: Any) -> Any:
+        if isinstance(value, tuple):
+            return list(value)
+        return value
+
+    return json.dumps(
+        {"command": command,
+         "params": {name: _plain(value)
+                    for name, value in sorted(params.items())}},
+        sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ServeCounters:
+    """Service-level telemetry, surfaced at ``/statsz`` and in the
+    server's JSONL ledger."""
+
+    #: Requests accepted (validation passed).
+    requests: int = 0
+    #: Requests that attached to an already-in-flight computation.
+    coalesced: int = 0
+    #: Distinct computations actually executed.
+    simulations: int = 0
+    #: Computations that raised (the error is shared by every waiter).
+    errors: int = 0
+    #: Requests rejected at validation (HTTP 400s).
+    rejected: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class ServeResult:
+    """What one request answers with: the façade result plus whether
+    this waiter's computation was shared."""
+
+    command: str
+    params: Dict[str, Any]
+    data: Any
+    text: str
+    coalesced: bool = False
+
+    def document(self) -> Dict[str, Any]:
+        """The deterministic response body.  ``coalesced`` is
+        deliberately excluded: concurrent identical requests must
+        receive byte-identical responses."""
+        params = {name: (list(value) if isinstance(value, tuple) else value)
+                  for name, value in self.params.items()}
+        return {"command": self.command, "params": params,
+                "data": self.data, "text": self.text}
+
+
+class SimulationService:
+    """Validated, coalesced request execution over one shared engine."""
+
+    def __init__(self, engine: Optional[ExperimentEngine] = None,
+                 workers: int = 1) -> None:
+        if engine is None:
+            engine = ExperimentEngine()
+        self.engine = engine
+        self.counters = ServeCounters()
+        self._workers = max(1, workers)
+        self._slots: Optional[asyncio.Semaphore] = None
+        #: request key -> the future every coalesced waiter shares.
+        self._inflight: Dict[str, "asyncio.Future[ServeResult]"] = {}
+        #: Serialises engine access across worker threads: the façade
+        #: installs the engine as the process default around each call,
+        #: and the engine's recorder/counters are not thread-safe.
+        self._engine_lock = threading.Lock()
+
+    def _slot(self) -> asyncio.Semaphore:
+        # Created lazily so the service binds to the serving loop, not
+        # to whichever loop happened to be current at construction.
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self._workers)
+        return self._slots
+
+    # -- execution ------------------------------------------------------
+
+    def _run_sync(self, command: str, params: Dict[str, Any]) -> ServeResult:
+        """One actual simulation (worker thread; counted)."""
+        from .. import api
+
+        runner = getattr(api, f"run_{command}")
+        with self._engine_lock:
+            self.counters.simulations += 1
+            result = runner(engine=self.engine, **params)
+        return ServeResult(command=command, params=dict(params),
+                           data=result.data, text=result.text)
+
+    async def _execute(self, key: str, command: str,
+                       params: Dict[str, Any]) -> ServeResult:
+        loop = asyncio.get_event_loop()
+        try:
+            async with _acquire(self._slot()):
+                return await loop.run_in_executor(
+                    None, self._run_sync, command, params)
+        except Exception:
+            self.counters.errors += 1
+            raise
+        finally:
+            self._inflight.pop(key, None)
+
+    async def submit(self, command: str,
+                     params: Optional[Dict[str, Any]] = None) -> ServeResult:
+        """Validate, coalesce and execute one request.
+
+        Raises :class:`RequestError` on validation failure; any other
+        exception is whatever the underlying computation raised (every
+        coalesced waiter observes the same one).
+        """
+        try:
+            resolved = validate_request(command, params)
+        except RequestError:
+            self.counters.rejected += 1
+            raise
+        self.counters.requests += 1
+        key = request_key(command, resolved)
+        future = self._inflight.get(key)
+        if future is not None:
+            self.counters.coalesced += 1
+            # shield: one waiter being cancelled must not cancel the
+            # computation the other waiters share.
+            result = await asyncio.shield(future)
+            return dataclasses.replace(result, coalesced=True)
+        task = asyncio.ensure_future(self._execute(key, command, resolved))
+        self._inflight[key] = task
+        return await asyncio.shield(task)
+
+    # -- telemetry ------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``/statsz`` document: serve counters, per-tier store
+        telemetry, and the engine's run summary."""
+        return {
+            "serve": dict(self.counters.as_dict(),
+                          inflight=len(self._inflight),
+                          workers=self._workers),
+            "stores": {
+                "results": self.engine.cache.tier_counters(),
+                "traces": self.engine.trace_store.tier_counters(),
+            },
+            "engine": self.engine.summary(),
+        }
+
+
+class _acquire:
+    """``async with`` adapter for a semaphore (3.9-compatible)."""
+
+    def __init__(self, semaphore: asyncio.Semaphore) -> None:
+        self._semaphore = semaphore
+
+    async def __aenter__(self) -> None:
+        await self._semaphore.acquire()
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        self._semaphore.release()

@@ -1,0 +1,166 @@
+"""The shared backend tier: a pluggable cross-replica object store.
+
+Bottom of the three-tier stack.  A :class:`Backend` moves whole entry
+*files* — it never decodes them — between a replica's local disk tier
+and some shared medium, addressed by the disk tier's relative entry
+name (``v<N>/<key[:2]>/<key><suffix>``).  Because entries are
+content-addressed and checksummed (``docs/integrity.md``), a fetched
+file is verified locally before anything trusts it; a backend
+therefore needs no integrity story of its own, only atomicity.
+
+The reference implementation is :class:`FilesystemBackend`: a shared
+directory (NFS mount, bind-mounted volume, ...) that many ``repro
+serve`` replicas point at with ``REPRO_STORE_BACKEND=fs:/path`` (the
+``fs:`` scheme prefix is optional).  Each logical store namespaces
+itself (``<root>/results/...``, ``<root>/traces/...``) so one backend
+root carries the whole corpus.  New schemes register via
+:func:`register_backend_scheme`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import shutil
+import tempfile
+from typing import Any, Callable, Dict, Optional
+
+from .base import TierCounters
+
+#: Environment variable that selects the shared backend for every
+#: store in the process; see :func:`make_backend` for the format.
+BACKEND_ENV = "REPRO_STORE_BACKEND"
+
+#: Values of :data:`BACKEND_ENV` that mean "no shared backend".
+_DISABLED = ("", "0", "none", "off", "no")
+
+
+class Backend:
+    """Interface of a shared store backend (file-granular, atomic)."""
+
+    #: Scheme the backend registered under (telemetry only).
+    scheme = "abstract"
+
+    def __init__(self) -> None:
+        self.counters = TierCounters()
+
+    def fetch(self, name: str, dest: pathlib.Path) -> bool:
+        """Copy entry ``name`` into local file ``dest`` (atomically);
+        True when the entry existed and landed."""
+        raise NotImplementedError
+
+    def push(self, name: str, src: pathlib.Path) -> bool:
+        """Publish local file ``src`` as entry ``name`` (atomically);
+        True when it landed.  Pushes are best-effort: a failure leaves
+        the local tiers authoritative and is reported via counters."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.scheme
+
+    def stats(self) -> Dict[str, Any]:
+        return dict(self.counters.as_dict(), backend=self.describe())
+
+
+class FilesystemBackend(Backend):
+    """Shared-directory backend (NFS-style): the reference implementation.
+
+    Both directions copy through a same-directory temp file and
+    ``os.replace``, so concurrent replicas pushing the same
+    content-addressed entry cannot tear each other — last writer wins
+    with identical bytes.
+    """
+
+    scheme = "fs"
+
+    def __init__(self, root: pathlib.Path) -> None:
+        super().__init__()
+        self.root = pathlib.Path(root)
+
+    def _atomic_copy(self, src: pathlib.Path, dest: pathlib.Path) -> int:
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            dir=dest.parent, prefix=".tmp-", suffix=dest.suffix,
+            delete=False)
+        handle.close()
+        try:
+            shutil.copyfile(src, handle.name)
+            nbytes = os.path.getsize(handle.name)
+            os.replace(handle.name, dest)
+        except OSError:
+            with contextlib.suppress(OSError):
+                os.unlink(handle.name)
+            raise
+        return nbytes
+
+    def fetch(self, name: str, dest: pathlib.Path) -> bool:
+        src = self.root / name
+        try:
+            nbytes = self._atomic_copy(src, pathlib.Path(dest))
+        except (OSError, ValueError):
+            self.counters.misses += 1
+            return False
+        self.counters.hits += 1
+        self.counters.bytes_read += nbytes
+        return True
+
+    def push(self, name: str, src: pathlib.Path) -> bool:
+        try:
+            nbytes = self._atomic_copy(pathlib.Path(src), self.root / name)
+        except (OSError, ValueError):
+            return False
+        self.counters.bytes_written += nbytes
+        return True
+
+    def describe(self) -> str:
+        return f"fs:{self.root}"
+
+
+#: scheme -> factory(rest-of-spec, namespace) -> Backend
+_SCHEMES: Dict[str, Callable[[str, str], Backend]] = {}
+
+
+def register_backend_scheme(
+        scheme: str, factory: Callable[[str, str], Backend]) -> None:
+    """Register a backend scheme for ``REPRO_STORE_BACKEND=<scheme>:...``."""
+    _SCHEMES[scheme] = factory
+
+
+register_backend_scheme(
+    "fs", lambda rest, namespace: FilesystemBackend(
+        pathlib.Path(rest) / namespace))
+
+
+def make_backend(spec: Optional[str], namespace: str) -> Optional[Backend]:
+    """Build the shared backend a spec string names, or ``None``.
+
+    ``spec`` is ``<scheme>:<rest>`` (a bare path implies ``fs:``);
+    ``namespace`` keeps each logical store's entries apart under one
+    shared root (``results`` / ``traces``).  Unset/disabled specs
+    return ``None``; an unknown scheme raises ``ValueError``.
+    """
+    if spec is None or spec.strip().lower() in _DISABLED:
+        return None
+    spec = spec.strip()
+    scheme, sep, rest = spec.partition(":")
+    if not sep or len(scheme) <= 1:  # bare path (incl. "C:..."-style)
+        scheme, rest = "fs", spec
+    factory = _SCHEMES.get(scheme)
+    if factory is None:
+        raise ValueError(
+            f"unknown store backend scheme {scheme!r} in {spec!r}; "
+            f"known: {sorted(_SCHEMES)}")
+    return factory(rest, namespace)
+
+
+def backend_spec_from_env() -> Optional[str]:
+    """``REPRO_STORE_BACKEND``, or ``None`` when unset/disabled."""
+    spec = os.environ.get(BACKEND_ENV)
+    if spec is None or spec.strip().lower() in _DISABLED:
+        return None
+    return spec
+
+
+def backend_from_env(namespace: str) -> Optional[Backend]:
+    return make_backend(backend_spec_from_env(), namespace)
