@@ -18,8 +18,12 @@ from .randomness import (
 from .stats import (
     fit_through_origin,
     geometric_mean,
+    matched_pair_interval,
     mean,
     sample_std,
+    stderr,
+    t_critical,
+    t_interval,
     welch_t,
 )
 
@@ -37,7 +41,11 @@ __all__ = [
     "format_decomposition",
     "fit_through_origin",
     "geometric_mean",
+    "matched_pair_interval",
     "mean",
     "sample_std",
+    "stderr",
+    "t_critical",
+    "t_interval",
     "welch_t",
 ]

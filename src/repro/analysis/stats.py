@@ -1,7 +1,18 @@
-"""Small statistics helpers used by the experiment harness."""
+"""Small statistics helpers used by the experiment harness.
+
+This is the single home of the CI/variance arithmetic the sampled
+experiment pipeline relies on (``repro.stats.estimators`` wraps these
+into population-aware :class:`~repro.stats.estimators.Estimate`
+objects): plain means, unbiased standard deviations, standard errors,
+Student-t intervals and matched-pair deltas.  Everything takes plain
+sequences and returns plain floats, so experiment reducers can reuse
+the exact arithmetic (and therefore the exact float results) the
+estimators do.
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Sequence, Tuple
 
 
@@ -17,6 +28,50 @@ def sample_std(values: Sequence[float]) -> float:
         raise ValueError("need at least two samples")
     center = mean(values)
     return (sum((v - center) ** 2 for v in values) / (len(values) - 1)) ** 0.5
+
+
+def stderr(values: Sequence[float]) -> float:
+    """Standard error of the mean (unbiased sample std / sqrt(n))."""
+    return sample_std(values) / math.sqrt(len(values))
+
+
+def t_critical(df: int, confidence: float = 0.95) -> float:
+    """Two-sided Student-t critical value at ``confidence`` (via scipy)."""
+    from scipy import stats as scipy_stats
+
+    if df < 1:
+        raise ValueError(f"need df >= 1, got {df}")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    return float(scipy_stats.t.ppf((1.0 + confidence) / 2.0, df))
+
+
+def t_interval(values: Sequence[float],
+               confidence: float = 0.95) -> Tuple[float, float]:
+    """``(mean, half_width)`` of the two-sided t confidence interval.
+
+    One sample carries no variance information, so ``n == 1`` answers
+    an infinite half-width — the honest "we cannot bound this yet"
+    value the sampled figure pipeline renders as ``±?``.
+    """
+    center = mean(values)
+    if len(values) < 2:
+        return center, float("inf")
+    return center, t_critical(len(values) - 1, confidence) * stderr(values)
+
+
+def matched_pair_interval(a: Sequence[float], b: Sequence[float],
+                          confidence: float = 0.95) -> Tuple[float, float]:
+    """``(mean delta, half_width)`` for paired samples ``a[i] - b[i]``.
+
+    Pairing removes the between-subject variance (e.g. which benchmark
+    a window came from), which is what makes small-sample overhead
+    deltas like Figure 12's cbs-vs-brr comparison tight.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"paired samples differ in length: "
+                         f"{len(a)} vs {len(b)}")
+    return t_interval([x - y for x, y in zip(a, b)], confidence)
 
 
 def fit_through_origin(xs: Sequence[float], ys: Sequence[float]

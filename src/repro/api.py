@@ -49,6 +49,7 @@ from .engine import (
     set_engine,
 )
 from .engine import run_doctor as _engine_run_doctor
+from .stats import SamplingPlan
 
 #: Default per-command scales, shared with the CLI so the two entry
 #: points cannot drift: fraction of the paper's invocation counts for
@@ -86,77 +87,149 @@ def _engine_ctx(engine: Optional[ExperimentEngine]) -> Iterator[None]:
 
 
 # ----------------------------------------------------------------------
+# Sampling/seed knobs, resolved once for every figure command.
+
+
+def _resolve_seed(seed: Optional[int],
+                  engine: Optional[ExperimentEngine],
+                  default: int) -> int:
+    """The uniform experiment seed: explicit argument first, then the
+    engine's ``--seed``/``REPRO_SEED`` config, then the figure's
+    historical default."""
+    if seed is not None:
+        return int(seed)
+    config_seed = (engine or get_engine()).config.seed
+    if config_seed is not None:
+        return int(config_seed)
+    return default
+
+
+def _resolve_plan(sample: Any, seed: int) -> Optional[SamplingPlan]:
+    """Coerce a ``sample=`` value (plan string, :class:`SamplingPlan`
+    or ``None``) into a plan seeded with the resolved seed."""
+    if sample is None:
+        return None
+    if isinstance(sample, SamplingPlan):
+        return sample
+    return SamplingPlan.parse(str(sample), seed=seed)
+
+
+def _sampled_data(rows: Any, sampling: Any) -> Any:
+    """Exhaustive runs keep their historical document shape; sampled
+    runs wrap it so the plan/CI telemetry travels with the rows."""
+    if sampling is None:
+        return rows
+    return {"rows": rows, "sampling": sampling.to_dict()}
+
+
+# ----------------------------------------------------------------------
 # One façade function per CLI command.
 
 
 def run_figure9(*, scale: float = DEFAULT_ACCURACY_SCALE,
-                seeds: Sequence[int] = (0,),
+                seeds: Optional[Sequence[int]] = None,
+                seed: Optional[int] = None,
+                sample: Any = None,
                 engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Figure 9: sampling accuracy at interval 2^10."""
-    from .experiments import figure9, format_accuracy_rows
+    from .experiments import figure9_report, format_accuracy_rows
 
+    resolved = _resolve_seed(seed, engine, 0)
+    plan = _resolve_plan(sample, resolved)
     with _engine_ctx(engine):
-        rows = figure9(scale=scale, seeds=seeds)
-    return FigureResult(rows, format_accuracy_rows(
-        rows, f"Figure 9: accuracy at 2^10 (scale {scale})"))
+        report = figure9_report(
+            scale=scale, seeds=tuple(seeds) if seeds is not None
+            else (resolved,), plan=plan)
+    return FigureResult(
+        _sampled_data(report.rows, report.sampling),
+        format_accuracy_rows(report.rows,
+                             f"Figure 9: accuracy at 2^10 (scale {scale})",
+                             sampling=report.sampling))
 
 
 def run_figure10(*, scale: float = DEFAULT_ACCURACY_SCALE,
-                 seeds: Sequence[int] = (0,),
+                 seeds: Optional[Sequence[int]] = None,
+                 seed: Optional[int] = None,
+                 sample: Any = None,
                  engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Figure 10: sampling accuracy at interval 2^13."""
-    from .experiments import figure10, format_accuracy_rows
+    from .experiments import figure10_report, format_accuracy_rows
 
+    resolved = _resolve_seed(seed, engine, 0)
+    plan = _resolve_plan(sample, resolved)
     with _engine_ctx(engine):
-        rows = figure10(scale=scale, seeds=seeds)
-    return FigureResult(rows, format_accuracy_rows(
-        rows, f"Figure 10: accuracy at 2^13 (scale {scale})"))
+        report = figure10_report(
+            scale=scale, seeds=tuple(seeds) if seeds is not None
+            else (resolved,), plan=plan)
+    return FigureResult(
+        _sampled_data(report.rows, report.sampling),
+        format_accuracy_rows(report.rows,
+                             f"Figure 10: accuracy at 2^13 (scale {scale})",
+                             sampling=report.sampling))
 
 
 def run_figure12(*, scale: float = DEFAULT_JVM_SCALE, interval: int = 1024,
+                 seed: Optional[int] = None,
+                 sample: Any = None,
                  engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Figure 12: framework overhead on the JVM workloads."""
-    from .experiments import figure12, format_fig12_rows
+    from .experiments import figure12_report, format_fig12_rows
 
+    plan = _resolve_plan(sample, _resolve_seed(seed, engine, 0))
     with _engine_ctx(engine):
-        rows = figure12(scale=scale, interval=interval)
-    return FigureResult([dataclasses.asdict(row) for row in rows],
-                        format_fig12_rows(rows))
+        report = figure12_report(scale=scale, interval=interval, plan=plan)
+    return FigureResult(
+        _sampled_data([dataclasses.asdict(row) for row in report.rows],
+                      report.sampling),
+        format_fig12_rows(report.rows, sampling=report.sampling))
 
 
-def _microbench_sweep(scale: int, engine: Optional[ExperimentEngine]):
+def _microbench_sweep(scale: int, engine: Optional[ExperimentEngine],
+                      seed: Optional[int] = None, sample: Any = None):
     from .experiments import microbench_sweep
 
+    resolved = _resolve_seed(seed, engine, 1)
+    plan = _resolve_plan(sample, resolved)
     with _engine_ctx(engine):
-        return microbench_sweep(n_chars=int(scale))
+        return microbench_sweep(n_chars=int(scale), seed=resolved, plan=plan)
 
 
 def run_figure13(*, scale: int = DEFAULT_MICRO_CHARS,
+                 seed: Optional[int] = None,
+                 sample: Any = None,
                  engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Figure 13: percent overhead vs. sampling interval."""
     from .experiments import format_figure13
 
-    sweep = _microbench_sweep(scale, engine)
+    sweep = _microbench_sweep(scale, engine, seed, sample)
     return FigureResult(sweep.to_dict(), format_figure13(sweep))
 
 
 def run_figure14(*, scale: int = DEFAULT_MICRO_CHARS,
+                 seed: Optional[int] = None,
+                 sample: Any = None,
                  engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Figure 14: added cycles per dynamic sampling site."""
     from .experiments import format_figure14
 
-    sweep = _microbench_sweep(scale, engine)
+    sweep = _microbench_sweep(scale, engine, seed, sample)
     return FigureResult(sweep.to_dict(), format_figure14(sweep))
 
 
 def run_figure2(*, scale: int = DEFAULT_MICRO_CHARS,
+                seed: Optional[int] = None,
                 engine: Optional[ExperimentEngine] = None) -> FigureResult:
-    """Figure 2-style decomposition of framework overhead."""
+    """Figure 2-style decomposition of framework overhead.
+
+    The cost decomposition fits both curve parameters from the full
+    interval sweep, so this command takes ``seed`` but not ``sample``.
+    """
     from .analysis import decompose, format_decomposition
     from .experiments import microbench_sweep
 
+    resolved = _resolve_seed(seed, engine, 1)
     with _engine_ctx(engine):
-        sweep = microbench_sweep(n_chars=int(scale))
+        sweep = microbench_sweep(n_chars=int(scale), seed=resolved)
         decompositions = [decompose(sweep, kind, "full-dup")
                           for kind in ("cbs", "brr")]
     text = "\n".join(format_decomposition(d) for d in decompositions)
@@ -251,6 +324,8 @@ __all__ = [
     "is_failure",
     "run_windows",
     "set_engine",
+    # sampling surface
+    "SamplingPlan",
     # command façade
     "FigureResult",
     "run_figure9",

@@ -2,12 +2,12 @@
 
 Usage::
 
-    python -m repro figure9 [--scale 0.05]
-    python -m repro figure10 [--scale 0.05]
-    python -m repro figure12 [--scale 3]
-    python -m repro figure13 [--scale 4000]
-    python -m repro figure14 [--scale 4000]
-    python -m repro figure2  [--scale 4000]
+    python -m repro figure9 [--scale 0.05] [--sample fraction:0.25] [--seed N]
+    python -m repro figure10 [--scale 0.05] [--sample fraction:0.25] [--seed N]
+    python -m repro figure12 [--scale 3] [--sample budget:3] [--seed N]
+    python -m repro figure13 [--scale 4000] [--sample fraction:0.25] [--seed N]
+    python -m repro figure14 [--scale 4000] [--sample adaptive:12] [--seed N]
+    python -m repro figure2  [--scale 4000] [--seed N]
     python -m repro sensitivity [--scale 0.02]
     python -m repro cost
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
@@ -36,7 +36,13 @@ bounded ``--retries`` and a ``--failure-policy`` (``raise`` | ``retry``
 moment they finish, so ``repro resume <run.jsonl>`` replays an
 interrupted invocation and executes only the missing windows.  Timed
 windows record/replay functional traces through the store described in
-``docs/trace_format.md`` (``REPRO_TRACE=0`` disables), ``--json``
+``docs/trace_format.md`` (``REPRO_TRACE=0`` disables), ``--sample``
+runs a figure's window population under a sampling plan
+(``exhaustive`` | ``fraction:F`` | ``budget:N`` | ``adaptive:N`` —
+see ``docs/sampling.md``) and reports estimates with confidence
+intervals instead of the exhaustive table, ``--seed`` pins the uniform
+experiment seed (workloads and plan selection; also ``REPRO_SEED``),
+``--json``
 switches stdout to a machine-readable document per command, and
 ``--out DIR`` additionally writes ``<command>.txt`` (plus
 ``BENCH_<command>.json`` and the per-window ``BENCH_windows.jsonl``
@@ -119,42 +125,47 @@ def _micro_chars(args) -> int:
 def _figure9(args) -> CommandResult:
     from . import api
 
-    result = api.run_figure9(scale=_accuracy_scale(args))
+    result = api.run_figure9(scale=_accuracy_scale(args),
+                             sample=args.sample, seed=args.seed)
     return result.data, result.text
 
 
 def _figure10(args) -> CommandResult:
     from . import api
 
-    result = api.run_figure10(scale=_accuracy_scale(args))
+    result = api.run_figure10(scale=_accuracy_scale(args),
+                              sample=args.sample, seed=args.seed)
     return result.data, result.text
 
 
 def _figure12(args) -> CommandResult:
     from . import api
 
-    result = api.run_figure12(scale=_jvm_scale(args))
+    result = api.run_figure12(scale=_jvm_scale(args),
+                              sample=args.sample, seed=args.seed)
     return result.data, result.text
 
 
 def _figure13(args) -> CommandResult:
     from . import api
 
-    result = api.run_figure13(scale=_micro_chars(args))
+    result = api.run_figure13(scale=_micro_chars(args),
+                              sample=args.sample, seed=args.seed)
     return result.data, result.text
 
 
 def _figure14(args) -> CommandResult:
     from . import api
 
-    result = api.run_figure14(scale=_micro_chars(args))
+    result = api.run_figure14(scale=_micro_chars(args),
+                              sample=args.sample, seed=args.seed)
     return result.data, result.text
 
 
 def _figure2(args) -> CommandResult:
     from . import api
 
-    result = api.run_figure2(scale=_micro_chars(args))
+    result = api.run_figure2(scale=_micro_chars(args), seed=args.seed)
     return result.data, result.text
 
 
@@ -191,6 +202,13 @@ COMMANDS = {
     "cost": _cost,
     "scorecard": _scorecard,
 }
+
+#: Commands whose window population honours ``--sample``.
+SAMPLED_COMMANDS = ("figure9", "figure10", "figure12", "figure13",
+                    "figure14")
+
+#: Commands whose workload/plan seeding honours ``--seed``.
+SEEDED_COMMANDS = SAMPLED_COMMANDS + ("figure2",)
 
 #: ``repro cache`` actions; the command lives outside COMMANDS so that
 #: ``repro all`` regenerates figures without touching the stores.
@@ -367,6 +385,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help=argparse.SUPPRESS)
     parser.add_argument("--chars", type=int, default=None,
                         help=argparse.SUPPRESS)
+    parser.add_argument("--sample", type=str, default=None,
+                        help="sampling plan for the figure's window "
+                             "population: exhaustive, fraction:F, "
+                             "budget:N, or adaptive:N (figures "
+                             "9/10/12/13/14; estimates gain confidence "
+                             "intervals — see docs/sampling.md)")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="uniform experiment seed: workload seed and "
+                             "sampling-plan selection seed (default: "
+                             "REPRO_SEED, else each figure's historical "
+                             "default)")
     parser.add_argument("--out", type=str, default=None,
                         help="directory to also write each figure's table "
                              "into (<out>/<command>.txt)")
@@ -446,6 +475,8 @@ def _build_engine(args, out_dir: Optional[pathlib.Path]) -> ExperimentEngine:
         overrides["resume_from"] = args.resume_from
     if args.integrity is not None:
         overrides["integrity"] = args.integrity
+    if args.seed is not None:
+        overrides["seed"] = args.seed
     config = EngineConfig.from_env(**overrides)
     if config.jobs is None:
         config = config.with_overrides(jobs=os.cpu_count() or 1)
@@ -482,6 +513,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "all" and args.scale is not None:
         parser.error("--scale is ambiguous for `all` (its unit differs "
                      "per command); run commands individually")
+    if args.sample is not None:
+        if args.command not in SAMPLED_COMMANDS:
+            parser.error(f"--sample is only supported by "
+                         f"{'/'.join(SAMPLED_COMMANDS)}")
+        from .stats import SamplingPlan
+
+        try:  # fail fast, before any engine/window work
+            SamplingPlan.parse(args.sample)
+        except ValueError as exc:
+            parser.error(f"invalid --sample plan: {exc}")
+    if args.seed is not None and args.command not in SEEDED_COMMANDS:
+        parser.error(f"--seed is only supported by "
+                     f"{'/'.join(SEEDED_COMMANDS)}")
     out_dir = pathlib.Path(args.out) if args.out else None
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)

@@ -21,6 +21,7 @@ the fast timing kernel against the golden model at runtime.
 """
 
 from .artifacts import (
+    PLAN_TYPE,
     RUN_META_TYPE,
     VALIDATION_TYPE,
     RunRecorder,
@@ -33,11 +34,13 @@ from .cache import ResultCache, default_cache_dir
 from .config import FAILURE_POLICIES, EngineConfig
 from .core import (
     ExperimentEngine,
+    PlanRun,
     WindowFailure,
     WindowTimeout,
     default_jobs,
     get_engine,
     is_failure,
+    run_population,
     run_windows,
     set_engine,
 )
@@ -74,6 +77,7 @@ __all__ = [
     "WindowSpec",
     "ResultCache",
     "default_cache_dir",
+    "PLAN_TYPE",
     "RUN_META_TYPE",
     "VALIDATION_TYPE",
     "RunRecorder",
@@ -97,6 +101,7 @@ __all__ = [
     "scan_ledger",
     "validation_override",
     "ExperimentEngine",
+    "PlanRun",
     "WindowFailure",
     "WindowTimeout",
     "InjectedWorkerFault",
@@ -104,6 +109,7 @@ __all__ = [
     "default_jobs",
     "get_engine",
     "is_failure",
+    "run_population",
     "run_windows",
     "set_engine",
     "DEFAULT_TRACE_HANDLES",

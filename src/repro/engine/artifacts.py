@@ -42,6 +42,12 @@ RUN_META_TYPE = "run_meta"
 #: ``record_type`` of a fast-path validation divergence line.
 VALIDATION_TYPE = "validation"
 
+#: ``record_type`` of a sampling-plan telemetry line (one per
+#: explicitly planned :meth:`~repro.engine.core.ExperimentEngine.run_plan`
+#: call: the plan, windows_run/windows_population and per-stratum CI
+#: half-widths).
+PLAN_TYPE = "plan"
+
 
 @dataclass
 class WindowRecord:
@@ -93,6 +99,7 @@ class RunRecorder:
         self.log_path = pathlib.Path(log_path) if log_path else None
         self.records: List[WindowRecord] = []
         self.validations: List[Dict[str, Any]] = []
+        self.plans: List[Dict[str, Any]] = []
         self.meta: Optional[Dict[str, Any]] = None
         self._started = time.time()
         if self.log_path is not None:
@@ -122,12 +129,19 @@ class RunRecorder:
         self.validations.append(dict(detail))
         self._append_line(dict(detail, record_type=VALIDATION_TYPE))
 
+    def write_plan(self, detail: Dict[str, Any]) -> None:
+        """Log one sampling-plan telemetry record (plan identity,
+        windows_run/windows_population, per-stratum CI half-widths)."""
+        self.plans.append(dict(detail))
+        self._append_line(dict(detail, record_type=PLAN_TYPE))
+
     def summary(self) -> Dict[str, Any]:
         """Aggregate view of the run so far, for ``--json`` output."""
         hits = sum(1 for r in self.records if r.cache == "hit")
         failures = sum(1 for r in self.records if r.cache == "failed")
         misses = len(self.records) - hits - failures
         return {
+            "plans": [dict(plan) for plan in self.plans],
             "windows": len(self.records),
             "cache_hits": hits,
             "cache_misses": misses,
@@ -203,8 +217,8 @@ def read_run_log_checked(path) -> Tuple[Optional[Dict[str, Any]],
         if record_type == RUN_META_TYPE:
             if meta is None:
                 meta = obj
-        elif record_type == VALIDATION_TYPE:
-            pass  # evidence lines, not window records
+        elif record_type in (VALIDATION_TYPE, PLAN_TYPE):
+            pass  # evidence/telemetry lines, not window records
         else:
             records.append(obj)
     return meta, records, report

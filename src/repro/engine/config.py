@@ -21,6 +21,7 @@ exactly one function, :meth:`EngineConfig.from_env`:
 ``REPRO_VALIDATE_POLICY``   divergence: ``warn`` | ``fallback`` | ``raise``
 ``REPRO_STORE_BACKEND``     shared store tier (``fs://<dir>``; empty = off)
 ``REPRO_TRACE_HANDLES``     open trace-handle LRU bound (default 4)
+``REPRO_SEED``              uniform experiment seed (workloads + sampling)
 ==========================  ===========================================
 
 Live collaborators (the result cache, trace store and run recorder)
@@ -114,6 +115,11 @@ class EngineConfig:
     #: Bound of the trace store's open-handle LRU; ``None`` means the
     #: library default (:data:`repro.engine.tracestore.DEFAULT_TRACE_HANDLES`).
     trace_handles: Optional[int] = None
+    #: Uniform experiment seed (``--seed`` / ``REPRO_SEED``): the
+    #: default workload seed for seeded figures *and* the default
+    #: :class:`~repro.stats.plan.SamplingPlan` selection seed.  ``None``
+    #: keeps each experiment's historical per-figure default.
+    seed: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.failure_policy not in FAILURE_POLICIES:
@@ -180,6 +186,9 @@ class EngineConfig:
         handles = _env_int("REPRO_TRACE_HANDLES")
         if handles is not None:
             values["trace_handles"] = max(1, handles)
+        seed = _env_int("REPRO_SEED")
+        if seed is not None:
+            values["seed"] = seed
         values.update(overrides)
         return cls(**values)
 

@@ -131,6 +131,97 @@ def is_failure(payload: Any) -> bool:
     return isinstance(payload, WindowFailure)
 
 
+def _default_cell_value(payloads: Tuple[Any, ...]) -> float:
+    """Interim estimator value of one cell for adaptive scheduling:
+    total simulated cycles (0 for untimed/failed windows)."""
+    return float(sum((payload.get("cycles") or 0) for payload in payloads))
+
+
+@dataclass
+class PlanRun:
+    """The result of one planned population execution.
+
+    ``cells`` is the selected subset in population (declaration)
+    order; ``payloads`` maps each selected cell id to its payload
+    tuple, one payload per spec, in the cell's spec order.  Reducers
+    consume this instead of a flat payload list.
+    """
+
+    population: Any                      # stats.WindowPopulation
+    plan: Optional[Any]                  # stats.SamplingPlan | None
+    cells: List[Any]                     # selected stats.Cell objects
+    payloads: Dict[str, Tuple[Any, ...]]
+
+    @property
+    def windows_population(self) -> int:
+        return self.population.n_windows
+
+    @property
+    def windows_run(self) -> int:
+        return sum(len(cell.specs) for cell in self.cells)
+
+    @property
+    def cells_population(self) -> int:
+        return self.population.size
+
+    @property
+    def cells_run(self) -> int:
+        return len(self.cells)
+
+    @property
+    def complete(self) -> bool:
+        """True when every window of the population executed — the
+        condition under which reducers must reproduce the exhaustive
+        pipeline byte for byte."""
+        return self.windows_run >= self.windows_population
+
+    def cell_payloads(self, cell_id: str) -> Tuple[Any, ...]:
+        return self.payloads[cell_id]
+
+    def plan_record(self, value: Optional[Callable[[Tuple[Any, ...]],
+                                                   float]] = None
+                    ) -> Dict[str, Any]:
+        """The JSONL/summary telemetry document for this run: plan
+        identity, window accounting and per-stratum CI half-widths."""
+        from ..stats.estimators import estimate_mean
+
+        value_fn = value or _default_cell_value
+        confidence = self.plan.confidence if self.plan is not None else 0.95
+        selected = {cell.id for cell in self.cells}
+        strata: Dict[str, Any] = {}
+        for stratum, members in self.population.strata().items():
+            run_cells = [cell for cell in members if cell.id in selected]
+            values = [
+                value_fn(self.payloads[cell.id]) for cell in run_cells
+                if not any(is_failure(p) for p in self.payloads[cell.id])
+            ]
+            entry: Dict[str, Any] = {
+                "cells_run": len(run_cells),
+                "cells_population": len(members),
+            }
+            if values:
+                estimate = estimate_mean(values, population=len(members),
+                                         confidence=confidence)
+                entry["mean"] = estimate.point
+                entry["ci_half_width"] = (
+                    None if estimate.half_width == float("inf")
+                    else estimate.half_width)
+            else:
+                entry["mean"] = None
+                entry["ci_half_width"] = None
+            strata[stratum] = entry
+        return {
+            "population": self.population.name,
+            "plan": None if self.plan is None else self.plan.to_dict(),
+            "windows_population": self.windows_population,
+            "windows_run": self.windows_run,
+            "cells_population": self.cells_population,
+            "cells_run": self.cells_run,
+            "complete": self.complete,
+            "strata": strata,
+        }
+
+
 def _execute(spec: WindowSpec) -> Dict[str, Any]:
     from .windows import run_window
 
@@ -258,6 +349,111 @@ class ExperimentEngine:
             else:
                 self._run_serial(specs, misses, results)
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Plan-driven scheduling: execute a sampled subset of a window
+    # population.  Selection is the plan's (deterministic, seeded);
+    # execution reuses self.run() unchanged, so caching, retries,
+    # fault policies and the ledger apply to sampled runs exactly as
+    # to exhaustive ones.
+
+    def run_plan(self, population, plan=None, value=None) -> PlanRun:
+        """Execute ``population`` under ``plan`` (see ``docs/sampling.md``).
+
+        ``plan=None`` is the zero-overhead exhaustive path: every cell
+        runs, no telemetry is written, and the flattened execution
+        order equals ``population.specs()`` — byte-identical to the
+        pre-sampling pipeline.  An explicit plan additionally writes a
+        ``plan`` record to the JSONL ledger (and the ``--json``
+        summary) with windows_run/windows_population and per-stratum
+        CI half-widths.  ``adaptive`` plans schedule the tail of their
+        budget from interim estimator variance; ``value`` maps one
+        cell's payload tuple to the scalar being estimated (default:
+        total cycles).
+        """
+        if plan is not None and plan.mode == "adaptive":
+            cells, payloads = self._run_adaptive(population, plan, value)
+        else:
+            cells = (population.enumerate() if plan is None
+                     else plan.select(population))
+            payloads = self._run_cells(cells)
+        result = PlanRun(population=population, plan=plan, cells=cells,
+                         payloads=payloads)
+        if plan is not None:
+            self.recorder.write_plan(result.plan_record(value))
+        return result
+
+    def _run_cells(self, cells) -> Dict[str, Tuple[Any, ...]]:
+        """Run every cell's specs in one engine batch; split the flat
+        payload list back per cell."""
+        specs = [spec for cell in cells for spec in cell.specs]
+        flat = self.run(specs)
+        payloads: Dict[str, Tuple[Any, ...]] = {}
+        position = 0
+        for cell in cells:
+            payloads[cell.id] = tuple(flat[position:position
+                                           + len(cell.specs)])
+            position += len(cell.specs)
+        return payloads
+
+    def _run_adaptive(self, population, plan, value=None):
+        """Variance-driven scheduling: seed every stratum, then spend
+        the remaining budget one cell at a time on the stratum whose
+        interim confidence interval is widest."""
+        from ..stats.estimators import estimate_mean
+
+        value_fn = value or _default_cell_value
+        all_cells = population.enumerate()
+        budget = plan.target_cells(population.size)
+        ranked = {
+            stratum: sorted(members,
+                            key=lambda c: (plan.rank(c.id), c.id))
+            for stratum, members in population.strata().items()
+        }
+        payloads: Dict[str, Tuple[Any, ...]] = {}
+
+        def run_batch(batch) -> None:
+            payloads.update(self._run_cells(
+                [cell for cell in batch if cell.id not in payloads]))
+
+        # Seed batch: every mandatory cell plus (up to) two ranked
+        # cells per stratum, so each stratum has enough samples for a
+        # finite interim interval.
+        seeds = [cell for cell in all_cells if cell.mandatory]
+        for members in ranked.values():
+            seeds.extend([cell for cell in members
+                          if not cell.mandatory][:2])
+        seen = set()
+        seeds = [cell for cell in seeds
+                 if not (cell.id in seen or seen.add(cell.id))]
+        run_batch(seeds[:budget])
+
+        while len(payloads) < budget:
+            next_cell = None
+            widest = None
+            for stratum, members in ranked.items():
+                remaining = [cell for cell in members
+                             if cell.id not in payloads]
+                if not remaining:
+                    continue
+                values = [
+                    value_fn(payloads[cell.id]) for cell in members
+                    if cell.id in payloads
+                    and not any(is_failure(p) for p in payloads[cell.id])
+                ]
+                half_width = (
+                    estimate_mean(values, population=len(members),
+                                  confidence=plan.confidence).half_width
+                    if values else float("inf"))
+                if widest is None or half_width > widest:
+                    widest = half_width
+                    next_cell = remaining[0]
+            if next_cell is None:
+                break
+            run_batch([next_cell])
+
+        selected = [cell for cell in all_cells if cell.id in payloads]
+        return selected, payloads
 
     # ------------------------------------------------------------------
     # Serial backend: in-process, spec order, with the same retry /
@@ -509,3 +705,12 @@ def run_windows(specs: Sequence[WindowSpec],
                 ) -> List[Dict[str, Any]]:
     """Run specs on ``engine`` (or the process-wide default)."""
     return (engine or get_engine()).run(specs)
+
+
+def run_population(population, plan=None,
+                   engine: Optional[ExperimentEngine] = None,
+                   value=None) -> PlanRun:
+    """Run a window population under a sampling plan on ``engine``
+    (or the process-wide default) — see :meth:`ExperimentEngine.run_plan`."""
+    return (engine or get_engine()).run_plan(population, plan=plan,
+                                             value=value)

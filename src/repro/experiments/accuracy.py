@@ -12,21 +12,36 @@ The two counters sample identical arithmetic progressions up to phase
 (we start the hardware counter at a different phase, as a separately
 initialised piece of hardware would be); branch-on-random samples the
 pseudo-random positions of its LFSR AND-tree.
+
+The (benchmark, seed) grid is declared as a
+:class:`~repro.stats.WindowPopulation` stratified by benchmark; under
+a non-exhaustive :class:`~repro.stats.SamplingPlan` only the selected
+cells run and the figure carries per-scheme accuracy estimates with
+finite-population confidence intervals.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import asdict, dataclass
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.stats import mean
 from ..core.condition import field_for_interval
-from ..engine import ExperimentEngine, WindowSpec, is_failure, run_windows
+from ..engine import ExperimentEngine, WindowSpec, is_failure, run_population
 from ..sampling.positions import (
     BrrPositionStream,
     CounterPositionStream,
     overlap_from_counts,
+)
+from ..stats import (
+    Cell,
+    SamplingPlan,
+    SamplingSummary,
+    WindowPopulation,
+    estimate_mean,
 )
 from ..workloads.dacapo import DACAPO_BENCHMARKS, DacapoSpec, event_chunks
 
@@ -73,6 +88,14 @@ class AccuracyResult:
     accuracy: float
     samples: int
     events: int
+
+
+@dataclass
+class AccuracyReport:
+    """Figure 9/10 rows plus, for sampled runs, the estimator footer."""
+
+    rows: List[Dict[str, float]]
+    sampling: Optional[SamplingSummary] = None
 
 
 def _make_stream(scheme: str, interval: int, seed: int,
@@ -136,43 +159,76 @@ def run_accuracy(
     }
 
 
-def accuracy_figure(
+def accuracy_population(
+    interval: int,
+    scale: float = 0.1,
+    seeds: Sequence[int] = (0,),
+    benchmarks: Iterable[DacapoSpec] = DACAPO_BENCHMARKS,
+    schemes: Sequence[str] = SCHEMES,
+) -> WindowPopulation:
+    """The figure's full window space: one cell per (benchmark, seed)
+    holding that seed's per-scheme window triple, stratified by
+    benchmark."""
+    cells = tuple(
+        Cell(
+            id=f"{spec.name}/seed{seed}",
+            stratum=spec.name,
+            specs=tuple(
+                accuracy_window_spec(spec, interval, (scheme,), scale, seed)
+                for scheme in schemes
+            ),
+            tags=(("benchmark", spec.name), ("seed", seed)),
+        )
+        for spec in benchmarks
+        for seed in seeds
+    )
+    return WindowPopulation(f"accuracy-{interval}", cells)
+
+
+def accuracy_figure_report(
     interval: int,
     scale: float = 0.1,
     seeds: Sequence[int] = (0,),
     benchmarks: Iterable[DacapoSpec] = DACAPO_BENCHMARKS,
     engine: Optional[ExperimentEngine] = None,
-) -> List[Dict[str, float]]:
+    plan: Optional[SamplingPlan] = None,
+) -> AccuracyReport:
     """One row per benchmark: mean accuracy per scheme (plus the
     cross-benchmark average row, as in Figures 9/10).
 
     Each (benchmark, scheme, seed) cell is one engine window, fanned
     out in parallel; the reduction below is a pure function of the
-    payloads, in the same order the serial code evaluated them.
+    payloads.  Under a non-exhaustive plan, benchmarks whose every
+    seed cell was left unrun drop out of the table and the report
+    carries per-scheme accuracy estimates over the run cells.
     """
     benchmarks = list(benchmarks)
-    specs = [
-        accuracy_window_spec(spec, interval, (scheme,), scale, seed)
-        for spec in benchmarks
-        for scheme in SCHEMES
-        for seed in seeds
-    ]
-    payloads = iter(run_windows(specs, engine=engine))
+    population = accuracy_population(interval, scale, seeds, benchmarks)
+    run = run_population(population, plan=plan, engine=engine)
+
+    per_cell: Dict[str, Dict[str, float]] = {}
+    for cell in run.cells:
+        payloads = run.cell_payloads(cell.id)
+        per_cell[cell.id] = {
+            # Skipped windows (failure_policy="skip") degrade to NaN
+            # cells; NaN then propagates into the average row.
+            scheme: (float("nan") if is_failure(payload)
+                     else payload["schemes"][scheme]["accuracy"])
+            for scheme, payload in zip(SCHEMES, payloads)
+        }
 
     rows: List[Dict[str, float]] = []
     sums = {scheme: 0.0 for scheme in SCHEMES}
     count = 0
     for spec in benchmarks:
+        cell_values = [per_cell[f"{spec.name}/seed{seed}"]
+                       for seed in seeds
+                       if f"{spec.name}/seed{seed}" in per_cell]
+        if not cell_values:
+            continue  # no seed of this benchmark was selected
         row: Dict[str, float] = {"benchmark": spec.name}
         for scheme in SCHEMES:
-            # Skipped windows (failure_policy="skip") degrade to NaN
-            # cells; NaN then propagates into the average row.
-            accs = [
-                float("nan") if is_failure(payload)
-                else payload["schemes"][scheme]["accuracy"]
-                for payload in (next(payloads) for _seed in seeds)
-            ]
-            row[scheme] = sum(accs) / len(accs)
+            row[scheme] = mean([values[scheme] for values in cell_values])
             sums[scheme] += row[scheme]
         rows.append(row)
         count += 1
@@ -180,22 +236,76 @@ def accuracy_figure(
     for scheme in SCHEMES:
         average[scheme] = sums[scheme] / count
     rows.append(average)
-    return rows
+
+    sampling = None
+    if not run.complete:
+        estimates = {}
+        for scheme in SCHEMES:
+            values = [values[scheme] for values in per_cell.values()
+                      if not math.isnan(values[scheme])]
+            if values:
+                estimates[f"{scheme} accuracy"] = estimate_mean(
+                    values, population=population.size,
+                    confidence=run.plan.confidence)
+        sampling = SamplingSummary(
+            plan=run.plan,
+            windows_population=run.windows_population,
+            windows_run=run.windows_run,
+            cells_population=run.cells_population,
+            cells_run=run.cells_run,
+            estimates=estimates,
+        )
+    return AccuracyReport(rows=rows, sampling=sampling)
+
+
+def accuracy_figure(
+    interval: int,
+    scale: float = 0.1,
+    seeds: Sequence[int] = (0,),
+    benchmarks: Iterable[DacapoSpec] = DACAPO_BENCHMARKS,
+    engine: Optional[ExperimentEngine] = None,
+    plan: Optional[SamplingPlan] = None,
+) -> List[Dict[str, float]]:
+    """The classic rows-only view of :func:`accuracy_figure_report`."""
+    return accuracy_figure_report(interval, scale=scale, seeds=seeds,
+                                  benchmarks=benchmarks, engine=engine,
+                                  plan=plan).rows
+
+
+def figure9_report(scale: float = 0.1, seeds: Sequence[int] = (0,),
+                   engine: Optional[ExperimentEngine] = None,
+                   plan: Optional[SamplingPlan] = None) -> AccuracyReport:
+    """Figure 9: sampling accuracy at interval 2^10."""
+    return accuracy_figure_report(1 << 10, scale=scale, seeds=seeds,
+                                  engine=engine, plan=plan)
+
+
+def figure10_report(scale: float = 0.1, seeds: Sequence[int] = (0,),
+                    engine: Optional[ExperimentEngine] = None,
+                    plan: Optional[SamplingPlan] = None) -> AccuracyReport:
+    """Figure 10: sampling accuracy at interval 2^13."""
+    return accuracy_figure_report(1 << 13, scale=scale, seeds=seeds,
+                                  engine=engine, plan=plan)
 
 
 def figure9(scale: float = 0.1, seeds: Sequence[int] = (0,),
-            engine: Optional[ExperimentEngine] = None):
+            engine: Optional[ExperimentEngine] = None,
+            plan: Optional[SamplingPlan] = None):
     """Figure 9: sampling accuracy at interval 2^10."""
-    return accuracy_figure(1 << 10, scale=scale, seeds=seeds, engine=engine)
+    return figure9_report(scale=scale, seeds=seeds, engine=engine,
+                          plan=plan).rows
 
 
 def figure10(scale: float = 0.1, seeds: Sequence[int] = (0,),
-             engine: Optional[ExperimentEngine] = None):
+             engine: Optional[ExperimentEngine] = None,
+             plan: Optional[SamplingPlan] = None):
     """Figure 10: sampling accuracy at interval 2^13."""
-    return accuracy_figure(1 << 13, scale=scale, seeds=seeds, engine=engine)
+    return figure10_report(scale=scale, seeds=seeds, engine=engine,
+                           plan=plan).rows
 
 
-def format_rows(rows: List[Dict[str, float]], title: str) -> str:
+def format_rows(rows: List[Dict[str, float]], title: str,
+                sampling: Optional[SamplingSummary] = None) -> str:
     """Fixed-width table for bench output."""
     lines = [title, f"{'benchmark':<10} " + " ".join(f"{s:>8}" for s in SCHEMES)]
     for row in rows:
@@ -203,4 +313,6 @@ def format_rows(rows: List[Dict[str, float]], title: str) -> str:
             f"{row['benchmark']:<10} "
             + " ".join(f"{row[s]:8.2f}" for s in SCHEMES)
         )
+    if sampling is not None:
+        lines.extend(sampling.describe())
     return "\n".join(lines)

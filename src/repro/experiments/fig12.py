@@ -5,15 +5,32 @@ almost a 5% overhead on these weakly-optimized benchmarks, while the
 branch-on-random-based framework achieves a 0.64% overhead.
 Performance is normalized to a non-instrumented version of the code,
 and both experiments use a sampling period of 1024."
+
+The window space is declared as a :class:`~repro.stats.WindowPopulation`
+(one cell per benchmark, holding its ``none``/``cbs``/``brr`` triple so
+overhead deltas stay matched) and executed under an optional
+:class:`~repro.stats.SamplingPlan`.  Exhaustive runs reproduce the
+pre-sampling pipeline byte for byte; sampled runs additionally carry a
+:class:`~repro.stats.SamplingSummary` with per-framework overhead
+estimates and a matched-pair cbs-vs-brr delta CI.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from ..engine import ExperimentEngine, WindowSpec, is_failure, run_windows
+from ..engine import ExperimentEngine, WindowSpec, is_failure, run_population
 from ..jvm.benchmarks import FIGURE12_BENCHMARKS
+from ..stats import (
+    Cell,
+    SamplingPlan,
+    SamplingSummary,
+    WindowPopulation,
+    estimate_mean,
+    matched_pair_estimate,
+)
 from ..timing.config import TimingConfig
 from ..timing.runner import overhead_percent
 
@@ -32,6 +49,14 @@ class Fig12Row:
     window_instructions: int
 
 
+@dataclass
+class Fig12Report:
+    """Figure 12's rows plus, for sampled runs, the estimator footer."""
+
+    rows: List[Fig12Row]
+    sampling: Optional[SamplingSummary] = None
+
+
 def jvm_window_spec(
     name: str,
     variant: str,
@@ -48,6 +73,31 @@ def jvm_window_spec(
         interval=interval if variant != "none" else None,
         config=None if config is None else config.to_dict(),
     )
+
+
+def fig12_population(
+    scale: float = 3.0,
+    interval: int = 1024,
+    config: Optional[TimingConfig] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+) -> WindowPopulation:
+    """Figure 12's full window space: one cell per benchmark holding
+    its matched ``none``/``cbs``/``brr`` triple, stratified by
+    benchmark."""
+    names = list(benchmarks) if benchmarks is not None \
+        else list(FIGURE12_BENCHMARKS)
+    cells = tuple(
+        Cell(
+            id=name,
+            stratum=name,
+            specs=tuple(jvm_window_spec(name, variant, scale, interval,
+                                        config)
+                        for variant in VARIANTS),
+            tags=(("benchmark", name),),
+        )
+        for name in names
+    )
+    return WindowPopulation("figure12", cells)
 
 
 def _reduce_row(name: str, base, cbs, brr) -> Fig12Row:
@@ -75,33 +125,33 @@ def run_benchmark(
     engine: Optional[ExperimentEngine] = None,
 ) -> Fig12Row:
     """Overhead of cbs and brr Full-Duplication sampling vs. baseline."""
-    specs = [jvm_window_spec(name, variant, scale, interval, config)
-             for variant in VARIANTS]
-    base, cbs, brr = run_windows(specs, engine=engine)
-    return _reduce_row(name, base, cbs, brr)
+    population = fig12_population(scale, interval, config, benchmarks=[name])
+    run = run_population(population, engine=engine)
+    return _reduce_row(name, *run.cell_payloads(name))
 
 
-def figure12(
+def figure12_report(
     scale: float = 3.0,
     interval: int = 1024,
     config: Optional[TimingConfig] = None,
     engine: Optional[ExperimentEngine] = None,
     benchmarks: Optional[Sequence[str]] = None,
-) -> List[Fig12Row]:
-    """All five benchmarks plus the average row.
+    plan: Optional[SamplingPlan] = None,
+) -> Fig12Report:
+    """All (or a planned sample of the) benchmarks plus the average row.
 
-    All 15 (benchmark, variant) windows fan out through the engine in
-    one batch, so a 4-worker run overlaps the five benchmarks instead
-    of timing them back to back.
+    The selected cells fan out through the engine in one batch, so a
+    4-worker run overlaps the benchmarks instead of timing them back
+    to back.  When the plan leaves windows unrun, the report carries a
+    :class:`~repro.stats.SamplingSummary`: per-framework overhead
+    estimates (finite-population t intervals over benchmark cells) and
+    the matched-pair cbs-minus-brr delta.
     """
-    names = list(benchmarks) if benchmarks is not None \
-        else list(FIGURE12_BENCHMARKS)
-    specs = [jvm_window_spec(name, variant, scale, interval, config)
-             for name in names for variant in VARIANTS]
-    payloads = run_windows(specs, engine=engine)
+    population = fig12_population(scale, interval, config, benchmarks)
+    run = run_population(population, plan=plan, engine=engine)
     rows = [
-        _reduce_row(name, *payloads[3 * i:3 * i + 3])
-        for i, name in enumerate(names)
+        _reduce_row(cell.id, *run.cell_payloads(cell.id))
+        for cell in run.cells
     ]
     rows.append(Fig12Row(
         benchmark="average",
@@ -110,10 +160,49 @@ def figure12(
         brr_overhead=sum(r.brr_overhead for r in rows) / len(rows),
         window_instructions=sum(r.window_instructions for r in rows),
     ))
-    return rows
+    sampling = None
+    if not run.complete:
+        body = [row for row in rows[:-1]
+                if not math.isnan(row.cbs_overhead)]
+        confidence = run.plan.confidence
+        estimates = {}
+        if body:
+            estimates["cbs overhead %"] = estimate_mean(
+                [row.cbs_overhead for row in body],
+                population=population.size, confidence=confidence)
+            estimates["brr overhead %"] = estimate_mean(
+                [row.brr_overhead for row in body],
+                population=population.size, confidence=confidence)
+            estimates["cbs-brr paired delta %"] = matched_pair_estimate(
+                [(row.cbs_overhead, row.brr_overhead) for row in body],
+                population=population.size, confidence=confidence)
+        sampling = SamplingSummary(
+            plan=run.plan,
+            windows_population=run.windows_population,
+            windows_run=run.windows_run,
+            cells_population=run.cells_population,
+            cells_run=run.cells_run,
+            estimates=estimates,
+        )
+    return Fig12Report(rows=rows, sampling=sampling)
 
 
-def format_rows(rows: List[Fig12Row]) -> str:
+def figure12(
+    scale: float = 3.0,
+    interval: int = 1024,
+    config: Optional[TimingConfig] = None,
+    engine: Optional[ExperimentEngine] = None,
+    benchmarks: Optional[Sequence[str]] = None,
+    plan: Optional[SamplingPlan] = None,
+) -> List[Fig12Row]:
+    """The classic rows-only view of :func:`figure12_report`."""
+    return figure12_report(scale=scale, interval=interval, config=config,
+                           engine=engine, benchmarks=benchmarks,
+                           plan=plan).rows
+
+
+def format_rows(rows: List[Fig12Row],
+                sampling: Optional[SamplingSummary] = None) -> str:
     lines = [
         "Figure 12: framework overhead at period 1024 (Full-Duplication)",
         f"{'benchmark':<10} {'counter-based %':>16} {'branch-on-random %':>20}",
@@ -123,4 +212,6 @@ def format_rows(rows: List[Fig12Row]) -> str:
             f"{row.benchmark:<10} {row.cbs_overhead:16.2f} "
             f"{row.brr_overhead:20.2f}"
         )
+    if sampling is not None:
+        lines.extend(sampling.describe())
     return "\n".join(lines)

@@ -14,15 +14,31 @@ The sweep also measures the ``full-instrumentation`` reference the
 paper quotes (4.3 cycles per site on their machine) and the baseline
 statistics of Section 5.3 (branch prediction accuracy, cache hit
 rates).
+
+The sweep's window space is a :class:`~repro.stats.WindowPopulation`:
+two *mandatory* baseline cells (every other point normalises against
+them) plus one cell per (kind, duplication, payload, interval) point,
+stratified by curve.  Under a non-exhaustive
+:class:`~repro.stats.SamplingPlan` only the selected interval points
+run and the sweep carries a :class:`~repro.stats.SamplingSummary`
+with a per-curve mean-overhead CI.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from ..core.brr import BranchOnRandomUnit
-from ..engine import ExperimentEngine, WindowSpec, is_failure, run_windows
+from ..engine import ExperimentEngine, WindowSpec, is_failure, run_population
+from ..stats import (
+    Cell,
+    SamplingPlan,
+    SamplingSummary,
+    WindowPopulation,
+    estimate_mean,
+)
 from ..timing.config import TimingConfig
 from ..timing.runner import WindowResult, cycles_per_site, overhead_percent, time_window
 from ..workloads.microbench import (
@@ -70,6 +86,9 @@ class MicrobenchSweep:
     full_instr_overhead: float
     full_instr_cycles_per_site: float
     points: List[SweepPoint] = field(default_factory=list)
+    #: Present only when a non-exhaustive plan left interval points
+    #: unrun; exhaustive sweeps keep their historical shape.
+    sampling: Optional[SamplingSummary] = None
 
     def series(self, kind: str, duplication: str,
                with_payload: bool) -> List[SweepPoint]:
@@ -81,11 +100,24 @@ class MicrobenchSweep:
             key=lambda p: p.interval,
         )
 
+    def intervals_present(self) -> List[int]:
+        """Every interval with at least one sampled point, ascending."""
+        return sorted({p.interval for p in self.points})
+
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-scalar form for ``--json`` output."""
+        """Plain-scalar form for ``--json`` output.
+
+        The ``sampling`` block appears only for sampled sweeps, so
+        exhaustive JSON output is unchanged from the pre-sampling
+        pipeline.
+        """
         from dataclasses import asdict
 
-        return asdict(self)
+        data = asdict(self)
+        data.pop("sampling", None)
+        if self.sampling is not None:
+            data["sampling"] = self.sampling.to_dict()
+        return data
 
 
 def _run(bench: Microbench, config: Optional[TimingConfig],
@@ -136,6 +168,60 @@ def microbench_window_spec(
     )
 
 
+def _curve(kind: str, duplication: str, with_payload: bool) -> str:
+    return f"{kind}/{duplication}/{'inst' if with_payload else 'plain'}"
+
+
+def microbench_population(
+    n_chars: int = 4000,
+    intervals: Sequence[int] = INTERVALS,
+    seed: int = 1,
+    config: Optional[TimingConfig] = None,
+    include_payload_variants: bool = True,
+) -> WindowPopulation:
+    """The sweep's full window space.
+
+    The two baseline cells are *mandatory* — every sampling plan runs
+    them, because every other point is normalised against the
+    un-instrumented baseline.  Interval points form one cell each,
+    stratified by curve, in the exact enumeration order of the
+    pre-sampling pipeline.
+    """
+    payload_options = (True, False) if include_payload_variants else (False,)
+    cells = [
+        Cell(
+            id="baseline/none",
+            stratum="baseline",
+            specs=(microbench_window_spec(n_chars, "none", seed,
+                                          config=config),),
+            mandatory=True,
+        ),
+        Cell(
+            id="baseline/full",
+            stratum="baseline",
+            specs=(microbench_window_spec(n_chars, "full", seed,
+                                          config=config),),
+            mandatory=True,
+        ),
+    ]
+    cells.extend(
+        Cell(
+            id=f"{_curve(kind, duplication, with_payload)}/{interval}",
+            stratum=_curve(kind, duplication, with_payload),
+            specs=(microbench_window_spec(
+                n_chars, duplication, seed, kind=kind, interval=interval,
+                include_payload=with_payload, lfsr_seed=interval,
+                config=config),),
+            tags=(("kind", kind), ("duplication", duplication),
+                  ("with_payload", with_payload), ("interval", interval)),
+        )
+        for kind, duplication in COMBOS
+        for with_payload in payload_options
+        for interval in intervals
+    )
+    return WindowPopulation("microbench", tuple(cells))
+
+
 def microbench_sweep(
     n_chars: int = 4000,
     intervals: Sequence[int] = INTERVALS,
@@ -143,43 +229,32 @@ def microbench_sweep(
     config: Optional[TimingConfig] = None,
     include_payload_variants: bool = True,
     engine: Optional[ExperimentEngine] = None,
+    plan: Optional[SamplingPlan] = None,
 ) -> MicrobenchSweep:
     """Run the whole Figure 13/14 sweep at one scale.
 
     Every point — the baseline, the full-instrumentation reference and
     each (kind, duplication, payload, interval) combination — is an
     independent engine window; the sweep object is a pure reduction of
-    the returned payloads.
+    the returned payloads.  A non-exhaustive ``plan`` runs the two
+    mandatory baselines plus a stratified per-curve subset of interval
+    points and attaches the estimator summary.
     """
-    payload_options = (True, False) if include_payload_variants else (False,)
-    specs = [
-        microbench_window_spec(n_chars, "none", seed, config=config),
-        microbench_window_spec(n_chars, "full", seed, config=config),
-    ]
-    combos: List[Tuple[str, str, bool, int]] = [
-        (kind, duplication, with_payload, interval)
-        for kind, duplication in COMBOS
-        for with_payload in payload_options
-        for interval in intervals
-    ]
-    specs.extend(
-        microbench_window_spec(
-            n_chars, duplication, seed, kind=kind, interval=interval,
-            include_payload=with_payload, lfsr_seed=interval, config=config,
-        )
-        for kind, duplication, with_payload, interval in combos
-    )
-    payloads = run_windows(specs, engine=engine)
+    population = microbench_population(
+        n_chars, intervals, seed, config, include_payload_variants)
+    run = run_population(population, plan=plan, engine=engine)
 
-    if is_failure(payloads[0]) or is_failure(payloads[1]):
+    base_payload = run.cell_payloads("baseline/none")[0]
+    full_payload = run.cell_payloads("baseline/full")[0]
+    if is_failure(base_payload) or is_failure(full_payload):
         # Every other point is normalised against the baseline, so a
         # skipped baseline/full window leaves nothing to reduce.
         raise RuntimeError(
             "microbench baseline window was skipped after repeated "
             "failures; re-run with failure_policy='retry' or 'raise'")
-    base = WindowResult.from_dict(payloads[0]["result"])
-    sites = payloads[0]["sites"]
-    full = WindowResult.from_dict(payloads[1]["result"])
+    base = WindowResult.from_dict(base_payload["result"])
+    sites = base_payload["sites"]
+    full = WindowResult.from_dict(full_payload["result"])
 
     sweep = MicrobenchSweep(
         n_chars=n_chars,
@@ -194,8 +269,14 @@ def microbench_sweep(
         full_instr_cycles_per_site=cycles_per_site(base.cycles, full.cycles,
                                                    sites),
     )
-    for (kind, duplication, with_payload, interval), payload in zip(
-            combos, payloads[2:]):
+    for cell in run.cells:
+        if cell.stratum == "baseline":
+            continue
+        payload = run.cell_payloads(cell.id)[0]
+        kind = cell.tag("kind")
+        duplication = cell.tag("duplication")
+        with_payload = cell.tag("with_payload")
+        interval = cell.tag("interval")
         if is_failure(payload):
             # A skipped sweep point degrades to a NaN cell instead of
             # aborting the whole figure (failure_policy="skip").
@@ -214,6 +295,31 @@ def microbench_sweep(
             overhead=overhead_percent(base.cycles, cycles),
             cycles_per_site=cycles_per_site(base.cycles, cycles, sites),
         ))
+
+    if not run.complete:
+        payload_options = ((True, False) if include_payload_variants
+                           else (False,))
+        estimates = {}
+        for kind, duplication in COMBOS:
+            for with_payload in payload_options:
+                overheads = [
+                    p.overhead
+                    for p in sweep.series(kind, duplication, with_payload)
+                    if not math.isnan(p.overhead)
+                ]
+                if overheads:
+                    name = _curve(kind, duplication, with_payload)
+                    estimates[f"{name} overhead %"] = estimate_mean(
+                        overheads, population=len(intervals),
+                        confidence=run.plan.confidence)
+        sweep.sampling = SamplingSummary(
+            plan=run.plan,
+            windows_population=run.windows_population,
+            windows_run=run.windows_run,
+            cells_population=run.cells_population,
+            cells_run=run.cells_run,
+            estimates=estimates,
+        )
     return sweep
 
 
@@ -234,13 +340,32 @@ def sampling_payoff_interval(sweep: MicrobenchSweep, kind: str,
     return None
 
 
+def _table_cell(series: List[SweepPoint], interval: int,
+                fmt: str, width: int) -> str:
+    for point in series:
+        if point.interval == interval:
+            return format(getattr(point, fmt), f"{width}.2f") \
+                if fmt == "overhead" \
+                else format(point.cycles_per_site, f"{width}.3f")
+    return format("-", f">{width}")
+
+
 def format_figure13(sweep: MicrobenchSweep) -> str:
-    """Figure 13's eight curves as a fixed-width table."""
+    """Figure 13's eight curves as a fixed-width table.
+
+    Exhaustive sweeps render the historical full-interval table;
+    sampled sweeps show only the intervals that ran (missing cells as
+    ``-``) plus the estimator footer.
+    """
+    if sweep.sampling is None:
+        columns: Sequence[int] = INTERVALS
+    else:
+        columns = sweep.intervals_present()
     lines = [
         f"Figure 13: % overhead vs. interval "
         f"({sweep.n_chars} chars, {sweep.sites} sites, "
         f"baseline {sweep.base_cycles} cycles)",
-        "curve" + " " * 21 + " ".join(f"{iv:>7}" for iv in INTERVALS),
+        "curve" + " " * 21 + " ".join(f"{iv:>7}" for iv in columns),
     ]
     for kind, dup in COMBOS:
         for payload in (True, False):
@@ -248,19 +373,32 @@ def format_figure13(sweep: MicrobenchSweep) -> str:
             if not series:
                 continue
             label = f"{kind} {'+inst' if payload else '     '} ({dup})"
-            lines.append(
-                f"{label:<26}" + " ".join(f"{p.overhead:7.2f}" for p in series)
-            )
+            if sweep.sampling is None:
+                lines.append(
+                    f"{label:<26}" + " ".join(f"{p.overhead:7.2f}" for p in series)
+                )
+            else:
+                lines.append(
+                    f"{label:<26}"
+                    + " ".join(_table_cell(series, iv, "overhead", 7)
+                               for iv in columns)
+                )
+    if sweep.sampling is not None:
+        lines.extend(sweep.sampling.describe())
     return "\n".join(lines)
 
 
 def format_figure14(sweep: MicrobenchSweep) -> str:
     """Figure 14: cycles per site (Full-Duplication curves)."""
+    if sweep.sampling is None:
+        columns: Sequence[int] = INTERVALS
+    else:
+        columns = sweep.intervals_present()
     lines = [
         "Figure 14: average cycles per sampling site (Full-Duplication)",
         f"(full-instrumentation reference: "
         f"{sweep.full_instr_cycles_per_site:.2f} cycles/site)",
-        "curve" + " " * 16 + " ".join(f"{iv:>7}" for iv in INTERVALS),
+        "curve" + " " * 16 + " ".join(f"{iv:>7}" for iv in columns),
     ]
     for kind in ("cbs", "brr"):
         for payload in (True, False):
@@ -268,8 +406,17 @@ def format_figure14(sweep: MicrobenchSweep) -> str:
             if not series:
                 continue
             label = f"{kind}{' + inst' if payload else '       '}"
-            lines.append(
-                f"{label:<21}"
-                + " ".join(f"{p.cycles_per_site:7.3f}" for p in series)
-            )
+            if sweep.sampling is None:
+                lines.append(
+                    f"{label:<21}"
+                    + " ".join(f"{p.cycles_per_site:7.3f}" for p in series)
+                )
+            else:
+                lines.append(
+                    f"{label:<21}"
+                    + " ".join(_table_cell(series, iv, "cycles_per_site", 7)
+                               for iv in columns)
+                )
+    if sweep.sampling is not None:
+        lines.extend(sweep.sampling.describe())
     return "\n".join(lines)

@@ -133,6 +133,48 @@ def _check_jvm_overhead(scale: float) -> Tuple[bool, str]:
     )
 
 
+def _check_sampled_estimation(n_chars: int) -> Tuple[bool, str]:
+    from ..stats import SamplingPlan
+    from .fig13 import microbench_population, microbench_sweep
+
+    intervals = (8, 64, 512)
+    exhaustive = microbench_sweep(n_chars=n_chars, intervals=intervals,
+                                  include_payload_variants=False)
+    plan = SamplingPlan(mode="fraction", fraction=0.5, seed=0)
+    sampled = microbench_sweep(n_chars=n_chars, intervals=intervals,
+                               include_payload_variants=False, plan=plan)
+    population = microbench_population(n_chars=n_chars, intervals=intervals,
+                                       include_payload_variants=False)
+    if sampled.sampling is None:
+        return False, "sampled sweep carried no sampling summary"
+    summary = sampled.sampling
+    if summary.windows_run >= population.n_windows:
+        return False, (f"plan ran all {summary.windows_run} windows; "
+                       "nothing was actually sampled")
+    exact = {(p.kind, p.duplication, p.with_payload, p.interval): p.overhead
+             for p in exhaustive.points}
+    for point in sampled.points:
+        key = (point.kind, point.duplication, point.with_payload,
+               point.interval)
+        if point.overhead != exact[key]:
+            return False, f"sampled point {key} diverged from exhaustive"
+    covered = 0
+    for (kind, duplication) in (("cbs", "no-dup"), ("cbs", "full-dup"),
+                                ("brr", "no-dup"), ("brr", "full-dup")):
+        name = f"{kind}/{duplication}/plain overhead %"
+        estimate = summary.estimates.get(name)
+        series = exhaustive.series(kind, duplication, False)
+        true_mean = sum(p.overhead for p in series) / len(series)
+        if estimate is None or not estimate.covers(true_mean):
+            return False, f"{name} CI missed exhaustive mean {true_mean:.2f}"
+        covered += 1
+    return True, (
+        f"fraction:0.5 ran {summary.windows_run}/{population.n_windows} "
+        f"windows; all sampled points exact, {covered}/4 curve CIs cover "
+        "the exhaustive means"
+    )
+
+
 #: A scorecard check: (claim text, callable returning (passed, detail)).
 Check = Tuple[str, Callable[[], Tuple[bool, str]]]
 
@@ -156,6 +198,9 @@ def default_checks(quick: bool = True) -> List[Check]:
          lambda: _check_per_site_gap(n_chars)),
         ("Figure 12: brr far below counter-based on the JVM workloads",
          lambda: _check_jvm_overhead(jvm_scale)),
+        ("Sampled estimation: planned subsets reproduce exhaustive "
+         "figures within their CIs",
+         lambda: _check_sampled_estimation(n_chars=1200 if quick else 2500)),
     ]
 
 

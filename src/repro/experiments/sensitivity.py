@@ -31,8 +31,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from scipy import stats as scipy_stats
 
+from ..analysis.stats import mean, sample_std
 from ..core.taps import PAPER_SENSITIVITY_TAPS_32
-from ..engine import ExperimentEngine, get_engine, run_windows
+from ..engine import ExperimentEngine, get_engine, run_population
+from ..stats import Cell, WindowPopulation
 from ..timing.config import PAPER_CONFIG, TimingConfig
 from ..workloads.dacapo import spec_by_name
 from .accuracy import accuracy_window_spec
@@ -75,17 +77,32 @@ def _anova(groups: Dict[str, List[float]]) -> Tuple[float, float]:
     return float(f_stat), float(p_value)
 
 
+def _sensitivity_population(
+    name: str,
+    labelled_specs: Sequence[Tuple[str, "object"]],
+) -> WindowPopulation:
+    """One cell per (group, replicate), stratified by group label."""
+    cells = []
+    counters: Dict[str, int] = {}
+    for label, spec in labelled_specs:
+        index = counters.get(label, 0)
+        counters[label] = index + 1
+        cells.append(Cell(id=f"{label}/{index}", stratum=label,
+                          specs=(spec,)))
+    return WindowPopulation(name, tuple(cells))
+
+
 def _grouped_accuracies(
     labelled_specs: Sequence[Tuple[str, "object"]],
     engine: Optional[ExperimentEngine],
 ) -> Dict[str, List[float]]:
     """Fan every (group, seed) cell out through the engine at once."""
-    payloads = run_windows([spec for _label, spec in labelled_specs],
-                           engine=engine)
+    population = _sensitivity_population("sensitivity", labelled_specs)
+    run = run_population(population, engine=engine)
     groups: Dict[str, List[float]] = {}
-    for (label, _spec), payload in zip(labelled_specs, payloads):
-        groups.setdefault(label, []).append(
-            payload["schemes"]["random"]["accuracy"])
+    for cell in run.cells:
+        groups.setdefault(cell.stratum, []).append(
+            run.cell_payloads(cell.id)[0]["schemes"]["random"]["accuracy"])
     return groups
 
 
@@ -179,16 +196,15 @@ def seed_noise_baseline(
 ) -> Dict[str, float]:
     """The seed-variation distribution everything is compared against."""
     spec = spec_by_name(benchmark)
-    payloads = run_windows([
-        accuracy_window_spec(spec, interval, ("random",), scale, seed)
+    groups = _grouped_accuracies([
+        ("seed-noise",
+         accuracy_window_spec(spec, interval, ("random",), scale, seed))
         for seed in seeds
-    ], engine=engine)
-    accuracies = [p["schemes"]["random"]["accuracy"] for p in payloads]
-    mean = sum(accuracies) / len(accuracies)
-    variance = sum((a - mean) ** 2 for a in accuracies) / (len(accuracies) - 1)
+    ], engine)
+    accuracies = groups["seed-noise"]
     return {
-        "mean": mean,
-        "std": variance ** 0.5,
+        "mean": mean(accuracies),
+        "std": sample_std(accuracies),
         "min": min(accuracies),
         "max": max(accuracies),
     }
@@ -272,18 +288,23 @@ def timing_config_sweep(
     """
     configs = configs if configs is not None else paper_timing_ablations()
     engine = engine or get_engine()
-    specs = [
-        microbench_window_spec(n_chars, variant, seed=seed, kind=kind,
-                               interval=interval, config=config)
-        for config in configs.values()
-    ]
+    population = WindowPopulation("timing-config", tuple(
+        Cell(
+            id=name,
+            stratum=name,
+            specs=(microbench_window_spec(n_chars, variant, seed=seed,
+                                          kind=kind, interval=interval,
+                                          config=config),),
+        )
+        for name, config in configs.items()
+    ))
     first_new_record = len(engine.recorder.records)
-    payloads = run_windows(specs, engine=engine)
+    run = run_population(population, engine=engine)
 
     table: Dict[str, Dict[str, float]] = {}
     lockstep_steps = 0
-    for name, payload in zip(configs, payloads):
-        result = payload["result"]
+    for name in configs:
+        result = run.cell_payloads(name)[0]["result"]
         cycles = result["stats"]["cycles"]
         instructions = result["stats"]["instructions"]
         table[name] = {
@@ -329,8 +350,8 @@ def format_timing_sweep(result: TimingSweepResult) -> str:
 
 def format_result(result: SensitivityResult) -> str:
     lines = [result.label]
-    for name, mean in result.group_means().items():
-        lines.append(f"  {name:<24} mean accuracy {mean:6.2f}%")
+    for name, group_mean in result.group_means().items():
+        lines.append(f"  {name:<24} mean accuracy {group_mean:6.2f}%")
     verdict = ("SIGNIFICANT (unexpected!)" if result.significant
                else "not significant (matches the paper)")
     lines.append(

@@ -76,16 +76,27 @@ def _as_seed_list(value: Any) -> Tuple[int, ...]:
     return (_as_int(value),)
 
 
+def _as_plan(value: Any) -> str:
+    """Sampling plans canonicalise before coalescing, so
+    ``fraction:0.25`` and ``fraction:0.250`` share one computation."""
+    from ..stats import SamplingPlan
+
+    return SamplingPlan.parse(str(value)).canonical()
+
+
 #: command -> {param -> coercer}.  The façade functions themselves
 #: supply the defaults; the service only validates and coerces what a
 #: tenant explicitly sets.
 COMMANDS: Dict[str, Dict[str, Callable[[Any], Any]]] = {
-    "figure9": {"scale": _as_float, "seeds": _as_seed_list},
-    "figure10": {"scale": _as_float, "seeds": _as_seed_list},
-    "figure12": {"scale": _as_float, "interval": _as_int},
-    "figure13": {"scale": _as_int},
-    "figure14": {"scale": _as_int},
-    "figure2": {"scale": _as_int},
+    "figure9": {"scale": _as_float, "seeds": _as_seed_list,
+                "sample": _as_plan, "seed": _as_int},
+    "figure10": {"scale": _as_float, "seeds": _as_seed_list,
+                 "sample": _as_plan, "seed": _as_int},
+    "figure12": {"scale": _as_float, "interval": _as_int,
+                 "sample": _as_plan, "seed": _as_int},
+    "figure13": {"scale": _as_int, "sample": _as_plan, "seed": _as_int},
+    "figure14": {"scale": _as_int, "sample": _as_plan, "seed": _as_int},
+    "figure2": {"scale": _as_int, "seed": _as_int},
     "sensitivity": {"scale": _as_float, "chars": _as_int},
     "cost": {},
     "scorecard": {"quick": _as_bool},

@@ -1,0 +1,205 @@
+"""Estimators: point estimates + confidence intervals from samples.
+
+The sampled pipeline's reducers stop being exhaustive aggregators and
+become consumers of these estimators.  Every estimate is an
+:class:`Estimate` — point value, CI half-width, sample and population
+sizes — built on the t-interval arithmetic in
+:mod:`repro.analysis.stats` with a finite-population correction:
+sampling n of N cells without replacement shrinks the standard error
+by ``sqrt((N - n) / (N - 1))``, which is what makes ``n == N``
+(exhaustive) collapse to a zero-width interval — the estimator
+*degenerates into* the exhaustive reducer rather than approximating
+it.
+
+Three shapes cover the figures:
+
+* :func:`estimate_mean` — one stratum's (or one curve's) mean;
+* :func:`matched_pair_estimate` — paired deltas (Figure 12's
+  cbs-vs-brr overhead gap), estimated on per-cell differences so
+  between-benchmark variance cancels;
+* :func:`stratified_estimate` — a population mean from per-stratum
+  samples, weighted by stratum size.
+
+:class:`SamplingSummary` bundles a run's plan, window accounting and
+named estimates — the object figure formatters append as a footer and
+``--json`` consumers serialise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.stats import mean, t_critical, t_interval
+from .plan import SamplingPlan
+
+
+def finite_population_correction(n: int, population: int) -> float:
+    """FPC factor for sampling ``n`` of ``population`` without
+    replacement; 1.0 when the population is unbounded or trivial."""
+    if population <= 1 or n >= population:
+        return 0.0 if n >= population else 1.0
+    return math.sqrt((population - n) / (population - 1))
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """A point estimate with its confidence interval."""
+
+    point: float
+    #: CI half-width; 0.0 for exhaustive samples, ``inf`` when a single
+    #: sample carries no variance information (rendered as ``±?``).
+    half_width: float
+    n: int
+    population: int
+    confidence: float = 0.95
+
+    @property
+    def low(self) -> float:
+        return self.point - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.point + self.half_width
+
+    @property
+    def exhaustive(self) -> bool:
+        return self.n >= self.population
+
+    def covers(self, value: float) -> bool:
+        """True when ``value`` falls inside the interval."""
+        if math.isnan(value) or math.isnan(self.point):
+            return False
+        return self.low <= value <= self.high
+
+    def describe(self) -> str:
+        if self.half_width == 0.0:
+            return f"{self.point:.2f} (exact)"
+        if math.isinf(self.half_width):
+            return f"{self.point:.2f} ±? (n={self.n})"
+        return f"{self.point:.2f} ±{self.half_width:.2f}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "point": self.point,
+            # inf has no JSON encoding; None is the wire form of "no
+            # finite bound yet".
+            "half_width": (None if math.isinf(self.half_width)
+                           else self.half_width),
+            "n": self.n,
+            "population": self.population,
+            "confidence": self.confidence,
+        }
+
+
+def estimate_mean(values: Sequence[float], population: Optional[int] = None,
+                  confidence: float = 0.95) -> Estimate:
+    """Mean of ``values`` as an estimate of the population mean.
+
+    ``population`` is the total cell count the sample was drawn from
+    (defaults to ``len(values)``, i.e. an exhaustive sample).
+    """
+    total = len(values) if population is None else int(population)
+    if total < len(values):
+        raise ValueError(
+            f"sample of {len(values)} exceeds population {total}")
+    point, half_width = t_interval(values, confidence)
+    if len(values) >= total:
+        half_width = 0.0
+    elif not math.isinf(half_width):
+        half_width *= finite_population_correction(len(values), total)
+    return Estimate(point=point, half_width=half_width, n=len(values),
+                    population=total, confidence=confidence)
+
+
+def matched_pair_estimate(pairs: Sequence[Tuple[float, float]],
+                          population: Optional[int] = None,
+                          confidence: float = 0.95) -> Estimate:
+    """Estimate of the mean paired delta ``a - b`` across cells."""
+    deltas = [a - b for a, b in pairs]
+    return estimate_mean(deltas, population=population,
+                         confidence=confidence)
+
+
+def stratified_estimate(strata: Sequence[Tuple[Sequence[float], int]],
+                        confidence: float = 0.95) -> Estimate:
+    """Population mean from per-stratum samples.
+
+    ``strata`` is a sequence of ``(sample_values, stratum_size)``; the
+    point estimate weights each stratum mean by its size, the variance
+    combines per-stratum sampling variances (each with its own FPC),
+    and the t quantile uses the pooled degrees of freedom.
+    """
+    strata = [(list(values), int(size)) for values, size in strata if size]
+    if not strata:
+        raise ValueError("stratified estimate needs at least one stratum")
+    total = sum(size for _values, size in strata)
+    n = sum(len(values) for values, _size in strata)
+    if any(len(values) > size for values, size in strata):
+        raise ValueError("stratum sample exceeds stratum size")
+    if any(not values for values, _size in strata):
+        raise ValueError("every stratum needs at least one sample")
+    point = sum(size * mean(values) for values, size in strata) / total
+    if n >= total:
+        return Estimate(point=point, half_width=0.0, n=n, population=total,
+                        confidence=confidence)
+    variance = 0.0
+    df = 0
+    for values, size in strata:
+        if len(values) >= size:
+            continue  # fully-observed stratum contributes no variance
+        if len(values) < 2:
+            return Estimate(point=point, half_width=float("inf"), n=n,
+                            population=total, confidence=confidence)
+        sample_var = (sum((v - mean(values)) ** 2 for v in values)
+                      / (len(values) - 1))
+        weight = size / total
+        fpc = 1.0 - len(values) / size
+        variance += weight * weight * fpc * sample_var / len(values)
+        df += len(values) - 1
+    if df < 1:
+        return Estimate(point=point, half_width=float("inf"), n=n,
+                        population=total, confidence=confidence)
+    half_width = t_critical(df, confidence) * math.sqrt(variance)
+    return Estimate(point=point, half_width=half_width, n=n,
+                    population=total, confidence=confidence)
+
+
+@dataclass
+class SamplingSummary:
+    """One sampled run's plan, accounting, and named estimates."""
+
+    plan: SamplingPlan
+    windows_population: int
+    windows_run: int
+    cells_population: int
+    cells_run: int
+    estimates: Dict[str, Estimate] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        return self.windows_run >= self.windows_population
+
+    def describe(self) -> List[str]:
+        """Footer lines figure formatters append under sampled tables."""
+        lines = [
+            f"sampling: {self.plan.describe()} -- ran "
+            f"{self.windows_run}/{self.windows_population} windows "
+            f"({self.cells_run}/{self.cells_population} cells), "
+            f"{self.plan.confidence:.0%} CI",
+        ]
+        for name, estimate in self.estimates.items():
+            lines.append(f"  {name:<34} {estimate.describe()}")
+        return lines
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "windows_population": self.windows_population,
+            "windows_run": self.windows_run,
+            "cells_population": self.cells_population,
+            "cells_run": self.cells_run,
+            "estimates": {name: estimate.to_dict()
+                          for name, estimate in self.estimates.items()},
+        }

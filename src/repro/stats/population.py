@@ -1,0 +1,115 @@
+"""Window populations: the declarative form of a figure's window space.
+
+Before the sampling pipeline, every experiment hand-rolled its own
+nested ``for benchmark ... for variant ...`` spec loop.  A
+:class:`WindowPopulation` replaces those loops with data: an ordered
+tuple of :class:`Cell`\\ s, where each cell is the *unit of sampling*
+— the smallest group of :class:`~repro.engine.spec.WindowSpec`\\ s that
+must execute together for the figure's reduction to make sense (e.g.
+Figure 12 pairs each benchmark's ``none``/``cbs``/``brr`` windows in
+one cell so overhead deltas stay matched).
+
+Cells carry:
+
+* ``id`` — unique within the population; the deterministic sampling
+  rank of :class:`~repro.stats.plan.SamplingPlan` hashes it, so a
+  plan's selection is stable across runs, processes and resumes;
+* ``stratum`` — the grouping estimators stratify by (benchmark for the
+  accuracy figures, curve for the Figure 13 sweep).  Plans allocate
+  their budget proportionally across strata;
+* ``mandatory`` — cells every plan must run regardless of budget
+  (Figure 13's baseline windows: nothing can be normalised without
+  them);
+* ``tags`` — reduction metadata (interval, scheme, seed, ...) so
+  consumers never parse cell ids.
+
+``WindowPopulation.enumerate()`` answers the cells in declaration
+order and ``specs()`` flattens them to the exact spec sequence the
+pre-sampling exhaustive loops produced — which is what keeps
+``fraction=1.0`` byte-identical to the old pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from ..engine.spec import WindowSpec
+
+
+@dataclass(frozen=True)
+class Cell:
+    """The unit of sampling: specs that execute (and reduce) together."""
+
+    id: str
+    stratum: str
+    specs: Tuple[WindowSpec, ...]
+    mandatory: bool = False
+    #: Reduction metadata as (name, value) pairs; see :meth:`tag`.
+    tags: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("cell id must be non-empty")
+        if not self.specs:
+            raise ValueError(f"cell {self.id!r} declares no specs")
+
+    def tag(self, name: str, default: Any = None) -> Any:
+        """The value of tag ``name`` (or ``default``)."""
+        for key, value in self.tags:
+            if key == name:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class WindowPopulation:
+    """An ordered, enumerable-or-samplable window space."""
+
+    name: str
+    cells: Tuple[Cell, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cells", tuple(self.cells))
+        seen = set()
+        for cell in self.cells:
+            if cell.id in seen:
+                raise ValueError(
+                    f"population {self.name!r} has duplicate cell id "
+                    f"{cell.id!r}")
+            seen.add(cell.id)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of cells (the sampling-unit count)."""
+        return len(self.cells)
+
+    @property
+    def n_windows(self) -> int:
+        """Total window count across every cell."""
+        return sum(len(cell.specs) for cell in self.cells)
+
+    def enumerate(self) -> List[Cell]:
+        """Every cell, in declaration order (the exhaustive plan)."""
+        return list(self.cells)
+
+    def specs(self) -> List[WindowSpec]:
+        """Every window spec, flattened in declaration order — exactly
+        the sequence the pre-population exhaustive loops produced."""
+        return [spec for cell in self.cells for spec in cell.specs]
+
+    def strata(self) -> Dict[str, List[Cell]]:
+        """Cells grouped by stratum, preserving declaration order of
+        both the strata and the cells within each."""
+        grouped: Dict[str, List[Cell]] = {}
+        for cell in self.cells:
+            grouped.setdefault(cell.stratum, []).append(cell)
+        return grouped
+
+    def cell(self, cell_id: str) -> Cell:
+        for candidate in self.cells:
+            if candidate.id == cell_id:
+                return candidate
+        raise KeyError(f"population {self.name!r} has no cell {cell_id!r}")

@@ -1,0 +1,212 @@
+"""End-to-end behaviour of the sampling-aware experiment pipeline.
+
+The load-bearing guarantees of the plan/execute/estimate refactor:
+
+* exhaustive output (``plan=None`` and ``fraction:1.0``) is
+  byte-identical to the pre-sampling pipeline's figures;
+* a non-exhaustive plan runs exactly the planned window subset, every
+  sampled value equals its exhaustive counterpart, and the report
+  carries plan/CI telemetry all the way into the JSONL ledger and the
+  ``--json`` documents;
+* the same plan replays the same subset, which is what makes sampled
+  runs resumable.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.engine import (
+    EngineConfig,
+    ExperimentEngine,
+    ResultCache,
+    RunRecorder,
+    read_run_log_checked,
+    run_population,
+    set_engine,
+)
+from repro.serve.service import RequestError, validate_request
+from repro.stats import SamplingPlan
+
+
+@pytest.fixture
+def engine(tmp_path):
+    eng = ExperimentEngine(config=EngineConfig(jobs=1),
+                           cache=ResultCache(root=tmp_path / "cache"),
+                           recorder=RunRecorder())
+    set_engine(eng)
+    yield eng
+    set_engine(None)
+
+
+class TestByteIdentity:
+    def test_figure12_fraction_one_is_exhaustive(self, engine):
+        from repro.experiments import figure12_report, format_fig12_rows
+
+        plain = figure12_report(scale=0.05, engine=engine)
+        planned = figure12_report(
+            scale=0.05, engine=engine,
+            plan=SamplingPlan(mode="fraction", fraction=1.0, seed=9))
+        assert plain.sampling is None and planned.sampling is None
+        assert format_fig12_rows(plain.rows) == format_fig12_rows(
+            planned.rows)
+
+    def test_figure13_fraction_one_is_exhaustive(self, engine):
+        from repro.experiments import format_figure13, microbench_sweep
+
+        plain = microbench_sweep(n_chars=300, intervals=(8, 64),
+                                 engine=engine)
+        planned = microbench_sweep(
+            n_chars=300, intervals=(8, 64), engine=engine,
+            plan=SamplingPlan(mode="fraction", fraction=1.0))
+        assert plain.sampling is None and planned.sampling is None
+        assert format_figure13(plain) == format_figure13(planned)
+        assert plain.to_dict() == planned.to_dict()
+        assert "sampling" not in plain.to_dict()
+
+    def test_default_runs_write_no_plan_telemetry(self, engine):
+        from repro.experiments import microbench_sweep
+
+        microbench_sweep(n_chars=300, intervals=(8,), engine=engine)
+        assert engine.summary()["plans"] == []
+
+
+class TestSampledRuns:
+    def test_figure13_sampled_points_match_exhaustive(self, engine):
+        from repro.experiments import microbench_sweep
+
+        intervals = (8, 64, 512)
+        exhaustive = microbench_sweep(n_chars=300, intervals=intervals,
+                                      engine=engine)
+        plan = SamplingPlan(mode="fraction", fraction=0.5, seed=0)
+        sampled = microbench_sweep(n_chars=300, intervals=intervals,
+                                   engine=engine, plan=plan)
+        summary = sampled.sampling
+        assert summary is not None
+        assert summary.windows_run < summary.windows_population
+        exact = {(p.kind, p.duplication, p.with_payload, p.interval):
+                 p.overhead for p in exhaustive.points}
+        assert sampled.points, "plan selected no interval points"
+        for point in sampled.points:
+            key = (point.kind, point.duplication, point.with_payload,
+                   point.interval)
+            assert point.overhead == exact[key]
+        # Fixed seed, verified empirically: every per-curve estimate
+        # covers the exhaustive curve mean.
+        for name, estimate in summary.estimates.items():
+            kind, duplication, tail = name.split("/")
+            series = exhaustive.series(kind, duplication,
+                                       tail.startswith("inst"))
+            true_mean = sum(p.overhead for p in series) / len(series)
+            assert estimate.covers(true_mean), name
+
+    def test_figure12_sampled_report(self, engine):
+        from repro.experiments import figure12_report
+
+        plan = SamplingPlan(mode="budget", budget=2, seed=0)
+        report = figure12_report(scale=0.05, engine=engine, plan=plan)
+        assert report.sampling is not None
+        assert report.sampling.cells_run == 2
+        assert report.sampling.windows_run == 6  # 3 variants per cell
+        assert report.rows[-1].benchmark == "average"
+        assert len(report.rows) == 3  # 2 sampled benchmarks + average
+        assert "cbs-brr paired delta %" in report.sampling.estimates
+
+    def test_same_plan_selects_same_cells_and_ledger(self, engine,
+                                                     tmp_path):
+        from repro.experiments import accuracy_population
+
+        population = accuracy_population(1 << 10, scale=0.002)
+        plan = SamplingPlan(mode="fraction", fraction=0.5, seed=4)
+        first = run_population(population, plan=plan, engine=engine)
+        second = run_population(population, plan=plan, engine=engine)
+        assert [c.id for c in first.cells] == [c.id for c in second.cells]
+
+    def test_plan_telemetry_reaches_summary(self, engine):
+        from repro.experiments import figure12_report
+
+        figure12_report(scale=0.05, engine=engine,
+                        plan=SamplingPlan(mode="budget", budget=2, seed=0))
+        plans = engine.summary()["plans"]
+        assert len(plans) == 1
+        record = plans[0]
+        assert record["plan"]["mode"] == "budget"
+        assert record["cells_run"] == 2
+        assert not record["complete"]
+        from repro.jvm.benchmarks import FIGURE12_BENCHMARKS
+
+        assert set(record["strata"]) == set(FIGURE12_BENCHMARKS)
+        assert sum(s["cells_run"] for s in record["strata"].values()) == 2
+
+    def test_adaptive_plan_runs_exact_budget(self, engine):
+        from repro.experiments import accuracy_population
+
+        population = accuracy_population(1 << 10, scale=0.002,
+                                         seeds=(0, 1))
+        plan = SamplingPlan(mode="adaptive", budget=6, seed=0)
+        run = run_population(population, plan=plan, engine=engine)
+        assert run.cells_run == 6
+        assert run.cells_population == population.size
+
+
+class TestCliAndResume:
+    def test_cli_sampled_json_and_resume(self, tmp_path, capsys):
+        log = tmp_path / "run.jsonl"
+        cache_dir = tmp_path / "cache"
+        argv = ["figure13", "--scale", "300", "--sample", "fraction:0.5",
+                "--seed", "0", "--json", "--cache-dir", str(cache_dir),
+                "--log-jsonl", str(log)]
+        assert main(argv) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["data"]["sampling"]["plan"]["mode"] == "fraction"
+        plans = document["engine"]["plans"]
+        assert len(plans) == 1
+        assert plans[0]["windows_run"] < plans[0]["windows_population"]
+
+        meta, records, report = read_run_log_checked(log)
+        assert meta is not None and report.corrupt == 0
+        assert all(r.get("cache") in ("hit", "miss") for r in records)
+
+        # Drop one cached window; resume re-executes only that one and
+        # replays the identical planned subset.
+        victims = list(pathlib.Path(cache_dir).rglob("*.json"))
+        victims[0].unlink()
+        assert main(["resume", str(log)]) == 0
+        err = capsys.readouterr().err
+        assert "1 executed" in err
+
+    def test_cli_rejects_sample_on_unsupported_command(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cost", "--sample", "fraction:0.5"])
+        with pytest.raises(SystemExit):
+            main(["all", "--sample", "fraction:0.5"])
+
+    def test_cli_rejects_bad_plan_early(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure13", "--sample", "fraction:2suffix"])
+        with pytest.raises(SystemExit):
+            main(["figure13", "--sample", "nonsense"])
+
+    def test_cli_rejects_seed_on_unsupported_command(self):
+        with pytest.raises(SystemExit):
+            main(["cost", "--seed", "3"])
+
+
+class TestServeKnobs:
+    def test_sample_param_canonicalises_for_coalescing(self):
+        a = validate_request("figure13", {"sample": "fraction:0.250"})
+        b = validate_request("figure13", {"sample": "fraction:0.25"})
+        assert a == b == {"sample": "fraction:0.25"}
+
+    def test_seed_param_coerces(self):
+        assert validate_request("figure12", {"seed": "3"}) == {"seed": 3}
+
+    def test_bad_plan_rejected(self):
+        with pytest.raises(RequestError):
+            validate_request("figure13", {"sample": "nonsense"})
+
+    def test_sample_not_allowed_on_figure2(self):
+        with pytest.raises(RequestError):
+            validate_request("figure2", {"sample": "fraction:0.5"})

@@ -7,6 +7,7 @@ from repro.experiments.scorecard import (
     _check_figure6,
     _check_frequency_encoding,
     _check_hardware_cost,
+    _check_sampled_estimation,
     _check_trap_equivalence,
     format_scorecard,
 )
@@ -31,6 +32,11 @@ class TestFastClaims:
         passed, detail = _check_trap_equivalence()
         assert passed
         assert "==" in detail
+
+    def test_sampled_estimation(self):
+        passed, detail = _check_sampled_estimation(n_chars=800)
+        assert passed, detail
+        assert "sampled points exact" in detail
 
 
 class TestFormatting:
