@@ -10,7 +10,8 @@ exactly one function, :meth:`EngineConfig.from_env`:
 
 ==========================  ===========================================
 ``REPRO_JOBS``              worker processes per window batch
-``REPRO_FAST``              batched replay kernel on/off
+``REPRO_FAST``              replay kernel: ``vector`` | ``loop`` | ``off``
+``REPRO_TRACE_PAGES``       shared-memory trace pages for pool workers
 ``REPRO_TIMEOUT``           per-window timeout in seconds (pool only)
 ``REPRO_RETRIES``           retry budget per window (default 3)
 ``REPRO_BACKOFF``           base backoff seconds (default 0.05)
@@ -34,9 +35,10 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Dict, Mapping, Optional, Union
 
 from ..store.backend import backend_spec_from_env
+from ..timing.fastpath import normalize_fast_mode
 from .integrity import (
     INTEGRITY_POLICIES,
     VALIDATE_POLICIES,
@@ -76,9 +78,11 @@ class EngineConfig:
     #: Worker processes per window batch; ``None`` means the library
     #: default (1 = the deterministic serial backend).
     jobs: Optional[int] = None
-    #: Batched replay kernel on/off; ``None`` resolves ``REPRO_FAST``
-    #: at engine construction.
-    fast: Optional[bool] = None
+    #: Replay kernel selection: ``"vector"`` (fixpoint span kernel),
+    #: ``"loop"`` (per-record columnar kernel), ``"off"`` (golden
+    #: model), or the historical booleans (``True`` = ``"vector"``).
+    #: ``None`` resolves ``REPRO_FAST`` at engine construction.
+    fast: Union[None, bool, str] = None
     #: Per-window wall-clock timeout in seconds for pool execution
     #: (``None`` = no timeout).  A window that exceeds it is treated as
     #: a transient failure: the worker is abandoned, the pool rebuilt,
@@ -120,8 +124,14 @@ class EngineConfig:
     #: :class:`~repro.stats.plan.SamplingPlan` selection seed.  ``None``
     #: keeps each experiment's historical per-figure default.
     seed: Optional[int] = None
+    #: Publish decoded trace columns as ``multiprocessing``
+    #: shared-memory pages for pool workers (zero-copy attach instead
+    #: of a per-worker decode); ``None`` resolves ``REPRO_TRACE_PAGES``
+    #: (default on) at engine construction.  Serial runs ignore it.
+    trace_pages: Optional[bool] = None
 
     def __post_init__(self) -> None:
+        normalize_fast_mode(self.fast)  # raises on a bad mode name
         if self.failure_policy not in FAILURE_POLICIES:
             raise ValueError(
                 f"failure_policy must be one of {FAILURE_POLICIES}, "
@@ -161,7 +171,13 @@ class EngineConfig:
             values["jobs"] = max(1, jobs)
         fast = os.environ.get("REPRO_FAST")
         if fast is not None:
-            values["fast"] = fast not in ("0", "false", "no")
+            try:
+                values["fast"] = normalize_fast_mode(fast)
+            except ValueError:
+                pass  # unknown mode strings keep the library default
+        pages = os.environ.get("REPRO_TRACE_PAGES")
+        if pages is not None:
+            values["trace_pages"] = pages not in ("0", "false", "no")
         timeout = _env_float("REPRO_TIMEOUT")
         if timeout is not None and timeout > 0:
             values["timeout"] = timeout

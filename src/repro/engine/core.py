@@ -56,7 +56,12 @@ from typing import (
     Tuple,
 )
 
-from ..timing.fastpath import fastpath_enabled, fastpath_override
+from ..timing.fastpath import (
+    fastpath_mode,
+    fastpath_override,
+    normalize_fast_mode,
+)
+from . import shm_pages
 from .artifacts import RunRecorder, WindowRecord, completed_keys, read_run_log
 from .cache import ResultCache, cache_enabled_by_env
 from .config import EngineConfig
@@ -68,6 +73,7 @@ from .tracestore import (
     active_store,
     consume_trace_info,
     default_trace_dir,
+    functional_key,
     trace_enabled_by_env,
 )
 
@@ -233,13 +239,14 @@ def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple, int]):
     index, spec_dict, conf, attempt = item
     (trace_root, trace_enabled, fast, fault_rate, fault_mode,
      integrity, validate_every, validate_policy,
-     trace_handles, store_backend) = conf
+     trace_handles, store_backend, trace_pages) = conf
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
     maybe_inject(spec.cache_key, attempt, fault_rate, fault_mode,
                  in_worker=True)
     store = TraceStore(trace_root, enabled=trace_enabled, policy=integrity,
-                       handles=trace_handles, backend=store_backend)
+                       handles=trace_handles, backend=store_backend,
+                       pages=trace_pages)
     validation = ValidationSettings(every=validate_every,
                                     policy=validate_policy)
     with fastpath_override(fast), active_store(store), \
@@ -278,7 +285,7 @@ class ExperimentEngine:
         if jobs is not None:
             legacy["jobs"] = max(1, int(jobs))
         if fast is not None:
-            legacy["fast"] = bool(fast)
+            legacy["fast"] = fast if isinstance(fast, str) else bool(fast)
         if legacy:
             warnings.warn(
                 "ExperimentEngine(jobs=..., fast=...) is deprecated; pass "
@@ -307,11 +314,15 @@ class ExperimentEngine:
         self._validation = ValidationSettings(every=config.validate_every,
                                               policy=config.validate_policy)
         self.recorder = recorder or RunRecorder()
-        # Resolved once so pool workers follow the parent's REPRO_FAST /
+        # Resolved once (to a kernel-mode name: "vector" | "loop" |
+        # "off") so pool workers follow the parent's REPRO_FAST /
         # REPRO_FAULT_MODE settings instead of re-reading their own
         # environment.
-        self.fast = fastpath_enabled() if config.fast is None \
-            else bool(config.fast)
+        self.fast = fastpath_mode() if config.fast is None \
+            else normalize_fast_mode(config.fast)
+        self._trace_pages = (
+            shm_pages.pages_enabled_by_env() if config.trace_pages is None
+            else bool(config.trace_pages)) and shm_pages.pages_supported()
         self._fault_mode = fault_mode_from_env()
         self._executor_factory = executor_factory
         #: Keys completed by the run being resumed (empty otherwise).
@@ -459,38 +470,99 @@ class ExperimentEngine:
     # Serial backend: in-process, spec order, with the same retry /
     # failure-policy semantics as the pool (timeouts excepted — a
     # window cannot be pre-empted from inside its own process).
+    # Windows that share one functional trace and differ only in
+    # timing config are scheduled as one batched replay (see
+    # :func:`repro.engine.windows.run_window_group`); a batch failure
+    # of any kind falls back to the per-window path, which owns
+    # retries and the failure policy.
+
+    def _serial_schedule(self, specs: Sequence[WindowSpec],
+                         misses: List[int]) -> List[List[int]]:
+        """Group miss indices by functional key, in order of each
+        group's first appearance; non-batchable kinds stay singletons."""
+        from .windows import GROUP_REGISTRY
+
+        groups: Dict[Any, List[int]] = {}
+        order: List[Any] = []
+        for index in misses:
+            spec = specs[index]
+            if spec.kind in GROUP_REGISTRY and self.config.fault_rate == 0:
+                key = (spec.kind, functional_key(spec.kind,
+                                                 spec.params_dict()))
+            else:
+                # Fault injection is keyed per window/attempt; keep its
+                # schedule (and the injection points) exactly as before.
+                key = ("solo", index)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(index)
+        return [groups[key] for key in order]
+
+    def _run_serial_group(self, specs: Sequence[WindowSpec],
+                          members: List[int],
+                          results: List[Optional[Dict[str, Any]]]) -> bool:
+        """Try one batched replay for a functional-key group; True when
+        every member was completed (recorded + cached)."""
+        from .windows import run_window_group
+
+        kind = specs[members[0]].kind
+        started = time.perf_counter()
+        try:
+            batch = run_window_group(
+                kind, [specs[index].params_dict() for index in members])
+        except Exception:
+            consume_trace_info()  # drop partial telemetry
+            return False  # per-window path re-runs with full retry policy
+        if batch is None:
+            return False
+        wall = (time.perf_counter() - started) / len(members)
+        for index, (payload, trace_info) in zip(members, batch):
+            results[index] = payload
+            self.cache.put(specs[index], payload)
+            self._record(specs[index], payload, cache="miss",
+                         wall_s=wall, worker=os.getpid(),
+                         trace_info=trace_info, attempts=1)
+        return True
 
     def _run_serial(self, specs: Sequence[WindowSpec], misses: List[int],
                     results: List[Optional[Dict[str, Any]]]) -> None:
         with fastpath_override(self.fast), \
                 active_store(self.trace_store), \
                 validation_override(self._validation):
-            for index in misses:
-                spec = specs[index]
-                attempt = 0
-                while True:
-                    started = time.perf_counter()
-                    try:
-                        maybe_inject(spec.cache_key, attempt,
-                                     self.config.fault_rate,
-                                     self._fault_mode, in_worker=False)
-                        payload = _execute(spec)
-                    except Exception as exc:
-                        consume_trace_info()  # drop partial telemetry
-                        if self._on_failure(spec, attempt, exc) == "retry":
-                            attempt += 1
-                            continue
-                        results[index] = self._skip(spec, attempt, exc)
-                        break
-                    wall = time.perf_counter() - started
-                    trace_info = consume_trace_info()
-                    results[index] = payload
-                    self.cache.put(spec, payload)
-                    self._record(spec, payload, cache="miss",
-                                 wall_s=wall, worker=os.getpid(),
-                                 trace_info=trace_info,
-                                 attempts=attempt + 1)
-                    break
+            for members in self._serial_schedule(specs, misses):
+                if len(members) > 1 and self._run_serial_group(
+                        specs, members, results):
+                    continue
+                for index in members:
+                    self._run_serial_one(specs[index], index, results)
+
+    def _run_serial_one(self, spec: WindowSpec, index: int,
+                        results: List[Optional[Dict[str, Any]]]) -> None:
+        attempt = 0
+        while True:
+            started = time.perf_counter()
+            try:
+                maybe_inject(spec.cache_key, attempt,
+                             self.config.fault_rate,
+                             self._fault_mode, in_worker=False)
+                payload = _execute(spec)
+            except Exception as exc:
+                consume_trace_info()  # drop partial telemetry
+                if self._on_failure(spec, attempt, exc) == "retry":
+                    attempt += 1
+                    continue
+                results[index] = self._skip(spec, attempt, exc)
+                break
+            wall = time.perf_counter() - started
+            trace_info = consume_trace_info()
+            results[index] = payload
+            self.cache.put(spec, payload)
+            self._record(spec, payload, cache="miss",
+                         wall_s=wall, worker=os.getpid(),
+                         trace_info=trace_info,
+                         attempts=attempt + 1)
+            break
 
     # ------------------------------------------------------------------
     # Pool backend: submit + wait with per-window deadlines.  A broken
@@ -499,13 +571,47 @@ class ExperimentEngine:
     # completed window is cached immediately, so an interrupt at any
     # point loses at most the windows still in flight.
 
+    def _publish_pages(self, specs: Sequence[WindowSpec],
+                       indices: Sequence[int]):
+        """Publish shared-memory pages for every already-recorded
+        functional trace the given windows will replay; ``None`` when
+        pages are disabled or unsupported."""
+        from .windows import GROUP_REGISTRY
+
+        if not (self._trace_pages and self.trace_store.enabled):
+            return None
+        registry = shm_pages.TracePageRegistry()
+        seen = set()
+        for index in indices:
+            spec = specs[index]
+            if spec.kind not in GROUP_REGISTRY:
+                continue
+            key = functional_key(spec.kind, spec.params_dict())
+            if key in seen:
+                continue
+            seen.add(key)
+            trace = self.trace_store.load(key)
+            if trace is None:
+                continue  # first run records in a worker; next run pages
+            try:
+                registry.publish(key, trace)
+            except Exception:
+                pass  # pages are an amortisation, never a dependency
+        return registry
+
     def _run_pool(self, specs: Sequence[WindowSpec], misses: List[int],
                   results: List[Optional[Dict[str, Any]]]) -> None:
         cfg = self.config
-        worker_conf = (str(self.trace_store.root), self.trace_store.enabled,
-                       self.fast, cfg.fault_rate, self._fault_mode,
-                       cfg.integrity, cfg.validate_every, cfg.validate_policy,
-                       cfg.trace_handles, cfg.store_backend)
+        pages = self._publish_pages(specs, misses)
+
+        def make_conf():
+            return (str(self.trace_store.root), self.trace_store.enabled,
+                    self.fast, cfg.fault_rate, self._fault_mode,
+                    cfg.integrity, cfg.validate_every, cfg.validate_policy,
+                    cfg.trace_handles, cfg.store_backend,
+                    pages.names() if pages is not None else None)
+
+        worker_conf = make_conf()
         workers = min(self.jobs, len(misses))
         queue = deque((index, 0) for index in misses)
         inflight: Dict[Any, Tuple[int, int, Optional[float]]] = {}
@@ -578,10 +684,21 @@ class ExperimentEngine:
                         queue.append((index, attempt))
                     inflight.clear()
                     self._teardown_pool(pool)
+                    # The dead generation's workers may have held page
+                    # attachments; its segments are unlinked here and a
+                    # fresh set published for the rebuilt pool, so a
+                    # crash can never leak shared memory.
+                    if pages is not None:
+                        pages.unlink_all()
+                        pages = self._publish_pages(
+                            specs, [index for index, _ in queue])
+                        worker_conf = make_conf()
                     if queue:
                         pool = self._new_pool(min(workers, len(queue)))
         finally:
             self._teardown_pool(pool)
+            if pages is not None:
+                pages.unlink_all()
 
     def _new_pool(self, workers: int):
         if self._executor_factory is not None:

@@ -15,7 +15,7 @@ whole package (or creating import cycles with ``repro.experiments``).
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 Runner = Callable[[Dict[str, Any]], Dict[str, Any]]
 
@@ -253,6 +253,130 @@ MATERIALS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "microbench": microbench_materials,
     "jvm": jvm_materials,
 }
+
+
+# ----------------------------------------------------------------------
+# Batched execution: all timing configs of ONE functional window in a
+# single replay_window_batch call.  The serial engine groups cache
+# misses by functional key and routes groups of two or more here, so
+# the per-trace work (columnar decode, word tables, the vector
+# kernel's memoised event passes) is paid once per trace instead of
+# once per window.  Results are byte-identical to the per-window
+# runners — batching only changes the amortisation.
+
+
+def _timed_window_group(
+    kind: str,
+    params_list: Sequence[Dict[str, Any]],
+    materials: Dict[str, Any],
+) -> Optional[List[Tuple[Any, Dict[str, Any]]]]:
+    """Replay every config of one functional window as a batch.
+
+    Returns ``[(WindowResult, trace_info), ...]`` in ``params_list``
+    order, or ``None`` when no trace store is active (the caller falls
+    back to per-window execution).  The aggregate batch telemetry from
+    :func:`~repro.timing.runner.replay_window_batch` is attached to
+    every window of the group.
+    """
+    from ..timing.runner import (
+        consume_replay_info,
+        record_window,
+        replay_window_batch,
+    )
+    from .tracestore import functional_key, get_active_store
+
+    store = get_active_store()
+    if store is None or not store.enabled:
+        return None
+    key = functional_key(kind, params_list[0])
+    trace = store.load(key)
+    if trace is None:
+        trace = store.record(key, lambda path: record_window(
+            materials["program"], materials["end"],
+            brr_unit=materials["brr_unit"], setup=materials["setup"],
+            path=path))
+        usage, functional_steps = "miss", len(trace)
+    else:
+        usage, functional_steps = "hit", 0
+    windows = [{
+        "begin": materials["begin"],
+        "end": materials["end"],
+        "config": _config_from(params),
+        "fast_forward": materials["fast_forward"],
+    } for params in params_list]
+    results = replay_window_batch(trace, windows,
+                                  program=materials["program"])
+    replay_info = consume_replay_info() or {}
+    batch = []
+    for position, result in enumerate(results):
+        info: Dict[str, Any] = {
+            "trace": usage if position == 0 else "hit",
+            "trace_bytes": trace.nbytes,
+            "functional_steps": functional_steps if position == 0 else 0,
+            "timing_path": replay_info.get("timing_path"),
+            "replay_records_per_s": replay_info.get("replay_records_per_s"),
+            "batch_windows": replay_info.get("batch_windows"),
+        }
+        for field in ("validation", "validation_policy",
+                      "validation_mismatches"):
+            if field in replay_info:
+                info[field] = replay_info[field]
+        batch.append((result, info))
+    return batch
+
+
+def _group_runner(kind: str, materials_fn, shape):
+    """A group runner from a materials builder plus the kind's
+    result-to-payload shaping (must mirror the per-window runner)."""
+    def run(params_list: Sequence[Dict[str, Any]]
+            ) -> Optional[List[Tuple[Dict[str, Any], Dict[str, Any]]]]:
+        materials = materials_fn(params_list[0])
+        batch = _timed_window_group(kind, params_list, materials)
+        if batch is None:
+            return None
+        return [(shape(result, materials), info) for result, info in batch]
+    return run
+
+
+def _microbench_payload(result, materials) -> Dict[str, Any]:
+    return {
+        "result": result.to_dict(),
+        "sites": materials["extra"]["sites"],
+        "program_words": materials["extra"]["program_words"],
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }
+
+
+def _jvm_payload(result, materials) -> Dict[str, Any]:
+    return {
+        "result": result.to_dict(),
+        "program_words": materials["extra"]["program_words"],
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }
+
+
+#: Kinds whose windows can execute as one batched replay per
+#: functional trace (see :meth:`ExperimentEngine._run_serial`).
+GROUP_REGISTRY: Dict[str, Callable[[Sequence[Dict[str, Any]]],
+                                   Optional[List[Tuple[Dict[str, Any],
+                                                       Dict[str, Any]]]]]] = {
+    "microbench": _group_runner("microbench", microbench_materials,
+                                _microbench_payload),
+    "jvm": _group_runner("jvm", jvm_materials, _jvm_payload),
+}
+
+
+def run_window_group(kind: str, params_list: Sequence[Dict[str, Any]]
+                     ) -> Optional[List[Tuple[Dict[str, Any],
+                                              Dict[str, Any]]]]:
+    """Execute a functional-key-sharing group of windows as one batch;
+    ``None`` when the kind has no group runner or no store is active."""
+    runner = GROUP_REGISTRY.get(kind)
+    if runner is None:
+        return None
+    return runner(params_list)
 
 
 @window_kind("jvm")

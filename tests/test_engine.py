@@ -224,7 +224,8 @@ class TestEngineExecution:
         assert len(caught) == 1
         assert engine.jobs == 3
         assert engine.config.jobs == 3
-        assert engine.fast is False
+        # Legacy booleans resolve onto the kernel-mode names.
+        assert engine.fast == "off"
 
 
 class TestRunArtifacts:

@@ -147,18 +147,24 @@ def _brr_unit(seed: int) -> BranchOnRandomUnit:
                                    or 1))
 
 
+#: Both fast kernels answer to the same oracle; the vector kernel
+#: delegates windows outside its exactness envelope to the loop kernel.
+KERNELS = ("loop", "vector")
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("seed", range(6))
 @pytest.mark.parametrize("name,config", CONFIGS, ids=[c[0] for c in CONFIGS])
-def test_fastpath_matches_golden(seed, name, config):
+def test_fastpath_matches_golden(seed, name, config, kernel):
     program = assemble(fuzz_program(seed))
     trace = record_window(program, end=(3, 1), brr_unit=_brr_unit(seed))
     fast_forward = (1, 1) if seed % 2 else None
     golden = replay_window(trace, begin=(2, 1), end=(3, 1), config=config,
                            fast_forward=fast_forward, program=program,
-                           fast=False)
+                           fast="off")
     fast = replay_window(trace, begin=(2, 1), end=(3, 1), config=config,
                          fast_forward=fast_forward, program=program,
-                         fast=True)
+                         fast=kernel)
     assert fast.stats == golden.stats
     assert fast.total_steps == golden.total_steps
     # And both equal the lock-step reference (fresh machine).
@@ -168,17 +174,18 @@ def test_fastpath_matches_golden(seed, name, config):
     assert fast.stats == lockstep.stats
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 @pytest.mark.parametrize("seed", [17, 23])
-def test_fastpath_matches_golden_without_prewarm(seed):
+def test_fastpath_matches_golden_without_prewarm(seed, kernel):
     program = assemble(fuzz_program(seed, blocks=24))
     trace = record_window(program, end=(3, 1), brr_unit=_brr_unit(seed))
     for config in (PAPER_CONFIG, STRESS_CONFIG):
         golden = replay_window(trace, begin=(2, 1), end=(3, 1),
                                config=config, program=program,
-                               prewarm_code=False, fast=False)
+                               prewarm_code=False, fast="off")
         fast = replay_window(trace, begin=(2, 1), end=(3, 1),
                              config=config, program=program,
-                             prewarm_code=False, fast=True)
+                             prewarm_code=False, fast=kernel)
         assert fast.stats == golden.stats
 
 

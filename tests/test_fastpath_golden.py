@@ -34,9 +34,15 @@ from repro.timing.runner import (
     consume_replay_info,
     record_window,
     replay_window,
+    replay_window_batch,
 )
 
 SCORECARD = scorecard_bench_specs()
+
+#: Both fast kernels must meet the same byte-identity contract; the
+#: vector kernel may delegate windows outside its envelope to the loop
+#: kernel, which keeps equivalence trivially.
+KERNELS = ("loop", "vector")
 
 
 def _record(spec):
@@ -53,24 +59,73 @@ def _config(spec):
 
 
 class TestScorecardEquivalence:
+    @pytest.mark.parametrize("kernel", KERNELS)
     @pytest.mark.parametrize("spec", SCORECARD,
                              ids=[spec.label() for spec in SCORECARD])
-    def test_fastpath_byte_identical(self, spec):
+    def test_fastpath_byte_identical(self, spec, kernel):
         materials, trace = _record(spec)
         golden = replay_window(trace, materials["begin"], materials["end"],
                                config=_config(spec),
                                fast_forward=materials["fast_forward"],
-                               program=materials["program"], fast=False)
+                               program=materials["program"], fast="off")
         assert consume_replay_info()["timing_path"] == "golden"
         fast = replay_window(trace, materials["begin"], materials["end"],
                              config=_config(spec),
                              fast_forward=materials["fast_forward"],
-                             program=materials["program"], fast=True)
+                             program=materials["program"], fast=kernel)
         info = consume_replay_info()
         assert info["timing_path"] == "fast"
         assert info["replay_records_per_s"] > 0
         assert fast.stats == golden.stats
         assert fast.total_steps == golden.total_steps
+
+
+class TestBatchedReplay:
+    """One kernel invocation replaying several TimingConfigs of the
+    same functional trace == N sequential replays, byte for byte."""
+
+    CONFIGS = [TimingConfig(), TimingConfig(rob_entries=16),
+               TimingConfig(issue_width=2, phys_regs=40)]
+
+    def _spec(self):
+        return microbench_window_spec(500, "full-dup", seed=1, kind="cbs",
+                                      interval=64)
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_batch_matches_sequential(self, kernel):
+        spec = self._spec()
+        materials, trace = _record(spec)
+        windows = [{"begin": materials["begin"], "end": materials["end"],
+                    "config": config,
+                    "fast_forward": materials["fast_forward"]}
+                   for config in self.CONFIGS]
+        batched = replay_window_batch(trace, windows,
+                                      program=materials["program"],
+                                      fast=kernel)
+        info = consume_replay_info()
+        assert info["batch_windows"] == len(self.CONFIGS)
+        assert info["timing_path"] == "fast"
+        for window, result in zip(windows, batched):
+            golden = replay_window(trace, window["begin"], window["end"],
+                                   config=window["config"],
+                                   fast_forward=window["fast_forward"],
+                                   program=materials["program"], fast="off")
+            assert result.stats == golden.stats
+            assert result.total_steps == golden.total_steps
+
+    def test_batch_distinguishes_configs(self):
+        # Guard against a batch accidentally replaying one config N
+        # times: the shrunken-ROB member must report more cycles.
+        spec = self._spec()
+        materials, trace = _record(spec)
+        windows = [{"begin": materials["begin"], "end": materials["end"],
+                    "config": config,
+                    "fast_forward": materials["fast_forward"]}
+                   for config in self.CONFIGS]
+        results = replay_window_batch(trace, windows,
+                                      program=materials["program"],
+                                      fast="vector")
+        assert results[1].stats.cycles > results[0].stats.cycles
 
 
 class TestFastpathKnob:
@@ -81,11 +136,29 @@ class TestFastpathKnob:
 
     @pytest.mark.parametrize("value,expected", [
         ("0", False), ("false", False), ("no", False), ("1", True),
+        ("vector", True), ("loop", True), ("off", False),
     ])
     def test_env_values(self, monkeypatch, value, expected):
         monkeypatch.setenv("REPRO_FAST", value)
         set_fastpath_override(None)
         assert fastpath_enabled() is expected
+
+    @pytest.mark.parametrize("value,mode", [
+        ("1", "vector"), ("vector", "vector"), ("loop", "loop"),
+        ("0", "off"), ("off", "off"),
+    ])
+    def test_env_selects_kernel_mode(self, monkeypatch, value, mode):
+        from repro.timing.fastpath import fastpath_mode
+
+        monkeypatch.setenv("REPRO_FAST", value)
+        set_fastpath_override(None)
+        assert fastpath_mode() == mode
+
+    def test_bad_mode_name_rejected(self):
+        from repro.timing.fastpath import normalize_fast_mode
+
+        with pytest.raises(ValueError):
+            normalize_fast_mode("warp")
 
     def test_override_wins_and_restores(self, monkeypatch):
         monkeypatch.setenv("REPRO_FAST", "1")

@@ -288,3 +288,53 @@ class TestCheckpoint:
         other.restore(snapshot)
         other.run()
         assert other.regs[2] == 1234
+
+
+class TestChunkAlignment:
+    """``columns(chunk_records=...)`` is group-aligned: any positive
+    chunk size must yield byte-identical columns and replay stats (the
+    vector kernel's span segmentation depends on it)."""
+
+    CHUNKS = (1, 7, 1 << 15)
+
+    def _encoded(self):
+        records, _ = _run_records(LOOP_WITH_MARKERS)
+        return trace_from_records(records)._data
+
+    def test_columns_identical_across_chunk_sizes(self):
+        encoded = self._encoded()
+        # columns() memoises per handle -> fresh handle per chunk size.
+        reference = RecordedTrace(encoded).columns()
+        for chunk in self.CHUNKS:
+            cols = RecordedTrace(encoded).columns(chunk_records=chunk)
+            assert cols.n_records == reference.n_records
+            assert list(cols.pc) == list(reference.pc)
+            assert list(cols.word_id) == list(reference.word_id)
+            assert list(cols.next_pc) == list(reference.next_pc)
+            assert bytes(cols.taken) == bytes(reference.taken)
+            assert list(cols.mem_addr) == list(reference.mem_addr)
+            assert cols.instrs == reference.instrs
+
+    @pytest.mark.parametrize("kernel", ["loop", "vector"])
+    def test_replay_stats_identical_across_chunk_sizes(self, kernel):
+        from repro.timing.runner import replay_window
+
+        program = assemble(LOOP_WITH_MARKERS)
+        records, _ = _run_records(LOOP_WITH_MARKERS)
+        encoded = trace_from_records(records)._data
+        reference = None
+        for chunk in self.CHUNKS:
+            trace = RecordedTrace(encoded)
+            trace.columns(chunk_records=chunk)  # decode at this size
+            result = replay_window(trace, begin=(1, 1), end=(2, 1),
+                                   program=program, fast=kernel)
+            if reference is None:
+                reference = result
+            else:
+                assert result.stats == reference.stats
+                assert result.total_steps == reference.total_steps
+
+    def test_nonpositive_chunk_rejected(self):
+        encoded = self._encoded()
+        with pytest.raises(ValueError):
+            RecordedTrace(encoded).columns(chunk_records=0)
