@@ -296,6 +296,48 @@ def run_scorecard(*, quick: bool = True,
     return FigureResult(data, format_scorecard(results))
 
 
+def run_fuzz(*, windows: int = 25, seed: Optional[int] = None,
+             scheme: str = "mixed", blocks: int = 24,
+             shrink: bool = True,
+             engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Cross-path differential fuzzing over generated programs.
+
+    Runs ``windows`` adversarial programs through every independent
+    execution path (lock-step, golden replay, loop kernel, vector
+    kernel, trap-emulated ``brr``) and diffs canonical stats;
+    divergences are shrunk to minimal programs.  ``data["failed"]``
+    mirrors the CLI's non-zero exit condition.  The harness re-executes
+    every path by construction, so no window cache is involved;
+    ``engine`` only supplies the default seed.
+    """
+    from .fuzz import format_fuzz, run_differential_fuzz
+
+    resolved = _resolve_seed(seed, engine, 0)
+    report = run_differential_fuzz(windows=int(windows), seed=resolved,
+                                   scheme=scheme, blocks=int(blocks),
+                                   shrink=shrink)
+    return FigureResult(report.to_dict(), format_fuzz(report))
+
+
+def run_entropy(*, scale: int = 64, stride: int = 8,
+                seed: Optional[int] = None,
+                sample: Any = None,
+                engine: Optional[ExperimentEngine] = None) -> FigureResult:
+    """Entropy sensitivity: predictor pollution vs. randomness density.
+
+    ``scale`` is the measured-loop iteration count of each generated
+    grid program.
+    """
+    from .experiments import entropy_sweep, format_entropy
+
+    resolved = _resolve_seed(seed, engine, 0)
+    plan = _resolve_plan(sample, resolved)
+    with _engine_ctx(engine):
+        sweep = entropy_sweep(iterations=int(scale), stride=int(stride),
+                              seed=resolved, plan=plan)
+    return FigureResult(sweep.to_dict(), format_entropy(sweep))
+
+
 def run_doctor(*, ledgers: Sequence[str] = (), repair: bool = False,
                engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Integrity audit of both on-disk stores plus any run ledgers
@@ -337,6 +379,8 @@ __all__ = [
     "run_sensitivity",
     "run_cost",
     "run_scorecard",
+    "run_fuzz",
+    "run_entropy",
     "run_doctor",
     # shared defaults
     "DEFAULT_ACCURACY_SCALE",

@@ -11,6 +11,8 @@ Usage::
     python -m repro sensitivity [--scale 0.02]
     python -m repro cost
     python -m repro scorecard  # PASS/FAIL every headline claim (~1 min)
+    python -m repro fuzz [--scale 25] [--seed N]  # cross-path differential fuzz
+    python -m repro entropy [--scale 64] [--sample budget:12] [--seed N]
     python -m repro all      # everything (several minutes)
     python -m repro cache [stats|prune|clear] [--store results|traces|all]
     python -m repro bench    # fastpath-vs-golden replay benchmark
@@ -20,8 +22,10 @@ Usage::
 
 ``--scale`` is the one scaling knob and is interpreted per command:
 fraction of the paper's invocation counts for the accuracy figures
-(default 0.05), outer-loop multiplier for figure12 (default 3), and
-microbenchmark characters for figures 13/14/2 (default 4000).  The old
+(default 0.05), outer-loop multiplier for figure12 (default 3),
+microbenchmark characters for figures 13/14/2 (default 4000),
+generated windows for `fuzz` (default 25), and measured-loop
+iterations for `entropy` (default 64).  The old
 ``--jvm-scale`` and ``--chars`` flags still work as hidden deprecated
 aliases that warn on stderr.
 
@@ -47,8 +51,9 @@ switches stdout to a machine-readable document per command, and
 ``--out DIR`` additionally writes ``<command>.txt`` (plus
 ``BENCH_<command>.json`` and the per-window ``BENCH_windows.jsonl``
 trajectory in ``--json`` mode).  ``scorecard`` exits non-zero when any
-headline claim fails; ``cache`` inspects or maintains both on-disk
-stores.
+headline claim fails, ``fuzz`` exits non-zero on any cross-path
+divergence (and writes ``FUZZ_divergences.jsonl`` under ``--out``);
+``cache`` inspects or maintains both on-disk stores.
 
 Both stores are checksummed end to end (``docs/integrity.md``):
 ``--integrity`` (or ``REPRO_INTEGRITY``) picks what a corrupt entry
@@ -191,6 +196,23 @@ def _scorecard(args) -> CommandResult:
     return result.data, result.text
 
 
+def _fuzz(args) -> CommandResult:
+    from . import api
+
+    windows = 25 if args.scale is None else int(args.scale)
+    result = api.run_fuzz(windows=windows, seed=args.seed)
+    return result.data, result.text
+
+
+def _entropy(args) -> CommandResult:
+    from . import api
+
+    iterations = 64 if args.scale is None else int(args.scale)
+    result = api.run_entropy(scale=iterations, sample=args.sample,
+                             seed=args.seed)
+    return result.data, result.text
+
+
 COMMANDS = {
     "figure9": _figure9,
     "figure10": _figure10,
@@ -201,14 +223,16 @@ COMMANDS = {
     "sensitivity": _sensitivity,
     "cost": _cost,
     "scorecard": _scorecard,
+    "fuzz": _fuzz,
+    "entropy": _entropy,
 }
 
 #: Commands whose window population honours ``--sample``.
 SAMPLED_COMMANDS = ("figure9", "figure10", "figure12", "figure13",
-                    "figure14")
+                    "figure14", "entropy")
 
 #: Commands whose workload/plan seeding honours ``--seed``.
-SEEDED_COMMANDS = SAMPLED_COMMANDS + ("figure2",)
+SEEDED_COMMANDS = SAMPLED_COMMANDS + ("figure2", "fuzz")
 
 #: ``repro cache`` actions; the command lives outside COMMANDS so that
 #: ``repro all`` regenerates figures without touching the stores.
@@ -379,7 +403,9 @@ def build_parser() -> argparse.ArgumentParser:
                              "loop multiplier for figure12 (default "
                              f"{JVM_SCALE_DEFAULT:g}), microbenchmark "
                              "characters for figures 13/14/2 (default "
-                             f"{MICRO_CHARS_DEFAULT})")
+                             f"{MICRO_CHARS_DEFAULT}), generated windows "
+                             "for fuzz (default 25), measured-loop "
+                             "iterations for entropy (default 64)")
     # Hidden deprecated aliases of --scale (warn on stderr).
     parser.add_argument("--jvm-scale", type=float, default=None,
                         help=argparse.SUPPRESS)
@@ -588,8 +614,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         data, text = COMMANDS[name](args)
         elapsed = time.time() - started
 
-        if name == "scorecard" and isinstance(data, dict) and data["failed"]:
+        if name in ("scorecard", "fuzz") and isinstance(data, dict) \
+                and data["failed"]:
             exit_code = 1
+        if name == "fuzz" and out_dir is not None:
+            # One JSONL record per divergence — the CI artifact.
+            (out_dir / "FUZZ_divergences.jsonl").write_text(
+                "".join(json.dumps(d, sort_keys=True) + "\n"
+                        for d in data["divergences"]))
 
         if args.json:
             document: Dict[str, Any] = {

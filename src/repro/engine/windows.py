@@ -164,20 +164,18 @@ def microbench_materials(params: Dict[str, Any]) -> Dict[str, Any]:
     runner below and by harnesses (``repro bench``) that need to drive
     the timing layer directly."""
     from ..core.brr import BranchOnRandomUnit
-    from ..workloads.microbench import (
-        END_MARKER,
-        WARM_MARKER,
-        build_microbench,
-    )
+    from ..workloads.microbench import END_MARKER, WARM_MARKER
+    from ..workloads.registry import get_workload
 
-    bench = build_microbench(
-        params["n_chars"],
+    bench = get_workload(
+        "microbench",
+        n_chars=params["n_chars"],
         variant=params["variant"],
         kind=params.get("kind") or "cbs",
         interval=params.get("interval") or 1024,
         include_payload=params.get("include_payload", True),
         seed=params["seed"],
-    )
+    ).raw
     unit = None
     if bench.variant.startswith("brr"):
         from ..core.lfsr import Lfsr
@@ -247,11 +245,67 @@ def jvm_materials(params: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
+def adversarial_materials(params: Dict[str, Any]) -> Dict[str, Any]:
+    """Build the runnable pieces of an adversarial window (see
+    :func:`microbench_materials`).  The generated program's entire
+    shape rides in the spec — density, stride, loop shape, stressors —
+    so the cache key covers every generator input."""
+    from ..workloads.adversarial import END_MARKER, MEASURE_MARKER
+    from ..workloads.registry import get_workload
+
+    adversarial = get_workload(
+        "adversarial",
+        scheme=params["scheme"],
+        density=params["density"],
+        stride=params.get("stride", 8),
+        loop_shape=tuple(params.get("loop_shape") or (1,)),
+        history_stress=params.get("history_stress", 0),
+        call_depth=params.get("call_depth", 0),
+        blocks=params.get("blocks", 24),
+        seed=params["seed"],
+    ).raw
+    unit = (adversarial.brr_unit(params.get("lfsr_seed", 0))
+            if adversarial.uses_brr else None)
+    return {
+        "program": adversarial.program(),
+        "begin": (MEASURE_MARKER, 1),
+        "end": (END_MARKER, 1),
+        "setup": adversarial.setup,
+        "brr_unit": unit,
+        "fast_forward": None,
+        "extra": {
+            "program_words": len(adversarial.program().words),
+            "pool_bytes": len(adversarial.pool),
+        },
+    }
+
+
+@window_kind("adversarial")
+def _adversarial_window(params: Dict[str, Any]) -> Dict[str, Any]:
+    """One timed window of a generated adversarial program."""
+    materials = adversarial_materials(params)
+    result = _timed_window(
+        "adversarial", params, materials["program"],
+        begin=materials["begin"],
+        end=materials["end"],
+        setup=materials["setup"],
+        brr_unit=materials["brr_unit"],
+    )
+    return {
+        "result": result.to_dict(),
+        "program_words": materials["extra"]["program_words"],
+        "pool_bytes": materials["extra"]["pool_bytes"],
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }
+
+
 #: Materials builders by spec kind, for harnesses that drive the
 #: timing layer directly (``repro bench``).
 MATERIALS: Dict[str, Callable[[Dict[str, Any]], Dict[str, Any]]] = {
     "microbench": microbench_materials,
     "jvm": jvm_materials,
+    "adversarial": adversarial_materials,
 }
 
 
@@ -357,6 +411,16 @@ def _jvm_payload(result, materials) -> Dict[str, Any]:
     }
 
 
+def _adversarial_payload(result, materials) -> Dict[str, Any]:
+    return {
+        "result": result.to_dict(),
+        "program_words": materials["extra"]["program_words"],
+        "pool_bytes": materials["extra"]["pool_bytes"],
+        "cycles": result.cycles,
+        "instructions": result.instructions,
+    }
+
+
 #: Kinds whose windows can execute as one batched replay per
 #: functional trace (see :meth:`ExperimentEngine._run_serial`).
 GROUP_REGISTRY: Dict[str, Callable[[Sequence[Dict[str, Any]]],
@@ -365,6 +429,8 @@ GROUP_REGISTRY: Dict[str, Callable[[Sequence[Dict[str, Any]]],
     "microbench": _group_runner("microbench", microbench_materials,
                                 _microbench_payload),
     "jvm": _group_runner("jvm", jvm_materials, _jvm_payload),
+    "adversarial": _group_runner("adversarial", adversarial_materials,
+                                 _adversarial_payload),
 }
 
 

@@ -41,12 +41,7 @@ from ..stats import (
 )
 from ..timing.config import TimingConfig
 from ..timing.runner import WindowResult, cycles_per_site, overhead_percent, time_window
-from ..workloads.microbench import (
-    END_MARKER,
-    WARM_MARKER,
-    Microbench,
-    build_microbench,
-)
+from ..workloads.microbench import END_MARKER, WARM_MARKER, Microbench
 
 #: Interval sweep of Figure 13/14.
 INTERVALS: Tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)

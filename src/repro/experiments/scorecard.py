@@ -57,10 +57,10 @@ def _check_hardware_cost() -> Tuple[bool, str]:
 
 def _check_accuracy_resonance(scale: float) -> Tuple[bool, str]:
     from ..engine import is_failure, run_windows
-    from ..workloads.dacapo import spec_by_name
+    from ..workloads.registry import get_workload
     from .accuracy import SCHEMES, accuracy_window_spec
 
-    spec = accuracy_window_spec(spec_by_name("jython"), 1 << 10, SCHEMES,
+    spec = accuracy_window_spec(get_workload("jython").spec, 1 << 10, SCHEMES,
                                 scale, seed=0)
     payload = run_windows([spec])[0]
     if is_failure(payload):

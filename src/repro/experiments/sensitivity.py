@@ -36,7 +36,7 @@ from ..core.taps import PAPER_SENSITIVITY_TAPS_32
 from ..engine import ExperimentEngine, get_engine, run_population
 from ..stats import Cell, WindowPopulation
 from ..timing.config import PAPER_CONFIG, TimingConfig
-from ..workloads.dacapo import spec_by_name
+from ..workloads.registry import get_workload
 from .accuracy import accuracy_window_spec
 from .fig13 import microbench_window_spec
 
@@ -115,7 +115,7 @@ def taps_sensitivity(
     engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
     """Profile accuracy across the four 32-bit tap configurations."""
-    spec = spec_by_name(benchmark)
+    spec = get_workload(benchmark).spec
     labelled = [
         (",".join(str(t) for t in taps),
          accuracy_window_spec(spec, interval, ("random",), scale, seed,
@@ -140,7 +140,7 @@ def bit_policy_sensitivity(
     engine: Optional[ExperimentEngine] = None,
 ) -> SensitivityResult:
     """Contiguous vs. spaced AND-input selection."""
-    spec = spec_by_name(benchmark)
+    spec = get_workload(benchmark).spec
     labelled = [
         (policy,
          accuracy_window_spec(spec, interval, ("random",), scale, seed,
@@ -171,7 +171,7 @@ def width_sensitivity(
     16-bit minimum) does not measurably change profile quality, so it
     can be selected purely for AND-input spacing and hardware budget.
     """
-    spec = spec_by_name(benchmark)
+    spec = get_workload(benchmark).spec
     labelled = [
         (f"{width}-bit",
          accuracy_window_spec(spec, interval, ("random",), scale, seed,
@@ -195,7 +195,7 @@ def seed_noise_baseline(
     engine: Optional[ExperimentEngine] = None,
 ) -> Dict[str, float]:
     """The seed-variation distribution everything is compared against."""
-    spec = spec_by_name(benchmark)
+    spec = get_workload(benchmark).spec
     groups = _grouped_accuracies([
         ("seed-noise",
          accuracy_window_spec(spec, interval, ("random",), scale, seed))

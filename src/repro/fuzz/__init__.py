@@ -1,0 +1,27 @@
+"""Differential fuzzing: every execution path answers to every other.
+
+See :mod:`repro.fuzz.harness` for the machinery and ``docs/
+workloads.md`` for the workload generator it drives.
+"""
+
+from .harness import (
+    DEFAULT_CONFIGS,
+    STRESS_CONFIG,
+    TIMING_PAIRS,
+    Divergence,
+    FuzzReport,
+    format_fuzz,
+    run_differential_fuzz,
+    shrink_divergence,
+)
+
+__all__ = [
+    "DEFAULT_CONFIGS",
+    "STRESS_CONFIG",
+    "TIMING_PAIRS",
+    "Divergence",
+    "FuzzReport",
+    "format_fuzz",
+    "run_differential_fuzz",
+    "shrink_divergence",
+]

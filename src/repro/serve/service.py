@@ -76,6 +76,15 @@ def _as_seed_list(value: Any) -> Tuple[int, ...]:
     return (_as_int(value),)
 
 
+def _as_choice(*options: str) -> Callable[[Any], str]:
+    def coerce(value: Any) -> str:
+        text = str(value).strip().lower()
+        if text not in options:
+            raise ValueError(f"must be one of {options}, got {value!r}")
+        return text
+    return coerce
+
+
 def _as_plan(value: Any) -> str:
     """Sampling plans canonicalise before coalescing, so
     ``fraction:0.25`` and ``fraction:0.250`` share one computation."""
@@ -100,6 +109,15 @@ COMMANDS: Dict[str, Dict[str, Callable[[Any], Any]]] = {
     "sensitivity": {"scale": _as_float, "chars": _as_int},
     "cost": {},
     "scorecard": {"quick": _as_bool},
+    # Every knob that changes the generated programs must be listed
+    # here: request_key() folds only whitelisted (coerced) parameters
+    # into the coalescing key, so an omitted knob would let two
+    # different computations coalesce onto one result.
+    "fuzz": {"windows": _as_int, "seed": _as_int,
+             "scheme": _as_choice("cbs", "brr", "mixed"),
+             "blocks": _as_int, "shrink": _as_bool},
+    "entropy": {"scale": _as_int, "stride": _as_int,
+                "sample": _as_plan, "seed": _as_int},
 }
 
 

@@ -1,6 +1,18 @@
 """Workloads: DaCapo-like invocation streams, the checksum
-microbenchmark, and the Shakespeare-like text generator."""
+microbenchmark, the Shakespeare-like text generator, and the
+adversarial predictor-aware program family — unified behind the
+:mod:`~repro.workloads.registry` (``get_workload(name, **knobs)``).
 
+The per-family builders (``spec_by_name``/``generate_events``,
+``build_microbench``, ``generate_text``) remain as deprecation shims.
+"""
+
+from .adversarial import (
+    AdversarialProgram,
+    AdversarialSpec,
+    FunctionalOutcome,
+    build_adversarial,
+)
 from .dacapo import (
     DACAPO_BENCHMARKS,
     DacapoSpec,
@@ -19,6 +31,13 @@ from .microbench import (
     build_cfg,
     build_microbench,
 )
+from .registry import (
+    FAMILIES,
+    Workload,
+    get_workload,
+    list_workloads,
+    workload_family,
+)
 from .text import (
     class_counts,
     classify,
@@ -28,6 +47,10 @@ from .text import (
 )
 
 __all__ = [
+    "AdversarialProgram",
+    "AdversarialSpec",
+    "FunctionalOutcome",
+    "build_adversarial",
     "DACAPO_BENCHMARKS",
     "DacapoSpec",
     "event_chunks",
@@ -42,6 +65,11 @@ __all__ = [
     "Microbench",
     "build_cfg",
     "build_microbench",
+    "FAMILIES",
+    "Workload",
+    "get_workload",
+    "list_workloads",
+    "workload_family",
     "class_counts",
     "classify",
     "generate_text",

@@ -1,0 +1,540 @@
+"""Adversarial, predictor-aware program generation.
+
+The paper's central mechanism is predictor pollution: ``brr`` branches
+are architecturally random, so a conditional-branch predictor never
+learns them, while counter-based sampling exposes its check branches
+to the predictor.  SNIPPETS-style microkernels make the threshold
+visible with a *randomness density* knob — of every ``stride``
+branch slots, a ``density`` fraction carries fresh random outcomes
+and the rest are perfectly predictable.  This module generalises
+``tests/test_fastpath_fuzz.py`` into a first-class workload family
+around exactly that knob, emitting valid :mod:`repro.isa` programs
+with the standard marker protocol:
+
+* ``marker 1`` — prologue done, warm-up section begins;
+* ``marker 2`` — measured region begins (timing windows replay
+  ``begin=(2, 1)``);
+* ``marker 3`` — measured region ends (``end=(3, 1)``); the program
+  then stores its checksum and halts.
+
+Schemes
+-------
+
+``"cbs"``
+    Every randomness slot is a *conditional* branch steered by a byte
+    read from an entropy pool in memory.  Each loop iteration consumes
+    a fresh group of ``stride`` pool bytes of which ``round(density *
+    stride)`` are random coin flips and the rest are zero, so the
+    predictable slots train perfectly while the random slots are
+    unlearnable — counter-based sampling's pollution, dialled by
+    ``density``.
+``"brr"``
+    The structurally matched control: the same slot grid, but the
+    random slots are ``brr`` instructions (randomness stays inside the
+    branch-on-random unit) and the predictable slots remain never-taken
+    conditionals.  Conditional-branch accuracy should stay flat in
+    ``density``.
+``"mixed"``
+    The differential-fuzzing program shape: seeded random blocks over
+    every branch class the timing model distinguishes (conditionals,
+    ``brr``/``brra``, calls, returns, indirect jumps, loops,
+    load/store mixes) plus pool-branch and history-stressor groups.
+
+Register conventions (shared by every generated block, so any subset
+of blocks still assembles and halts — which is what makes the
+divergence shrinker a simple block-subset search):
+
+* ``r1`` data-buffer base, ``r2`` pool index, ``r3`` checksum,
+  ``r14`` pool base — never scratch;
+* ``r6``/``r7``/``r8`` measured-loop counters — never scratch;
+* ``r4``, ``r5``, ``r10``-``r13`` block scratch (helpers additionally
+  clobber ``r9`` and ``lr``).
+
+The checksum accumulates only pool bytes and branch decisions — never
+code addresses — so it is invariant across the native and the two-word
+trap ``brr`` encodings and serves as the cross-encoding functional
+oracle (see :meth:`AdversarialProgram.run_functional`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core.brr import BranchOnRandomUnit
+from ..core.lfsr import Lfsr
+from ..isa.asm import assemble
+from ..isa.program import Program
+from ..sim.machine import Machine
+
+#: Memory layout: scratch buffer, checksum word, entropy pool.
+DATA_BASE = 0x20000
+CHECKSUM_ADDR = 0x11000
+POOL_BASE = 0x30000
+
+#: Offset (from ``r1``) of the link-register spill slots used by the
+#: RAS-pressure call chain; random load/store blocks stay below it.
+LR_SAVE_OFFSET = 0x1000
+
+#: Marker protocol.
+START_MARKER = 1
+MEASURE_MARKER = 2
+END_MARKER = 3
+
+#: Registers random blocks may clobber.
+_SCRATCH = (4, 5, 10, 11, 12, 13)
+
+#: Loop-nest counter registers, outermost first.
+_LOOP_REGS = (6, 7, 8)
+
+SCHEMES = ("cbs", "brr", "mixed")
+
+
+@dataclass(frozen=True)
+class AdversarialSpec:
+    """Shape parameters of one generated adversarial program."""
+
+    scheme: str = "mixed"
+    #: Fraction (0..1) of randomness slots that are truly random.
+    density: float = 0.5
+    #: Randomness slots per measured-loop iteration; the density knob
+    #: applies within each group of ``stride`` slots.
+    stride: int = 8
+    #: Entropy-pool length in bytes; ``None`` sizes the pool so the
+    #: cbs/brr schemes never re-read a byte (no learnable repetition).
+    pool_bits: Optional[int] = None
+    #: Iteration counts of the measured loop nest, outermost first.
+    loop_shape: Tuple[int, ...] = (1,)
+    #: Extra alternating (taken/not-taken) branches per iteration,
+    #: diluting the global history the predictor sees between slots.
+    history_stress: int = 0
+    #: Depth of the ``jal`` chain exercised each iteration (RAS
+    #: pressure); 0 emits no chain.
+    call_depth: int = 0
+    #: ``brr`` interval denominators cycled through by brr slots.
+    brr_mix: Tuple[int, ...] = (2,)
+    #: Random body/warm-up block counts (``mixed`` scheme only).
+    blocks: int = 24
+    warm_blocks: int = 4
+    #: Warm-up passes over the slot grid (cbs/brr schemes).
+    warm_groups: int = 2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"scheme must be one of {SCHEMES}, "
+                             f"got {self.scheme!r}")
+        if not 0.0 <= self.density <= 1.0:
+            raise ValueError("density must be within [0, 1]")
+        if self.stride < 1:
+            raise ValueError("stride must be >= 1")
+        if not 1 <= len(self.loop_shape) <= len(_LOOP_REGS):
+            raise ValueError(
+                f"loop_shape depth must be 1..{len(_LOOP_REGS)}")
+        if any(count < 1 for count in self.loop_shape):
+            raise ValueError("loop_shape counts must be >= 1")
+        if self.pool_bits is not None and (
+                self.pool_bits < 1 or self.pool_bits & (self.pool_bits - 1)):
+            raise ValueError("pool_bits must be a power of two")
+        if not self.brr_mix or any(n < 2 for n in self.brr_mix):
+            raise ValueError("brr_mix intervals must be >= 2")
+        if self.history_stress < 0 or self.call_depth < 0:
+            raise ValueError("stressor knobs must be non-negative")
+        object.__setattr__(self, "loop_shape", tuple(self.loop_shape))
+        object.__setattr__(self, "brr_mix", tuple(self.brr_mix))
+
+    @property
+    def random_slots(self) -> int:
+        """Random slots per group: ``round(density * stride)``."""
+        return min(self.stride, max(0, round(self.density * self.stride)))
+
+    @property
+    def iterations(self) -> int:
+        """Measured-loop body executions."""
+        total = 1
+        for count in self.loop_shape:
+            total *= count
+        return total
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = dataclasses.asdict(self)
+        data["loop_shape"] = list(self.loop_shape)
+        data["brr_mix"] = list(self.brr_mix)
+        return data
+
+
+@dataclass
+class FunctionalOutcome:
+    """The encoding-independent projection of one functional run."""
+
+    checksum: int
+    markers: Dict[int, int]
+    brr_resolved: int
+    brr_taken: int
+    steps: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "checksum": self.checksum,
+            "markers": {str(k): v for k, v in sorted(self.markers.items())},
+            "brr_resolved": self.brr_resolved,
+            "brr_taken": self.brr_taken,
+        }
+
+
+def _next_pow2(value: int) -> int:
+    size = 1
+    while size < value:
+        size <<= 1
+    return size
+
+
+def _pool_block(n: int, mask: int) -> List[str]:
+    """One randomness slot: a conditional steered by a pool byte."""
+    return [
+        "add r5, r14, r2",
+        "lb r5, 0(r5)",
+        "addi r2, r2, 1",
+        f"andi r2, r2, {mask}",
+        f"bne r5, r0, ptk{n}",
+        "addi r3, r3, 1",
+        f"ptk{n}:",
+        "xor r3, r3, r5",
+    ]
+
+
+def _brr_block(n: int, interval: int) -> List[str]:
+    """One randomness slot carried by ``brr`` instead of a conditional."""
+    return [
+        f"brr 1/{interval}, btk{n}",
+        "addi r3, r3, 1",
+        f"btk{n}:",
+    ]
+
+
+def _history_block(n: int) -> List[str]:
+    """A strictly alternating branch: trivially predictable with any
+    local/global state, but it occupies global-history bits."""
+    return [
+        "addi r10, r10, 1",
+        "andi r11, r10, 1",
+        f"bne r11, r0, hs{n}",
+        "xor r4, r4, r11",
+        f"hs{n}:",
+    ]
+
+
+def _mixed_block(rng: random.Random, n: int, mask: int,
+                 spec: AdversarialSpec) -> List[str]:
+    """One random work block (fuzz-program shape, safe register set)."""
+    kind = rng.choice(
+        ["arith", "load", "store", "cond", "loop", "call", "indirect",
+         "brr", "brra", "jmp", "pool", "hist"])
+    a = rng.choice(_SCRATCH)
+    b = rng.choice(_SCRATCH)
+    off = 4 * rng.randrange(0, 128)
+    lines: List[str] = []
+    if kind == "arith":
+        lines.append(rng.choice([
+            f"addi r{a}, r{b}, {rng.randrange(-64, 64)}",
+            f"add r{a}, r{b}, r{rng.choice(_SCRATCH)}",
+            f"mul r{a}, r{b}, r{rng.choice(_SCRATCH)}",
+            f"xor r{a}, r{a}, r{b}",
+        ]))
+    elif kind == "load":
+        lines.append(rng.choice([f"lw r{a}, {off}(r1)",
+                                 f"lb r{a}, {off}(r1)"]))
+    elif kind == "store":
+        lines.append(rng.choice([f"sw r{a}, {off}(r1)",
+                                 f"sb r{a}, {off}(r1)"]))
+    elif kind == "cond":
+        op = rng.choice(["beq", "bne", "blt", "bge"])
+        lines.append("addi r10, r10, 1")
+        lines.append(f"andi r11, r10, {rng.choice([1, 3, 7])}")
+        lines.append(f"{op} r11, r{rng.choice([0, b])}, skip{n}")
+        lines.append(f"addi r{a}, r{a}, 1")
+        lines.append(f"skip{n}:")
+    elif kind == "loop":
+        # r12 is this block's loop counter, so the body must draw its
+        # scratch from the remaining registers or it clobbers the
+        # counter and never terminates.
+        count = rng.randrange(2, 9)
+        safe = [reg for reg in _SCRATCH if reg != 12]
+        lines.append(f"li r12, {count}")
+        lines.append(f"loop{n}:")
+        lines.append(f"addi r{rng.choice(safe)}, r{rng.choice(safe)}, "
+                     f"{rng.randrange(1, 5)}")
+        if rng.random() < 0.4:
+            lines.append(f"lw r{rng.choice(safe)}, {off}(r1)")
+        lines.append("addi r12, r12, -1")
+        lines.append(f"bne r12, r0, loop{n}")
+    elif kind == "call":
+        if spec.call_depth and rng.random() < 0.5:
+            lines.append("jal depth0")
+        else:
+            lines.append(f"jal helper{rng.randrange(3)}")
+    elif kind == "indirect":
+        lines.append("jal trampoline")
+    elif kind == "brr":
+        interval = rng.choice(spec.brr_mix)
+        lines.extend(_brr_block(n, interval))
+    elif kind == "brra":
+        lines.append(f"brra always{n}")
+        lines.append(f"always{n}:")
+        lines.append(f"addi r{a}, r{a}, 3")
+    elif kind == "jmp":
+        lines.append(f"jmp ahead{n}")
+        lines.append(f"ahead{n}:")
+    elif kind == "pool":
+        lines.extend(_pool_block(n, mask))
+    else:  # hist
+        lines.extend(_history_block(n))
+    return lines
+
+
+def _helpers(spec: AdversarialSpec) -> List[str]:
+    """Call targets: plain/memory/nested returns, a BTB-steered
+    indirect exit, and the depth-``call_depth`` RAS-pressure chain."""
+    lines = [
+        "helper0:",
+        "addi r4, r4, 3",
+        "ret",
+        "helper1:",
+        f"lw r5, {LR_SAVE_OFFSET - 8}(r1)",
+        f"sw r5, {LR_SAVE_OFFSET - 4}(r1)",
+        "ret",
+        "helper2:",
+        "addi r13, lr, 0",
+        "jal helper0",
+        "addi lr, r13, 0",
+        "ret",
+        "trampoline:",
+        "addi r9, lr, 0",
+        "addi r4, r4, 1",
+        "jr r9",
+    ]
+    for level in range(spec.call_depth):
+        slot = LR_SAVE_OFFSET + 4 * level
+        lines.append(f"depth{level}:")
+        if level + 1 < spec.call_depth:
+            lines += [
+                f"sw lr, {slot}(r1)",
+                f"jal depth{level + 1}",
+                f"lw lr, {slot}(r1)",
+            ]
+        else:
+            lines.append("addi r4, r4, 1")
+        lines.append("ret")
+    return lines
+
+
+@dataclass
+class AdversarialProgram:
+    """One generated program, kept in shrinkable block form.
+
+    ``warm_blocks`` run once between markers 1 and 2; ``body_blocks``
+    run inside the measured loop nest between markers 2 and 3.  Every
+    block is label-self-contained, so :meth:`replace` with any subset
+    still assembles — the contract the divergence shrinker relies on.
+    """
+
+    spec: AdversarialSpec
+    warm_blocks: List[List[str]]
+    body_blocks: List[List[str]]
+    pool: bytes
+    _programs: Dict[str, Program] = field(default_factory=dict, repr=False)
+
+    def source(self) -> str:
+        lines = [
+            f"li r1, {DATA_BASE}",
+            f"li r14, {POOL_BASE}",
+            "li r2, 0",
+            "li r3, 0",
+            f"marker {START_MARKER}",
+        ]
+        for block in self.warm_blocks:
+            lines.extend(block)
+        lines.append(f"marker {MEASURE_MARKER}")
+        shape = self.spec.loop_shape
+        for depth, count in enumerate(shape):
+            lines.append(f"li r{_LOOP_REGS[depth]}, {count}")
+            lines.append(f"body{depth}:")
+        for block in self.body_blocks:
+            lines.extend(block)
+        for depth in reversed(range(len(shape))):
+            reg = _LOOP_REGS[depth]
+            lines.append(f"addi r{reg}, r{reg}, -1")
+            lines.append(f"bne r{reg}, r0, body{depth}")
+        lines += [
+            f"marker {END_MARKER}",
+            f"li r5, {CHECKSUM_ADDR}",
+            "sw r3, 0(r5)",
+            "halt",
+        ]
+        lines.extend(_helpers(self.spec))
+        return "\n".join(lines)
+
+    def program(self, brr_mode: str = "native") -> Program:
+        cached = self._programs.get(brr_mode)
+        if cached is None:
+            cached = assemble(self.source(), brr_mode=brr_mode)
+            self._programs[brr_mode] = cached
+        return cached
+
+    def setup(self, machine: Machine) -> None:
+        """Memory-setup callback for the timing runner."""
+        machine.memory.write_bytes(POOL_BASE, self.pool)
+
+    @property
+    def uses_brr(self) -> bool:
+        return any("brr" in line for block in
+                   self.warm_blocks + self.body_blocks for line in block)
+
+    def brr_unit(self, lfsr_seed: Optional[int] = None) -> BranchOnRandomUnit:
+        """A fresh, deterministically seeded branch-on-random unit."""
+        seed = self.spec.seed if lfsr_seed is None else lfsr_seed
+        return BranchOnRandomUnit(
+            Lfsr(20, seed=(0xACE1 + seed * 7919) & 0xFFFFF or 1))
+
+    def replace(self,
+                warm_blocks: Optional[List[List[str]]] = None,
+                body_blocks: Optional[List[List[str]]] = None,
+                ) -> "AdversarialProgram":
+        """A copy with some blocks removed/replaced (shrinker step)."""
+        return AdversarialProgram(
+            spec=self.spec,
+            warm_blocks=(self.warm_blocks if warm_blocks is None
+                         else list(warm_blocks)),
+            body_blocks=(self.body_blocks if body_blocks is None
+                         else list(body_blocks)),
+            pool=self.pool,
+        )
+
+    def functional_key(self) -> Dict[str, Any]:
+        return {"family": "adversarial", "knobs": self.spec.to_dict()}
+
+    def run_functional(self, brr_mode: str = "native",
+                       lfsr_seed: Optional[int] = None,
+                       max_steps: int = 2_000_000) -> FunctionalOutcome:
+        """Run to halt under either ``brr`` encoding and project out
+        the encoding-independent outcome (checksum, marker counts,
+        branch-on-random resolutions) — the trap-vs-native oracle."""
+        unit = self.brr_unit(lfsr_seed)
+        if brr_mode == "native":
+            machine = Machine(self.program("native"), brr_unit=unit)
+        elif brr_mode == "trap":
+            from ..sim.trap import BrrTrapEmulator
+
+            emulator = BrrTrapEmulator(unit)
+            machine = Machine(self.program("trap"))
+            emulator.install(machine)
+        else:
+            raise ValueError(f"unknown brr_mode {brr_mode!r}")
+        self.setup(machine)
+        steps = 0
+        while not machine.halted and steps < max_steps:
+            machine.step()
+            steps += 1
+        if not machine.halted:
+            raise RuntimeError(f"program did not halt in {max_steps} steps")
+        return FunctionalOutcome(
+            checksum=machine.memory.load_word(CHECKSUM_ADDR),
+            markers=dict(machine.marker_counts),
+            brr_resolved=unit.resolved,
+            brr_taken=unit.taken,
+            steps=steps,
+        )
+
+
+def _slot_grid_blocks(spec: AdversarialSpec, mask: int,
+                      label: int) -> Tuple[List[List[str]], int, int]:
+    """One pass over the slot grid (cbs/brr schemes): the per-iteration
+    blocks, the next free label id, and the pool bytes consumed."""
+    blocks: List[List[str]] = []
+    consumed = 0
+    for slot in range(spec.stride):
+        is_random = slot < spec.random_slots
+        if spec.scheme == "brr" and is_random:
+            interval = spec.brr_mix[slot % len(spec.brr_mix)]
+            blocks.append(_brr_block(label, interval))
+        else:
+            blocks.append(_pool_block(label, mask))
+            consumed += 1
+        label += 1
+    for _ in range(spec.history_stress):
+        blocks.append(_history_block(label))
+        label += 1
+    if spec.call_depth:
+        blocks.append(["jal depth0"])
+    return blocks, label, consumed
+
+
+def _grid_pool(spec: AdversarialSpec, per_iter: int,
+               rng: random.Random) -> bytes:
+    """Entropy pool for the slot grid: per iteration, the first
+    ``random_slots`` conditional slots flip coins, the rest read 0."""
+    iterations = spec.warm_groups + spec.iterations
+    needed = max(1, per_iter * iterations)
+    size = spec.pool_bits or _next_pow2(max(64, needed))
+    pool = bytearray(size)
+    position = 0
+    cond_random = (spec.random_slots if spec.scheme == "cbs" else 0)
+    for _ in range(iterations):
+        for slot in range(per_iter):
+            if position >= size:
+                break
+            if slot < cond_random:
+                pool[position] = rng.getrandbits(1)
+            position += 1
+    return bytes(pool)
+
+
+def build_adversarial(spec: Optional[AdversarialSpec] = None,
+                      **knobs: Any) -> AdversarialProgram:
+    """Generate one program from a spec (or spec knobs).
+
+    Deterministic: equal specs produce byte-identical programs and
+    pools, across processes (see ``tests/test_workloads_adversarial``).
+    """
+    if spec is None:
+        spec = AdversarialSpec(**knobs)
+    elif knobs:
+        spec = dataclasses.replace(spec, **knobs)
+    block_rng = random.Random(f"{spec.seed}:blocks")
+    pool_rng = random.Random(f"{spec.seed}:pool")
+    label = 0
+    if spec.scheme == "mixed":
+        size = spec.pool_bits or 256
+        pool = bytearray(size)
+        for position in range(size):
+            if pool_rng.random() < spec.density:
+                pool[position] = pool_rng.getrandbits(1)
+        mask = size - 1
+        warm: List[List[str]] = []
+        for _ in range(spec.warm_blocks):
+            warm.append(_mixed_block(block_rng, label, mask, spec))
+            label += 1
+        body: List[List[str]] = []
+        for _ in range(spec.blocks):
+            body.append(_mixed_block(block_rng, label, mask, spec))
+            label += 1
+        return AdversarialProgram(spec=spec, warm_blocks=warm,
+                                  body_blocks=body, pool=bytes(pool))
+
+    # cbs / brr: the deterministic slot grid; entropy lives in the
+    # pool (cbs) or the LFSR (brr), never in the code shape.
+    per_iter = spec.stride - (spec.random_slots
+                              if spec.scheme == "brr" else 0)
+    iterations = spec.warm_groups + spec.iterations
+    size = spec.pool_bits or _next_pow2(max(64, per_iter * iterations))
+    mask = size - 1
+    warm = []
+    for _ in range(spec.warm_groups):
+        blocks, label, _ = _slot_grid_blocks(spec, mask, label)
+        warm.extend(blocks)
+    body, label, _ = _slot_grid_blocks(spec, mask, label)
+    pool = _grid_pool(spec, per_iter, pool_rng)
+    return AdversarialProgram(spec=spec, warm_blocks=warm,
+                              body_blocks=body, pool=pool)

@@ -91,6 +91,39 @@ class TestValidation:
         b = validate_request("figure12", {"interval": 512, "scale": 2})
         assert request_key("figure12", a) == request_key("figure12", b)
 
+    def test_new_command_knobs_reach_the_request_key(self):
+        # Regression: requests differing only in a new command's knob
+        # must NOT coalesce — every whitelisted knob has to land in the
+        # canonical key.
+        fuzz_keys = {request_key("fuzz", validate_request(
+            "fuzz", {"scheme": scheme, "windows": 5}))
+            for scheme in ("cbs", "brr", "mixed")}
+        assert len(fuzz_keys) == 3
+        entropy_keys = {request_key("entropy", validate_request(
+            "entropy", {"stride": stride})) for stride in (4, 8)}
+        assert len(entropy_keys) == 2
+
+    def test_scheme_choice_is_validated(self):
+        with pytest.raises(RequestError, match="bad value"):
+            validate_request("fuzz", {"scheme": "surprise"})
+        assert validate_request("fuzz", {"scheme": " BRR "}) \
+            == {"scheme": "brr"}
+
+    def test_whitelist_matches_facade_signatures(self):
+        # Audit: every whitelisted parameter must be a keyword of its
+        # facade function, and every facade keyword (minus the engine
+        # plumbing) must be whitelisted — so a knob added to the API
+        # can never silently coalesce across distinct values.
+        import inspect
+
+        from repro.serve.service import COMMANDS
+
+        for command, allowed in COMMANDS.items():
+            signature = inspect.signature(getattr(api, f"run_{command}"))
+            facade = {name for name in signature.parameters
+                      if name != "engine"}
+            assert set(allowed) == facade, command
+
 
 # ----------------------------------------------------------------------
 # Coalescing (service level, no sockets).

@@ -1,0 +1,141 @@
+"""The adversarial workload generator (``repro.workloads.adversarial``).
+
+Covers the generator's three contracts: determinism (equal specs give
+byte-identical programs, pools and timing stats — across *processes*,
+since the fuzz harness and CI rely on replayable seeds), the
+encoding-independent functional oracle (native vs. trap-emulated
+``brr``), and the shrinkable block representation (any block subset
+still assembles and halts).
+"""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.workloads.adversarial import (
+    END_MARKER,
+    MEASURE_MARKER,
+    START_MARKER,
+    AdversarialSpec,
+    build_adversarial,
+)
+
+_SRC = str(pathlib.Path(repro.__file__).resolve().parents[1])
+
+#: Emits one canonical JSON line fully describing a build + timed run.
+_DETERMINISM_SCRIPT = """\
+import json
+from repro.workloads.adversarial import build_adversarial
+from repro.fuzz.harness import STRESS_CONFIG
+from repro.timing.runner import time_window
+
+adv = build_adversarial(scheme="mixed", seed=7, blocks=10, call_depth=2)
+result = time_window(adv.program(), begin=(2, 1), end=(3, 1),
+                     config=STRESS_CONFIG, brr_unit=adv.brr_unit(),
+                     setup=adv.setup)
+print(json.dumps({"words": list(adv.program().words),
+                  "pool": adv.pool.hex(),
+                  "stats": result.stats.to_dict()}, sort_keys=True))
+"""
+
+
+class TestDeterminism:
+    def test_equal_specs_build_identical_programs(self):
+        first = build_adversarial(scheme="mixed", seed=11, blocks=8)
+        second = build_adversarial(scheme="mixed", seed=11, blocks=8)
+        assert first.source() == second.source()
+        assert first.pool == second.pool
+        assert list(first.program().words) == list(second.program().words)
+
+    def test_different_seeds_differ(self):
+        first = build_adversarial(scheme="mixed", seed=1, blocks=8)
+        second = build_adversarial(scheme="mixed", seed=2, blocks=8)
+        assert first.source() != second.source() or first.pool != second.pool
+
+    def test_byte_identical_across_two_processes(self):
+        env = dict(os.environ, PYTHONPATH=_SRC)
+        outputs = [
+            subprocess.run([sys.executable, "-c", _DETERMINISM_SCRIPT],
+                           capture_output=True, env=env, check=True,
+                           text=True).stdout
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+        document = json.loads(outputs[0])
+        assert document["stats"]["instructions"] > 0
+
+
+class TestSpec:
+    def test_density_controls_random_slots(self):
+        assert AdversarialSpec(density=0.0).random_slots == 0
+        assert AdversarialSpec(density=0.5, stride=8).random_slots == 4
+        assert AdversarialSpec(density=1.0, stride=8).random_slots == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialSpec(scheme="nope")
+        with pytest.raises(ValueError):
+            AdversarialSpec(density=1.5)
+        with pytest.raises(ValueError):
+            AdversarialSpec(loop_shape=())
+        with pytest.raises(ValueError):
+            AdversarialSpec(pool_bits=100)  # not a power of two
+        with pytest.raises(ValueError):
+            AdversarialSpec(brr_mix=(1,))
+
+    def test_to_dict_is_json_plain(self):
+        data = AdversarialSpec(loop_shape=(2, 3)).to_dict()
+        assert data["loop_shape"] == [2, 3]
+        json.dumps(data)
+
+
+class TestFunctionalOracle:
+    @pytest.mark.parametrize("scheme", ["cbs", "brr", "mixed"])
+    def test_trap_matches_native(self, scheme):
+        adversarial = build_adversarial(
+            scheme=scheme, seed=5, density=0.5, blocks=10,
+            loop_shape=(4,), call_depth=1)
+        native = adversarial.run_functional("native")
+        trap = adversarial.run_functional("trap")
+        assert native.to_dict() == trap.to_dict()
+
+    def test_markers_follow_protocol(self):
+        adversarial = build_adversarial(scheme="cbs", seed=0, loop_shape=(3,))
+        outcome = adversarial.run_functional("native")
+        assert outcome.markers[START_MARKER] == 1
+        assert outcome.markers[MEASURE_MARKER] == 1
+        assert outcome.markers[END_MARKER] == 1
+
+    def test_brr_scheme_resolves_brr_slots(self):
+        adversarial = build_adversarial(
+            scheme="brr", seed=0, density=0.5, stride=8, loop_shape=(4,))
+        outcome = adversarial.run_functional("native")
+        # 4 random slots/iteration x (2 warm groups + 4 iterations).
+        assert outcome.brr_resolved == 4 * 6
+        assert 0 <= outcome.brr_taken <= outcome.brr_resolved
+
+    def test_cbs_scheme_never_consults_brr(self):
+        adversarial = build_adversarial(scheme="cbs", seed=0, density=1.0)
+        assert not adversarial.uses_brr
+        assert adversarial.run_functional("native").brr_resolved == 0
+
+
+class TestShrinkableRepresentation:
+    def test_any_block_subset_assembles_and_halts(self):
+        adversarial = build_adversarial(scheme="mixed", seed=9, blocks=12)
+        for keep in (slice(0, 0), slice(0, 1), slice(3, 9), slice(0, None, 2)):
+            candidate = adversarial.replace(
+                body_blocks=adversarial.body_blocks[keep])
+            outcome = candidate.run_functional("native")
+            assert outcome.markers[END_MARKER] == 1
+
+    def test_replace_does_not_mutate_original(self):
+        adversarial = build_adversarial(scheme="mixed", seed=9, blocks=6)
+        before = adversarial.source()
+        adversarial.replace(body_blocks=[])
+        assert adversarial.source() == before

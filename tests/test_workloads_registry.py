@@ -1,0 +1,105 @@
+"""The unified workload registry and the legacy deprecation shims.
+
+Every family round-trips through ``get_workload`` producing results
+byte-identical to its legacy entry point, and each legacy entry point
+emits exactly one :class:`DeprecationWarning` while delegating.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.workloads import dacapo, microbench, text
+from repro.workloads.registry import (
+    FAMILIES,
+    get_workload,
+    list_workloads,
+)
+
+
+class TestRegistrySurface:
+    def test_all_families_registered(self):
+        assert set(FAMILIES) == {"dacapo", "microbench", "text",
+                                 "adversarial"}
+        names = list_workloads()
+        assert set(FAMILIES) <= set(names)
+        assert "jython" in names  # the dacapo shortcuts ride along
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("not-a-workload")
+
+    def test_functional_keys_carry_family_and_knobs(self):
+        workload = get_workload("text", n_chars=100, seed=3)
+        key = workload.functional_key()
+        assert key["family"] == "text"
+        assert key["knobs"]["n_chars"] == 100
+
+    def test_functional_keys_distinguish_knobs(self):
+        one = get_workload("adversarial", scheme="cbs", density=0.25)
+        other = get_workload("adversarial", scheme="cbs", density=0.5)
+        assert one.functional_key() != other.functional_key()
+
+
+class TestRoundTrips:
+    def test_text_matches_legacy(self):
+        workload = get_workload("text", n_chars=500, seed=2)
+        with pytest.warns(DeprecationWarning):
+            legacy = text.generate_text(n_chars=500, seed=2)
+        assert workload.raw == legacy
+        assert workload.events().tolist() == list(legacy)
+
+    def test_microbench_matches_legacy(self):
+        workload = get_workload("microbench", n_chars=400, variant="no-dup",
+                                kind="cbs", interval=64, seed=1)
+        with pytest.warns(DeprecationWarning):
+            legacy = microbench.build_microbench(
+                n_chars=400, variant="no-dup", kind="cbs", interval=64,
+                seed=1)
+        assert list(workload.program().words) == list(legacy.program.words)
+
+    def test_dacapo_matches_legacy(self):
+        workload = get_workload("jython", scale=0.01, seed=0)
+        with pytest.warns(DeprecationWarning):
+            spec = dacapo.spec_by_name("jython")
+        assert workload.raw == spec
+        with pytest.warns(DeprecationWarning):
+            legacy_events = dacapo.generate_events(spec, scale=0.01, seed=0)
+        assert np.array_equal(workload.events(), legacy_events)
+
+    def test_dacapo_qualified_name(self):
+        assert (get_workload("dacapo:jython", scale=0.01).raw
+                == get_workload("jython", scale=0.01).raw)
+
+    def test_adversarial_matches_builder(self):
+        from repro.workloads.adversarial import build_adversarial
+
+        workload = get_workload("adversarial", scheme="mixed", seed=4,
+                                blocks=8)
+        direct = build_adversarial(scheme="mixed", seed=4, blocks=8)
+        assert list(workload.program().words) == list(direct.program().words)
+
+
+class TestShimsWarnOnce:
+    @pytest.mark.parametrize("call", [
+        lambda: text.generate_text(n_chars=50),
+        lambda: microbench.build_microbench(n_chars=200),
+        lambda: dacapo.spec_by_name("jython"),
+        lambda: dacapo.generate_events(dacapo._spec_by_name("jython"),
+                                       scale=0.005),
+    ])
+    def test_one_deprecation_warning(self, call):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            call()
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "get_workload" in str(deprecations[0].message)
+
+    def test_event_chunks_stays_quiet(self):
+        spec = get_workload("jython").spec
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            next(iter(dacapo.event_chunks(spec, scale=0.005)))
