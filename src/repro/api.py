@@ -298,24 +298,26 @@ def run_scorecard(*, quick: bool = True,
 
 def run_fuzz(*, windows: int = 25, seed: Optional[int] = None,
              scheme: str = "mixed", blocks: int = 24,
-             shrink: bool = True,
+             shrink: bool = True, serve_diff: bool = False,
              engine: Optional[ExperimentEngine] = None) -> FigureResult:
     """Cross-path differential fuzzing over generated programs.
 
     Runs ``windows`` adversarial programs through every independent
     execution path (lock-step, golden replay, loop kernel, vector
     kernel, trap-emulated ``brr``) and diffs canonical stats;
-    divergences are shrunk to minimal programs.  ``data["failed"]``
-    mirrors the CLI's non-zero exit condition.  The harness re-executes
-    every path by construction, so no window cache is involved;
-    ``engine`` only supplies the default seed.
+    divergences are shrunk to minimal programs.  ``serve_diff``
+    additionally byte-compares each window served by an ephemeral
+    ``repro serve`` instance against the local façade document.
+    ``data["failed"]`` mirrors the CLI's non-zero exit condition.  The
+    harness re-executes every path by construction, so no window cache
+    is involved; ``engine`` only supplies the default seed.
     """
     from .fuzz import format_fuzz, run_differential_fuzz
 
     resolved = _resolve_seed(seed, engine, 0)
     report = run_differential_fuzz(windows=int(windows), seed=resolved,
                                    scheme=scheme, blocks=int(blocks),
-                                   shrink=shrink)
+                                   shrink=shrink, serve_diff=serve_diff)
     return FigureResult(report.to_dict(), format_fuzz(report))
 
 

@@ -19,6 +19,7 @@ Usage::
     python -m repro resume RUN.jsonl   # finish an interrupted run
     python -m repro doctor [RUN.jsonl] [--repair]  # integrity audit
     python -m repro serve [--host H] [--port P]  # HTTP simulation service
+    python -m repro chaos-serve [--rate 0.2] [--requests 6]  # chaos harness
 
 ``--scale`` is the one scaling knob and is interpreted per command:
 fraction of the paper's invocation counts for the accuracy figures
@@ -67,6 +68,7 @@ quarantines/rewrites in place).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import pathlib
@@ -200,7 +202,8 @@ def _fuzz(args) -> CommandResult:
     from . import api
 
     windows = 25 if args.scale is None else int(args.scale)
-    result = api.run_fuzz(windows=windows, seed=args.seed)
+    result = api.run_fuzz(windows=windows, seed=args.seed,
+                          serve_diff=args.serve_diff)
     return result.data, result.text
 
 
@@ -232,7 +235,7 @@ SAMPLED_COMMANDS = ("figure9", "figure10", "figure12", "figure13",
                     "figure14", "entropy")
 
 #: Commands whose workload/plan seeding honours ``--seed``.
-SEEDED_COMMANDS = SAMPLED_COMMANDS + ("figure2", "fuzz")
+SEEDED_COMMANDS = SAMPLED_COMMANDS + ("figure2", "fuzz", "chaos-serve")
 
 #: ``repro cache`` actions; the command lives outside COMMANDS so that
 #: ``repro all`` regenerates figures without touching the stores.
@@ -313,11 +316,15 @@ def _doctor_command(args, engine: ExperimentEngine) -> Tuple[Any, str, int]:
 def _serve_command(args, engine: ExperimentEngine) -> int:
     """``repro serve``: the multi-tenant HTTP simulation service.
 
-    Blocks until interrupted.  The engine (and therefore the tiered
+    Blocks until interrupted or drained.  SIGTERM (and
+    ``POST /v1/admin/drain``) triggers a graceful drain — stop
+    admitting, finish or deadline-cancel in-flight requests, flush the
+    store tiers — then exits 0.  The engine (and therefore the tiered
     stores and any ``--log-jsonl`` ledger) is shared by every request;
     see ``docs/serve.md`` for the wire protocol.
     """
     import asyncio
+    import signal
 
     from .serve import ReproServer, SimulationService
 
@@ -326,15 +333,57 @@ def _serve_command(args, engine: ExperimentEngine) -> int:
 
     async def _run() -> None:
         await server.start()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError, RuntimeError,
+                                     ValueError):
+                loop.add_signal_handler(
+                    signum,
+                    lambda: asyncio.ensure_future(server.drain()))
         print(f"repro serve listening on http://{server.host}:{server.port} "
               f"(workers={max(1, args.workers)})", file=sys.stderr, flush=True)
         await server.serve_forever()
+        await server.stop()
+        if service.draining:
+            print("[serve: drained cleanly]", file=sys.stderr, flush=True)
 
     try:
         asyncio.run(_run())
     except KeyboardInterrupt:
         print("[serve: interrupted]", file=sys.stderr)
     return 0
+
+
+def _chaos_serve_command(args, out_dir: Optional[pathlib.Path]
+                         ) -> Tuple[Any, str, int]:
+    """``repro chaos-serve``: the deterministic chaos harness.
+
+    Serves ``--chaos-command`` twice — clean and under a fault-injected
+    backend — byte-compares every response, and exercises deadlines,
+    breaker recovery, drain and the warm-restart path.  Exits non-zero
+    on any failed check; ``--out`` writes ``CHAOS_report.json``.
+    """
+    from .serve import FAULT_MODES, format_chaos, run_chaos_serve
+
+    modes = (tuple(part.strip() for part in args.modes.split(",")
+                   if part.strip())
+             if args.modes else FAULT_MODES)
+    params: Dict[str, Any] = {}
+    if args.scale is not None:
+        params["scale"] = int(args.scale)
+    report = run_chaos_serve(
+        command=args.chaos_command,
+        params=params,
+        requests=max(1, args.requests),
+        seed=args.seed if args.seed is not None else 0,
+        rate=args.rate,
+        modes=modes,
+    )
+    data = report.to_dict()
+    if out_dir is not None:
+        (out_dir / "CHAOS_report.json").write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data, format_chaos(report), 1 if report.failed else 0
 
 
 def _resume_command(args, parser: argparse.ArgumentParser) -> int:
@@ -381,15 +430,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("command",
                         choices=list(COMMANDS) + ["all", "cache", "bench",
                                                   "resume", "doctor",
-                                                  "serve"],
+                                                  "serve", "chaos-serve"],
                         help="which figure/table to regenerate, `cache` to "
                              "inspect/maintain the on-disk stores, `bench` "
                              "to run the fastpath-vs-golden timing "
                              "benchmark (writes BENCH_timing.json under "
                              "--out), `resume` to finish an interrupted "
                              "run from its JSONL log, `doctor` to audit "
-                             "store/ledger integrity, or `serve` to run "
-                             "the HTTP simulation service (docs/serve.md)")
+                             "store/ledger integrity, `serve` to run "
+                             "the HTTP simulation service (docs/serve.md), "
+                             "or `chaos-serve` to prove the service "
+                             "absorbs a fault-injected backend")
     parser.add_argument("action", nargs="?", default=None,
                         help="for `cache`: stats (default), prune stale "
                              "versions, or clear everything; for `resume`: "
@@ -463,6 +514,23 @@ def build_parser() -> argparse.ArgumentParser:
                         help="for `serve`: concurrent distinct "
                              "computations (identical concurrent requests "
                              "always coalesce onto one; default: 1)")
+    parser.add_argument("--serve-diff", action="store_true",
+                        help="for `fuzz`: additionally byte-compare each "
+                             "window served by an ephemeral repro serve "
+                             "instance against the local façade")
+    parser.add_argument("--rate", type=float, default=0.2,
+                        help="for `chaos-serve`: deterministic fault-"
+                             "injection probability per backend call "
+                             "(default: 0.2)")
+    parser.add_argument("--requests", type=int, default=6,
+                        help="for `chaos-serve`: size of the request sweep "
+                             "(default: 6)")
+    parser.add_argument("--chaos-command", type=str, default="figure13",
+                        help="for `chaos-serve`: the figure command to "
+                             "serve under chaos (default: figure13)")
+    parser.add_argument("--modes", type=str, default=None,
+                        help="for `chaos-serve`: comma-separated fault "
+                             "modes (slow,error,hang,torn; default: all)")
     parser.add_argument("--repair", action="store_true",
                         help="for `doctor`: quarantine corrupt store "
                              "entries and rewrite damaged ledgers instead "
@@ -559,6 +627,14 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "serve":
         return _serve_command(args, engine)
+
+    if args.command == "chaos-serve":
+        data, text, code = _chaos_serve_command(args, out_dir)
+        if args.json:
+            print(json.dumps(data, indent=2, sort_keys=True))
+        else:
+            print(text)
+        return code
 
     if args.command == "cache":
         data, text = _cache_command(args, engine)

@@ -46,6 +46,7 @@ from ..store import (
     backend_from_env,
     integrity_policy_from_env,
     make_backend,
+    maybe_wrap_breaker,
     memory_bytes_from_env,
     memory_entries_from_env,
     payload_digest,
@@ -68,15 +69,21 @@ def cache_enabled_by_env() -> bool:
 
 
 def resolve_backend(backend: Union[Backend, str, None],
-                    namespace: str) -> Optional[Backend]:
+                    namespace: str,
+                    breaker: Optional[bool] = None) -> Optional[Backend]:
     """The shared-backend constructor argument, resolved: a live
-    :class:`Backend`, a spec string, :data:`AUTO_BACKEND` (read
-    ``REPRO_STORE_BACKEND``), or ``None`` (no shared tier)."""
+    :class:`Backend` (used as-is — callers wrap their own), a spec
+    string, :data:`AUTO_BACKEND` (read ``REPRO_STORE_BACKEND``), or
+    ``None`` (no shared tier).  Spec-named backends are wrapped in a
+    :class:`~repro.store.backend.CircuitBreakerBackend` per ``breaker``
+    (``None`` resolves ``REPRO_BREAKER``, default on)."""
     if backend is None or isinstance(backend, Backend):
         return backend
     if backend == AUTO_BACKEND:
-        return backend_from_env(namespace)
-    return make_backend(backend, namespace)
+        resolved = backend_from_env(namespace)
+    else:
+        resolved = make_backend(backend, namespace)
+    return maybe_wrap_breaker(resolved, breaker)
 
 
 class _ResultCodec(Codec):
@@ -135,7 +142,8 @@ class ResultCache:
                  policy: Optional[str] = None,
                  memory_entries: Optional[int] = None,
                  memory_bytes: Optional[int] = None,
-                 backend: Union[Backend, str, None] = AUTO_BACKEND) -> None:
+                 backend: Union[Backend, str, None] = AUTO_BACKEND,
+                 breaker: Optional[bool] = None) -> None:
         self.root = pathlib.Path(root) if root else default_cache_dir()
         self.enabled = enabled
         codec = _ResultCodec()
@@ -147,7 +155,7 @@ class ResultCache:
                              else memory_entries_from_env()),
                 max_bytes=(memory_bytes if memory_bytes is not None
                            else memory_bytes_from_env())),
-            backend=resolve_backend(backend, codec.namespace),
+            backend=resolve_backend(backend, codec.namespace, breaker),
             policy=(policy if policy is not None
                     else integrity_policy_from_env()),
             promote_on_put=False,
@@ -227,6 +235,10 @@ class ResultCache:
         """Per-tier hit/miss/byte counters only (cheap — no disk walk);
         what the engine folds into its JSONL run summaries."""
         return self._tiers.tier_counters()
+
+    def flush(self) -> Dict[str, int]:
+        """Retry backend publishes that failed (graceful drain)."""
+        return self._tiers.flush()
 
     def scan(self, repair: bool = False) -> Dict[str, Any]:
         """Verify every current-version entry (the ``repro doctor``

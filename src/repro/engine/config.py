@@ -21,6 +21,9 @@ exactly one function, :meth:`EngineConfig.from_env`:
 ``REPRO_VALIDATE``          golden cross-check every n-th fast replay
 ``REPRO_VALIDATE_POLICY``   divergence: ``warn`` | ``fallback`` | ``raise``
 ``REPRO_STORE_BACKEND``     shared store tier (``fs://<dir>``; empty = off)
+``REPRO_BREAKER``           circuit breaker around the shared backend
+                            (default on; ``REPRO_BREAKER_*`` tune it —
+                            see ``docs/serve.md``)
 ``REPRO_TRACE_HANDLES``     open trace-handle LRU bound (default 4)
 ``REPRO_SEED``              uniform experiment seed (workloads + sampling)
 ==========================  ===========================================
@@ -116,6 +119,13 @@ class EngineConfig:
     #: Shared store-backend spec (``fs://<dir>`` or a bare directory);
     #: ``None`` disables the shared tier — see :mod:`repro.store.backend`.
     store_backend: Optional[str] = None
+    #: Wrap the shared backend in a
+    #: :class:`~repro.store.backend.CircuitBreakerBackend` so a flaky
+    #: or hung backend degrades the stores to local-tiers-only instead
+    #: of stalling every request.  ``None`` resolves ``REPRO_BREAKER``
+    #: (default on); the breaker's thresholds come from
+    #: ``REPRO_BREAKER_*`` (see ``docs/serve.md``).
+    breaker: Optional[bool] = None
     #: Bound of the trace store's open-handle LRU; ``None`` means the
     #: library default (:data:`repro.engine.tracestore.DEFAULT_TRACE_HANDLES`).
     trace_handles: Optional[int] = None
@@ -199,6 +209,10 @@ class EngineConfig:
             values["validate_every"] = validate
         values["validate_policy"] = validate_policy_from_env()
         values["store_backend"] = backend_spec_from_env()
+        breaker = os.environ.get("REPRO_BREAKER")
+        if breaker is not None:
+            values["breaker"] = breaker.strip().lower() \
+                not in ("0", "false", "no", "off")
         handles = _env_int("REPRO_TRACE_HANDLES")
         if handles is not None:
             values["trace_handles"] = max(1, handles)

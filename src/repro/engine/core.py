@@ -239,14 +239,14 @@ def _pool_execute(item: Tuple[int, Dict[str, Any], Tuple, int]):
     index, spec_dict, conf, attempt = item
     (trace_root, trace_enabled, fast, fault_rate, fault_mode,
      integrity, validate_every, validate_policy,
-     trace_handles, store_backend, trace_pages) = conf
+     trace_handles, store_backend, trace_pages, breaker) = conf
     spec = WindowSpec.from_dict(spec_dict)
     started = time.perf_counter()
     maybe_inject(spec.cache_key, attempt, fault_rate, fault_mode,
                  in_worker=True)
     store = TraceStore(trace_root, enabled=trace_enabled, policy=integrity,
                        handles=trace_handles, backend=store_backend,
-                       pages=trace_pages)
+                       pages=trace_pages, breaker=breaker)
     validation = ValidationSettings(every=validate_every,
                                     policy=validate_policy)
     with fastpath_override(fast), active_store(store), \
@@ -300,14 +300,16 @@ class ExperimentEngine:
         if cache is None:
             cache = ResultCache(enabled=cache_enabled_by_env(),
                                 policy=config.integrity,
-                                backend=config.store_backend)
+                                backend=config.store_backend,
+                                breaker=config.breaker)
         self.cache = cache
         if trace_store is None:
             trace_store = TraceStore(default_trace_dir(cache.root),
                                      enabled=trace_enabled_by_env(),
                                      policy=config.integrity,
                                      handles=config.trace_handles,
-                                     backend=config.store_backend)
+                                     backend=config.store_backend,
+                                     breaker=config.breaker)
         self.trace_store = trace_store
         #: Watchdog settings installed around execution (serial) or
         #: shipped to each pool worker.
@@ -609,7 +611,8 @@ class ExperimentEngine:
                     self.fast, cfg.fault_rate, self._fault_mode,
                     cfg.integrity, cfg.validate_every, cfg.validate_policy,
                     cfg.trace_handles, cfg.store_backend,
-                    pages.names() if pages is not None else None)
+                    pages.names() if pages is not None else None,
+                    cfg.breaker)
 
         worker_conf = make_conf()
         workers = min(self.jobs, len(misses))
@@ -789,6 +792,13 @@ class ExperimentEngine:
             error=error,
             validation=trace_info.get("validation"),
         ))
+
+    def flush_stores(self) -> Dict[str, Dict[str, int]]:
+        """Retry failed backend publishes on both stores (graceful
+        drain / ``repro serve`` shutdown): pending pushes get one more
+        chance to reach the shared corpus before the process exits."""
+        return {"results": self.cache.flush(),
+                "traces": self.trace_store.flush()}
 
     def summary(self) -> Dict[str, Any]:
         return dict(self.recorder.summary(), resumed=self.resumed,

@@ -142,7 +142,8 @@ class TraceStore:
                  policy: Optional[str] = None,
                  handles: Optional[int] = None,
                  backend: Union[Backend, str, None] = AUTO_BACKEND,
-                 pages: Optional[Dict[str, str]] = None) -> None:
+                 pages: Optional[Dict[str, str]] = None,
+                 breaker: Optional[bool] = None) -> None:
         self.root = pathlib.Path(root) if root else default_trace_dir()
         self.enabled = enabled
         #: ``{functional key: shared-memory segment name}`` published
@@ -159,7 +160,7 @@ class TraceStore:
                 max_entries=(max(1, handles) if handles is not None
                              else trace_handles_from_env()),
                 max_bytes=None),
-            backend=resolve_backend(backend, codec.namespace),
+            backend=resolve_backend(backend, codec.namespace, breaker),
             policy=(policy if policy is not None
                     else integrity_policy_from_env()),
             # record() keeps the fresh handle hot: the recording config
@@ -271,6 +272,10 @@ class TraceStore:
     def tier_counters(self) -> Dict[str, Any]:
         """Per-tier hit/miss/byte counters only (cheap — no disk walk)."""
         return self._tiers.tier_counters()
+
+    def flush(self) -> Dict[str, int]:
+        """Retry backend publishes that failed (graceful drain)."""
+        return self._tiers.flush()
 
     def scan(self, repair: bool = False) -> Dict[str, Any]:
         """Verify every stored trace (the ``repro doctor`` pass).

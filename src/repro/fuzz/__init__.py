@@ -10,6 +10,7 @@ from .harness import (
     TIMING_PAIRS,
     Divergence,
     FuzzReport,
+    ServeFaultHook,
     format_fuzz,
     run_differential_fuzz,
     shrink_divergence,
@@ -21,6 +22,7 @@ __all__ = [
     "TIMING_PAIRS",
     "Divergence",
     "FuzzReport",
+    "ServeFaultHook",
     "format_fuzz",
     "run_differential_fuzz",
     "shrink_divergence",

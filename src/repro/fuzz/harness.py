@@ -20,11 +20,22 @@ lists before being reported.  ``fault=`` injects a deterministic
 post-hoc perturbation into a path's payload — the self-test seam that
 proves the harness detects and minimizes a real divergence (see
 ``tests/test_fuzz_harness.py``).
+
+``serve_diff=`` adds one more independent path: an ephemeral
+``repro serve`` instance.  Each fuzzed window is requested over HTTP
+and the served JSON body is byte-compared against the document a local
+``repro.api`` run produces for identical (coerced) parameters — the
+wire layer, validation coercers and façade dispatch all answer to the
+local path.  A body divergence is ddmin-shrunk over the window's block
+budget before being reported.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import urllib.parse
+import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -55,6 +66,12 @@ DEFAULT_CONFIGS: Tuple[Tuple[str, TimingConfig], ...] = (
 
 #: ``fault(path, source, payload) -> payload`` — the injection seam.
 FaultHook = Callable[[str, str, Dict[str, Any]], Dict[str, Any]]
+
+#: ``serve_fault(window_seed, blocks, body) -> body`` — the serve-diff
+#: injection seam: perturbs the *local* reference body so tests can
+#: prove the serve-vs-local comparison detects and shrinks a real
+#: divergence.
+ServeFaultHook = Callable[[int, int, bytes], bytes]
 
 _BEGIN = (MEASURE_MARKER, 1)
 _END = (END_MARKER, 1)
@@ -96,6 +113,9 @@ class FuzzReport:
     scheme: str
     configs: List[str]
     comparisons: int = 0
+    #: Windows byte-compared against an ephemeral ``repro serve``
+    #: instance (0 when ``serve_diff`` was off).
+    serve_checked: int = 0
     divergences: List[Divergence] = field(default_factory=list)
 
     @property
@@ -108,6 +128,7 @@ class FuzzReport:
             "scheme": self.scheme,
             "configs": list(self.configs),
             "comparisons": self.comparisons,
+            "serve_checked": self.serve_checked,
             "divergences": [d.to_dict() for d in self.divergences],
             "failed": self.failed,
         }
@@ -252,6 +273,101 @@ def shrink_divergence(adversarial: AdversarialProgram,
     return shrunk.replace(warm_blocks=warm)
 
 
+# ----------------------------------------------------------------------
+# The serve-vs-local path: the wire layer answers to the façade.
+
+def _fuzz_wire_params(window_seed: int, scheme: str,
+                      blocks: int) -> Dict[str, str]:
+    """One window's request parameters, as the strings a query string
+    would carry — both paths coerce them through the same
+    ``validate_request``, so shape differences cannot hide."""
+    return {"windows": "1", "seed": str(window_seed), "scheme": scheme,
+            "blocks": str(blocks), "shrink": "false"}
+
+
+def _local_fuzz_body(window_seed: int, scheme: str, blocks: int,
+                     serve_fault: Optional[ServeFaultHook]) -> bytes:
+    """The byte-exact body a correct server must answer with: the
+    façade result wrapped in the serve document encoding."""
+    from .. import api
+    from ..serve.service import validate_request
+
+    resolved = validate_request(
+        "fuzz", _fuzz_wire_params(window_seed, scheme, blocks))
+    result = api.run_fuzz(**resolved)
+    params = {name: (list(value) if isinstance(value, tuple) else value)
+              for name, value in resolved.items()}
+    document = {"command": "fuzz", "params": params,
+                "data": result.data, "text": result.text}
+    body = json.dumps(document, sort_keys=True).encode("utf-8")
+    if serve_fault is not None:
+        body = serve_fault(window_seed, blocks, body)
+    return body
+
+
+def _served_fuzz_body(port: int, window_seed: int, scheme: str,
+                      blocks: int) -> bytes:
+    query = urllib.parse.urlencode(
+        _fuzz_wire_params(window_seed, scheme, blocks))
+    url = f"http://127.0.0.1:{port}/v1/figure/fuzz?{query}"
+    with urllib.request.urlopen(url, timeout=300) as response:
+        return response.read()
+
+
+def _body_digest(body: bytes) -> str:
+    return f"sha256:{hashlib.sha256(body).hexdigest()[:16]}/{len(body)}B"
+
+
+def _serve_window_diff(port: int, window_seed: int, scheme: str,
+                       blocks: int,
+                       serve_fault: Optional[ServeFaultHook]
+                       ) -> Optional[Dict[str, List[Any]]]:
+    """``None`` when served and local bodies agree byte-for-byte."""
+    served = _served_fuzz_body(port, window_seed, scheme, blocks)
+    local = _local_fuzz_body(window_seed, scheme, blocks, serve_fault)
+    if served == local:
+        return None
+    return {"body": [_body_digest(served), _body_digest(local)]}
+
+
+def _serve_stage(report: FuzzReport, *, windows: int, seed: int,
+                 scheme: str, blocks: int, shrink: bool,
+                 serve_fault: Optional[ServeFaultHook]) -> None:
+    """Diff every fuzzed window's served body against the local façade.
+
+    Divergences fold into ``report.divergences`` under the
+    ``serve:served-vs-local`` comparison; a diverging window is
+    ddmin-shrunk over its block budget (the smallest ``blocks`` that
+    still diverges)."""
+    from ..serve.http import ServerThread
+
+    with ServerThread() as server:
+        port = server.port
+        for index in range(windows):
+            window_seed = seed + index
+            details = _serve_window_diff(port, window_seed, scheme,
+                                         blocks, serve_fault)
+            report.serve_checked += 1
+            report.comparisons += 1
+            if details is None:
+                continue
+            divergence = Divergence(
+                window_seed=window_seed, scheme=scheme,
+                comparison="serve:served-vs-local",
+                fields=["body"], details=details, blocks=blocks)
+            if shrink:
+                def still_fails(candidate: List[Any]) -> bool:
+                    if not candidate:
+                        return False
+                    return _serve_window_diff(
+                        port, window_seed, scheme, len(candidate),
+                        serve_fault) is not None
+
+                minimal = _minimize(list(range(blocks)), still_fails)
+                divergence.shrunk_blocks = len(minimal)
+            report.divergences.append(divergence)
+
+
 def run_differential_fuzz(
     *,
     windows: int = 25,
@@ -261,6 +377,8 @@ def run_differential_fuzz(
     configs: Optional[Sequence[Tuple[str, TimingConfig]]] = None,
     shrink: bool = True,
     fault: Optional[FaultHook] = None,
+    serve_diff: bool = False,
+    serve_fault: Optional[ServeFaultHook] = None,
 ) -> FuzzReport:
     """Run ``windows`` generated programs through every path and diff.
 
@@ -268,6 +386,10 @@ def run_differential_fuzz(
     stressors (call depth, history alternators, loop shape) so one
     batch covers RAS pressure, history dilution and loop replay.
     Deterministic: same arguments, same report.
+
+    ``serve_diff`` additionally byte-compares each window served by an
+    ephemeral ``repro serve`` instance against the local façade (see
+    :func:`_serve_stage`).
     """
     if configs is None:
         configs = DEFAULT_CONFIGS
@@ -301,15 +423,21 @@ def run_differential_fuzz(
                                             + len(shrunk.body_blocks))
                 divergence.shrunk_source = shrunk.source()
             report.divergences.append(divergence)
+    if serve_diff:
+        _serve_stage(report, windows=windows, seed=seed, scheme=scheme,
+                     blocks=blocks, shrink=shrink, serve_fault=serve_fault)
     return report
 
 
 def format_fuzz(report: FuzzReport) -> str:
     """The human-readable verdict."""
+    served = (f", {report.serve_checked} served-vs-local"
+              if report.serve_checked else "")
     lines = [
         f"differential fuzz: {report.windows} windows "
         f"({report.scheme} scheme), configs "
-        f"{'/'.join(report.configs)}, {report.comparisons} comparisons",
+        f"{'/'.join(report.configs)}, {report.comparisons} comparisons"
+        f"{served}",
     ]
     if not report.divergences:
         lines.append("all execution paths agree: 0 divergences")

@@ -17,21 +17,40 @@ per-tier telemetry — the same counters the engine folds into its JSONL
 run summaries.  See ``docs/serve.md`` for the wire protocol.
 """
 
-from .http import ReproServer, ServerThread
+from .chaos import (
+    FAULT_MODES,
+    ChaosReport,
+    FaultyBackend,
+    format_chaos,
+    run_chaos_serve,
+)
+from .http import ReproServer, ServerThread, ShutdownLeak
 from .service import (
     COMMANDS,
+    DeadlineExceeded,
     RequestError,
     ServeCounters,
+    Shed,
     SimulationService,
+    TenantCounters,
     request_key,
 )
 
 __all__ = [
     "COMMANDS",
+    "ChaosReport",
+    "DeadlineExceeded",
+    "FAULT_MODES",
+    "FaultyBackend",
+    "format_chaos",
+    "run_chaos_serve",
     "ReproServer",
     "RequestError",
     "ServeCounters",
     "ServerThread",
+    "Shed",
+    "ShutdownLeak",
     "SimulationService",
+    "TenantCounters",
     "request_key",
 ]

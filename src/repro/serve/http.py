@@ -2,14 +2,15 @@
 
 Deliberately minimal — one short-lived connection per request
 (``Connection: close``), no TLS, no chunked encoding — because the
-protocol surface is four routes:
+protocol surface is five routes:
 
-========================  =============================================
-``GET /healthz``          liveness: ``{"status": "ok"}``
-``GET /statsz``           serve counters + per-tier store telemetry
-``GET /v1/figure/<cmd>``  run a figure; params in the query string
-``POST /v1/figure``       run a figure; ``{"command", "params"}`` body
-========================  =============================================
+==========================  ===========================================
+``GET /healthz``            liveness: ``{"status": "ok"}``
+``GET /statsz``             serve counters + per-tier store telemetry
+``GET /v1/figure/<cmd>``    run a figure; params in the query string
+``POST /v1/figure``         run a figure; ``{"command", "params"}`` body
+``POST /v1/admin/drain``    graceful drain; returns the drain report
+==========================  ===========================================
 
 Every response body is ``json.dumps(document, sort_keys=True)`` — a
 pure function of the document — so concurrent identical requests
@@ -18,6 +19,14 @@ pure function of the document — so concurrent identical requests
 bytes, and a served figure diffs clean against a local ``repro.api``
 run of the same command.  Validation failures are HTTP 400 with a
 machine-readable ``{"error": ...}``; computation failures are 500.
+
+The resilience surface (``docs/serve.md``): ``?timeout=`` (or a
+``timeout`` body field) sets a per-request deadline — exceeding it is
+HTTP 504, while the shared computation finishes and lands in the
+cache; admission-control refusals (queue full, tenant over quota,
+draining) are HTTP 503 with a ``Retry-After`` header; the optional
+``X-Repro-Tenant`` header attributes the request to a tenant for the
+fairness counters in ``/statsz``.
 
 :class:`ServerThread` runs the whole loop on a daemon thread for tests
 and embedders; the CLI runs :func:`ReproServer.serve_forever` on the
@@ -29,11 +38,19 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
+import math
 import threading
 import urllib.parse
 from typing import Any, Dict, Optional, Tuple
 
-from .service import RequestError, SimulationService
+from .service import DeadlineExceeded, RequestError, Shed, SimulationService
+
+logger = logging.getLogger("repro.serve")
+
+#: Header naming the tenant a request is accounted to (fairness
+#: counters in ``/statsz``); absent means the anonymous bucket.
+TENANT_HEADER = "x-repro-tenant"
 
 #: Refuse request bodies beyond this (the whole API fits in a line).
 MAX_BODY_BYTES = 1 << 20
@@ -47,19 +64,23 @@ def _encode_body(document: Any) -> bytes:
 
 
 def _response(status: int, body: bytes,
-              content_type: str = "application/json") -> bytes:
+              content_type: str = "application/json",
+              extra_headers: Optional[Dict[str, str]] = None) -> bytes:
     reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                405: "Method Not Allowed", 500: "Internal Server Error",
-               413: "Payload Too Large"}
+               413: "Payload Too Large", 503: "Service Unavailable",
+               504: "Gateway Timeout"}
     head = (f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}\r\n"
             f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n")
+            f"Content-Length: {len(body)}\r\n")
+    for name, value in (extra_headers or {}).items():
+        head += f"{name}: {value}\r\n"
+    head += "Connection: close\r\n\r\n"
     return head.encode("ascii") + body
 
 
 class ReproServer:
-    """One service, one listening socket, four routes."""
+    """One service, one listening socket, five routes."""
 
     def __init__(self, service: Optional[SimulationService] = None,
                  host: str = "127.0.0.1", port: int = 8787) -> None:
@@ -67,12 +88,14 @@ class ReproServer:
         self.host = host
         self.port = port
         self._server: Optional[asyncio.AbstractServer] = None
+        self._drained: Optional[asyncio.Event] = None
 
     # -- lifecycle ------------------------------------------------------
 
     async def start(self) -> None:
         """Bind and start accepting; with ``port=0`` the kernel picks a
         free port, published back via :attr:`port`."""
+        self._drained = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
@@ -83,14 +106,35 @@ class ReproServer:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self) -> Dict[str, Any]:
+        """Graceful shutdown: drain the service (stop admissions,
+        settle in-flight work, flush stores), then release
+        :meth:`serve_forever`.  The release is deferred one beat so the
+        connection that requested the drain gets its response bytes
+        before the accept loop unwinds."""
+        report = await self.service.drain()
+        if self._drained is not None and not self._drained.is_set():
+            loop = asyncio.get_event_loop()
+            loop.call_later(0.1, self._drained.set)
+        return report
+
     async def serve_forever(self) -> None:
+        """Accept until cancelled or drained (then return cleanly)."""
         if self._server is None:
             await self.start()
-        assert self._server is not None
+        assert self._server is not None and self._drained is not None
+        serving = asyncio.ensure_future(self._server.serve_forever())
+        drained = asyncio.ensure_future(self._drained.wait())
         try:
-            await self._server.serve_forever()
+            await asyncio.wait({serving, drained},
+                               return_when=asyncio.FIRST_COMPLETED)
         except asyncio.CancelledError:
             pass
+        finally:
+            for task in (serving, drained):
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await task
 
     # -- request handling ----------------------------------------------
 
@@ -137,7 +181,7 @@ class ReproServer:
 
     async def _respond(self, reader: asyncio.StreamReader) -> bytes:
         try:
-            method, target, _headers, body = await self._read_request(reader)
+            method, target, headers, body = await self._read_request(reader)
         except _TooLarge:
             return _response(413, _encode_body({"error": "body too large"}))
         except (RequestError, ValueError, asyncio.IncompleteReadError,
@@ -158,13 +202,21 @@ class ReproServer:
                 return _response(405, _encode_body({"error": "GET only"}))
             return _response(200, _encode_body(self.service.stats()))
 
+        if path == "/v1/admin/drain":
+            if method != "POST":
+                return _response(405, _encode_body({"error": "POST only"}))
+            report = await self.drain()
+            return _response(200, _encode_body(report))
+
         if path.startswith("/v1/figure"):
-            return await self._figure(method, path, parsed.query, body)
+            return await self._figure(method, path, parsed.query,
+                                      headers, body)
 
         return _response(404, _encode_body({"error": f"no route {path!r}"}))
 
     async def _figure(self, method: str, path: str, query: str,
-                      body: bytes) -> bytes:
+                      headers: Dict[str, str], body: bytes) -> bytes:
+        timeout: Any = None
         if method == "GET":
             command = path[len("/v1/figure"):].lstrip("/")
             if not command:
@@ -174,6 +226,10 @@ class ReproServer:
             params: Dict[str, Any] = {
                 name: values[-1]
                 for name, values in urllib.parse.parse_qs(query).items()}
+            # ``timeout`` is transport-level (the request deadline),
+            # never a figure parameter: it must not reach validation
+            # or the coalescing key.
+            timeout = params.pop("timeout", None)
         elif method == "POST":
             try:
                 doc = json.loads(body.decode("utf-8")) if body else {}
@@ -183,16 +239,29 @@ class ReproServer:
                 params = doc.get("params") or {}
                 if not isinstance(params, dict):
                     raise ValueError('"params" must be a JSON object')
+                timeout = doc.get("timeout")
+                params.pop("timeout", None)
             except (ValueError, UnicodeDecodeError) as exc:
                 return _response(400, _encode_body(
                     {"error": f"bad request body: {exc}"}))
         else:
             return _response(405, _encode_body({"error": "GET or POST"}))
 
+        tenant = headers.get(TENANT_HEADER)
         try:
-            result = await self.service.submit(command, params)
+            result = await self.service.submit(command, params,
+                                               timeout=timeout,
+                                               tenant=tenant)
         except RequestError as exc:
             return _response(400, _encode_body({"error": str(exc)}))
+        except Shed as exc:
+            return _response(
+                503, _encode_body({"error": str(exc),
+                                   "retry_after": exc.retry_after}),
+                extra_headers={
+                    "Retry-After": str(max(1, math.ceil(exc.retry_after)))})
+        except DeadlineExceeded as exc:
+            return _response(504, _encode_body({"error": str(exc)}))
         except Exception as exc:
             return _response(500, _encode_body(
                 {"error": f"computation failed: {exc!r}"}))
@@ -201,6 +270,15 @@ class ReproServer:
 
 class _TooLarge(Exception):
     """Request body exceeded :data:`MAX_BODY_BYTES`."""
+
+
+class ShutdownLeak(RuntimeError):
+    """The server thread failed to stop within its join timeout.
+
+    Historically :meth:`ServerThread.stop` joined with a timeout and
+    silently returned, leaking the thread (and its event loop) with no
+    trace; now the leak is logged and raised so tests and embedders
+    see it."""
 
 
 class ServerThread:
@@ -250,12 +328,36 @@ class ServerThread:
             raise RuntimeError("server failed to start")
         return self
 
-    def stop(self) -> None:
-        if self._loop is not None and self._thread is not None:
-            self._loop.call_soon_threadsafe(self._loop.stop)
-            self._thread.join(timeout=10)
-            self._loop = None
-            self._thread = None
+    def drain(self, timeout: float = 60.0) -> Dict[str, Any]:
+        """Run a graceful drain on the server's loop from the calling
+        thread; returns the drain report."""
+        if self._loop is None:
+            raise RuntimeError("server is not running")
+        future = asyncio.run_coroutine_threadsafe(
+            self.server.service.drain(), self._loop)
+        return future.result(timeout)
+
+    def stop(self, join_timeout: float = 10.0) -> None:
+        """Stop the loop and join the thread.
+
+        Raises :class:`ShutdownLeak` (after logging a warning) when the
+        thread survives ``join_timeout`` — a hung handler or executor
+        call is a bug worth surfacing, not silently leaking.
+        """
+        if self._loop is None or self._thread is None:
+            return
+        thread = self._thread
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        thread.join(timeout=join_timeout)
+        if thread.is_alive():
+            logger.warning(
+                "repro-serve thread leaked: still alive %.0fs after stop()",
+                join_timeout)
+            raise ShutdownLeak(
+                f"server thread failed to stop within {join_timeout}s; "
+                f"the thread and its event loop have leaked")
+        self._loop = None
+        self._thread = None
 
     def __enter__(self) -> "ServerThread":
         return self.start()

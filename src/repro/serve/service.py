@@ -22,24 +22,93 @@ knows nothing about HTTP.  :class:`SimulationService` maps validated
   event loop stays responsive while the engine fans windows out to its
   own process pool (per-request :class:`~repro.engine.spec.WindowSpec`
   sharding happens inside the experiments, exactly as it does for the
-  CLI).
+  CLI);
+* **resilience** (``docs/serve.md``, "Operating the service") —
+  per-request deadlines (:class:`DeadlineExceeded` → HTTP 504; a timed
+  out waiter abandons only its *own* wait: the shared computation runs
+  to completion and its windows still land in the result cache),
+  admission control (a bounded concurrent-waiter queue and per-tenant
+  quotas; overload is :class:`Shed` → HTTP 503 with ``Retry-After``),
+  and graceful drain (:meth:`SimulationService.drain` stops admission,
+  waits for in-flight work, then flushes the store tiers).
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
 import json
+import os
 import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..engine import ExperimentEngine
 
+#: Default per-request deadline in seconds (``None`` = no deadline).
+TIMEOUT_ENV = "REPRO_SERVE_TIMEOUT"
+#: Hard cap a tenant's ``?timeout=`` cannot exceed.
+MAX_TIMEOUT_ENV = "REPRO_SERVE_MAX_TIMEOUT"
+#: Bound on concurrently-admitted requests (waiters, not computations).
+QUEUE_ENV = "REPRO_SERVE_QUEUE"
+#: Bound on one tenant's concurrently-admitted requests.
+TENANT_QUOTA_ENV = "REPRO_SERVE_TENANT_QUOTA"
+#: How long :meth:`SimulationService.drain` waits for in-flight work.
+DRAIN_TIMEOUT_ENV = "REPRO_SERVE_DRAIN_TIMEOUT"
+
+DEFAULT_MAX_TIMEOUT = 600.0
+DEFAULT_QUEUE_LIMIT = 16
+DEFAULT_TENANT_QUOTA = 8
+DEFAULT_DRAIN_TIMEOUT = 30.0
+#: Requests that name no tenant are accounted under this bucket.
+DEFAULT_TENANT = "anonymous"
+
+
+def _env_positive_float(name: str,
+                        default: Optional[float]) -> Optional[float]:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else None
+
+
+def _env_positive_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return default
+
 
 class RequestError(ValueError):
     """A request the service refuses: unknown command, unknown or
     uncoercible parameter.  Maps to HTTP 400."""
+
+
+class DeadlineExceeded(TimeoutError):
+    """This waiter's deadline fired before the computation finished.
+    Maps to HTTP 504.  Only the wait is abandoned: the shared in-flight
+    computation keeps running, its result lands in the tiered result
+    cache, and every other coalesced waiter is unaffected."""
+
+
+class Shed(RuntimeError):
+    """Admission control refused the request (draining, queue full, or
+    the tenant is over quota).  Maps to HTTP 503 with ``Retry-After``.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        #: Seconds the client should wait before retrying (the
+        #: ``Retry-After`` header value, rounded up on the wire).
+        self.retry_after = retry_after
 
 
 def _as_float(value: Any) -> float:
@@ -115,7 +184,8 @@ COMMANDS: Dict[str, Dict[str, Callable[[Any], Any]]] = {
     # different computations coalesce onto one result.
     "fuzz": {"windows": _as_int, "seed": _as_int,
              "scheme": _as_choice("cbs", "brr", "mixed"),
-             "blocks": _as_int, "shrink": _as_bool},
+             "blocks": _as_int, "shrink": _as_bool,
+             "serve_diff": _as_bool},
     "entropy": {"scale": _as_int, "stride": _as_int,
                 "sample": _as_plan, "seed": _as_int},
 }
@@ -173,6 +243,27 @@ class ServeCounters:
     errors: int = 0
     #: Requests rejected at validation (HTTP 400s).
     rejected: int = 0
+    #: Requests refused by admission control (HTTP 503s): queue full,
+    #: tenant over quota, or the service is draining.
+    shed: int = 0
+    #: Waiters whose deadline fired before their computation finished
+    #: (HTTP 504s).  The shared computation itself keeps running.
+    deadline_exceeded: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+@dataclass
+class TenantCounters:
+    """Per-tenant fairness telemetry (the ``/statsz`` ``tenants`` map)."""
+
+    #: Requests this tenant had admitted.
+    requests: int = 0
+    #: Requests refused because this tenant was over quota.
+    shed: int = 0
+    #: Currently-admitted requests (decrements when the waiter returns).
+    active: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -203,7 +294,12 @@ class SimulationService:
     """Validated, coalesced request execution over one shared engine."""
 
     def __init__(self, engine: Optional[ExperimentEngine] = None,
-                 workers: int = 1) -> None:
+                 workers: int = 1,
+                 queue_limit: Optional[int] = None,
+                 tenant_quota: Optional[int] = None,
+                 default_timeout: Optional[float] = None,
+                 max_timeout: Optional[float] = None,
+                 drain_timeout: Optional[float] = None) -> None:
         if engine is None:
             engine = ExperimentEngine()
         self.engine = engine
@@ -216,6 +312,31 @@ class SimulationService:
         #: installs the engine as the process default around each call,
         #: and the engine's recorder/counters are not thread-safe.
         self._engine_lock = threading.Lock()
+        # -- resilience knobs (constructor wins, else REPRO_SERVE_*) --
+        self.queue_limit = (queue_limit if queue_limit is not None
+                            else _env_positive_int(QUEUE_ENV,
+                                                   DEFAULT_QUEUE_LIMIT))
+        self.tenant_quota = (tenant_quota if tenant_quota is not None
+                             else _env_positive_int(TENANT_QUOTA_ENV,
+                                                    DEFAULT_TENANT_QUOTA))
+        self.default_timeout = (default_timeout if default_timeout is not None
+                                else _env_positive_float(TIMEOUT_ENV, None))
+        self.max_timeout = (max_timeout if max_timeout is not None
+                            else _env_positive_float(MAX_TIMEOUT_ENV,
+                                                     DEFAULT_MAX_TIMEOUT))
+        self.drain_timeout = (drain_timeout if drain_timeout is not None
+                              else _env_positive_float(
+                                  DRAIN_TIMEOUT_ENV, DEFAULT_DRAIN_TIMEOUT))
+        #: Currently-admitted requests (every waiter, coalesced or not).
+        self._active = 0
+        self._tenants: Dict[str, TenantCounters] = {}
+        self._draining = False
+        self._drain_report: Optional[Dict[str, Any]] = None
+
+    @property
+    def draining(self) -> bool:
+        """True once :meth:`drain` has started: no new admissions."""
+        return self._draining
 
     def _slot(self) -> asyncio.Semaphore:
         # Created lazily so the service binds to the serving loop, not
@@ -250,41 +371,190 @@ class SimulationService:
         finally:
             self._inflight.pop(key, None)
 
-    async def submit(self, command: str,
-                     params: Optional[Dict[str, Any]] = None) -> ServeResult:
-        """Validate, coalesce and execute one request.
+    # -- admission control ----------------------------------------------
 
-        Raises :class:`RequestError` on validation failure; any other
-        exception is whatever the underlying computation raised (every
-        coalesced waiter observes the same one).
+    def resolve_timeout(self, timeout: Any = None) -> Optional[float]:
+        """The effective deadline for one request: the tenant's
+        ``timeout`` (or the service default), capped at
+        :attr:`max_timeout`.  ``None`` means no deadline.  Raises
+        :class:`RequestError` on an unparseable or non-positive value.
+        """
+        if timeout is None:
+            effective = self.default_timeout
+        else:
+            try:
+                effective = float(timeout)
+            except (TypeError, ValueError) as exc:
+                raise RequestError(
+                    f"bad timeout {timeout!r}: {exc}") from exc
+            if effective <= 0:
+                raise RequestError(
+                    f"timeout must be positive, got {timeout!r}")
+        if effective is None:
+            return None
+        if self.max_timeout is not None:
+            effective = min(effective, self.max_timeout)
+        return effective
+
+    def _tenant(self, tenant: Optional[str]) -> TenantCounters:
+        name = (tenant or DEFAULT_TENANT).strip() or DEFAULT_TENANT
+        counters = self._tenants.get(name)
+        if counters is None:
+            counters = self._tenants[name] = TenantCounters()
+        return counters
+
+    def _admit(self, tenant: Optional[str]) -> TenantCounters:
+        """One admission-control decision; raises :class:`Shed` when
+        the request must not enter the queue."""
+        bucket = self._tenant(tenant)
+        if self._draining:
+            self.counters.shed += 1
+            bucket.shed += 1
+            raise Shed("service is draining", retry_after=5.0)
+        if self._active >= self.queue_limit:
+            self.counters.shed += 1
+            bucket.shed += 1
+            raise Shed(
+                f"request queue full ({self._active}/{self.queue_limit})",
+                retry_after=1.0)
+        if bucket.active >= self.tenant_quota:
+            self.counters.shed += 1
+            bucket.shed += 1
+            raise Shed(
+                f"tenant over quota ({bucket.active}/{self.tenant_quota})",
+                retry_after=1.0)
+        bucket.requests += 1
+        bucket.active += 1
+        self._active += 1
+        return bucket
+
+    async def submit(self, command: str,
+                     params: Optional[Dict[str, Any]] = None,
+                     timeout: Any = None,
+                     tenant: Optional[str] = None) -> ServeResult:
+        """Validate, admit, coalesce and execute one request.
+
+        Raises :class:`RequestError` on validation failure,
+        :class:`Shed` when admission control refuses the request,
+        :class:`DeadlineExceeded` when the per-request deadline fires
+        first; any other exception is whatever the underlying
+        computation raised (every coalesced waiter observes the same
+        one).
         """
         try:
             resolved = validate_request(command, params)
+            deadline = self.resolve_timeout(timeout)
         except RequestError:
             self.counters.rejected += 1
             raise
+        bucket = self._admit(tenant)
         self.counters.requests += 1
-        key = request_key(command, resolved)
-        future = self._inflight.get(key)
-        if future is not None:
-            self.counters.coalesced += 1
-            # shield: one waiter being cancelled must not cancel the
-            # computation the other waiters share.
-            result = await asyncio.shield(future)
-            return dataclasses.replace(result, coalesced=True)
-        task = asyncio.ensure_future(self._execute(key, command, resolved))
-        self._inflight[key] = task
-        return await asyncio.shield(task)
+        try:
+            key = request_key(command, resolved)
+            future = self._inflight.get(key)
+            if future is not None:
+                self.counters.coalesced += 1
+                coalesced = True
+            else:
+                future = asyncio.ensure_future(
+                    self._execute(key, command, resolved))
+                # A waiter abandoning its deadline-exceeded wait must
+                # leave the computation running with nobody awaiting
+                # it; retrieve the outcome so asyncio never logs
+                # "exception was never retrieved".
+                future.add_done_callback(
+                    lambda task: task.cancelled() or task.exception())
+                self._inflight[key] = future
+                coalesced = False
+            # shield: neither a cancelled waiter nor a fired deadline
+            # may cancel the computation the other waiters share.
+            wait: "asyncio.Future[ServeResult]" = asyncio.shield(future)
+            try:
+                if deadline is not None:
+                    result = await asyncio.wait_for(wait, deadline)
+                else:
+                    result = await wait
+            except asyncio.TimeoutError:
+                self.counters.deadline_exceeded += 1
+                raise DeadlineExceeded(
+                    f"deadline of {deadline}s exceeded; the computation "
+                    f"continues and will be served from cache") from None
+            return (dataclasses.replace(result, coalesced=True)
+                    if coalesced else result)
+        finally:
+            bucket.active -= 1
+            self._active -= 1
+
+    # -- graceful drain ---------------------------------------------------
+
+    async def drain(self) -> Dict[str, Any]:
+        """Stop admissions, settle in-flight work, flush the stores.
+
+        New requests shed with HTTP 503 the moment this starts.
+        In-flight computations get :attr:`drain_timeout` seconds to
+        finish; stragglers are cancelled.  Failed backend publishes are
+        then retried (:meth:`~repro.engine.core.ExperimentEngine.flush_stores`)
+        so this replica's computed windows reach the shared corpus
+        before the process exits.  Idempotent — repeat calls return the
+        first report.
+        """
+        if self._drain_report is not None:
+            return self._drain_report
+        self._draining = True
+        pending = [future for future in self._inflight.values()
+                   if not future.done()]
+        completed = cancelled = 0
+        if pending:
+            done, not_done = await asyncio.wait(
+                pending, timeout=self.drain_timeout)
+            completed = len(done)
+            cancelled = len(not_done)
+            for future in not_done:
+                future.cancel()
+            with contextlib.suppress(Exception):
+                await asyncio.gather(*not_done, return_exceptions=True)
+        loop = asyncio.get_event_loop()
+        flushed = await loop.run_in_executor(None, self._flush_sync)
+        self._drain_report = {
+            "drained": True,
+            "inflight_completed": completed,
+            "inflight_cancelled": cancelled,
+            "flushed": flushed,
+        }
+        return self._drain_report
+
+    def _flush_sync(self) -> Dict[str, Dict[str, int]]:
+        with self._engine_lock:
+            return self.engine.flush_stores()
 
     # -- telemetry ------------------------------------------------------
 
     def stats(self) -> Dict[str, Any]:
-        """The ``/statsz`` document: serve counters, per-tier store
-        telemetry, and the engine's run summary."""
+        """The ``/statsz`` document: serve counters, admission-control
+        state, per-tenant fairness counters, breaker telemetry,
+        per-tier store telemetry, and the engine's run summary."""
+        from ..store import CircuitBreakerBackend
+
+        breaker = None
+        backend = self.engine.cache.backend
+        if isinstance(backend, CircuitBreakerBackend):
+            breaker = backend.breaker_stats()
         return {
             "serve": dict(self.counters.as_dict(),
                           inflight=len(self._inflight),
+                          active=self._active,
+                          draining=self._draining,
                           workers=self._workers),
+            "limits": {
+                "queue": self.queue_limit,
+                "tenant_quota": self.tenant_quota,
+                "default_timeout": self.default_timeout,
+                "max_timeout": self.max_timeout,
+                "drain_timeout": self.drain_timeout,
+            },
+            "tenants": {name: counters.as_dict()
+                        for name, counters in sorted(self._tenants.items())},
+            "breaker": breaker,
             "stores": {
                 "results": self.engine.cache.tier_counters(),
                 "traces": self.engine.trace_store.tier_counters(),

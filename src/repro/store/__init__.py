@@ -13,11 +13,18 @@ re-exported by :mod:`repro.engine.integrity`.
 
 from .backend import (
     BACKEND_ENV,
+    BREAKER_ENV,
+    BREAKER_STATES,
     Backend,
+    BackendUnavailable,
+    CircuitBreakerBackend,
     FilesystemBackend,
     backend_from_env,
     backend_spec_from_env,
+    breaker_enabled_by_env,
+    breaker_from_env,
     make_backend,
+    maybe_wrap_breaker,
     register_backend_scheme,
 )
 from .base import (
@@ -52,11 +59,18 @@ from .tiered import Codec, TieredStore
 
 __all__ = [
     "BACKEND_ENV",
+    "BREAKER_ENV",
+    "BREAKER_STATES",
     "Backend",
+    "BackendUnavailable",
+    "CircuitBreakerBackend",
     "FilesystemBackend",
     "backend_from_env",
     "backend_spec_from_env",
+    "breaker_enabled_by_env",
+    "breaker_from_env",
     "make_backend",
+    "maybe_wrap_breaker",
     "register_backend_scheme",
     "Store",
     "TierCounters",

@@ -27,6 +27,14 @@ Write path (``put``): atomic durable local write, memory admission per
 the store's promotion policy, then a best-effort backend push —
 replicas publish what they compute, so N replicas sharing a backend
 converge on one content-addressed corpus.
+
+The backend tier is treated as hostile (``docs/serve.md``): a fetch or
+push that raises is contained here (counted as a miss / failed push),
+never propagated into the request that happened to touch the store,
+and keys whose publish failed are remembered so :meth:`TieredStore.flush`
+(run by graceful drain, see ``repro serve``) can retry them once the
+backend — typically behind a
+:class:`~repro.store.backend.CircuitBreakerBackend` — recovers.
 """
 
 from __future__ import annotations
@@ -100,6 +108,9 @@ class TieredStore:
         #: Keys whose entry was quarantined and awaits recomputation —
         #: the next successful ``put`` counts as a repair.
         self._repair_pending: Set[str] = set()
+        #: Keys written locally whose backend publish failed (flaky
+        #: backend, open breaker); :meth:`flush` retries them.
+        self._push_pending: Set[str] = set()
 
     # -- read path ------------------------------------------------------
 
@@ -120,13 +131,23 @@ class TieredStore:
             return value, "disk"
         if self.backend is None:
             return None
-        if not self.backend.fetch(self.disk.relative_name(key),
-                                  self.disk.path(key)):
+        if not self._fetch(key):
             return None
         value = self._read_disk(key, tier="backend")
         if value is not None:
             return value, "backend"
         return None
+
+    def _fetch(self, key: str) -> bool:
+        """One contained backend fetch: an exception is a miss, never
+        the caller's problem."""
+        assert self.backend is not None
+        try:
+            return bool(self.backend.fetch(self.disk.relative_name(key),
+                                           self.disk.path(key)))
+        except Exception:
+            self.backend.counters.misses += 1
+            return False
 
     def _read_disk(self, key: str, tier: str) -> Optional[Any]:
         """One verified decode of the local entry file; counts against
@@ -154,8 +175,7 @@ class TieredStore:
                     f"{self.codec.store_title} entry {key[:12]} is corrupt "
                     f"(quarantined): {exc}") from exc
             if tier == "disk" and self.backend is not None \
-                    and self.backend.fetch(self.disk.relative_name(key),
-                                           path):
+                    and self._fetch(key):
                 # The shared corpus can heal local bit rot in place.
                 healed = self._read_disk(key, tier="backend")
                 if healed is not None:
@@ -202,9 +222,38 @@ class TieredStore:
         return value
 
     def _push(self, key: str) -> None:
-        if self.backend is not None:
-            self.backend.push(self.disk.relative_name(key),
-                              self.disk.path(key))
+        if self.backend is None:
+            return
+        try:
+            landed = self.backend.push(self.disk.relative_name(key),
+                                       self.disk.path(key))
+        except Exception:
+            landed = False
+        if landed:
+            self._push_pending.discard(key)
+        else:
+            self._push_pending.add(key)
+
+    def flush(self) -> Dict[str, int]:
+        """Retry every backend publish that previously failed.
+
+        Run by graceful drain: with the backend healthy again (breaker
+        closed), the replica's locally-computed entries still reach the
+        shared corpus before the process exits.  Returns how many were
+        pending and how many landed.
+        """
+        pending = sorted(self._push_pending)
+        published = 0
+        for key in pending:
+            if self.backend is None:
+                break
+            if not self.disk.path(key).exists():
+                self._push_pending.discard(key)
+                continue
+            self._push(key)
+            if key not in self._push_pending:
+                published += 1
+        return {"pending": len(pending), "published": published}
 
     def _note_repaired(self, key: str) -> None:
         if key in self._repair_pending:
@@ -247,6 +296,7 @@ class TieredStore:
             "policy": self.policy,
             "quarantined": len(quarantined_entries(self.disk.root)),
             "integrity": self.integrity.as_dict(),
+            "push_pending": len(self._push_pending),
             "tiers": tiers,
         }
 
@@ -258,6 +308,7 @@ class TieredStore:
             "backend": (self.backend.stats()
                         if self.backend is not None else None),
             "integrity": self.integrity.as_dict(),
+            "push_pending": len(self._push_pending),
         }
 
     def scan(self, repair: bool = False) -> Dict[str, Any]:

@@ -1,0 +1,195 @@
+"""The chaos harness: deterministic fault injection, end to end.
+
+:class:`FaultyBackend` must be a pure function of its seed — a chaos
+run that can't replay can't be debugged — and every fault mode must
+land *below* the integrity layer so served responses stay
+byte-identical.  :func:`run_chaos_serve` is the executable proof.
+"""
+
+import pytest
+
+from repro.serve import FAULT_MODES, FaultyBackend, format_chaos, run_chaos_serve
+from repro.serve.chaos import _request_docs
+from repro.store import FilesystemBackend
+
+SCALE = 150  # characters: keeps the end-to-end run fast
+
+
+def _entry(root, payload=b"x" * 64):
+    path = root / "entry.bin"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(payload)
+    return path
+
+
+def _drain_sequence(backend, op, name, calls):
+    """The injected-mode sequence for ``calls`` draws of (op, name)."""
+    return [backend._draw(op, name) for _ in range(calls)]
+
+
+class TestFaultyBackendDeterminism:
+    def test_same_seed_replays_the_same_faults(self, tmp_path):
+        sequences = []
+        for _ in range(2):
+            backend = FaultyBackend(FilesystemBackend(tmp_path / "shared"),
+                                    seed=0, rate=0.5, sleep=lambda s: None)
+            sequences.append(_drain_sequence(backend, "fetch", "entry", 32))
+        assert sequences[0] == sequences[1]
+        assert any(mode is not None for mode in sequences[0])
+
+    def test_different_seeds_differ(self, tmp_path):
+        inner = FilesystemBackend(tmp_path / "shared")
+        a = _drain_sequence(FaultyBackend(inner, seed=0, rate=0.5),
+                            "fetch", "entry", 64)
+        b = _drain_sequence(FaultyBackend(inner, seed=1, rate=0.5),
+                            "fetch", "entry", 64)
+        assert a != b
+
+    def test_fault_identity_includes_op_and_name(self, tmp_path):
+        backend = FaultyBackend(FilesystemBackend(tmp_path / "shared"),
+                                seed=0, rate=0.5)
+        fetches = _drain_sequence(backend, "fetch", "entry", 32)
+        pushes = _drain_sequence(backend, "push", "entry", 32)
+        others = _drain_sequence(backend, "fetch", "other", 32)
+        assert fetches != pushes
+        assert fetches != others
+
+    def test_rate_zero_never_faults(self, tmp_path):
+        backend = FaultyBackend(FilesystemBackend(tmp_path / "shared"),
+                                seed=0, rate=0.0)
+        assert _drain_sequence(backend, "fetch", "entry", 64) == [None] * 64
+
+    def test_heal_stops_injection(self, tmp_path):
+        backend = FaultyBackend(FilesystemBackend(tmp_path / "shared"),
+                                seed=0, rate=0.9, sleep=lambda s: None)
+        assert any(_drain_sequence(backend, "fetch", "entry", 8))
+        backend.heal()
+        assert _drain_sequence(backend, "fetch", "entry", 8) == [None] * 8
+
+    def test_validation(self, tmp_path):
+        inner = FilesystemBackend(tmp_path / "shared")
+        with pytest.raises(ValueError, match="rate"):
+            FaultyBackend(inner, rate=1.0)
+        with pytest.raises(ValueError, match="unknown fault modes"):
+            FaultyBackend(inner, modes=("slow", "segfault"))
+
+
+class TestFaultyBackendModes:
+    def _faulty(self, tmp_path, modes, rate=0.999999, **kwargs):
+        # rate just below 1 (validated upper bound) ≈ every call faults.
+        slept = []
+        backend = FaultyBackend(
+            FilesystemBackend(tmp_path / "shared"), seed=0, rate=rate,
+            modes=modes, sleep=slept.append, **kwargs)
+        return backend, slept
+
+    def test_error_mode_raises(self, tmp_path):
+        backend, _slept = self._faulty(tmp_path, ("error",))
+        with pytest.raises(OSError, match="injected backend error"):
+            backend.fetch("entry", tmp_path / "dest")
+        with pytest.raises(OSError, match="injected backend error"):
+            backend.push("entry", _entry(tmp_path))
+        assert backend.injected["error"] == 2
+
+    def test_hang_mode_sleeps_then_raises(self, tmp_path):
+        backend, slept = self._faulty(tmp_path, ("hang",), hang_seconds=9.0)
+        with pytest.raises(OSError, match="injected backend hang"):
+            backend.fetch("entry", tmp_path / "dest")
+        assert slept == [9.0]
+
+    def test_slow_mode_sleeps_then_succeeds(self, tmp_path):
+        backend, slept = self._faulty(tmp_path, ("slow",), slow_seconds=0.7)
+        src = _entry(tmp_path)
+        assert backend.push("entry", src) is True
+        assert slept == [0.7]
+        assert backend.injected["slow"] == 1
+
+    def test_torn_push_publishes_truncated_bytes(self, tmp_path):
+        backend, _slept = self._faulty(tmp_path, ("torn",))
+        src = _entry(tmp_path, payload=b"y" * 100)
+        assert backend.push("entry", src) is True
+        # The source file is untouched; the published copy is torn.
+        assert src.read_bytes() == b"y" * 100
+        healthy = FilesystemBackend(tmp_path / "shared")
+        assert healthy.fetch("entry", tmp_path / "fetched")
+        assert (tmp_path / "fetched").stat().st_size == 50
+
+    def test_torn_fetch_truncates_the_local_copy_only(self, tmp_path):
+        healthy = FilesystemBackend(tmp_path / "shared")
+        healthy.push("entry", _entry(tmp_path, payload=b"z" * 100))
+        backend, _slept = self._faulty(tmp_path, ("torn",))
+        assert backend.fetch("entry", tmp_path / "dest") is True
+        assert (tmp_path / "dest").stat().st_size == 50
+        # The backend's copy is intact — only the delivery was torn.
+        assert healthy.fetch("entry", tmp_path / "again")
+        assert (tmp_path / "again").stat().st_size == 100
+
+    def test_stats_carry_the_fault_ledger(self, tmp_path):
+        backend, _slept = self._faulty(tmp_path, ("error",))
+        with pytest.raises(OSError):
+            backend.fetch("entry", tmp_path / "dest")
+        stats = backend.stats()
+        assert stats["faults"]["error"] == 1
+        assert stats["backend"].startswith("faulty(fs:")
+
+    def test_counters_delegate_to_inner(self, tmp_path):
+        inner = FilesystemBackend(tmp_path / "shared")
+        backend = FaultyBackend(inner, rate=0.0)
+        assert backend.counters is inner.counters
+
+
+class TestRequestSweep:
+    def test_seeded_commands_vary_the_seed(self):
+        docs = _request_docs("figure13", {"scale": 100}, 3)
+        assert [doc["seed"] for doc in docs] == [0, 1, 2]
+        assert all(doc["scale"] == 100 for doc in docs)
+
+    def test_seed_offset_respects_the_base(self):
+        docs = _request_docs("figure13", {"seed": 7}, 2)
+        assert [doc["seed"] for doc in docs] == [7, 8]
+
+    def test_unseeded_commands_repeat(self):
+        docs = _request_docs("cost", None, 3)
+        assert docs == [{}, {}, {}]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(ValueError, match="unknown command"):
+            _request_docs("rm_rf", None, 1)
+
+
+class TestEndToEnd:
+    def test_chaos_run_is_byte_identical_and_recovers(self, tmp_path):
+        """The acceptance criterion: FaultyBackend(seed=0, rate=0.2)
+        under all modes, byte-identical to the clean pass, breaker
+        opens and recovers, drain sheds, warm restart is all hits."""
+        report = run_chaos_serve(
+            command="figure13", params={"scale": SCALE},
+            requests=3, seed=0, rate=0.2, modes=FAULT_MODES,
+            hang_seconds=2.0, workdir=tmp_path)
+        assert report.divergences == []
+        assert sum(report.faults.values()) > 0
+        assert report.breaker_opened
+        assert report.breaker_recovered
+        assert report.deadline["ok"]
+        assert report.drain["ok"]
+        assert report.drain["post_drain_status"] == 503
+        assert report.shed >= 1
+        assert report.warm == {"hits": report.warm["hits"], "misses": 0,
+                               "byte_identical": True, "ok": True}
+        assert report.warm["hits"] > 0
+        assert not report.failed
+        assert len(report.digests) == 3
+        text = format_chaos(report)
+        assert "byte-identical" in text
+        assert text.endswith("verdict: PASS")
+
+    def test_report_serialises(self, tmp_path):
+        report = run_chaos_serve(
+            command="figure13", params={"scale": SCALE},
+            requests=2, seed=1, rate=0.3, modes=("error", "torn"),
+            workdir=tmp_path)
+        data = report.to_dict()
+        assert data["failed"] == report.failed
+        assert data["modes"] == ["error", "torn"]
+        assert set(data) >= {"divergences", "digests", "faults", "breaker",
+                             "deadline", "drain", "warm", "shed"}

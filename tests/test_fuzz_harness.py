@@ -109,3 +109,52 @@ class TestKnownDivergenceSelfTest:
         assert document["divergences"][0]["details"]["cycles"][0] != \
             document["divergences"][0]["details"]["cycles"][1]
         assert "FAIL" in format_fuzz(report)
+
+
+class TestServeDiff:
+    """``serve_diff=True``: an ephemeral ``repro serve`` instance must
+    answer every fuzzed window byte-for-byte like the local façade."""
+
+    @pytest.fixture(autouse=True)
+    def _hermetic_cache(self, tmp_path, monkeypatch):
+        # The ephemeral server builds a default engine; keep its cache
+        # out of the real ~/.cache/repro.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+
+    def test_served_windows_match_local_byte_for_byte(self):
+        report = run_differential_fuzz(windows=2, seed=0, blocks=6,
+                                       serve_diff=True)
+        assert not report.failed
+        assert report.serve_checked == 2
+        assert ", 2 served-vs-local" in format_fuzz(report)
+
+    def test_serve_diff_defaults_off(self):
+        report = run_differential_fuzz(windows=1, seed=0, blocks=6)
+        assert report.serve_checked == 0
+        assert "served-vs-local" not in format_fuzz(report)
+
+    def test_local_perturbation_is_detected_and_shrunk(self):
+        def serve_fault(window_seed, blocks, body):
+            # Corrupt the *local* reference: the harness must notice
+            # the served body no longer matches, at every block count.
+            return body.replace(b'"failed"', b'"fialed"')
+
+        report = run_differential_fuzz(windows=1, seed=0, blocks=6,
+                                       serve_diff=True,
+                                       serve_fault=serve_fault)
+        assert report.failed
+        divergence = report.divergences[-1]
+        assert divergence.comparison == "serve:served-vs-local"
+        assert divergence.fields == ["body"]
+        served, local = divergence.details["body"]
+        assert served != local
+        assert served.startswith("sha256:")
+        # ddmin shrank the block budget to the 1-minimal reproducer.
+        assert divergence.shrunk_blocks == 1
+
+    def test_report_serialises_the_serve_counter(self):
+        report = run_differential_fuzz(windows=1, seed=0, blocks=6,
+                                       serve_diff=True)
+        document = json.loads(json.dumps(report.to_dict()))
+        assert document["serve_checked"] == 1
+        assert document["failed"] is False

@@ -1,0 +1,508 @@
+"""The resilience surface of ``repro serve``.
+
+Production-hardening contract (``docs/serve.md``, "Operating the
+service"): per-request deadlines abandon the *wait*, never the shared
+coalesced computation — the result still lands in the tiered cache;
+admission control sheds overload as HTTP 503 with ``Retry-After`` and
+per-tenant fairness counters; graceful drain finishes in-flight work,
+flushes the stores and refuses new requests; a hung server thread is a
+raised :class:`ShutdownLeak`, not a silent leak.
+"""
+
+import asyncio
+import json
+import logging
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import EngineConfig, ExperimentEngine, ResultCache
+from repro.serve import (
+    DeadlineExceeded,
+    RequestError,
+    ServerThread,
+    Shed,
+    ShutdownLeak,
+    SimulationService,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+SCALE = 150  # characters: ~seconds per uncached simulation
+
+
+def _engine(tmp_path, name="cache"):
+    return ExperimentEngine(
+        config=EngineConfig(jobs=1),
+        cache=ResultCache(tmp_path / name, backend=None))
+
+
+def _service(tmp_path, **kwargs):
+    return SimulationService(engine=_engine(tmp_path), **kwargs)
+
+
+def _slow(service):
+    """Replace the service's simulation with one gated on an event, so
+    tests control exactly when the computation finishes."""
+    release = threading.Event()
+    started = threading.Event()
+    real = service._run_sync
+
+    def gated(command, params):
+        started.set()
+        if not release.wait(timeout=30):
+            raise RuntimeError("test never released the simulation")
+        return real(command, params)
+
+    service._run_sync = gated
+    return started, release
+
+
+def _run(coro):
+    loop = asyncio.new_event_loop()
+    try:
+        return loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+def _get(server, path, timeout=120):
+    return urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}", timeout=timeout)
+
+
+def _post(server, path, document=None, headers=None, timeout=120):
+    body = b"" if document is None else json.dumps(document).encode("utf-8")
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{server.port}{path}", data=body,
+        headers=dict({"Content-Type": "application/json"}, **(headers or {})),
+        method="POST")
+    return urllib.request.urlopen(request, timeout=timeout)
+
+
+# ----------------------------------------------------------------------
+# Deadlines.
+
+
+class TestDeadlines:
+    def test_resolve_timeout_validates_and_caps(self, tmp_path):
+        service = _service(tmp_path, default_timeout=5.0, max_timeout=10.0)
+        assert service.resolve_timeout(None) == 5.0
+        assert service.resolve_timeout("3") == 3.0
+        assert service.resolve_timeout(3) == 3.0
+        assert service.resolve_timeout(99) == 10.0  # capped
+        for bad in ("soon", "", -1, 0, "0"):
+            with pytest.raises(RequestError):
+                service.resolve_timeout(bad)
+
+    def test_no_default_means_no_deadline(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_TIMEOUT", raising=False)
+        service = _service(tmp_path)
+        assert service.resolve_timeout(None) is None
+
+    def test_timeout_env_sets_the_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_TIMEOUT", "2.5")
+        assert _service(tmp_path).resolve_timeout(None) == 2.5
+
+    def test_deadline_abandons_wait_not_computation(self, tmp_path):
+        """The regression the tentpole names: a timed-out waiter must
+        NOT cancel the shared in-flight future, and the result must
+        still land in the engine cache."""
+        service = _service(tmp_path)
+        started, release = _slow(service)
+
+        async def scenario():
+            with pytest.raises(DeadlineExceeded):
+                await service.submit("figure13", {"scale": SCALE},
+                                     timeout=0.1)
+            # The computation survived its abandoned waiter.
+            assert len(service._inflight) == 1
+            shared = next(iter(service._inflight.values()))
+            assert not shared.cancelled()
+            release.set()
+            result = await asyncio.wait_for(asyncio.shield(shared), 180)
+            assert result.command == "figure13"
+
+        _run(scenario())
+        assert started.is_set()
+        assert service.counters.deadline_exceeded == 1
+        assert service.counters.simulations == 1
+        assert service._inflight == {}
+        # ... and its windows landed in the cache: a warm engine over
+        # the same root replays the figure without a single miss.
+        warm = ExperimentEngine(
+            config=EngineConfig(jobs=1),
+            cache=ResultCache(tmp_path / "cache", backend=None))
+        from repro import api
+        api.run_figure13(scale=SCALE, engine=warm)
+        assert warm.cache.misses == 0
+        assert warm.cache.hits > 0
+
+    def test_deadline_leaves_coalesced_waiters_unharmed(self, tmp_path):
+        service = _service(tmp_path)
+        _started, release = _slow(service)
+
+        async def scenario():
+            patient = asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}))
+            await asyncio.sleep(0.05)
+            with pytest.raises(DeadlineExceeded):
+                await service.submit("figure13", {"scale": SCALE},
+                                     timeout=0.1)
+            release.set()
+            return await asyncio.wait_for(patient, 180)
+
+        result = _run(scenario())
+        assert result.data is not None
+        assert service.counters.simulations == 1
+        assert service.counters.coalesced == 1
+        assert service.counters.deadline_exceeded == 1
+
+    def test_http_deadline_is_504(self, tmp_path):
+        service = _service(tmp_path)
+        _started, release = _slow(service)
+        try:
+            with ServerThread(service) as server:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    _get(server,
+                         f"/v1/figure/figure13?scale={SCALE}&timeout=0.1")
+                assert excinfo.value.code == 504
+                assert "deadline" in json.loads(excinfo.value.read())["error"]
+                release.set()
+        finally:
+            release.set()
+
+    def test_http_bad_timeout_is_400(self, tmp_path):
+        with ServerThread(_service(tmp_path)) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, f"/v1/figure/figure13?scale={SCALE}&timeout=nope")
+            assert excinfo.value.code == 400
+        assert server.service.counters.rejected == 1
+        assert server.service.counters.simulations == 0
+
+    def test_timeout_never_reaches_the_coalescing_key(self, tmp_path):
+        """``timeout`` is transport-level: two requests differing only
+        in deadline must still coalesce (same key, one simulation)."""
+        with ServerThread(_service(tmp_path)) as server:
+            a = _get(server,
+                     f"/v1/figure/figure13?scale={SCALE}&timeout=30").read()
+            b = _post(server, "/v1/figure",
+                      {"command": "figure13", "params": {"scale": SCALE},
+                       "timeout": 60}).read()
+        assert a == b
+        assert server.service.counters.simulations == 2  # sequential
+        for params in (json.loads(a)["params"], json.loads(b)["params"]):
+            assert "timeout" not in params
+
+
+# ----------------------------------------------------------------------
+# Coalesced-waiter cancellation (satellite regression test).
+
+
+class TestWaiterCancellation:
+    def test_cancelling_one_of_n_waiters_cancels_nothing_shared(
+            self, tmp_path):
+        service = _service(tmp_path)
+        _started, release = _slow(service)
+
+        async def scenario():
+            waiters = [asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}))
+                for _ in range(3)]
+            await asyncio.sleep(0.05)  # all three attach to one future
+            waiters[0].cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await waiters[0]
+            # The shared computation is still in flight, un-cancelled.
+            assert len(service._inflight) == 1
+            assert not next(iter(service._inflight.values())).cancelled()
+            release.set()
+            return await asyncio.gather(*waiters[1:])
+
+        survivors = _run(scenario())
+        assert len(survivors) == 2
+        documents = {json.dumps(r.document(), sort_keys=True)
+                     for r in survivors}
+        assert len(documents) == 1
+        assert service.counters.simulations == 1
+        assert service._inflight == {}  # the future did not leak
+
+    def test_every_waiter_abandoning_still_completes_the_simulation(
+            self, tmp_path):
+        """Even with zero remaining waiters the computation finishes
+        and the in-flight slot is reclaimed (no 'exception never
+        retrieved' noise, no leak)."""
+        service = _service(tmp_path)
+        started, release = _slow(service)
+
+        async def scenario():
+            with pytest.raises(DeadlineExceeded):
+                await service.submit("figure13", {"scale": SCALE},
+                                     timeout=0.05)
+            release.set()
+            deadline = time.monotonic() + 180  # loaded CI boxes are slow
+            while service._inflight and time.monotonic() < deadline:
+                await asyncio.sleep(0.05)
+            assert service._inflight == {}
+
+        _run(scenario())
+        assert started.is_set()
+        assert service.counters.simulations == 1
+
+
+# ----------------------------------------------------------------------
+# Admission control / load shedding.
+
+
+class TestShedding:
+    def test_queue_limit_sheds_the_overflow(self, tmp_path):
+        service = _service(tmp_path, queue_limit=2)
+        _started, release = _slow(service)
+
+        async def scenario():
+            admitted = [asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}))
+                for _ in range(2)]
+            await asyncio.sleep(0.05)
+            with pytest.raises(Shed) as excinfo:
+                await service.submit("figure13", {"scale": SCALE})
+            assert "queue full" in str(excinfo.value)
+            assert excinfo.value.retry_after > 0
+            release.set()
+            await asyncio.gather(*admitted)
+
+        _run(scenario())
+        assert service.counters.shed == 1
+        assert service.counters.requests == 2  # shed never counts as served
+
+    def test_tenant_quota_is_per_tenant(self, tmp_path):
+        service = _service(tmp_path, queue_limit=16, tenant_quota=1)
+        _started, release = _slow(service)
+
+        async def scenario():
+            first = asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}, tenant="alice"))
+            await asyncio.sleep(0.05)
+            with pytest.raises(Shed, match="over quota"):
+                await service.submit("figure14", {"scale": SCALE},
+                                     tenant="alice")
+            # A different tenant is unaffected by alice's quota.
+            other = asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}, tenant="bob"))
+            await asyncio.sleep(0.05)
+            release.set()
+            await asyncio.gather(first, other)
+
+        _run(scenario())
+        tenants = service.stats()["tenants"]
+        assert tenants["alice"] == {"requests": 1, "shed": 1, "active": 0}
+        assert tenants["bob"] == {"requests": 1, "shed": 0, "active": 0}
+
+    def test_http_shed_is_503_with_retry_after(self, tmp_path):
+        service = _service(tmp_path, queue_limit=0)  # refuse everything
+        with ServerThread(service) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, f"/v1/figure/figure13?scale={SCALE}")
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "1"
+            body = json.loads(excinfo.value.read())
+            assert "queue full" in body["error"]
+            assert body["retry_after"] == 1.0
+            stats = json.loads(_get(server, "/statsz").read())
+        assert stats["serve"]["shed"] == 1
+        assert stats["tenants"]["anonymous"]["shed"] == 1
+
+    def test_tenant_header_reaches_the_fairness_counters(self, tmp_path):
+        with ServerThread(_service(tmp_path)) as server:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}"
+                f"/v1/figure/figure13?scale={SCALE}",
+                headers={"X-Repro-Tenant": "team-a"})
+            urllib.request.urlopen(request, timeout=120).read()
+            stats = json.loads(_get(server, "/statsz").read())
+        assert stats["tenants"]["team-a"]["requests"] == 1
+        assert stats["tenants"]["team-a"]["active"] == 0
+
+    def test_statsz_reports_limits_and_draining_flag(self, tmp_path):
+        service = _service(tmp_path, queue_limit=3, tenant_quota=2,
+                           default_timeout=7.0, max_timeout=70.0)
+        with ServerThread(service) as server:
+            stats = json.loads(_get(server, "/statsz").read())
+        assert stats["limits"] == {
+            "queue": 3, "tenant_quota": 2, "default_timeout": 7.0,
+            "max_timeout": 70.0, "drain_timeout": service.drain_timeout}
+        assert stats["serve"]["draining"] is False
+        assert stats["breaker"] is None  # no breaker-wrapped backend
+
+    def test_statsz_surfaces_breaker_telemetry(self, tmp_path):
+        from repro.store import CircuitBreakerBackend, FilesystemBackend
+
+        backend = CircuitBreakerBackend(
+            FilesystemBackend(tmp_path / "shared"))
+        engine = ExperimentEngine(
+            config=EngineConfig(jobs=1),
+            cache=ResultCache(tmp_path / "cache", backend=backend))
+        with ServerThread(SimulationService(engine=engine)) as server:
+            stats = json.loads(_get(server, "/statsz").read())
+        assert stats["breaker"]["state"] == "closed"
+        assert set(stats["breaker"]) >= {"opens", "closes", "fast_failed",
+                                         "timeouts", "transitions"}
+
+
+# ----------------------------------------------------------------------
+# Graceful drain.
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_refuses_new_work(self, tmp_path):
+        service = _service(tmp_path)
+        _started, release = _slow(service)
+
+        async def scenario():
+            inflight = asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}))
+            await asyncio.sleep(0.05)
+            drain = asyncio.ensure_future(service.drain())
+            await asyncio.sleep(0.05)
+            assert service.draining
+            with pytest.raises(Shed) as excinfo:
+                await service.submit("figure14", {"scale": SCALE})
+            assert "draining" in str(excinfo.value)
+            assert excinfo.value.retry_after == 5.0
+            release.set()
+            report = await drain
+            result = await inflight
+            return report, result
+
+        report, result = _run(scenario())
+        assert result.data is not None  # in-flight request completed
+        assert report["drained"] is True
+        assert report["inflight_completed"] == 1
+        assert report["inflight_cancelled"] == 0
+        assert set(report["flushed"]) == {"results", "traces"}
+
+    def test_drain_is_idempotent(self, tmp_path):
+        service = _service(tmp_path)
+
+        async def scenario():
+            first = await service.drain()
+            second = await service.drain()
+            assert second is first
+
+        _run(scenario())
+
+    def test_drain_cancels_stragglers_after_its_timeout(self, tmp_path):
+        service = _service(tmp_path, drain_timeout=0.1)
+        _started, release = _slow(service)
+
+        async def scenario():
+            hung = asyncio.ensure_future(
+                service.submit("figure13", {"scale": SCALE}))
+            await asyncio.sleep(0.05)
+            report = await service.drain()
+            release.set()  # free the worker thread
+            with pytest.raises(asyncio.CancelledError):
+                await hung
+            return report
+
+        report = _run(scenario())
+        assert report["inflight_completed"] == 0
+        assert report["inflight_cancelled"] == 1
+
+    def test_http_drain_route(self, tmp_path):
+        with ServerThread(_service(tmp_path)) as server:
+            _get(server, f"/v1/figure/figure13?scale={SCALE}").read()
+            with _post(server, "/v1/admin/drain") as response:
+                assert response.status == 200
+                report = json.loads(response.read())
+            assert report["drained"] is True
+            # Post-drain, requests shed with 503 + Retry-After.
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, f"/v1/figure/figure13?scale={SCALE}")
+            assert excinfo.value.code == 503
+            assert excinfo.value.headers["Retry-After"] == "5"
+            stats = json.loads(_get(server, "/statsz").read())
+            assert stats["serve"]["draining"] is True
+
+    def test_http_drain_is_get_405(self, tmp_path):
+        with ServerThread(_service(tmp_path)) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                _get(server, "/v1/admin/drain")
+            assert excinfo.value.code == 405
+
+    def test_warm_restart_after_drain_runs_zero_windows(self, tmp_path):
+        """Drain flushed everything the first server computed; a
+        restarted server over the same cache root answers the same
+        request without recomputing a single window."""
+        with ServerThread(_service(tmp_path)) as server:
+            before = _get(server,
+                          f"/v1/figure/figure13?scale={SCALE}").read()
+            server.drain()
+        warm_engine = _engine(tmp_path)
+        with ServerThread(SimulationService(engine=warm_engine)) as server:
+            after = _get(server, f"/v1/figure/figure13?scale={SCALE}").read()
+        assert after == before
+        assert warm_engine.cache.misses == 0
+        assert warm_engine.cache.hits > 0
+
+
+# ----------------------------------------------------------------------
+# Shutdown-leak detection (satellite: no more silent returns).
+
+
+class TestShutdownLeak:
+    def test_hung_loop_raises_and_logs(self, tmp_path, caplog):
+        server = ServerThread(_service(tmp_path)).start()
+        # Wedge the event loop so stop()'s loop.stop callback starves.
+        server._loop.call_soon_threadsafe(time.sleep, 1.5)
+        time.sleep(0.1)  # let the wedge start running
+        thread = server._thread
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            with pytest.raises(ShutdownLeak, match="failed to stop"):
+                server.stop(join_timeout=0.2)
+        assert "leaked" in caplog.text
+        # Once the wedge clears, the queued loop.stop runs and the
+        # thread exits — the test must not leak it across the suite.
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_clean_stop_neither_raises_nor_logs(self, tmp_path, caplog):
+        server = ServerThread(_service(tmp_path)).start()
+        with caplog.at_level(logging.WARNING, logger="repro.serve"):
+            server.stop()
+        assert caplog.text == ""
+        assert server._thread is None
+
+
+# ----------------------------------------------------------------------
+# The CLI: SIGTERM means drain-and-exit-0.
+
+
+class TestCliSigterm:
+    def test_sigterm_drains_cleanly_and_exits_zero(self, tmp_path):
+        env = dict(os.environ,
+                   PYTHONPATH=str(REPO_ROOT / "src"),
+                   REPRO_CACHE_DIR=str(tmp_path / "cache"))
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", "0"],
+            stderr=subprocess.PIPE, stdout=subprocess.DEVNULL,
+            env=env, cwd=str(tmp_path), text=True)
+        try:
+            banner = process.stderr.readline()
+            assert "listening on http://" in banner
+            process.send_signal(signal.SIGTERM)
+            remainder = process.stderr.read()
+            code = process.wait(timeout=60)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        assert code == 0
+        assert "[serve: drained cleanly]" in remainder
